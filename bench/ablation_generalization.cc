@@ -1,0 +1,47 @@
+// Ablation called out in Sec. 5.2: "the positive effect of the
+// generalization in addition to the selection of SCPs is generally of 1% in
+// F1 score". Compares the full learner against the SCP-disjunction-only
+// variant (generalization off) on every workload.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "experiments/report.h"
+#include "experiments/static_experiment.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+void RunDataset(const Dataset& dataset, double fraction) {
+  std::printf("-- generalization ablation: %s (%.1f%% labels) --\n",
+              dataset.name.c_str(), fraction * 100);
+  TableReport table({"query", "F1 with generalization",
+                     "F1 without (SCP disjunction)", "delta"});
+  StaticSweepOptions options;
+  options.fractions = {fraction};
+  options.trials = bench::Trials();
+  options.seed = 27;
+  for (const Workload& w : dataset.queries) {
+    auto with = RunStaticSweep(dataset.graph, w.query, options);
+    StaticSweepOptions without_options = options;
+    without_options.learner.generalize = false;
+    auto without = RunStaticSweep(dataset.graph, w.query, without_options);
+    table.AddRow({w.name, TableReport::Num(with[0].f1_mean, 4),
+                  TableReport::Num(without[0].f1_mean, 4),
+                  TableReport::Num(with[0].f1_mean - without[0].f1_mean, 4)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace rpqlearn
+
+int main() {
+  std::printf("Ablation: RPNI generalization on/off (Sec. 5.2)\n\n");
+  rpqlearn::RunDataset(rpqlearn::BuildAlibabaDataset(), 0.05);
+  rpqlearn::RunDataset(
+      rpqlearn::BuildSyntheticDataset(rpqlearn::bench::SyntheticSizes()[0]),
+      0.05);
+  return 0;
+}

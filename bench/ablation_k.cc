@@ -1,0 +1,56 @@
+// Ablation of the SCP length bound k (Sec. 5.1: "in the majority of cases
+// k = 2 is sufficient and it may reach values up to 4 in some isolated
+// cases"). Runs the learner with fixed k ∈ {1..4} and with the dynamic-k
+// policy, reporting F1 and the abstain rate.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "experiments/report.h"
+#include "experiments/static_experiment.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+void RunDataset(const Dataset& dataset, double fraction) {
+  std::printf("-- k ablation: %s (%.1f%% labels) --\n",
+              dataset.name.c_str(), fraction * 100);
+  TableReport table({"query", "k", "F1", "abstain rate", "max k used"});
+  for (const Workload& w : dataset.queries) {
+    for (uint32_t k = 1; k <= 4; ++k) {
+      StaticSweepOptions options;
+      options.fractions = {fraction};
+      options.trials = bench::Trials();
+      options.seed = 31;
+      options.learner.k = k;
+      options.learner.auto_k = false;
+      auto points = RunStaticSweep(dataset.graph, w.query, options);
+      table.AddRow({w.name, std::to_string(k),
+                    TableReport::Num(points[0].f1_mean, 3),
+                    TableReport::Num(points[0].abstain_rate, 2),
+                    std::to_string(points[0].max_k_used)});
+    }
+    StaticSweepOptions dynamic;
+    dynamic.fractions = {fraction};
+    dynamic.trials = bench::Trials();
+    dynamic.seed = 31;
+    auto points = RunStaticSweep(dataset.graph, w.query, dynamic);
+    table.AddRow({w.name, "dynamic", TableReport::Num(points[0].f1_mean, 3),
+                  TableReport::Num(points[0].abstain_rate, 2),
+                  std::to_string(points[0].max_k_used)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace rpqlearn
+
+int main() {
+  std::printf("Ablation: SCP length bound k (Sec. 5.1)\n\n");
+  rpqlearn::RunDataset(rpqlearn::BuildAlibabaDataset(), 0.05);
+  rpqlearn::RunDataset(
+      rpqlearn::BuildSyntheticDataset(rpqlearn::bench::SyntheticSizes()[0]),
+      0.05);
+  return 0;
+}

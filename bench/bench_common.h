@@ -1,0 +1,32 @@
+#ifndef RPQLEARN_BENCH_BENCH_COMMON_H_
+#define RPQLEARN_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace rpqlearn::bench {
+
+/// Benchmark scale, selected with RPQ_BENCH_SCALE:
+///  * "small" (default): reduced graph sizes / trials so the whole bench
+///    suite completes in a few minutes;
+///  * "paper": the paper's sizes (AliBaba-like 3k plus synthetic
+///    10k/20k/30k graphs) — slower, intended for the final EXPERIMENTS.md
+///    numbers.
+inline bool PaperScale() {
+  const char* env = std::getenv("RPQ_BENCH_SCALE");
+  return env != nullptr && std::string(env) == "paper";
+}
+
+/// Synthetic graph sizes for the current scale.
+inline std::vector<uint32_t> SyntheticSizes() {
+  if (PaperScale()) return {10000, 20000, 30000};
+  return {1500};
+}
+
+/// Trials per configuration for the current scale.
+inline int Trials() { return PaperScale() ? 3 : 2; }
+
+}  // namespace rpqlearn::bench
+
+#endif  // RPQLEARN_BENCH_BENCH_COMMON_H_

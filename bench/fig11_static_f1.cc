@@ -1,0 +1,51 @@
+// Regenerates Figure 11 of the paper: F1 score of the learned query versus
+// the percentage of labeled nodes, in the static (fixed random sample)
+// setting, for (a) the biological queries and (b-d) the synthetic queries on
+// graphs of increasing size.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "experiments/report.h"
+#include "experiments/static_experiment.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+void RunPanel(const Dataset& dataset) {
+  std::printf("-- Figure 11 panel: %s --\n", dataset.name.c_str());
+  StaticSweepOptions options;
+  options.trials = bench::Trials();
+  options.seed = 7;
+
+  std::vector<std::string> headers{"labeled %"};
+  for (const Workload& w : dataset.queries) headers.push_back(w.name);
+  TableReport table(headers);
+
+  std::vector<std::vector<StaticPoint>> curves;
+  for (const Workload& w : dataset.queries) {
+    curves.push_back(RunStaticSweep(dataset.graph, w.query, options));
+  }
+  for (size_t row = 0; row < options.fractions.size(); ++row) {
+    std::vector<std::string> cells{
+        TableReport::Percent(options.fractions[row], 1)};
+    for (const auto& curve : curves) {
+      cells.push_back(TableReport::Num(curve[row].f1_mean, 3));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace rpqlearn
+
+int main() {
+  std::printf("Figure 11 reproduction: static F1 vs %% labeled nodes\n\n");
+  rpqlearn::RunPanel(rpqlearn::BuildAlibabaDataset());
+  for (uint32_t n : rpqlearn::bench::SyntheticSizes()) {
+    rpqlearn::RunPanel(rpqlearn::BuildSyntheticDataset(n));
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Regenerates Figure 12 of the paper: learning time (seconds) versus the
+// percentage of labeled nodes in the static setting, for the biological and
+// synthetic queries. Absolute times differ from the paper's testbed; the
+// trends (more labels / more selective queries cost more) are the target.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "experiments/report.h"
+#include "experiments/static_experiment.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+void RunPanel(const Dataset& dataset) {
+  std::printf("-- Figure 12 panel: %s --\n", dataset.name.c_str());
+  StaticSweepOptions options;
+  options.trials = bench::Trials();
+  options.seed = 7;
+
+  std::vector<std::string> headers{"labeled %"};
+  for (const Workload& w : dataset.queries) {
+    headers.push_back(w.name + " (s)");
+  }
+  TableReport table(headers);
+
+  std::vector<std::vector<StaticPoint>> curves;
+  for (const Workload& w : dataset.queries) {
+    curves.push_back(RunStaticSweep(dataset.graph, w.query, options));
+  }
+  for (size_t row = 0; row < options.fractions.size(); ++row) {
+    std::vector<std::string> cells{
+        TableReport::Percent(options.fractions[row], 1)};
+    for (const auto& curve : curves) {
+      cells.push_back(TableReport::Num(curve[row].time_mean_seconds, 4));
+    }
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace rpqlearn
+
+int main() {
+  std::printf(
+      "Figure 12 reproduction: static learning time vs %% labeled nodes\n\n");
+  rpqlearn::RunPanel(rpqlearn::BuildAlibabaDataset());
+  for (uint32_t n : rpqlearn::bench::SyntheticSizes()) {
+    rpqlearn::RunPanel(rpqlearn::BuildSyntheticDataset(n));
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Microbenchmarks of the automata substrate: determinization, minimization,
+// language inclusion, equivalence and product emptiness.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/determinize.h"
+#include "automata/equivalence.h"
+#include "automata/inclusion.h"
+#include "automata/minimize.h"
+#include "automata/ops.h"
+#include "automata/random_automata.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+Nfa MakeNfa(uint32_t states, uint64_t seed) {
+  Rng rng(seed);
+  RandomAutomatonOptions options;
+  options.num_states = states;
+  options.num_symbols = 4;
+  return RandomNfa(&rng, options);
+}
+
+Dfa MakeDfa(uint32_t states, uint64_t seed) {
+  Rng rng(seed);
+  RandomAutomatonOptions options;
+  options.num_states = states;
+  options.num_symbols = 4;
+  return RandomDfa(&rng, options);
+}
+
+void BM_Determinize(benchmark::State& state) {
+  Nfa nfa = MakeNfa(static_cast<uint32_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Determinize(nfa));
+  }
+}
+BENCHMARK(BM_Determinize)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MinimizeHopcroft(benchmark::State& state) {
+  Dfa dfa = MakeDfa(static_cast<uint32_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Minimize(dfa));
+  }
+}
+BENCHMARK(BM_MinimizeHopcroft)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MinimizeMoore(benchmark::State& state) {
+  Dfa dfa = MakeDfa(static_cast<uint32_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimizeMoore(dfa));
+  }
+}
+BENCHMARK(BM_MinimizeMoore)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_InclusionAntichain(benchmark::State& state) {
+  Nfa a = MakeNfa(static_cast<uint32_t>(state.range(0)), 3);
+  Nfa b = MakeNfa(static_cast<uint32_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckLanguageInclusion(a, b));
+  }
+}
+BENCHMARK(BM_InclusionAntichain)->Arg(8)->Arg(16);
+
+void BM_Equivalence(benchmark::State& state) {
+  Dfa a = MakeDfa(static_cast<uint32_t>(state.range(0)), 5);
+  Dfa b = Minimize(a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AreEquivalent(a, b));
+  }
+}
+BENCHMARK(BM_Equivalence)->Arg(32)->Arg(128);
+
+void BM_IntersectionEmptiness(benchmark::State& state) {
+  Nfa a = MakeNfa(static_cast<uint32_t>(state.range(0)), 6);
+  Nfa b = MakeNfa(static_cast<uint32_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectionIsEmpty(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionEmptiness)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace rpqlearn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Microbenchmarks of the query evaluation engine (monadic product
+// reachability) on the synthetic workloads.
+
+#include <benchmark/benchmark.h>
+
+#include "query/eval.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+void BM_EvalMonadic(benchmark::State& state) {
+  Dataset dataset =
+      BuildSyntheticDataset(static_cast<uint32_t>(state.range(0)));
+  const Dfa& query = dataset.queries[1].query;  // syn2
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalMonadic(dataset.graph, query));
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.graph.num_edges());
+}
+BENCHMARK(BM_EvalMonadic)->Arg(1000)->Arg(5000)->Arg(10000);
+
+void BM_EvalMonadicBounded(benchmark::State& state) {
+  Dataset dataset = BuildSyntheticDataset(5000);
+  const Dfa& query = dataset.queries[1].query;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalMonadicBounded(
+        dataset.graph, query, static_cast<uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_EvalMonadicBounded)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SelectsNode(benchmark::State& state) {
+  Dataset dataset = BuildSyntheticDataset(5000);
+  const Dfa& query = dataset.queries[0].query;  // selective syn1
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectsNode(dataset.graph, query, v));
+    v = (v + 1) % dataset.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_SelectsNode);
+
+void BM_EvalBinaryFrom(benchmark::State& state) {
+  Dataset dataset = BuildSyntheticDataset(5000);
+  const Dfa& query = dataset.queries[1].query;
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalBinaryFrom(dataset.graph, query, v));
+    v = (v + 1) % dataset.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_EvalBinaryFrom);
+
+}  // namespace
+}  // namespace rpqlearn
+
+BENCHMARK_MAIN();

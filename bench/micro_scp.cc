@@ -1,0 +1,93 @@
+// Microbenchmarks of the learning-specific machinery: negative-coverage
+// subset automaton construction, SCP search, k-informativeness and a full
+// learner invocation.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/graph_nfa.h"
+#include "interact/informative.h"
+#include "learn/coverage.h"
+#include "learn/learner.h"
+#include "learn/scp.h"
+#include "query/eval.h"
+#include "util/random.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+/// A reproducible sample labeled by syn2 on a small synthetic graph.
+struct Setup {
+  Dataset dataset = BuildSyntheticDataset(3000);
+  Sample sample;
+  Setup() {
+    BitVector goal = EvalMonadic(dataset.graph, dataset.queries[1].query);
+    Rng rng(99);
+    auto nodes =
+        rng.SampleWithoutReplacement(dataset.graph.num_nodes(), 150);
+    sample = Sample::FromGoal(goal, nodes);
+  }
+};
+
+void BM_CoverageBuild(benchmark::State& state) {
+  Setup setup;
+  Nfa negatives = GraphToNfa(setup.dataset.graph, setup.sample.negative);
+  SubsetCoverage::Options options;
+  options.k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SubsetCoverage::Build(negatives, options));
+  }
+}
+BENCHMARK(BM_CoverageBuild)->Arg(2)->Arg(3);
+
+void BM_ScpSearch(benchmark::State& state) {
+  Setup setup;
+  Nfa negatives = GraphToNfa(setup.dataset.graph, setup.sample.negative);
+  SubsetCoverage::Options options;
+  options.k = 2;
+  auto coverage = SubsetCoverage::Build(negatives, options);
+  if (!coverage.ok()) {
+    state.SkipWithError("coverage cap");
+    return;
+  }
+  Nfa graph_nfa = GraphToNfa(setup.dataset.graph, {});
+  size_t i = 0;
+  for (auto _ : state) {
+    NodeId v = setup.sample.positive[i % setup.sample.positive.size()];
+    benchmark::DoNotOptimize(
+        SmallestConsistentPath(graph_nfa, {v}, coverage.value()));
+    ++i;
+  }
+}
+BENCHMARK(BM_ScpSearch);
+
+void BM_KInformative(benchmark::State& state) {
+  Setup setup;
+  Nfa negatives = GraphToNfa(setup.dataset.graph, setup.sample.negative);
+  SubsetCoverage::Options options;
+  options.k = 2;
+  auto coverage = SubsetCoverage::Build(negatives, options);
+  if (!coverage.ok()) {
+    state.SkipWithError("coverage cap");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeKInformative(setup.dataset.graph, coverage.value()));
+  }
+}
+BENCHMARK(BM_KInformative);
+
+void BM_FullLearner(benchmark::State& state) {
+  Setup setup;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LearnPathQuery(setup.dataset.graph, setup.sample, {}));
+  }
+}
+BENCHMARK(BM_FullLearner);
+
+}  // namespace
+}  // namespace rpqlearn
+
+BENCHMARK_MAIN();

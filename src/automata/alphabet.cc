@@ -1,0 +1,43 @@
+#include "automata/alphabet.h"
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+Symbol Alphabet::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+StatusOr<Symbol> Alphabet::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown symbol: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Alphabet::Contains(std::string_view name) const {
+  return ids_.count(std::string(name)) > 0;
+}
+
+const std::string& Alphabet::Name(Symbol s) const {
+  RPQ_CHECK_LT(s, names_.size());
+  return names_[s];
+}
+
+std::vector<Symbol> Alphabet::InternGenerated(std::string_view prefix,
+                                              uint32_t count) {
+  std::vector<Symbol> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    out.push_back(Intern(std::string(prefix) + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,50 @@
+#ifndef RPQLEARN_AUTOMATA_ALPHABET_H_
+#define RPQLEARN_AUTOMATA_ALPHABET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// A symbol of the alphabet Σ, represented densely.
+using Symbol = uint32_t;
+
+/// A finite ordered set of edge-label symbols (Sec. 2 of the paper).
+/// Symbols are interned strings; the dense ids define the order on Σ that the
+/// canonical word order extends lexicographically.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the id of `name` or NotFound if it was never interned.
+  StatusOr<Symbol> Find(std::string_view name) const;
+
+  /// True iff `name` has been interned.
+  bool Contains(std::string_view name) const;
+
+  /// The label of symbol `s`; `s` must be a valid id.
+  const std::string& Name(Symbol s) const;
+
+  /// Number of interned symbols.
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// Convenience: interns `a0, a1, ..., a(n-1)` style generated labels with
+  /// the given prefix and returns their ids.
+  std::vector<Symbol> InternGenerated(std::string_view prefix, uint32_t count);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_ALPHABET_H_

@@ -1,0 +1,51 @@
+#include "automata/determinize.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace rpqlearn {
+
+Dfa Determinize(const Nfa& nfa) {
+  Dfa out(nfa.num_symbols());
+
+  std::vector<StateId> start = nfa.initial_states();
+  std::sort(start.begin(), start.end());
+  start = nfa.EpsilonClosure(std::move(start));
+
+  if (start.empty()) {
+    // No initial states: the language is empty; represent it with a single
+    // rejecting state so the DFA still has an initial state.
+    out.AddState(false);
+    return out;
+  }
+
+  std::map<std::vector<StateId>, StateId> ids;
+  std::deque<std::vector<StateId>> queue;
+
+  StateId s0 = out.AddState(nfa.ContainsAccepting(start));
+  ids.emplace(start, s0);
+  queue.push_back(std::move(start));
+
+  while (!queue.empty()) {
+    std::vector<StateId> subset = std::move(queue.front());
+    queue.pop_front();
+    StateId from = ids.at(subset);
+    for (Symbol a = 0; a < nfa.num_symbols(); ++a) {
+      std::vector<StateId> next = nfa.Step(subset, a);
+      if (next.empty()) continue;
+      auto [it, inserted] = ids.emplace(next, out.num_states());
+      if (inserted) {
+        StateId created = out.AddState(nfa.ContainsAccepting(next));
+        (void)created;
+        queue.push_back(std::move(next));
+      }
+      out.SetTransition(from, a, it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,17 @@
+#ifndef RPQLEARN_AUTOMATA_DETERMINIZE_H_
+#define RPQLEARN_AUTOMATA_DETERMINIZE_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqlearn {
+
+/// Subset construction. The result is a partial DFA over the same alphabet:
+/// the empty subset is never materialized (missing transitions reject).
+/// States are created in BFS order with symbol-ascending tie-breaks, so the
+/// numbering is deterministic.
+Dfa Determinize(const Nfa& nfa);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_DETERMINIZE_H_

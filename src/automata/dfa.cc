@@ -1,0 +1,203 @@
+#include "automata/dfa.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+StateId Dfa::AddState(bool accepting) {
+  StateId id = static_cast<StateId>(accepting_.size());
+  accepting_.push_back(accepting);
+  table_.insert(table_.end(), num_symbols_, kNoState);
+  if (initial_ == kNoState) initial_ = id;
+  return id;
+}
+
+void Dfa::SetTransition(StateId from, Symbol symbol, StateId to) {
+  RPQ_DCHECK(from < num_states());
+  RPQ_DCHECK(to < num_states());
+  RPQ_DCHECK(symbol < num_symbols_);
+  table_[static_cast<size_t>(from) * num_symbols_ + symbol] = to;
+}
+
+void Dfa::ClearTransition(StateId from, Symbol symbol) {
+  RPQ_DCHECK(from < num_states());
+  table_[static_cast<size_t>(from) * num_symbols_ + symbol] = kNoState;
+}
+
+void Dfa::SetInitial(StateId s) {
+  RPQ_DCHECK(s < num_states());
+  initial_ = s;
+}
+
+void Dfa::SetAccepting(StateId s, bool accepting) {
+  RPQ_DCHECK(s < num_states());
+  accepting_[s] = accepting;
+}
+
+StateId Dfa::Run(StateId from, const Word& word) const {
+  StateId s = from;
+  for (Symbol a : word) {
+    if (s == kNoState) return kNoState;
+    s = Next(s, a);
+  }
+  return s;
+}
+
+bool Dfa::Accepts(const Word& word) const {
+  if (initial_ == kNoState) return false;
+  StateId s = Run(initial_, word);
+  return s != kNoState && accepting_[s];
+}
+
+bool Dfa::IsComplete() const {
+  for (StateId t : table_) {
+    if (t == kNoState) return false;
+  }
+  return num_states() > 0;
+}
+
+Dfa Dfa::Completed() const {
+  if (IsComplete()) return *this;
+  Dfa out = *this;
+  StateId sink = out.AddState(false);
+  for (StateId s = 0; s < out.num_states(); ++s) {
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      if (out.Next(s, a) == kNoState) out.SetTransition(s, a, sink);
+    }
+  }
+  return out;
+}
+
+Dfa Dfa::Trimmed(std::vector<StateId>* old_to_new) const {
+  RPQ_CHECK(initial_ != kNoState) << "Trimmed() requires an initial state";
+  const uint32_t n = num_states();
+
+  // Forward reachability from the initial state.
+  std::vector<bool> reachable(n, false);
+  {
+    std::deque<StateId> queue{initial_};
+    reachable[initial_] = true;
+    while (!queue.empty()) {
+      StateId s = queue.front();
+      queue.pop_front();
+      for (Symbol a = 0; a < num_symbols_; ++a) {
+        StateId t = Next(s, a);
+        if (t != kNoState && !reachable[t]) {
+          reachable[t] = true;
+          queue.push_back(t);
+        }
+      }
+    }
+  }
+
+  // Backward reachability from accepting states (co-reachability).
+  std::vector<bool> live(n, false);
+  {
+    std::vector<std::vector<StateId>> preds(n);
+    for (StateId s = 0; s < n; ++s) {
+      for (Symbol a = 0; a < num_symbols_; ++a) {
+        StateId t = Next(s, a);
+        if (t != kNoState) preds[t].push_back(s);
+      }
+    }
+    std::deque<StateId> queue;
+    for (StateId s = 0; s < n; ++s) {
+      if (accepting_[s]) {
+        live[s] = true;
+        queue.push_back(s);
+      }
+    }
+    while (!queue.empty()) {
+      StateId s = queue.front();
+      queue.pop_front();
+      for (StateId p : preds[s]) {
+        if (!live[p]) {
+          live[p] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> keep(n, false);
+  for (StateId s = 0; s < n; ++s) keep[s] = reachable[s] && live[s];
+  keep[initial_] = true;  // the initial state is always kept
+
+  // BFS renumbering over kept states, exploring symbols in ascending order,
+  // which yields the canonical numbering by least access word.
+  std::vector<StateId> mapping(n, kNoState);
+  Dfa out(num_symbols_);
+  std::deque<StateId> queue{initial_};
+  mapping[initial_] = out.AddState(accepting_[initial_]);
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      StateId t = Next(s, a);
+      if (t == kNoState || !keep[t]) continue;
+      if (mapping[t] == kNoState) {
+        mapping[t] = out.AddState(accepting_[t]);
+        queue.push_back(t);
+      }
+      out.SetTransition(mapping[s], a, mapping[t]);
+    }
+  }
+  out.SetInitial(mapping[initial_]);
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return out;
+}
+
+Nfa Dfa::ToNfa() const {
+  Nfa out(num_symbols_);
+  for (StateId s = 0; s < num_states(); ++s) out.AddState(accepting_[s]);
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      StateId t = Next(s, a);
+      if (t != kNoState) out.AddTransition(s, a, t);
+    }
+  }
+  if (initial_ != kNoState) out.AddInitial(initial_);
+  out.Finalize();
+  return out;
+}
+
+std::vector<StateId> Dfa::AcceptingStates() const {
+  std::vector<StateId> out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+size_t Dfa::NumTransitions() const {
+  size_t total = 0;
+  for (StateId t : table_) {
+    if (t != kNoState) ++total;
+  }
+  return total;
+}
+
+bool Dfa::IsEmptyLanguage() const {
+  if (initial_ == kNoState) return true;
+  std::vector<bool> seen(num_states(), false);
+  std::deque<StateId> queue{initial_};
+  seen[initial_] = true;
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    if (accepting_[s]) return false;
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      StateId t = Next(s, a);
+      if (t != kNoState && !seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,95 @@
+#ifndef RPQLEARN_AUTOMATA_DFA_H_
+#define RPQLEARN_AUTOMATA_DFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "automata/word.h"
+
+namespace rpqlearn {
+
+/// Deterministic finite automaton with a *partial* transition function
+/// (missing transitions mean rejection). Queries are represented by their
+/// canonical DFA; the paper measures query size as its number of states.
+class Dfa {
+ public:
+  /// An automaton over symbols `{0, ..., num_symbols-1}`.
+  explicit Dfa(uint32_t num_symbols) : num_symbols_(num_symbols) {}
+
+  /// Adds a fresh state; the first state added becomes the initial state
+  /// unless SetInitial() is called.
+  StateId AddState(bool accepting = false);
+
+  /// Defines `from --symbol--> to`, overwriting any previous target.
+  void SetTransition(StateId from, Symbol symbol, StateId to);
+
+  /// Removes the transition on `symbol` out of `from`, if any.
+  void ClearTransition(StateId from, Symbol symbol);
+
+  void SetInitial(StateId s);
+  void SetAccepting(StateId s, bool accepting);
+
+  /// Target of `from --symbol-->`, or kNoState if undefined.
+  StateId Next(StateId from, Symbol symbol) const {
+    return table_[static_cast<size_t>(from) * num_symbols_ + symbol];
+  }
+
+  StateId initial_state() const { return initial_; }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+
+  uint32_t num_states() const {
+    return static_cast<uint32_t>(accepting_.size());
+  }
+  uint32_t num_symbols() const { return num_symbols_; }
+
+  /// Runs the automaton on `word` from state `from`; returns the final state
+  /// or kNoState if a transition is missing along the way.
+  StateId Run(StateId from, const Word& word) const;
+
+  /// True iff `word` is in the language.
+  bool Accepts(const Word& word) const;
+
+  /// True iff every state has a transition on every symbol.
+  bool IsComplete() const;
+
+  /// Returns a complete copy: if any transition is missing, a rejecting sink
+  /// state is appended and absorbs all missing transitions.
+  Dfa Completed() const;
+
+  /// Returns a copy with only reachable and co-reachable (live) states,
+  /// renumbered in BFS order from the initial state with symbol-ascending
+  /// tie-breaks. The initial state is always kept, so the empty language is
+  /// represented by a single non-accepting state. If `old_to_new` is non-null
+  /// it receives the mapping (kNoState for dropped states).
+  Dfa Trimmed(std::vector<StateId>* old_to_new = nullptr) const;
+
+  /// The same automaton as an NFA (no ε-transitions), for generic algorithms.
+  Nfa ToNfa() const;
+
+  /// All accepting state ids, ascending.
+  std::vector<StateId> AcceptingStates() const;
+
+  /// Number of defined transitions.
+  size_t NumTransitions() const;
+
+  /// True iff the language is empty (no accepting state reachable).
+  bool IsEmptyLanguage() const;
+
+  /// Structural equality: same states, transitions, initial and accepting
+  /// sets. Canonicalized equivalent DFAs compare equal.
+  friend bool operator==(const Dfa& a, const Dfa& b) {
+    return a.num_symbols_ == b.num_symbols_ && a.initial_ == b.initial_ &&
+           a.accepting_ == b.accepting_ && a.table_ == b.table_;
+  }
+
+ private:
+  uint32_t num_symbols_;
+  StateId initial_ = kNoState;
+  std::vector<bool> accepting_;
+  std::vector<StateId> table_;  // num_states x num_symbols, kNoState = none
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_DFA_H_

@@ -1,0 +1,121 @@
+#include "automata/equivalence.h"
+
+#include <deque>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/minimize.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Plain union-find over dense ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns false if already united.
+  bool Union(size_t x, size_t y) {
+    x = Find(x);
+    y = Find(y);
+    if (x == y) return false;
+    parent_[y] = x;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+bool AreEquivalent(const Dfa& a_in, const Dfa& b_in) {
+  RPQ_CHECK_EQ(a_in.num_symbols(), b_in.num_symbols());
+  const Dfa a = a_in.Completed();
+  const Dfa b = b_in.Completed();
+  const size_t offset = a.num_states();
+
+  auto accepting = [&](size_t s) {
+    return s < offset ? a.IsAccepting(static_cast<StateId>(s))
+                      : b.IsAccepting(static_cast<StateId>(s - offset));
+  };
+  auto next = [&](size_t s, Symbol sym) -> size_t {
+    return s < offset
+               ? a.Next(static_cast<StateId>(s), sym)
+               : b.Next(static_cast<StateId>(s - offset), sym) + offset;
+  };
+
+  UnionFind uf(a.num_states() + b.num_states());
+  std::deque<std::pair<size_t, size_t>> queue;
+  queue.emplace_back(a.initial_state(),
+                     static_cast<size_t>(b.initial_state()) + offset);
+  uf.Union(queue.front().first, queue.front().second);
+  if (accepting(queue.front().first) != accepting(queue.front().second)) {
+    return false;
+  }
+
+  while (!queue.empty()) {
+    auto [x, y] = queue.front();
+    queue.pop_front();
+    for (Symbol sym = 0; sym < a.num_symbols(); ++sym) {
+      size_t tx = next(x, sym);
+      size_t ty = next(y, sym);
+      if (uf.Find(tx) == uf.Find(ty)) continue;
+      if (accepting(tx) != accepting(ty)) return false;
+      uf.Union(tx, ty);
+      queue.emplace_back(tx, ty);
+    }
+  }
+  return true;
+}
+
+bool AreIsomorphic(const Dfa& a, const Dfa& b) {
+  if (a.num_symbols() != b.num_symbols()) return false;
+  if (a.num_states() != b.num_states()) return false;
+  const StateId n = a.num_states();
+  std::vector<StateId> map_ab(n, kNoState);
+  std::deque<StateId> queue;
+  map_ab[a.initial_state()] = b.initial_state();
+  queue.push_back(a.initial_state());
+  std::vector<bool> visited(n, false);
+  visited[a.initial_state()] = true;
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    StateId bs = map_ab[s];
+    if (a.IsAccepting(s) != b.IsAccepting(bs)) return false;
+    for (Symbol sym = 0; sym < a.num_symbols(); ++sym) {
+      StateId ta = a.Next(s, sym);
+      StateId tb = b.Next(bs, sym);
+      if ((ta == kNoState) != (tb == kNoState)) return false;
+      if (ta == kNoState) continue;
+      if (map_ab[ta] == kNoState) {
+        map_ab[ta] = tb;
+        if (!visited[ta]) {
+          visited[ta] = true;
+          queue.push_back(ta);
+        }
+      } else if (map_ab[ta] != tb) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool AreEquivalentNfa(const Nfa& a, const Nfa& b) {
+  return AreEquivalent(Determinize(a), Determinize(b));
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,24 @@
+#ifndef RPQLEARN_AUTOMATA_EQUIVALENCE_H_
+#define RPQLEARN_AUTOMATA_EQUIVALENCE_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqlearn {
+
+/// Language equality of two DFAs via the Hopcroft–Karp union-find algorithm
+/// (near-linear, no minimization needed).
+bool AreEquivalent(const Dfa& a, const Dfa& b);
+
+/// Structural isomorphism of two partial DFAs via a synchronized walk from
+/// the initial states. Canonicalized DFAs of the same language are
+/// isomorphic (indeed equal).
+bool AreIsomorphic(const Dfa& a, const Dfa& b);
+
+/// Language equality of two NFAs; determinizes both, so exponential in the
+/// worst case. Intended for tests and small inputs.
+bool AreEquivalentNfa(const Nfa& a, const Nfa& b);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_EQUIVALENCE_H_

@@ -1,0 +1,94 @@
+#include "automata/fold.h"
+
+#include <deque>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+StateId Find(std::vector<StateId>* parent, StateId x) {
+  while ((*parent)[x] != x) {
+    (*parent)[x] = (*parent)[(*parent)[x]];
+    x = (*parent)[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+FoldResult FoldMerge(const Dfa& dfa, StateId r, StateId b) {
+  RPQ_CHECK_LT(r, dfa.num_states());
+  RPQ_CHECK_LT(b, dfa.num_states());
+  const uint32_t n = dfa.num_states();
+  const uint32_t sigma = dfa.num_symbols();
+
+  std::vector<StateId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<bool> accepting(n);
+  std::vector<StateId> table(static_cast<size_t>(n) * sigma);
+  for (StateId s = 0; s < n; ++s) {
+    accepting[s] = dfa.IsAccepting(s);
+    for (Symbol a = 0; a < sigma; ++a) {
+      table[static_cast<size_t>(s) * sigma + a] = dfa.Next(s, a);
+    }
+  }
+
+  std::deque<std::pair<StateId, StateId>> pending;
+  pending.emplace_back(r, b);
+  while (!pending.empty()) {
+    auto [x_raw, y_raw] = pending.front();
+    pending.pop_front();
+    StateId x = Find(&parent, x_raw);
+    StateId y = Find(&parent, y_raw);
+    if (x == y) continue;
+    // Merge y's class into x's class and fold y's transition row into x's.
+    parent[y] = x;
+    if (accepting[y]) accepting[x] = true;
+    for (Symbol a = 0; a < sigma; ++a) {
+      StateId ty = table[static_cast<size_t>(y) * sigma + a];
+      if (ty == kNoState) continue;
+      StateId& tx = table[static_cast<size_t>(x) * sigma + a];
+      if (tx == kNoState) {
+        tx = ty;
+      } else {
+        pending.emplace_back(tx, ty);
+      }
+    }
+  }
+
+  // Build the quotient over representatives, BFS-renumbered from the initial
+  // representative with symbol-ascending expansion.
+  FoldResult result;
+  result.old_to_new.assign(n, kNoState);
+  Dfa out(sigma);
+  StateId init = Find(&parent, dfa.initial_state());
+  std::vector<StateId> rep_to_new(n, kNoState);
+  std::deque<StateId> queue{init};
+  rep_to_new[init] = out.AddState(accepting[init]);
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (Symbol a = 0; a < sigma; ++a) {
+      StateId t = table[static_cast<size_t>(s) * sigma + a];
+      if (t == kNoState) continue;
+      t = Find(&parent, t);
+      if (rep_to_new[t] == kNoState) {
+        rep_to_new[t] = out.AddState(accepting[t]);
+        queue.push_back(t);
+      }
+      out.SetTransition(rep_to_new[s], a, rep_to_new[t]);
+    }
+  }
+  out.SetInitial(rep_to_new[init]);
+  for (StateId s = 0; s < n; ++s) {
+    result.old_to_new[s] = rep_to_new[Find(&parent, s)];
+  }
+  result.dfa = std::move(out);
+  return result;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,28 @@
+#ifndef RPQLEARN_AUTOMATA_FOLD_H_
+#define RPQLEARN_AUTOMATA_FOLD_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+
+namespace rpqlearn {
+
+/// Result of a determinization-preserving state merge.
+struct FoldResult {
+  /// The quotient automaton, trimmed to states reachable from the initial
+  /// state and renumbered in BFS (canonical access-word) order.
+  Dfa dfa{0};
+  /// Mapping from old state ids to new ids (kNoState if unreachable).
+  std::vector<StateId> old_to_new;
+};
+
+/// Merges state `b` into state `r` of `dfa` and restores determinism by
+/// recursively merging conflicting successors ("folding"). This is the
+/// `A_{s'→s}` operation of the paper's Algorithm 1 (lines 4–5), i.e. the
+/// merge step of RPNI generalization. Accepting flags are OR-ed, so the
+/// resulting language is a superset of the input language.
+FoldResult FoldMerge(const Dfa& dfa, StateId r, StateId b);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_FOLD_H_

@@ -1,0 +1,112 @@
+#include "automata/inclusion.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "automata/ops.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// One explored configuration: a state of `a` paired with the subset of `b`
+/// states reachable on the same word, plus BFS parent info for witnesses.
+struct Config {
+  StateId a_state;
+  std::vector<StateId> b_subset;  // sorted
+  int parent;                     // index into the config arena, -1 for roots
+  Symbol via;
+};
+
+/// True iff `small` ⊆ `big`; both sorted.
+bool SubsetLeq(const std::vector<StateId>& small,
+               const std::vector<StateId>& big) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+StatusOr<InclusionResult> CheckLanguageInclusion(const Nfa& a_in,
+                                                 const Nfa& b_in,
+                                                 size_t max_explored) {
+  RPQ_CHECK_EQ(a_in.num_symbols(), b_in.num_symbols());
+  const Nfa a = RemoveEpsilons(a_in);
+  const Nfa b = RemoveEpsilons(b_in);
+
+  std::vector<Config> arena;
+  std::deque<int> queue;
+  // Antichain per a-state: the minimal b-subsets already explored.
+  std::map<StateId, std::vector<std::vector<StateId>>> antichain;
+
+  auto dominated = [&](StateId s, const std::vector<StateId>& subset) {
+    auto it = antichain.find(s);
+    if (it == antichain.end()) return false;
+    for (const auto& kept : it->second) {
+      if (SubsetLeq(kept, subset)) return true;
+    }
+    return false;
+  };
+  auto insert = [&](StateId s, const std::vector<StateId>& subset) {
+    auto& sets = antichain[s];
+    sets.erase(std::remove_if(sets.begin(), sets.end(),
+                              [&](const std::vector<StateId>& kept) {
+                                return SubsetLeq(subset, kept);
+                              }),
+               sets.end());
+    sets.push_back(subset);
+  };
+  auto violates = [&](StateId s, const std::vector<StateId>& subset) {
+    return a.IsAccepting(s) && !b.ContainsAccepting(subset);
+  };
+  auto witness = [&](int idx) {
+    Word word;
+    for (int i = idx; arena[i].parent >= 0; i = arena[i].parent) {
+      word.push_back(arena[i].via);
+    }
+    std::reverse(word.begin(), word.end());
+    return word;
+  };
+
+  std::vector<StateId> b_start = b.initial_states();
+  std::sort(b_start.begin(), b_start.end());
+  b_start = b.EpsilonClosure(std::move(b_start));
+
+  for (StateId s : a.initial_states()) {
+    if (dominated(s, b_start)) continue;
+    if (violates(s, b_start)) {
+      return InclusionResult{false, Word{}};
+    }
+    insert(s, b_start);
+    arena.push_back(Config{s, b_start, -1, 0});
+    queue.push_back(static_cast<int>(arena.size()) - 1);
+  }
+
+  while (!queue.empty()) {
+    int idx = queue.front();
+    queue.pop_front();
+    if (arena.size() > max_explored) {
+      return Status::ResourceExhausted(
+          "inclusion check exceeded exploration cap");
+    }
+    // Copy: arena may reallocate when pushing successors.
+    const Config current = arena[idx];
+    for (const auto& [symbol, a_next] : a.TransitionsFrom(current.a_state)) {
+      std::vector<StateId> b_next = b.Step(current.b_subset, symbol);
+      if (dominated(a_next, b_next)) continue;
+      if (violates(a_next, b_next)) {
+        arena.push_back(Config{a_next, std::move(b_next), idx, symbol});
+        return InclusionResult{
+            false, witness(static_cast<int>(arena.size()) - 1)};
+      }
+      insert(a_next, b_next);
+      arena.push_back(Config{a_next, std::move(b_next), idx, symbol});
+      queue.push_back(static_cast<int>(arena.size()) - 1);
+    }
+  }
+  return InclusionResult{true, std::nullopt};
+}
+
+}  // namespace rpqlearn

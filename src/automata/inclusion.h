@@ -1,0 +1,29 @@
+#ifndef RPQLEARN_AUTOMATA_INCLUSION_H_
+#define RPQLEARN_AUTOMATA_INCLUSION_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "automata/nfa.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Outcome of a language-inclusion check L(a) ⊆ L(b).
+struct InclusionResult {
+  bool included = false;
+  /// A shortest word in L(a) \ L(b) when not included.
+  std::optional<Word> counterexample;
+};
+
+/// Decides L(a) ⊆ L(b) with the forward antichain algorithm (De Wulf et al.):
+/// explore pairs (state of a, subset of b), pruning pairs dominated by an
+/// already-seen pair with a smaller subset. This problem is PSPACE-complete
+/// in general (the paper's Lemma 3.2 reduces to it), so the search is capped:
+/// exceeding `max_explored` pairs yields ResourceExhausted.
+StatusOr<InclusionResult> CheckLanguageInclusion(const Nfa& a, const Nfa& b,
+                                                 size_t max_explored = 500000);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_INCLUSION_H_

@@ -1,0 +1,180 @@
+#include "automata/minimize.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Builds the quotient DFA of `dfa` under the state partition `block_of`
+/// (states with equal block ids are merged), then trims it. `dfa` must be
+/// complete and the partition must respect accepting flags and transitions.
+Dfa BuildQuotient(const Dfa& dfa, const std::vector<int>& block_of,
+                  int num_blocks) {
+  Dfa quotient(dfa.num_symbols());
+  for (int b = 0; b < num_blocks; ++b) quotient.AddState(false);
+  std::vector<bool> seen(num_blocks, false);
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    int b = block_of[s];
+    if (dfa.IsAccepting(s)) quotient.SetAccepting(b, true);
+    if (seen[b]) continue;
+    seen[b] = true;
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      StateId t = dfa.Next(s, a);
+      RPQ_DCHECK(t != kNoState);
+      quotient.SetTransition(b, a, block_of[t]);
+    }
+  }
+  quotient.SetInitial(block_of[dfa.initial_state()]);
+  return quotient.Trimmed();
+}
+
+}  // namespace
+
+Dfa Minimize(const Dfa& input) {
+  Dfa trimmed = input.Trimmed();
+  Dfa dfa = trimmed.Completed();
+  const uint32_t n = dfa.num_states();
+  const uint32_t sigma = dfa.num_symbols();
+
+  // Inverse transition lists: inverse[a][t] = predecessors of t on a.
+  std::vector<std::vector<std::vector<StateId>>> inverse(
+      sigma, std::vector<std::vector<StateId>>(n));
+  for (StateId s = 0; s < n; ++s) {
+    for (Symbol a = 0; a < sigma; ++a) {
+      inverse[a][dfa.Next(s, a)].push_back(s);
+    }
+  }
+
+  // Partition data structures.
+  std::vector<int> block_of(n);
+  std::vector<std::vector<StateId>> blocks;
+  {
+    std::vector<StateId> acc;
+    std::vector<StateId> rej;
+    for (StateId s = 0; s < n; ++s) {
+      (dfa.IsAccepting(s) ? acc : rej).push_back(s);
+    }
+    if (!acc.empty()) blocks.push_back(std::move(acc));
+    if (!rej.empty()) blocks.push_back(std::move(rej));
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      for (StateId s : blocks[b]) block_of[s] = static_cast<int>(b);
+    }
+  }
+
+  std::deque<int> worklist;
+  std::vector<bool> in_worklist(blocks.size(), false);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    worklist.push_back(static_cast<int>(b));
+    in_worklist[b] = true;
+  }
+
+  std::vector<int> touched_count;  // per block: how many states hit by X
+  std::vector<char> state_hit(n, 0);
+
+  while (!worklist.empty()) {
+    int splitter = worklist.front();
+    worklist.pop_front();
+    in_worklist[splitter] = false;
+    // Copy: the splitter block may itself be split below.
+    std::vector<StateId> splitter_states = blocks[splitter];
+
+    for (Symbol a = 0; a < sigma; ++a) {
+      // X = preimage of the splitter block under symbol a.
+      std::vector<StateId> x;
+      for (StateId t : splitter_states) {
+        for (StateId p : inverse[a][t]) x.push_back(p);
+      }
+      if (x.empty()) continue;
+
+      // Mark hit states and count per block.
+      std::vector<int> affected_blocks;
+      touched_count.assign(blocks.size(), 0);
+      for (StateId s : x) {
+        if (!state_hit[s]) {
+          state_hit[s] = 1;
+          int b = block_of[s];
+          if (touched_count[b] == 0) affected_blocks.push_back(b);
+          ++touched_count[b];
+        }
+      }
+
+      for (int b : affected_blocks) {
+        int hit = touched_count[b];
+        int size = static_cast<int>(blocks[b].size());
+        if (hit == size) continue;  // not split
+        // Split block b into hit / not-hit parts.
+        std::vector<StateId> hit_part;
+        std::vector<StateId> rest;
+        hit_part.reserve(hit);
+        rest.reserve(size - hit);
+        for (StateId s : blocks[b]) {
+          (state_hit[s] ? hit_part : rest).push_back(s);
+        }
+        int new_block = static_cast<int>(blocks.size());
+        // Keep the larger part in place; the new block gets the smaller.
+        bool hit_is_smaller = hit_part.size() <= rest.size();
+        std::vector<StateId>& small = hit_is_smaller ? hit_part : rest;
+        std::vector<StateId>& large = hit_is_smaller ? rest : hit_part;
+        for (StateId s : small) block_of[s] = new_block;
+        blocks[b] = std::move(large);
+        blocks.push_back(std::move(small));
+        // The new block holds the smaller part. If the original block was
+        // queued, both halves must be queued; otherwise queueing the smaller
+        // half preserves Hopcroft's invariant either way.
+        in_worklist.push_back(true);
+        worklist.push_back(new_block);
+      }
+
+      for (StateId s : x) state_hit[s] = 0;
+    }
+  }
+
+  return BuildQuotient(dfa, block_of, static_cast<int>(blocks.size()));
+}
+
+Dfa MinimizeMoore(const Dfa& input) {
+  Dfa trimmed = input.Trimmed();
+  Dfa dfa = trimmed.Completed();
+  const uint32_t n = dfa.num_states();
+  const uint32_t sigma = dfa.num_symbols();
+
+  std::vector<int> cls(n);
+  for (StateId s = 0; s < n; ++s) cls[s] = dfa.IsAccepting(s) ? 1 : 0;
+
+  int num_classes = 2;
+  while (true) {
+    std::map<std::vector<int>, int> signature_ids;
+    std::vector<int> next_cls(n);
+    for (StateId s = 0; s < n; ++s) {
+      std::vector<int> signature;
+      signature.reserve(sigma + 1);
+      signature.push_back(cls[s]);
+      for (Symbol a = 0; a < sigma; ++a) {
+        signature.push_back(cls[dfa.Next(s, a)]);
+      }
+      auto [it, inserted] =
+          signature_ids.emplace(std::move(signature),
+                                static_cast<int>(signature_ids.size()));
+      next_cls[s] = it->second;
+    }
+    int new_count = static_cast<int>(signature_ids.size());
+    cls = std::move(next_cls);
+    if (new_count == num_classes) break;
+    num_classes = new_count;
+  }
+
+  return BuildQuotient(dfa, cls, num_classes);
+}
+
+Dfa Canonicalize(const Dfa& dfa) { return Minimize(dfa); }
+
+Dfa CanonicalDfaOf(const Nfa& nfa) { return Canonicalize(Determinize(nfa)); }
+
+}  // namespace rpqlearn

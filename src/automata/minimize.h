@@ -1,0 +1,28 @@
+#ifndef RPQLEARN_AUTOMATA_MINIMIZE_H_
+#define RPQLEARN_AUTOMATA_MINIMIZE_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqlearn {
+
+/// Minimizes `dfa` with Hopcroft's partition-refinement algorithm
+/// (O(n·|Σ|·log n)). The result is trimmed (reachable, co-reachable) and
+/// numbered canonically, so equivalent inputs yield structurally equal
+/// outputs (operator== on Dfa).
+Dfa Minimize(const Dfa& dfa);
+
+/// Reference implementation: Moore's iterative refinement (O(n²·|Σ|)).
+/// Exists to cross-check Hopcroft in property tests.
+Dfa MinimizeMoore(const Dfa& dfa);
+
+/// Canonical DFA of an arbitrary DFA: trim + minimize + canonical numbering.
+/// The paper represents every query by this form; query size = num_states().
+Dfa Canonicalize(const Dfa& dfa);
+
+/// Canonical DFA of an NFA's language: determinize, then Canonicalize.
+Dfa CanonicalDfaOf(const Nfa& nfa);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_MINIMIZE_H_

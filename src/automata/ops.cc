@@ -1,0 +1,240 @@
+#include "automata/ops.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Reconstructs the word leading to `state` by following BFS parents.
+/// Root entries carry `root_marker` as parent and no edge symbol.
+Word ReconstructWord(
+    const std::unordered_map<uint64_t, std::pair<uint64_t, Symbol>>& parents,
+    uint64_t state, uint64_t root_marker) {
+  Word word;
+  uint64_t current = state;
+  while (true) {
+    const auto& [prev, symbol] = parents.at(current);
+    if (prev == root_marker) break;
+    word.push_back(symbol);
+    current = prev;
+  }
+  std::reverse(word.begin(), word.end());
+  return word;
+}
+
+}  // namespace
+
+Nfa RemoveEpsilons(const Nfa& nfa) {
+  if (!nfa.has_epsilon_transitions()) return nfa;
+  Nfa out(nfa.num_symbols());
+  for (StateId s = 0; s < nfa.num_states(); ++s) out.AddState(false);
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    std::vector<StateId> closure = nfa.EpsilonClosure({s});
+    for (StateId u : closure) {
+      if (nfa.IsAccepting(u)) out.SetAccepting(s, true);
+      for (const auto& [a, t] : nfa.TransitionsFrom(u)) {
+        out.AddTransition(s, a, t);
+      }
+    }
+  }
+  for (StateId s : nfa.initial_states()) out.AddInitial(s);
+  out.Finalize();
+  return out;
+}
+
+Nfa UnionNfa(const Nfa& a, const Nfa& b) {
+  RPQ_CHECK_EQ(a.num_symbols(), b.num_symbols());
+  Nfa out(a.num_symbols());
+  for (StateId s = 0; s < a.num_states(); ++s) out.AddState(a.IsAccepting(s));
+  const StateId offset = a.num_states();
+  for (StateId s = 0; s < b.num_states(); ++s) out.AddState(b.IsAccepting(s));
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    for (const auto& [sym, t] : a.TransitionsFrom(s)) {
+      out.AddTransition(s, sym, t);
+    }
+    for (StateId t : a.EpsilonTransitionsFrom(s)) {
+      out.AddEpsilonTransition(s, t);
+    }
+  }
+  for (StateId s = 0; s < b.num_states(); ++s) {
+    for (const auto& [sym, t] : b.TransitionsFrom(s)) {
+      out.AddTransition(s + offset, sym, t + offset);
+    }
+    for (StateId t : b.EpsilonTransitionsFrom(s)) {
+      out.AddEpsilonTransition(s + offset, t + offset);
+    }
+  }
+  for (StateId s : a.initial_states()) out.AddInitial(s);
+  for (StateId s : b.initial_states()) out.AddInitial(s + offset);
+  out.Finalize();
+  return out;
+}
+
+Nfa IntersectionNfa(const Nfa& a_in, const Nfa& b_in) {
+  RPQ_CHECK_EQ(a_in.num_symbols(), b_in.num_symbols());
+  const Nfa a = RemoveEpsilons(a_in);
+  const Nfa b = RemoveEpsilons(b_in);
+
+  Nfa out(a.num_symbols());
+  std::unordered_map<uint64_t, StateId> ids;
+  std::deque<std::pair<StateId, StateId>> queue;
+  auto key = [](StateId x, StateId y) {
+    return (static_cast<uint64_t>(x) << 32) | y;
+  };
+  auto get_id = [&](StateId x, StateId y) {
+    auto [it, inserted] = ids.emplace(key(x, y), out.num_states());
+    if (inserted) {
+      out.AddState(a.IsAccepting(x) && b.IsAccepting(y));
+      queue.emplace_back(x, y);
+    }
+    return it->second;
+  };
+
+  for (StateId x : a.initial_states()) {
+    for (StateId y : b.initial_states()) {
+      out.AddInitial(get_id(x, y));
+    }
+  }
+  while (!queue.empty()) {
+    auto [x, y] = queue.front();
+    queue.pop_front();
+    StateId from = ids.at(key(x, y));
+    for (const auto& [sym_a, tx] : a.TransitionsFrom(x)) {
+      for (const auto& [sym_b, ty] : b.TransitionsFrom(y)) {
+        if (sym_a == sym_b) {
+          out.AddTransition(from, sym_a, get_id(tx, ty));
+        }
+      }
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+Dfa ComplementDfa(const Dfa& dfa) {
+  Dfa out = dfa.Completed();
+  for (StateId s = 0; s < out.num_states(); ++s) {
+    out.SetAccepting(s, !out.IsAccepting(s));
+  }
+  return out;
+}
+
+std::optional<Word> FindShortestAcceptedWord(const Nfa& nfa_in) {
+  Nfa nfa_store(0);
+  const Nfa& nfa = nfa_in.has_epsilon_transitions()
+                       ? (nfa_store = RemoveEpsilons(nfa_in), nfa_store)
+                       : nfa_in;
+  constexpr uint64_t kRoot = static_cast<uint64_t>(-2);
+  std::unordered_map<uint64_t, std::pair<uint64_t, Symbol>> parents;
+  std::deque<StateId> queue;
+  std::vector<bool> seen(nfa.num_states(), false);
+
+  for (StateId s : nfa.initial_states()) {
+    if (nfa.IsAccepting(s)) return Word{};
+    if (!seen[s]) {
+      seen[s] = true;
+      parents.emplace(s, std::make_pair(kRoot, Symbol{0}));
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (const auto& [a, t] : nfa.TransitionsFrom(s)) {
+      if (seen[t]) continue;
+      seen[t] = true;
+      parents.emplace(t, std::make_pair(static_cast<uint64_t>(s), a));
+      if (nfa.IsAccepting(t)) {
+        return ReconstructWord(parents, t, kRoot);
+      }
+      queue.push_back(t);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Word> FindShortestWordInIntersection(const Nfa& a_in,
+                                                   const Nfa& b_in) {
+  RPQ_CHECK_EQ(a_in.num_symbols(), b_in.num_symbols());
+  // Avoid copying ε-free inputs: this function sits on the hot path of
+  // RPNI merge trials, where `b` is often a large graph NFA.
+  Nfa a_store(0);
+  Nfa b_store(0);
+  const Nfa& a = a_in.has_epsilon_transitions()
+                     ? (a_store = RemoveEpsilons(a_in), a_store)
+                     : a_in;
+  const Nfa& b = b_in.has_epsilon_transitions()
+                     ? (b_store = RemoveEpsilons(b_in), b_store)
+                     : b_in;
+  constexpr uint64_t kRoot = static_cast<uint64_t>(-2);
+
+  auto key = [](StateId x, StateId y) {
+    return (static_cast<uint64_t>(x) << 32) | y;
+  };
+  std::unordered_map<uint64_t, std::pair<uint64_t, Symbol>> parents;
+  std::deque<std::pair<StateId, StateId>> queue;
+
+  for (StateId x : a.initial_states()) {
+    for (StateId y : b.initial_states()) {
+      if (a.IsAccepting(x) && b.IsAccepting(y)) return Word{};
+      if (parents.emplace(key(x, y), std::make_pair(kRoot, Symbol{0}))
+              .second) {
+        queue.emplace_back(x, y);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    auto [x, y] = queue.front();
+    queue.pop_front();
+    uint64_t from = key(x, y);
+    // Two-pointer merge over the symbol-sorted transition lists.
+    const auto& ta = a.TransitionsFrom(x);
+    const auto& tb = b.TransitionsFrom(y);
+    size_t i = 0;
+    size_t j = 0;
+    while (i < ta.size() && j < tb.size()) {
+      if (ta[i].first < tb[j].first) {
+        ++i;
+        continue;
+      }
+      if (ta[i].first > tb[j].first) {
+        ++j;
+        continue;
+      }
+      const Symbol sym = ta[i].first;
+      size_t i_end = i;
+      while (i_end < ta.size() && ta[i_end].first == sym) ++i_end;
+      size_t j_end = j;
+      while (j_end < tb.size() && tb[j_end].first == sym) ++j_end;
+      for (size_t p = i; p < i_end; ++p) {
+        for (size_t q = j; q < j_end; ++q) {
+          StateId tx = ta[p].second;
+          StateId ty = tb[q].second;
+          uint64_t to = key(tx, ty);
+          if (!parents.emplace(to, std::make_pair(from, sym)).second) {
+            continue;
+          }
+          if (a.IsAccepting(tx) && b.IsAccepting(ty)) {
+            return ReconstructWord(parents, to, kRoot);
+          }
+          queue.emplace_back(tx, ty);
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IntersectionIsEmpty(const Nfa& a, const Nfa& b) {
+  return !FindShortestWordInIntersection(a, b).has_value();
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,37 @@
+#ifndef RPQLEARN_AUTOMATA_OPS_H_
+#define RPQLEARN_AUTOMATA_OPS_H_
+
+#include <optional>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqlearn {
+
+/// Returns an equivalent NFA without ε-transitions.
+Nfa RemoveEpsilons(const Nfa& nfa);
+
+/// Disjoint union of two NFAs over the same alphabet; accepts L(a) ∪ L(b).
+Nfa UnionNfa(const Nfa& a, const Nfa& b);
+
+/// Materialized product automaton accepting L(a) ∩ L(b).
+Nfa IntersectionNfa(const Nfa& a, const Nfa& b);
+
+/// Complement: completes the DFA and flips accepting flags.
+Dfa ComplementDfa(const Dfa& dfa);
+
+/// Shortest accepted word of `nfa`, or nullopt if L(nfa) = ∅.
+std::optional<Word> FindShortestAcceptedWord(const Nfa& nfa);
+
+/// Shortest word of L(a) ∩ L(b), or nullopt if the intersection is empty.
+/// This is the PTIME emptiness-of-intersection test the paper's learner uses
+/// for consistency checks (proof of Thm. 3.5).
+std::optional<Word> FindShortestWordInIntersection(const Nfa& a, const Nfa& b);
+
+/// Emptiness of L(a) ∩ L(b); equivalent to !FindShortestWordInIntersection
+/// but avoids building the witness.
+bool IntersectionIsEmpty(const Nfa& a, const Nfa& b);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_OPS_H_

@@ -1,0 +1,29 @@
+#include "automata/prefix_free.h"
+
+#include "automata/minimize.h"
+
+namespace rpqlearn {
+
+bool IsPrefixFree(const Dfa& input) {
+  Dfa dfa = input.Trimmed();
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    if (!dfa.IsAccepting(s)) continue;
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      if (dfa.Next(s, a) != kNoState) return false;
+    }
+  }
+  return true;
+}
+
+Dfa MakePrefixFree(const Dfa& input) {
+  Dfa dfa = Canonicalize(input);
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    if (!dfa.IsAccepting(s)) continue;
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      dfa.ClearTransition(s, a);
+    }
+  }
+  return Canonicalize(dfa);
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,22 @@
+#ifndef RPQLEARN_AUTOMATA_PREFIX_FREE_H_
+#define RPQLEARN_AUTOMATA_PREFIX_FREE_H_
+
+#include "automata/dfa.h"
+
+namespace rpqlearn {
+
+/// True iff no word of the language is a proper prefix of another word of
+/// the language. Decided on the trimmed DFA: prefix-free iff no accepting
+/// state has an outgoing transition.
+bool IsPrefixFree(const Dfa& dfa);
+
+/// The unique prefix-free query equivalent to `dfa` under the paper's
+/// monadic path-query semantics (Sec. 2): obtained by removing all outgoing
+/// transitions of every accepting state of the canonical DFA, then
+/// re-canonicalizing. Two queries select the same nodes on every graph iff
+/// their prefix-free forms are language-equal.
+Dfa MakePrefixFree(const Dfa& dfa);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_PREFIX_FREE_H_

@@ -1,0 +1,48 @@
+#include "automata/pta.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+Dfa BuildPta(const std::vector<Word>& words, uint32_t num_symbols) {
+  // Build the trie with insertion-order ids first.
+  Dfa trie(num_symbols);
+  StateId root = trie.AddState(false);
+  for (const Word& word : words) {
+    StateId current = root;
+    for (Symbol a : word) {
+      RPQ_CHECK_LT(a, num_symbols);
+      StateId next = trie.Next(current, a);
+      if (next == kNoState) {
+        next = trie.AddState(false);
+        trie.SetTransition(current, a, next);
+      }
+      current = next;
+    }
+    trie.SetAccepting(current, true);
+  }
+
+  // Renumber states in BFS order with symbol-ascending expansion, which is
+  // exactly the canonical order of the access words.
+  std::vector<StateId> mapping(trie.num_states(), kNoState);
+  Dfa out(num_symbols);
+  std::deque<StateId> queue{root};
+  mapping[root] = out.AddState(trie.IsAccepting(root));
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      StateId t = trie.Next(s, a);
+      if (t == kNoState) continue;
+      mapping[t] = out.AddState(trie.IsAccepting(t));
+      out.SetTransition(mapping[s], a, mapping[t]);
+      queue.push_back(t);
+    }
+  }
+  out.SetInitial(mapping[root]);
+  return out;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,21 @@
+#ifndef RPQLEARN_AUTOMATA_PTA_H_
+#define RPQLEARN_AUTOMATA_PTA_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/word.h"
+
+namespace rpqlearn {
+
+/// Builds the prefix tree acceptor (PTA) of `words`: the tree-shaped DFA
+/// whose states are the prefixes of the words and whose accepting states are
+/// exactly the words themselves (de la Higuera, and line 3 of the paper's
+/// Algorithm 1). States are numbered in canonical (length-lex) order of
+/// their access words, which is the merge order RPNI relies on.
+/// The PTA of the empty set is a single rejecting root.
+Dfa BuildPta(const std::vector<Word>& words, uint32_t num_symbols);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_PTA_H_

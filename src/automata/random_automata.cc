@@ -1,0 +1,60 @@
+#include "automata/random_automata.h"
+
+#include "automata/minimize.h"
+#include "automata/prefix_free.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+Dfa RandomDfa(Rng* rng, const RandomAutomatonOptions& options) {
+  RPQ_CHECK_GT(options.num_states, 0u);
+  Dfa dfa(options.num_symbols);
+  for (uint32_t i = 0; i < options.num_states; ++i) {
+    dfa.AddState(rng->NextBernoulli(options.accepting_probability));
+  }
+  for (StateId s = 0; s < options.num_states; ++s) {
+    for (Symbol a = 0; a < options.num_symbols; ++a) {
+      if (rng->NextBernoulli(options.transition_density)) {
+        dfa.SetTransition(
+            s, a, static_cast<StateId>(rng->NextBelow(options.num_states)));
+      }
+    }
+  }
+  return dfa;
+}
+
+Nfa RandomNfa(Rng* rng, const RandomAutomatonOptions& options) {
+  RPQ_CHECK_GT(options.num_states, 0u);
+  Nfa nfa(options.num_symbols);
+  for (uint32_t i = 0; i < options.num_states; ++i) {
+    nfa.AddState(rng->NextBernoulli(options.accepting_probability));
+  }
+  for (StateId s = 0; s < options.num_states; ++s) {
+    for (Symbol a = 0; a < options.num_symbols; ++a) {
+      int fanout = static_cast<int>(rng->NextBelow(3));
+      for (int i = 0; i < fanout; ++i) {
+        if (rng->NextBernoulli(options.transition_density)) {
+          nfa.AddTransition(
+              s, a, static_cast<StateId>(rng->NextBelow(options.num_states)));
+        }
+      }
+    }
+  }
+  nfa.AddInitial(0);
+  if (rng->NextBernoulli(0.3) && options.num_states > 1) {
+    nfa.AddInitial(static_cast<StateId>(rng->NextBelow(options.num_states)));
+  }
+  nfa.Finalize();
+  return nfa;
+}
+
+Dfa RandomPrefixFreeQuery(Rng* rng, const RandomAutomatonOptions& options) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    Dfa candidate = MakePrefixFree(Canonicalize(RandomDfa(rng, options)));
+    if (!candidate.IsEmptyLanguage()) return candidate;
+  }
+  RPQ_CHECK(false) << "could not generate a non-empty prefix-free query";
+  __builtin_unreachable();
+}
+
+}  // namespace rpqlearn

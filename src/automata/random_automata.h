@@ -1,0 +1,33 @@
+#ifndef RPQLEARN_AUTOMATA_RANDOM_AUTOMATA_H_
+#define RPQLEARN_AUTOMATA_RANDOM_AUTOMATA_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+
+/// Knobs for random automaton generation (property tests, fuzz sweeps).
+struct RandomAutomatonOptions {
+  uint32_t num_states = 5;
+  uint32_t num_symbols = 2;
+  /// Probability that a given (state, symbol) transition exists.
+  double transition_density = 0.8;
+  /// Probability that a state is accepting.
+  double accepting_probability = 0.3;
+};
+
+/// A random partial DFA; not necessarily trimmed, may have empty language.
+Dfa RandomDfa(Rng* rng, const RandomAutomatonOptions& options);
+
+/// A random NFA; each (state, symbol) pair gets 0–2 targets.
+Nfa RandomNfa(Rng* rng, const RandomAutomatonOptions& options);
+
+/// A random canonical *prefix-free* query DFA with a non-empty language —
+/// the representation the paper assumes for goal queries. Retries until the
+/// prefix-free canonical form is non-empty.
+Dfa RandomPrefixFreeQuery(Rng* rng, const RandomAutomatonOptions& options);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_RANDOM_AUTOMATA_H_

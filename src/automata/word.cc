@@ -1,0 +1,45 @@
+#include "automata/word.h"
+
+#include <algorithm>
+
+namespace rpqlearn {
+
+bool CanonicalLess(const Word& a, const Word& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+std::string WordToString(const Word& word, const Alphabet& alphabet) {
+  if (word.empty()) return "eps";
+  std::string out;
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (i > 0) out += ".";
+    out += alphabet.Name(word[i]);
+  }
+  return out;
+}
+
+std::vector<Word> AllWordsUpTo(uint32_t num_symbols, uint32_t max_length) {
+  std::vector<Word> result;
+  result.push_back(Word{});
+  size_t level_begin = 0;
+  for (uint32_t len = 1; len <= max_length; ++len) {
+    size_t level_end = result.size();
+    for (size_t i = level_begin; i < level_end; ++i) {
+      for (Symbol a = 0; a < num_symbols; ++a) {
+        Word extended = result[i];
+        extended.push_back(a);
+        result.push_back(std::move(extended));
+      }
+    }
+    level_begin = level_end;
+  }
+  return result;
+}
+
+bool IsPrefixOf(const Word& prefix, const Word& word) {
+  if (prefix.size() > word.size()) return false;
+  return std::equal(prefix.begin(), prefix.end(), word.begin());
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,40 @@
+#ifndef RPQLEARN_AUTOMATA_WORD_H_
+#define RPQLEARN_AUTOMATA_WORD_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+
+namespace rpqlearn {
+
+/// A word over Σ; the empty vector is the empty word ε.
+using Word = std::vector<Symbol>;
+
+/// The well-founded canonical order ≤ on words from Sec. 2 of the paper:
+/// `w ≤ u` iff `|w| < |u|`, or `|w| == |u|` and `w ≤lex u`.
+/// Returns true iff `a` is strictly before `b`.
+bool CanonicalLess(const Word& a, const Word& b);
+
+/// Comparator object for use with ordered containers and std::sort.
+struct CanonicalWordLess {
+  bool operator()(const Word& a, const Word& b) const {
+    return CanonicalLess(a, b);
+  }
+};
+
+/// Renders a word as "a.b.c" using the alphabet's labels ("eps" for ε),
+/// matching the paper's concatenation notation.
+std::string WordToString(const Word& word, const Alphabet& alphabet);
+
+/// All words of length at most `max_length` over `num_symbols` symbols, in
+/// canonical order. Intended for exhaustive cross-checks in tests; the caller
+/// is responsible for keeping `num_symbols^max_length` small.
+std::vector<Word> AllWordsUpTo(uint32_t num_symbols, uint32_t max_length);
+
+/// True iff `prefix` is a (not necessarily proper) prefix of `word`.
+bool IsPrefixOf(const Word& prefix, const Word& word);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_AUTOMATA_WORD_H_

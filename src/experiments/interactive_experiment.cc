@@ -1,0 +1,35 @@
+#include "experiments/interactive_experiment.h"
+
+#include "interact/oracle.h"
+
+namespace rpqlearn {
+
+InteractiveSummary RunInteractiveExperiment(const Graph& graph,
+                                            const Dfa& goal,
+                                            StrategyKind strategy,
+                                            uint64_t seed,
+                                            size_t max_interactions) {
+  Oracle oracle = Oracle::FromQuery(graph, goal);
+  SessionOptions options;
+  options.strategy = strategy;
+  options.seed = seed;
+  options.max_interactions = max_interactions;
+
+  SessionResult session = RunInteractiveSession(graph, oracle, options);
+
+  InteractiveSummary summary;
+  summary.strategy =
+      strategy == StrategyKind::kRandom ? "kR" : "kS";
+  summary.interactions = session.interactions.size();
+  summary.label_percent = 100.0 * session.label_fraction;
+  summary.reached_goal = session.reached_goal;
+  summary.final_k = session.final_k;
+  double total = 0.0;
+  for (const InteractionRecord& r : session.interactions) total += r.seconds;
+  summary.mean_seconds =
+      session.interactions.empty() ? 0.0
+                                   : total / session.interactions.size();
+  return summary;
+}
+
+}  // namespace rpqlearn

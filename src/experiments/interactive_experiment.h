@@ -1,0 +1,32 @@
+#ifndef RPQLEARN_EXPERIMENTS_INTERACTIVE_EXPERIMENT_H_
+#define RPQLEARN_EXPERIMENTS_INTERACTIVE_EXPERIMENT_H_
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "interact/session.h"
+
+namespace rpqlearn {
+
+/// One row fragment of Table 2: an interactive run of a goal query with a
+/// given strategy.
+struct InteractiveSummary {
+  std::string strategy;               ///< "kR" or "kS"
+  size_t interactions = 0;            ///< labels provided
+  double label_percent = 0.0;         ///< 100 · labels / |V|
+  double mean_seconds = 0.0;          ///< mean time between interactions
+  bool reached_goal = false;          ///< F1 = 1 achieved
+  uint32_t final_k = 0;
+};
+
+/// Runs one interactive session against `goal` and summarizes it.
+InteractiveSummary RunInteractiveExperiment(const Graph& graph,
+                                            const Dfa& goal,
+                                            StrategyKind strategy,
+                                            uint64_t seed,
+                                            size_t max_interactions = 5000);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_EXPERIMENTS_INTERACTIVE_EXPERIMENT_H_

@@ -1,0 +1,58 @@
+#include "experiments/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+TableReport::TableReport(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TableReport::AddRow(std::vector<std::string> cells) {
+  RPQ_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableReport::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " ";
+    }
+    out << "|\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) print_row(row);
+  return out.str();
+}
+
+std::string TableReport::Num(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string TableReport::Percent(double fraction, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits, fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,32 @@
+#ifndef RPQLEARN_EXPERIMENTS_REPORT_H_
+#define RPQLEARN_EXPERIMENTS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace rpqlearn {
+
+/// Minimal fixed-width table printer for the bench binaries that regenerate
+/// the paper's tables and figure series on stdout.
+class TableReport {
+ public:
+  explicit TableReport(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column widths fitted to content.
+  std::string ToString() const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double value, int digits = 3);
+  /// Formats a percentage ("12.34%").
+  static std::string Percent(double fraction, int digits = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_EXPERIMENTS_REPORT_H_

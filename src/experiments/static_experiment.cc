@@ -1,0 +1,122 @@
+#include "experiments/static_experiment.h"
+
+#include <algorithm>
+
+#include "learn/incremental.h"
+#include "learn/sample.h"
+#include "query/eval.h"
+#include "query/metrics.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace rpqlearn {
+namespace {
+
+/// The paper's static sampling protocol (Sec. 5.2): positives are random
+/// nodes *selected by the goal*, negatives random nodes *not selected*,
+/// each in proportion to the fraction of labeled nodes — with at least one
+/// positive (the paper kept only queries selecting ≥ 1 node precisely "to
+/// obtain at least one positive example for learning").
+Sample RandomSample(const Graph& graph, const BitVector& goal,
+                    double fraction, Rng* rng) {
+  std::vector<NodeId> selected_pool;
+  std::vector<NodeId> rejected_pool;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    (goal.Test(v) ? selected_pool : rejected_pool).push_back(v);
+  }
+  rng->Shuffle(&selected_pool);
+  rng->Shuffle(&rejected_pool);
+
+  size_t num_pos = static_cast<size_t>(fraction * selected_pool.size() + 0.5);
+  if (!selected_pool.empty()) num_pos = std::max<size_t>(num_pos, 1);
+  num_pos = std::min(num_pos, selected_pool.size());
+  size_t num_neg = static_cast<size_t>(fraction * rejected_pool.size() + 0.5);
+  num_neg = std::min(num_neg, rejected_pool.size());
+
+  Sample sample;
+  sample.positive.assign(selected_pool.begin(),
+                         selected_pool.begin() + num_pos);
+  sample.negative.assign(rejected_pool.begin(),
+                         rejected_pool.begin() + num_neg);
+  return sample;
+}
+
+}  // namespace
+
+std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
+                                        const StaticSweepOptions& options) {
+  BitVector goal_set = EvalMonadic(graph, goal);
+  Rng rng(options.seed);
+  std::vector<StaticPoint> points;
+  for (double fraction : options.fractions) {
+    StaticPoint point;
+    point.label_fraction = fraction;
+    int abstains = 0;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      Sample sample = RandomSample(graph, goal_set, fraction, &rng);
+      WallTimer timer;
+      LearnOutcome outcome = LearnPathQuery(graph, sample, options.learner);
+      point.time_mean_seconds += timer.ElapsedSeconds();
+      if (outcome.is_null) {
+        ++abstains;
+        continue;
+      }
+      point.max_k_used = std::max(point.max_k_used, outcome.stats.k_used);
+      BitVector selected = EvalMonadic(graph, outcome.query);
+      point.f1_mean += ComputeMetrics(selected, goal_set).f1;
+    }
+    int successes = options.trials - abstains;
+    point.f1_mean = successes > 0 ? point.f1_mean / successes : 0.0;
+    point.time_mean_seconds /= options.trials;
+    point.abstain_rate = static_cast<double>(abstains) / options.trials;
+    points.push_back(point);
+  }
+  return points;
+}
+
+double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
+                                double step, double max_fraction,
+                                uint64_t seed,
+                                const LearnerOptions& learner) {
+  BitVector goal_set = EvalMonadic(graph, goal);
+  Rng rng(seed);
+  // Incrementally extend fixed orderings of both pools so successive
+  // fractions nest (same stratified protocol as RandomSample).
+  std::vector<NodeId> selected_pool;
+  std::vector<NodeId> rejected_pool;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    (goal_set.Test(v) ? selected_pool : rejected_pool).push_back(v);
+  }
+  rng.Shuffle(&selected_pool);
+  rng.Shuffle(&rejected_pool);
+
+  // Successive fractions nest, so the incremental learner's SCP and
+  // coverage caches carry over between steps.
+  IncrementalLearner incremental(graph, learner);
+  size_t added_pos = 0;
+  size_t added_neg = 0;
+
+  for (double fraction = step; fraction <= max_fraction + 1e-9;
+       fraction += step) {
+    size_t num_pos =
+        static_cast<size_t>(fraction * selected_pool.size() + 0.5);
+    if (!selected_pool.empty()) num_pos = std::max<size_t>(num_pos, 1);
+    num_pos = std::min(num_pos, selected_pool.size());
+    size_t num_neg =
+        static_cast<size_t>(fraction * rejected_pool.size() + 0.5);
+    num_neg = std::min(num_neg, rejected_pool.size());
+    while (added_pos < num_pos) {
+      incremental.AddPositive(selected_pool[added_pos++]);
+    }
+    while (added_neg < num_neg) {
+      incremental.AddNegative(rejected_pool[added_neg++]);
+    }
+    LearnOutcome outcome = incremental.Learn();
+    if (outcome.is_null) continue;
+    BitVector selected = EvalMonadic(graph, outcome.query);
+    if (ComputeMetrics(selected, goal_set).f1 == 1.0) return fraction;
+  }
+  return max_fraction;
+}
+
+}  // namespace rpqlearn

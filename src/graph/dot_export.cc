@@ -1,0 +1,52 @@
+#include "graph/dot_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpqlearn {
+
+std::string GraphToDot(const Graph& graph, const Sample& sample) {
+  std::ostringstream out;
+  out << "digraph G {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << graph.NodeName(v) << "\"";
+    if (std::find(sample.positive.begin(), sample.positive.end(), v) !=
+        sample.positive.end()) {
+      out << ", style=filled, fillcolor=palegreen, xlabel=\"+\"";
+    } else if (std::find(sample.negative.begin(), sample.negative.end(),
+                         v) != sample.negative.end()) {
+      out << ", style=filled, fillcolor=lightcoral, xlabel=\"-\"";
+    }
+    out << "];\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const LabeledEdge& e : graph.OutEdges(v)) {
+      out << "  n" << v << " -> n" << e.node << " [label=\""
+          << graph.alphabet().Name(e.label) << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string DfaToDot(const Dfa& dfa, const Alphabet& alphabet) {
+  std::ostringstream out;
+  out << "digraph A {\n  rankdir=LR;\n  start [shape=point];\n";
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    out << "  q" << s << " [shape="
+        << (dfa.IsAccepting(s) ? "doublecircle" : "circle") << "];\n";
+  }
+  out << "  start -> q" << dfa.initial_state() << ";\n";
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      StateId t = dfa.Next(s, a);
+      if (t == kNoState) continue;
+      out << "  q" << s << " -> q" << t << " [label=\"" << alphabet.Name(a)
+          << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rpqlearn

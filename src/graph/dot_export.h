@@ -1,0 +1,23 @@
+#ifndef RPQLEARN_GRAPH_DOT_EXPORT_H_
+#define RPQLEARN_GRAPH_DOT_EXPORT_H_
+
+#include <string>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "learn/sample.h"
+
+namespace rpqlearn {
+
+/// Graphviz rendering of a graph database; positive example nodes are drawn
+/// green, negatives red (the visualization step of the interactive scenario,
+/// Fig. 9 step 4). Pass an empty sample for a plain rendering.
+std::string GraphToDot(const Graph& graph, const Sample& sample = {});
+
+/// Graphviz rendering of a query DFA (double circles for accepting states),
+/// labels taken from `alphabet`.
+std::string DfaToDot(const Dfa& dfa, const Alphabet& alphabet);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_DOT_EXPORT_H_

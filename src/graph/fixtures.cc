@@ -1,0 +1,118 @@
+#include "graph/fixtures.h"
+
+namespace rpqlearn {
+
+Graph Figure1Geographic() {
+  GraphBuilder b;
+  b.InternLabels({"tram", "bus", "cinema", "restaurant"});
+  NodeId n1 = b.AddNode("N1");
+  NodeId n2 = b.AddNode("N2");
+  NodeId n3 = b.AddNode("N3");
+  NodeId n4 = b.AddNode("N4");
+  NodeId n5 = b.AddNode("N5");
+  NodeId n6 = b.AddNode("N6");
+  NodeId c1 = b.AddNode("C1");
+  NodeId c2 = b.AddNode("C2");
+  NodeId r1 = b.AddNode("R1");
+  NodeId r2 = b.AddNode("R2");
+  b.AddEdge(n1, "tram", n4);
+  b.AddEdge(n2, "bus", n1);
+  b.AddEdge(n2, "bus", n3);
+  b.AddEdge(n4, "cinema", c1);
+  b.AddEdge(n4, "tram", n5);
+  b.AddEdge(n5, "tram", n3);
+  b.AddEdge(n5, "restaurant", r1);
+  b.AddEdge(n3, "restaurant", r2);
+  b.AddEdge(n6, "cinema", c2);
+  b.AddEdge(n6, "bus", n3);
+  return b.Build();
+}
+
+Graph Figure3G0() {
+  GraphBuilder b;
+  b.InternLabels({"a", "b", "c"});
+  NodeId v1 = b.AddNode("v1");
+  NodeId v2 = b.AddNode("v2");
+  NodeId v3 = b.AddNode("v3");
+  NodeId v4 = b.AddNode("v4");
+  NodeId v5 = b.AddNode("v5");
+  NodeId v6 = b.AddNode("v6");
+  NodeId v7 = b.AddNode("v7");
+  b.AddEdge(v1, "a", v2);
+  b.AddEdge(v2, "a", v6);
+  b.AddEdge(v2, "b", v3);
+  b.AddEdge(v3, "a", v2);
+  b.AddEdge(v3, "a", v4);
+  b.AddEdge(v3, "c", v4);
+  // v4 is a sink.
+  b.AddEdge(v5, "a", v4);
+  b.AddEdge(v5, "b", v4);
+  b.AddEdge(v6, "a", v1);
+  b.AddEdge(v6, "a", v6);
+  b.AddEdge(v6, "b", v7);
+  b.AddEdge(v7, "a", v6);
+  return b.Build();
+}
+
+FixtureSample Figure3Sample() {
+  return FixtureSample{/*positive=*/{0, 2}, /*negative=*/{1, 6}};
+}
+
+Graph Figure5Inconsistent() {
+  GraphBuilder b;
+  b.InternLabels({"a", "b"});
+  NodeId pos = b.AddNode("pos");
+  NodeId neg1 = b.AddNode("neg1");
+  NodeId neg2 = b.AddNode("neg2");
+  // The positive node generates (a+b)*, all of which both negatives cover.
+  b.AddEdge(pos, "a", pos);
+  b.AddEdge(pos, "b", pos);
+  b.AddEdge(neg1, "a", neg1);
+  b.AddEdge(neg1, "b", neg1);
+  b.AddEdge(neg2, "a", neg2);
+  b.AddEdge(neg2, "b", neg2);
+  return b.Build();
+}
+
+FixtureSample Figure5Sample() {
+  return FixtureSample{/*positive=*/{0}, /*negative=*/{1, 2}};
+}
+
+Graph Figure8EquivalentOnly() {
+  GraphBuilder b;
+  b.InternLabels({"a", "b", "c"});
+  NodeId m1 = b.AddNode("m1");
+  NodeId m2 = b.AddNode("m2");
+  NodeId m3 = b.AddNode("m3");
+  NodeId m4 = b.AddNode("m4");
+  b.AddEdge(m1, "b", m2);
+  b.AddEdge(m2, "a", m3);
+  b.AddEdge(m3, "a", m4);
+  b.AddEdge(m3, "b", m3);
+  b.AddEdge(m3, "c", m4);
+  return b.Build();
+}
+
+FixtureSample Figure8Sample() {
+  return FixtureSample{/*positive=*/{1, 2}, /*negative=*/{0, 3}};
+}
+
+Graph Figure10Certain() {
+  GraphBuilder b;
+  b.InternLabels({"a", "b"});
+  NodeId pos = b.AddNode("pos");
+  NodeId neg = b.AddNode("neg");
+  NodeId unlabeled = b.AddNode("unlabeled");
+  NodeId sink = b.AddNode("sink");
+  b.AddEdge(pos, "b", sink);
+  b.AddEdge(neg, "a", sink);
+  b.AddEdge(unlabeled, "a", sink);
+  b.AddEdge(unlabeled, "b", sink);
+  return b.Build();
+}
+
+FixtureSample Figure10Sample() {
+  return FixtureSample{/*positive=*/{0}, /*negative=*/{1}};
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,64 @@
+#ifndef RPQLEARN_GRAPH_FIXTURES_H_
+#define RPQLEARN_GRAPH_FIXTURES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpqlearn {
+
+/// A graph plus the node sets of a labeled sample, as used by the paper's
+/// running examples.
+struct FixtureSample {
+  std::vector<NodeId> positive;
+  std::vector<NodeId> negative;
+};
+
+/// Figure 1: the geographical example. Nodes N1..N6, C1, C2, R1, R2 and
+/// labels {tram, bus, cinema, restaurant}. The paper's exact edge set is not
+/// fully listed, so this is a faithful reconstruction satisfying every fact
+/// stated in Sec. 1: the query `(tram+bus)*.cinema` selects exactly
+/// {N1, N2, N4, N6}, via the quoted witness paths, and N5 is a valid
+/// negative example.
+Graph Figure1Geographic();
+
+/// Figure 3: the graph G0 over {a, b, c}. Reconstructed to satisfy the
+/// properties the paper states about G0:
+///  * `a` selects all nodes except ν4; `(a.b)*.c` selects exactly {ν1, ν3};
+///    `b.b.c.c` selects nothing;
+///  * paths(ν5) is the small finite set {ε, a, b} (the paper's G0 has
+///    {ε, a, b, c}, but a c-path at ν5 would contradict the paper's own
+///    claim that (a.b)*.c selects only ν1 and ν3, so the c edge is dropped);
+///  * paths(ν1) is infinite;
+///  * `aba` matches ν1ν2ν3ν4 and ν3ν2ν3ν4;
+///  * with S+ = {ν1, ν3}, S− = {ν2, ν7}: the SCPs are abc (for ν1) and c
+///    (for ν3); merging ε–a is rejected because of path bc ∈ paths(ν2);
+///    merging ε–c is rejected because of ε; merging ε–ab yields `(a.b)*.c`.
+/// Node ids: index i holds νi+1 (so ν1 = node 0, ..., ν7 = node 6).
+Graph Figure3G0();
+
+/// The Figure 3 sample S+ = {ν1, ν3}, S− = {ν2, ν7} in node ids.
+FixtureSample Figure3Sample();
+
+/// Figure 5: a positive node with infinitely many paths, all covered by the
+/// two negative nodes — an inconsistent sample. Node 0 is positive,
+/// nodes 1 and 2 negative.
+Graph Figure5Inconsistent();
+FixtureSample Figure5Sample();
+
+/// Figure 8: a graph and a labeling consistent with `(a.b)*.c` on which that
+/// goal is indistinguishable from the query `a`: both select exactly the two
+/// positive nodes. Node ids: 0 = m1 (−), 1 = m2 (+), 2 = m3 (+), 3 = m4 (−).
+Graph Figure8EquivalentOnly();
+FixtureSample Figure8Sample();
+
+/// Figure 10: one positive, one negative and one unlabeled node over {a, b};
+/// the unlabeled node (id 2) is certain-positive: every consistent query
+/// must select it. Node ids: 0 = positive, 1 = negative, 2 = unlabeled,
+/// 3 = sink.
+Graph Figure10Certain();
+FixtureSample Figure10Sample();
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_FIXTURES_H_

@@ -1,0 +1,70 @@
+#include "graph/generators.h"
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+Graph GenerateScaleFree(const ScaleFreeOptions& options) {
+  RPQ_CHECK_GT(options.num_nodes, 1u);
+  RPQ_CHECK_GT(options.num_labels, 0u);
+  Rng rng(options.seed);
+  ZipfDistribution label_dist(options.num_labels, options.zipf_exponent);
+
+  GraphBuilder builder;
+  builder.AddNodes(options.num_nodes);
+  std::vector<Symbol> labels;
+  if (options.label_names.empty()) {
+    for (uint32_t i = 0; i < options.num_labels; ++i) {
+      labels.push_back(builder.InternLabel("l" + std::to_string(i)));
+    }
+  } else {
+    RPQ_CHECK_EQ(options.label_names.size(), options.num_labels);
+    for (const std::string& name : options.label_names) {
+      labels.push_back(builder.InternLabel(name));
+    }
+  }
+
+  // Preferential attachment: `endpoint_pool` holds one entry per incident
+  // edge endpoint, so sampling from it is degree-proportional.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(2 * options.num_edges + 2);
+
+  auto pick_node = [&]() -> NodeId {
+    if (!endpoint_pool.empty() &&
+        rng.NextBernoulli(options.preferential_probability)) {
+      return endpoint_pool[rng.NextBelow(endpoint_pool.size())];
+    }
+    return static_cast<NodeId>(rng.NextBelow(options.num_nodes));
+  };
+
+  for (size_t i = 0; i < options.num_edges; ++i) {
+    NodeId src = pick_node();
+    NodeId dst = pick_node();
+    Symbol label = labels[label_dist.Sample(&rng)];
+    builder.AddEdge(src, label, dst);
+    endpoint_pool.push_back(src);
+    endpoint_pool.push_back(dst);
+  }
+  return builder.Build();
+}
+
+Graph GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  RPQ_CHECK_GT(options.num_nodes, 0u);
+  RPQ_CHECK_GT(options.num_labels, 0u);
+  Rng rng(options.seed);
+  GraphBuilder builder;
+  builder.AddNodes(options.num_nodes);
+  std::vector<Symbol> labels;
+  for (uint32_t i = 0; i < options.num_labels; ++i) {
+    labels.push_back(builder.InternLabel("l" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < options.num_edges; ++i) {
+    NodeId src = static_cast<NodeId>(rng.NextBelow(options.num_nodes));
+    NodeId dst = static_cast<NodeId>(rng.NextBelow(options.num_nodes));
+    Symbol label = labels[rng.NextBelow(labels.size())];
+    builder.AddEdge(src, label, dst);
+  }
+  return builder.Build();
+}
+
+}  // namespace rpqlearn

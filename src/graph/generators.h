@@ -1,0 +1,47 @@
+#ifndef RPQLEARN_GRAPH_GENERATORS_H_
+#define RPQLEARN_GRAPH_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+
+/// Parameters for the scale-free generator used for the paper's synthetic
+/// datasets (Sec. 5.1: "scale-free graphs with a Zipfian edge label
+/// distribution", sizes 10k/20k/30k nodes with 3× edges).
+struct ScaleFreeOptions {
+  uint32_t num_nodes = 10000;
+  /// Total directed edges; the paper uses 3 * num_nodes.
+  size_t num_edges = 30000;
+  uint32_t num_labels = 40;
+  /// Zipf skew for the label distribution.
+  double zipf_exponent = 1.0;
+  /// Probability that an edge endpoint is chosen by preferential attachment
+  /// rather than uniformly (controls how heavy the degree tail is).
+  double preferential_probability = 0.7;
+  uint64_t seed = 1;
+  /// Label names; generated as "l0..l{n-1}" when empty.
+  std::vector<std::string> label_names;
+};
+
+/// Generates a directed scale-free multigraph by preferential attachment
+/// with Zipfian labels. Deterministic given the seed.
+Graph GenerateScaleFree(const ScaleFreeOptions& options);
+
+/// Parameters for a uniform random graph (baseline/testing).
+struct ErdosRenyiOptions {
+  uint32_t num_nodes = 1000;
+  size_t num_edges = 3000;
+  uint32_t num_labels = 4;
+  uint64_t seed = 1;
+};
+
+/// Generates a uniform random edge-labeled digraph.
+Graph GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_GENERATORS_H_

@@ -1,0 +1,144 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+std::span<const LabeledEdge> Graph::OutEdgesWithLabel(NodeId v,
+                                                      Symbol a) const {
+  auto edges = OutEdges(v);
+  auto lo = std::lower_bound(
+      edges.begin(), edges.end(), a,
+      [](const LabeledEdge& e, Symbol sym) { return e.label < sym; });
+  auto hi = std::upper_bound(
+      edges.begin(), edges.end(), a,
+      [](Symbol sym, const LabeledEdge& e) { return sym < e.label; });
+  return {edges.data() + (lo - edges.begin()), static_cast<size_t>(hi - lo)};
+}
+
+NodeId Graph::FindNodeByName(std::string_view name) const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (names_[v] == name) return v;
+  }
+  return num_nodes();
+}
+
+bool Graph::HasPathFrom(NodeId from, const Word& word) const {
+  std::vector<NodeId> current{from};
+  std::vector<bool> in_next(num_nodes(), false);
+  for (Symbol a : word) {
+    std::vector<NodeId> next;
+    for (NodeId v : current) {
+      for (const LabeledEdge& e : OutEdgesWithLabel(v, a)) {
+        if (!in_next[e.node]) {
+          in_next[e.node] = true;
+          next.push_back(e.node);
+        }
+      }
+    }
+    if (next.empty()) return false;
+    for (NodeId v : next) in_next[v] = false;
+    current = std::move(next);
+  }
+  return true;
+}
+
+bool Graph::HasPathBetween(NodeId from, NodeId to, const Word& word) const {
+  std::vector<NodeId> current{from};
+  std::vector<bool> in_next(num_nodes(), false);
+  for (Symbol a : word) {
+    std::vector<NodeId> next;
+    for (NodeId v : current) {
+      for (const LabeledEdge& e : OutEdgesWithLabel(v, a)) {
+        if (!in_next[e.node]) {
+          in_next[e.node] = true;
+          next.push_back(e.node);
+        }
+      }
+    }
+    if (next.empty()) return false;
+    for (NodeId v : next) in_next[v] = false;
+    current = std::move(next);
+  }
+  return std::find(current.begin(), current.end(), to) != current.end();
+}
+
+NodeId GraphBuilder::AddNode(std::string_view name) {
+  NodeId id = static_cast<NodeId>(names_.size());
+  names_.emplace_back(name.empty() ? "v" + std::to_string(id)
+                                   : std::string(name));
+  return id;
+}
+
+NodeId GraphBuilder::AddNodes(uint32_t count) {
+  NodeId first = static_cast<NodeId>(names_.size());
+  for (uint32_t i = 0; i < count; ++i) AddNode();
+  return first;
+}
+
+void GraphBuilder::InternLabels(const std::vector<std::string>& labels) {
+  for (const auto& label : labels) alphabet_.Intern(label);
+}
+
+void GraphBuilder::AddEdge(NodeId src, Symbol label, NodeId dst) {
+  RPQ_CHECK_LT(src, names_.size());
+  RPQ_CHECK_LT(dst, names_.size());
+  RPQ_CHECK_LT(label, alphabet_.size());
+  edges_.push_back(RawEdge{src, label, dst});
+}
+
+Graph GraphBuilder::Build() {
+  Graph graph;
+  graph.alphabet_ = std::move(alphabet_);
+  graph.names_ = std::move(names_);
+  const uint32_t n = static_cast<uint32_t>(graph.names_.size());
+
+  // Deduplicate edges.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const RawEdge& a, const RawEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              if (a.label != b.label) return a.label < b.label;
+              return a.dst < b.dst;
+            });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const RawEdge& a, const RawEdge& b) {
+                             return a.src == b.src && a.label == b.label &&
+                                    a.dst == b.dst;
+                           }),
+               edges_.end());
+
+  // Forward CSR (edges_ already sorted by (src, label, dst)).
+  graph.out_offsets_.assign(n + 1, 0);
+  for (const RawEdge& e : edges_) ++graph.out_offsets_[e.src + 1];
+  for (uint32_t v = 0; v < n; ++v) {
+    graph.out_offsets_[v + 1] += graph.out_offsets_[v];
+  }
+  graph.out_edges_.reserve(edges_.size());
+  for (const RawEdge& e : edges_) {
+    graph.out_edges_.push_back(LabeledEdge{e.label, e.dst});
+  }
+
+  // Reverse CSR, sorted by (dst, label, src).
+  std::sort(edges_.begin(), edges_.end(),
+            [](const RawEdge& a, const RawEdge& b) {
+              if (a.dst != b.dst) return a.dst < b.dst;
+              if (a.label != b.label) return a.label < b.label;
+              return a.src < b.src;
+            });
+  graph.in_offsets_.assign(n + 1, 0);
+  for (const RawEdge& e : edges_) ++graph.in_offsets_[e.dst + 1];
+  for (uint32_t v = 0; v < n; ++v) {
+    graph.in_offsets_[v + 1] += graph.in_offsets_[v];
+  }
+  graph.in_edges_.reserve(edges_.size());
+  for (const RawEdge& e : edges_) {
+    graph.in_edges_.push_back(LabeledEdge{e.label, e.src});
+  }
+
+  edges_.clear();
+  return graph;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,142 @@
+#ifndef RPQLEARN_GRAPH_GRAPH_H_
+#define RPQLEARN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/word.h"
+
+namespace rpqlearn {
+
+/// Dense node id of a graph database.
+using NodeId = uint32_t;
+
+/// One directed labeled edge (νo, a, νe) as stored in adjacency lists:
+/// `node` is the other endpoint (target for out-edges, source for in-edges).
+struct LabeledEdge {
+  Symbol label;
+  NodeId node;
+
+  friend bool operator==(const LabeledEdge& a, const LabeledEdge& b) {
+    return a.label == b.label && a.node == b.node;
+  }
+  friend bool operator<(const LabeledEdge& a, const LabeledEdge& b) {
+    return a.label != b.label ? a.label < b.label : a.node < b.node;
+  }
+};
+
+/// An immutable graph database: a finite, directed, edge-labeled graph
+/// (Sec. 2 of the paper), stored in CSR form with both forward and reverse
+/// adjacency, each sorted by (label, endpoint). Build via GraphBuilder.
+class Graph {
+ public:
+  /// An empty graph (0 nodes); assign a built graph over it.
+  Graph() = default;
+
+  uint32_t num_nodes() const {
+    return out_offsets_.empty()
+               ? 0
+               : static_cast<uint32_t>(out_offsets_.size()) - 1;
+  }
+  size_t num_edges() const { return out_edges_.size(); }
+  uint32_t num_symbols() const { return alphabet_.size(); }
+  const Alphabet& alphabet() const { return alphabet_; }
+
+  /// Outgoing edges of `v`, sorted by (label, target).
+  std::span<const LabeledEdge> OutEdges(NodeId v) const {
+    return {out_edges_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+  /// Incoming edges of `v`, sorted by (label, source).
+  std::span<const LabeledEdge> InEdges(NodeId v) const {
+    return {in_edges_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// Outgoing edges of `v` labeled `a` (a contiguous subrange of OutEdges).
+  std::span<const LabeledEdge> OutEdgesWithLabel(NodeId v, Symbol a) const;
+
+  /// Display name of node `v` ("v<id>" unless set at build time).
+  const std::string& NodeName(NodeId v) const { return names_[v]; }
+
+  /// Looks up a node by display name; returns num_nodes() if absent.
+  /// Linear scan — intended for fixtures and examples, not hot paths.
+  NodeId FindNodeByName(std::string_view name) const;
+
+  /// True iff some path starting at `from` spells `word` (i.e.
+  /// `word ∈ paths_G(from)`), by subset simulation. Exact but O(|w|·|V|·deg);
+  /// used by tests and small examples.
+  bool HasPathFrom(NodeId from, const Word& word) const;
+
+  /// True iff some path from `from` to `to` spells `word` (binary
+  /// semantics, `word ∈ paths2_G(from, to)`).
+  bool HasPathBetween(NodeId from, NodeId to, const Word& word) const;
+
+  /// Out-degree of `v`.
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  Alphabet alphabet_;
+  std::vector<std::string> names_;
+  std::vector<size_t> out_offsets_;  // num_nodes + 1
+  std::vector<LabeledEdge> out_edges_;
+  std::vector<size_t> in_offsets_;
+  std::vector<LabeledEdge> in_edges_;
+};
+
+/// Accumulates nodes and edges, then produces an immutable Graph.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds one node; `name` defaults to "v<id>".
+  NodeId AddNode(std::string_view name = "");
+
+  /// Adds `count` anonymous nodes; returns the id of the first.
+  NodeId AddNodes(uint32_t count);
+
+  /// Interns an edge-label string.
+  Symbol InternLabel(std::string_view label) {
+    return alphabet_.Intern(label);
+  }
+
+  /// Pre-interns labels so symbol ids are assigned in a chosen order even if
+  /// edges arrive in a different order.
+  void InternLabels(const std::vector<std::string>& labels);
+
+  /// Adds the edge `src --label--> dst`; both nodes must already exist.
+  void AddEdge(NodeId src, Symbol label, NodeId dst);
+
+  /// Convenience overload interning the label string.
+  void AddEdge(NodeId src, std::string_view label, NodeId dst) {
+    AddEdge(src, InternLabel(label), dst);
+  }
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(names_.size()); }
+
+  /// Builds the CSR graph. Duplicate edges are collapsed. The builder is
+  /// left empty afterwards.
+  Graph Build();
+
+ private:
+  struct RawEdge {
+    NodeId src;
+    Symbol label;
+    NodeId dst;
+  };
+  Alphabet alphabet_;
+  std::vector<std::string> names_;
+  std::vector<RawEdge> edges_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_GRAPH_H_

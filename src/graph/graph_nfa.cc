@@ -1,0 +1,50 @@
+#include "graph/graph_nfa.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Adds all graph edges as transitions with the given state-id offset.
+void CopyEdges(const Graph& graph, StateId offset, Nfa* nfa) {
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const LabeledEdge& e : graph.OutEdges(v)) {
+      nfa->AddTransition(v + offset, e.label, e.node + offset);
+    }
+  }
+}
+
+}  // namespace
+
+Nfa GraphToNfa(const Graph& graph, const std::vector<NodeId>& initial) {
+  Nfa nfa(graph.num_symbols());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) nfa.AddState(true);
+  CopyEdges(graph, 0, &nfa);
+  for (NodeId v : initial) nfa.AddInitial(v);
+  nfa.Finalize();
+  return nfa;
+}
+
+Nfa GraphToNfaBetween(const Graph& graph, NodeId from, NodeId to) {
+  Nfa nfa(graph.num_symbols());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) nfa.AddState(v == to);
+  CopyEdges(graph, 0, &nfa);
+  nfa.AddInitial(from);
+  nfa.Finalize();
+  return nfa;
+}
+
+Nfa GraphToNfaPairs(const Graph& graph,
+                    const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  Nfa nfa(graph.num_symbols());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    StateId offset = static_cast<StateId>(i * graph.num_nodes());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      nfa.AddState(v == pairs[i].second);
+    }
+    CopyEdges(graph, offset, &nfa);
+    nfa.AddInitial(offset + pairs[i].first);
+  }
+  nfa.Finalize();
+  return nfa;
+}
+
+}  // namespace rpqlearn

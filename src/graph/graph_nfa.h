@@ -1,0 +1,30 @@
+#ifndef RPQLEARN_GRAPH_GRAPH_NFA_H_
+#define RPQLEARN_GRAPH_GRAPH_NFA_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "graph/graph.h"
+
+namespace rpqlearn {
+
+/// The graph as an NFA whose language is `paths_G(initial)` (Sec. 2):
+/// states = nodes, every state accepting, initial set = `initial`.
+/// This is the central device of the paper's algorithms — `paths_G(X)` is a
+/// regular language given by the graph itself.
+Nfa GraphToNfa(const Graph& graph, const std::vector<NodeId>& initial);
+
+/// The graph as an NFA whose language is `paths2_G(from, to)` (Appendix B):
+/// initial = {from}, accepting = {to}.
+Nfa GraphToNfaBetween(const Graph& graph, NodeId from, NodeId to);
+
+/// An NFA whose language is the union of `paths2_G(νi, νi')` over all pairs:
+/// one disjoint copy of the graph per pair. Used by the binary learner for
+/// `paths2_G(S−)`. Size is |pairs|·|V|, so intended for small samples.
+Nfa GraphToNfaPairs(const Graph& graph,
+                    const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_GRAPH_NFA_H_

@@ -1,0 +1,99 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace rpqlearn {
+
+StatusOr<Graph> ReadGraphText(std::istream& in) {
+  struct PendingEdge {
+    uint32_t src;
+    std::string label;
+    uint32_t dst;
+  };
+  std::vector<PendingEdge> edges;
+  std::unordered_map<uint32_t, std::string> names;
+  uint32_t max_node = 0;
+  bool any_node = false;
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string first;
+    fields >> first;
+    if (first == "node") {
+      uint32_t id;
+      std::string name;
+      if (!(fields >> id >> name)) {
+        return Status::InvalidArgument("bad node line " +
+                                       std::to_string(line_number));
+      }
+      names[id] = name;
+      max_node = std::max(max_node, id);
+      any_node = true;
+      continue;
+    }
+    uint32_t src;
+    std::string label;
+    uint32_t dst;
+    std::istringstream edge_fields{std::string(stripped)};
+    if (!(edge_fields >> src >> label >> dst)) {
+      return Status::InvalidArgument("bad edge line " +
+                                     std::to_string(line_number));
+    }
+    edges.push_back(PendingEdge{src, std::move(label), dst});
+    max_node = std::max(max_node, std::max(src, dst));
+    any_node = true;
+  }
+
+  GraphBuilder builder;
+  if (any_node) {
+    for (uint32_t v = 0; v <= max_node; ++v) {
+      auto it = names.find(v);
+      builder.AddNode(it == names.end() ? "" : it->second);
+    }
+  }
+  for (const PendingEdge& e : edges) {
+    builder.AddEdge(e.src, e.label, e.dst);
+  }
+  return builder.Build();
+}
+
+void WriteGraphText(const Graph& graph, std::ostream& out) {
+  out << "# rpqlearn graph: " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out << "node " << v << " " << graph.NodeName(v) << "\n";
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const LabeledEdge& e : graph.OutEdges(v)) {
+      out << v << " " << graph.alphabet().Name(e.label) << " " << e.node
+          << "\n";
+    }
+  }
+}
+
+StatusOr<Graph> LoadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadGraphText(in);
+}
+
+Status SaveGraphFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  WriteGraphText(graph, out);
+  return Status::Ok();
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,28 @@
+#ifndef RPQLEARN_GRAPH_IO_H_
+#define RPQLEARN_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Text format for graph databases, one record per line:
+///   `# comment`                     ignored
+///   `node <id> <name>`              optional; declares a named node
+///   `<src> <label> <dst>`           an edge; ids are dense non-negative ints
+/// Nodes are created implicitly up to the largest id mentioned.
+StatusOr<Graph> ReadGraphText(std::istream& in);
+
+/// Writes the graph in the format accepted by ReadGraphText.
+void WriteGraphText(const Graph& graph, std::ostream& out);
+
+/// File wrappers around the stream functions.
+StatusOr<Graph> LoadGraphFile(const std::string& path);
+Status SaveGraphFile(const Graph& graph, const std::string& path);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_IO_H_

@@ -1,0 +1,49 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpqlearn {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  stats.num_labels = graph.num_symbols();
+  stats.label_histogram.assign(graph.num_symbols(), 0);
+  uint32_t sinks = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    uint32_t out = graph.OutDegree(v);
+    uint32_t in = static_cast<uint32_t>(graph.InEdges(v).size());
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    if (out == 0) ++sinks;
+    for (const LabeledEdge& e : graph.OutEdges(v)) {
+      ++stats.label_histogram[e.label];
+    }
+  }
+  if (stats.num_nodes > 0) {
+    stats.avg_out_degree =
+        static_cast<double>(stats.num_edges) / stats.num_nodes;
+    stats.sink_fraction = static_cast<double>(sinks) / stats.num_nodes;
+  }
+  return stats;
+}
+
+std::string StatsToString(const GraphStats& stats, const Alphabet& alphabet) {
+  std::ostringstream out;
+  out << "nodes=" << stats.num_nodes << " edges=" << stats.num_edges
+      << " labels=" << stats.num_labels
+      << " avg_out_degree=" << stats.avg_out_degree
+      << " max_out=" << stats.max_out_degree
+      << " max_in=" << stats.max_in_degree
+      << " sink_fraction=" << stats.sink_fraction << "\n";
+  out << "label histogram:";
+  for (Symbol a = 0; a < stats.label_histogram.size(); ++a) {
+    out << " " << alphabet.Name(a) << ":" << stats.label_histogram[a];
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,34 @@
+#ifndef RPQLEARN_GRAPH_STATS_H_
+#define RPQLEARN_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpqlearn {
+
+/// Degree and label statistics, used by the workload calibration benches and
+/// to sanity-check generated graphs against the paper's dataset shapes.
+struct GraphStats {
+  uint32_t num_nodes = 0;
+  size_t num_edges = 0;
+  uint32_t num_labels = 0;
+  double avg_out_degree = 0.0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  /// Edge count per label, index = Symbol.
+  std::vector<size_t> label_histogram;
+  /// Fraction of nodes with no outgoing edges.
+  double sink_fraction = 0.0;
+};
+
+/// Computes stats in one pass over the adjacency.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Multi-line human-readable rendering.
+std::string StatsToString(const GraphStats& stats, const Alphabet& alphabet);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_STATS_H_

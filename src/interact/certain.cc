@@ -1,0 +1,45 @@
+#include "interact/certain.h"
+
+#include "automata/inclusion.h"
+#include "graph/graph_nfa.h"
+
+namespace rpqlearn {
+
+StatusOr<bool> IsCertainNegative(const Graph& graph, const Sample& sample,
+                                 NodeId v, size_t max_explored) {
+  Nfa node_nfa = GraphToNfa(graph, {v});
+  Nfa negatives = GraphToNfa(graph, sample.negative);
+  StatusOr<InclusionResult> result =
+      CheckLanguageInclusion(node_nfa, negatives, max_explored);
+  if (!result.ok()) return result.status();
+  return result->included;
+}
+
+StatusOr<bool> IsCertainPositive(const Graph& graph, const Sample& sample,
+                                 NodeId v, size_t max_explored) {
+  // paths(S−) ∪ paths(ν) = paths(S− ∪ {ν}) because all graph-NFA states are
+  // accepting.
+  std::vector<NodeId> initial = sample.negative;
+  initial.push_back(v);
+  Nfa cover = GraphToNfa(graph, initial);
+  for (NodeId pos : sample.positive) {
+    Nfa pos_nfa = GraphToNfa(graph, {pos});
+    StatusOr<InclusionResult> result =
+        CheckLanguageInclusion(pos_nfa, cover, max_explored);
+    if (!result.ok()) return result.status();
+    if (result->included) return true;
+  }
+  return false;
+}
+
+StatusOr<bool> IsInformativeExact(const Graph& graph, const Sample& sample,
+                                  NodeId v, size_t max_explored) {
+  StatusOr<bool> neg = IsCertainNegative(graph, sample, v, max_explored);
+  if (!neg.ok()) return neg.status();
+  if (*neg) return false;
+  StatusOr<bool> pos = IsCertainPositive(graph, sample, v, max_explored);
+  if (!pos.ok()) return pos.status();
+  return !*pos;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,34 @@
+#ifndef RPQLEARN_INTERACT_CERTAIN_H_
+#define RPQLEARN_INTERACT_CERTAIN_H_
+
+#include "graph/graph.h"
+#include "learn/sample.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Certain-node checks (Lemma 4.1). A node is certain when labeling it adds
+/// no information: every consistent query agrees on it. Both checks reduce
+/// to NFA language inclusion, hence are PSPACE-complete in general
+/// (Lemma 4.2) — the underlying antichain search is capped and may return
+/// ResourceExhausted.
+
+/// ν ∈ Cert−(G, S) iff paths_G(ν) ⊆ paths_G(S−).
+StatusOr<bool> IsCertainNegative(const Graph& graph, const Sample& sample,
+                                 NodeId v, size_t max_explored = 500000);
+
+/// ν ∈ Cert+(G, S) iff ∃ν' ∈ S+ with
+/// paths_G(ν') ⊆ paths_G(S−) ∪ paths_G(ν)  (= paths_G(S− ∪ {ν})).
+StatusOr<bool> IsCertainPositive(const Graph& graph, const Sample& sample,
+                                 NodeId v, size_t max_explored = 500000);
+
+/// An unlabeled node is informative iff it is neither certain-positive nor
+/// certain-negative (Sec. 4.2). Exact but potentially exponential; the
+/// interactive loop uses the k-bounded approximation instead
+/// (ComputeKInformative).
+StatusOr<bool> IsInformativeExact(const Graph& graph, const Sample& sample,
+                                  NodeId v, size_t max_explored = 500000);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_INTERACT_CERTAIN_H_

@@ -1,0 +1,48 @@
+#ifndef RPQLEARN_INTERACT_INFORMATIVE_H_
+#define RPQLEARN_INTERACT_INFORMATIVE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "learn/coverage.h"
+#include "util/bit_vector.h"
+
+namespace rpqlearn {
+
+/// Computes the k-informative nodes (Sec. 4.2): a node is k-informative iff
+/// it has at least one path of length ≤ k not covered by a negative example.
+/// (k-informative ⇒ informative; deciding full informativeness is
+/// PSPACE-complete, Lemma 4.2.)
+///
+/// Implemented as a backward layered BFS over the product of the graph with
+/// the negative-coverage subset automaton, from all pairs whose coverage
+/// subset is empty. `coverage` must be built from the graph NFA with initial
+/// set S− (all states accepting) at the same k.
+BitVector ComputeKInformative(const Graph& graph,
+                              const SubsetCoverage& coverage);
+
+/// Counts, per node, the non-covered k-paths — the quantity minimized by
+/// strategy kS: the number of paths p from ν with |p| ≤ k whose word is not
+/// in paths_G(S−). Lazy memoized DP over (node, coverage state, remaining
+/// depth), shared across queries; rebuild after the sample changes.
+class UncoveredPathCounter {
+ public:
+  UncoveredPathCounter(const Graph& graph, const SubsetCoverage& coverage)
+      : graph_(graph), coverage_(coverage) {}
+
+  /// Number of non-covered paths of length ≤ k from `v` (saturating at
+  /// uint64 max; exact for any realistic graph).
+  uint64_t Count(NodeId v);
+
+ private:
+  uint64_t CountFrom(NodeId v, StateId cov, uint32_t remaining);
+
+  const Graph& graph_;
+  const SubsetCoverage& coverage_;
+  std::unordered_map<uint64_t, uint64_t> memo_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_INTERACT_INFORMATIVE_H_

@@ -1,0 +1,37 @@
+#ifndef RPQLEARN_INTERACT_ORACLE_H_
+#define RPQLEARN_INTERACT_ORACLE_H_
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "query/eval.h"
+#include "util/bit_vector.h"
+
+namespace rpqlearn {
+
+/// Simulated user of the interactive scenario (Sec. 4.1 / Sec. 5.3): labels
+/// a node positively iff the goal query selects it. The experiments assume
+/// the user labels consistently with a goal query; this class is that
+/// assumption made executable.
+class Oracle {
+ public:
+  /// From a precomputed goal result set.
+  explicit Oracle(BitVector goal) : goal_(std::move(goal)) {}
+
+  /// Evaluates the goal query on the graph once and labels from the result.
+  static Oracle FromQuery(const Graph& graph, const Dfa& goal_query) {
+    return Oracle(EvalMonadic(graph, goal_query));
+  }
+
+  /// The user's answer for node `v`: true = positive example.
+  bool Label(NodeId v) const { return goal_.Test(v); }
+
+  /// The full goal result set (used by the halt condition F1 = 1).
+  const BitVector& goal() const { return goal_; }
+
+ private:
+  BitVector goal_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_INTERACT_ORACLE_H_

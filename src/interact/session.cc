@@ -1,0 +1,98 @@
+#include "interact/session.h"
+
+#include "learn/incremental.h"
+#include "query/eval.h"
+#include "query/metrics.h"
+#include "util/timer.h"
+
+namespace rpqlearn {
+
+SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
+                                    const SessionOptions& options) {
+  SessionResult result;
+  Rng rng(options.seed);
+  uint32_t k = options.k_start;
+  bool have_query = false;
+
+  // Incremental learner: SCPs and coverage automata are cached across
+  // interactions and only revalidated when negatives arrive.
+  LearnerOptions learner_options = options.learner;
+  learner_options.auto_k = false;  // the session drives k itself (Sec. 5.1)
+  IncrementalLearner learner(graph, learner_options);
+
+  // Reruns the learner at the current k; returns the F1 against the goal,
+  // or -1 when the learner abstained.
+  auto relearn = [&](uint32_t current_k) -> double {
+    LearnOutcome outcome = learner.LearnAtK(current_k);
+    if (outcome.is_null) return -1.0;
+    result.final_query = outcome.query;
+    have_query = true;
+    BitVector selected = EvalMonadic(graph, result.final_query);
+    return ComputeMetrics(selected, oracle.goal()).f1;
+  };
+
+  while (result.interactions.size() < options.max_interactions) {
+    WallTimer timer;
+
+    // The coverage automaton at the session's k, shared between the
+    // strategy and the learner.
+    const SubsetCoverage* coverage = learner.CoverageAtK(k);
+    if (coverage == nullptr) break;  // resource cap: halt with current query
+    BitVector informative = ComputeKInformative(graph, *coverage);
+
+    std::optional<NodeId> next =
+        PickNextNode(graph, learner.sample(), *coverage, informative,
+                     options.strategy, &rng);
+    if (!next.has_value()) {
+      // No k-informative node: increase k (Sec. 5.1) or halt. Relearning at
+      // the larger k may already reach the goal (longer SCPs become
+      // available) without any further label.
+      if (k < options.k_max) {
+        ++k;
+        if (relearn(k) == 1.0) {
+          result.reached_goal = true;
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+
+    InteractionRecord record;
+    record.node = *next;
+    record.positive = oracle.Label(*next);
+    if (record.positive) {
+      learner.AddPositive(*next);
+    } else {
+      learner.AddNegative(*next);
+    }
+
+    // Relearn from all labels (step 6 of Fig. 9).
+    if (result.interactions.size() % options.learn_every == 0) {
+      record.f1 = relearn(k);
+    }
+
+    record.seconds = timer.ElapsedSeconds();
+    result.interactions.push_back(record);
+
+    if (record.f1 == 1.0) {
+      result.reached_goal = true;
+      break;
+    }
+  }
+
+  result.final_k = k;
+  result.label_fraction =
+      graph.num_nodes() == 0
+          ? 0.0
+          : static_cast<double>(learner.sample().size()) / graph.num_nodes();
+  if (!have_query) {
+    // Represent "nothing learned" as the empty-language query.
+    Dfa empty(graph.num_symbols());
+    empty.AddState(false);
+    result.final_query = empty;
+  }
+  return result;
+}
+
+}  // namespace rpqlearn

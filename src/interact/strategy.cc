@@ -1,0 +1,40 @@
+#include "interact/strategy.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+std::optional<NodeId> PickNextNode(const Graph& graph, const Sample& sample,
+                                   const SubsetCoverage& coverage,
+                                   const BitVector& informative,
+                                   StrategyKind kind, Rng* rng) {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (informative.Test(v) && !sample.IsLabeled(v)) candidates.push_back(v);
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  switch (kind) {
+    case StrategyKind::kRandom:
+      return candidates[rng->NextBelow(candidates.size())];
+    case StrategyKind::kSmallestPaths: {
+      UncoveredPathCounter counter(graph, coverage);
+      NodeId best = candidates[0];
+      uint64_t best_count = counter.Count(best);
+      for (size_t i = 1; i < candidates.size(); ++i) {
+        uint64_t count = counter.Count(candidates[i]);
+        if (count < best_count) {
+          best_count = count;
+          best = candidates[i];
+        }
+      }
+      return best;
+    }
+  }
+  RPQ_CHECK(false) << "unknown strategy";
+  __builtin_unreachable();
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,35 @@
+#ifndef RPQLEARN_INTERACT_STRATEGY_H_
+#define RPQLEARN_INTERACT_STRATEGY_H_
+
+#include <optional>
+
+#include "graph/graph.h"
+#include "interact/informative.h"
+#include "learn/coverage.h"
+#include "learn/sample.h"
+#include "util/bit_vector.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+
+/// The two practical node-proposal strategies of Sec. 4.2.
+enum class StrategyKind {
+  /// kR: a uniformly random k-informative unlabeled node.
+  kRandom,
+  /// kS: the k-informative unlabeled node with the smallest number of
+  /// non-covered k-paths (ties broken by node id), favoring nodes whose SCP
+  /// computation has the smallest solution space.
+  kSmallestPaths,
+};
+
+/// Picks the next node to present to the user, or nullopt if no unlabeled
+/// node is k-informative (the caller then increases k or halts).
+/// `informative` must come from ComputeKInformative at the same coverage.
+std::optional<NodeId> PickNextNode(const Graph& graph, const Sample& sample,
+                                   const SubsetCoverage& coverage,
+                                   const BitVector& informative,
+                                   StrategyKind kind, Rng* rng);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_INTERACT_STRATEGY_H_

@@ -1,0 +1,21 @@
+#ifndef RPQLEARN_LEARN_BINARY_H_
+#define RPQLEARN_LEARN_BINARY_H_
+
+#include "graph/graph.h"
+#include "learn/learner.h"
+#include "learn/sample.h"
+
+namespace rpqlearn {
+
+/// Algorithm 2 (Appendix B): learning under *binary* semantics, where an
+/// example is a pair (ν, ν') and the query selects pairs connected by a path
+/// in L(q). The only change to Algorithm 1 is that each positive example
+/// constrains both endpoints, so the SCP search accepts at the destination
+/// node and the coverage automaton tracks `paths2_G(S−)`.
+LearnOutcome LearnBinaryPathQuery(const Graph& graph,
+                                  const PairSample& sample,
+                                  const LearnerOptions& options = {});
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_BINARY_H_

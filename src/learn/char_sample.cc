@@ -1,0 +1,224 @@
+#include "learn/char_sample.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "automata/word.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Shortest (canonical) access word per reachable state, BFS with ascending
+/// symbols.
+std::vector<Word> ShortestAccessWords(const Dfa& dfa) {
+  std::vector<Word> access(dfa.num_states());
+  std::vector<bool> seen(dfa.num_states(), false);
+  std::deque<StateId> queue{dfa.initial_state()};
+  seen[dfa.initial_state()] = true;
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      StateId t = dfa.Next(s, a);
+      if (t == kNoState || seen[t]) continue;
+      seen[t] = true;
+      access[t] = access[s];
+      access[t].push_back(a);
+      queue.push_back(t);
+    }
+  }
+  return access;
+}
+
+/// Shortest word from each state to acceptance (backward BFS); states with
+/// no accepting continuation get no entry (empty optional as flag vector).
+std::vector<std::pair<bool, Word>> ShortestTails(const Dfa& dfa) {
+  const uint32_t n = dfa.num_states();
+  std::vector<std::pair<bool, Word>> tails(n, {false, {}});
+  // Repeated relaxation by increasing tail length (n rounds suffice; DFAs
+  // here are small characteristic targets).
+  for (StateId s = 0; s < n; ++s) {
+    if (dfa.IsAccepting(s)) tails[s] = {true, {}};
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (StateId s = 0; s < n; ++s) {
+      for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+        StateId t = dfa.Next(s, a);
+        if (t == kNoState || !tails[t].first) continue;
+        Word candidate;
+        candidate.reserve(tails[t].second.size() + 1);
+        candidate.push_back(a);
+        candidate.insert(candidate.end(), tails[t].second.begin(),
+                         tails[t].second.end());
+        if (!tails[s].first || CanonicalLess(candidate, tails[s].second)) {
+          tails[s] = {true, std::move(candidate)};
+          changed = true;
+        }
+      }
+    }
+  }
+  return tails;
+}
+
+/// Shortest suffix distinguishing two states of the completed DFA (exists
+/// iff the states are inequivalent; `dfa` must be minimal for that).
+Word DistinguishingSuffix(const Dfa& complete, StateId s1, StateId s2) {
+  struct Entry {
+    StateId a;
+    StateId b;
+    Word word;
+  };
+  std::set<std::pair<StateId, StateId>> visited{{s1, s2}};
+  std::deque<Entry> queue{{s1, s2, {}}};
+  while (!queue.empty()) {
+    Entry current = std::move(queue.front());
+    queue.pop_front();
+    if (complete.IsAccepting(current.a) != complete.IsAccepting(current.b)) {
+      return current.word;
+    }
+    for (Symbol a = 0; a < complete.num_symbols(); ++a) {
+      StateId ta = complete.Next(current.a, a);
+      StateId tb = complete.Next(current.b, a);
+      if (visited.emplace(ta, tb).second) {
+        Word next = current.word;
+        next.push_back(a);
+        queue.push_back(Entry{ta, tb, std::move(next)});
+      }
+    }
+  }
+  RPQ_CHECK(false) << "states are equivalent; target DFA not minimal?";
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+WordSample BuildRpniCharacteristicWords(const Dfa& target_in) {
+  const Dfa target = target_in.Trimmed();
+  const Dfa complete = target.Completed();
+  // After Completed(), the sink (if added) is the last state.
+  const bool has_sink = complete.num_states() != target.num_states();
+  const StateId sink = has_sink ? complete.num_states() - 1 : kNoState;
+
+  std::vector<Word> access = ShortestAccessWords(target);
+  auto tails = ShortestTails(target);
+
+  // Kernel: ε plus every defined one-symbol extension of an access word.
+  struct KernelEntry {
+    Word word;
+    StateId state;  // state in `target` (and `complete`)
+  };
+  std::vector<KernelEntry> kernel;
+  kernel.push_back({Word{}, target.initial_state()});
+  for (StateId s = 0; s < target.num_states(); ++s) {
+    for (Symbol a = 0; a < target.num_symbols(); ++a) {
+      StateId t = target.Next(s, a);
+      if (t == kNoState) continue;
+      Word w = access[s];
+      w.push_back(a);
+      kernel.push_back({std::move(w), t});
+    }
+  }
+
+  std::set<Word, CanonicalWordLess> positive;
+  std::set<Word, CanonicalWordLess> negative;
+
+  // Acceptance extension for every kernel word (all states are live in the
+  // trimmed target).
+  for (const KernelEntry& entry : kernel) {
+    RPQ_CHECK(tails[entry.state].first);
+    Word w = entry.word;
+    const Word& tail = tails[entry.state].second;
+    w.insert(w.end(), tail.begin(), tail.end());
+    positive.insert(std::move(w));
+  }
+
+  // Distinguishing suffixes for every (kernel, access) pair of distinct
+  // states, including the pair (kernel word leading into the implicit sink
+  // behavior is not needed: kernel states are always defined).
+  for (const KernelEntry& entry : kernel) {
+    for (StateId s = 0; s < target.num_states(); ++s) {
+      if (s == entry.state) continue;
+      Word suffix = DistinguishingSuffix(complete, entry.state, s);
+      Word u = entry.word;
+      u.insert(u.end(), suffix.begin(), suffix.end());
+      Word v = access[s];
+      v.insert(v.end(), suffix.begin(), suffix.end());
+      (target.Accepts(u) ? positive : negative).insert(std::move(u));
+      (target.Accepts(v) ? positive : negative).insert(std::move(v));
+    }
+  }
+  (void)sink;
+
+  WordSample sample;
+  sample.positive.assign(positive.begin(), positive.end());
+  sample.negative.assign(negative.begin(), negative.end());
+  return sample;
+}
+
+CharacteristicGraphSample BuildCharacteristicGraph(const Dfa& query_in,
+                                                   const Alphabet& alphabet) {
+  const Dfa query = query_in.Trimmed();
+  RPQ_CHECK_LE(query.num_symbols(), alphabet.size());
+  CharacteristicGraphSample out;
+  GraphBuilder builder;
+  std::vector<Symbol> label_ids;
+  for (Symbol a = 0; a < query.num_symbols(); ++a) {
+    label_ids.push_back(builder.InternLabel(alphabet.Name(a)));
+  }
+
+  if (query.IsAccepting(query.initial_state())) {
+    // ε ∈ L(q): with a prefix-free query this means L(q) = {ε}, which
+    // selects every node; a single unlabeled-positive node is
+    // characteristic.
+    NodeId v = builder.AddNode("pos_eps");
+    out.sample.AddPositive(v);
+    out.graph = builder.Build();
+    return out;
+  }
+
+  WordSample words = BuildRpniCharacteristicWords(query);
+
+  // One chain per positive word; the head is a positive example. Because the
+  // query is prefix-free, the head's unique uncovered path is the word
+  // itself, so the learner's SCP selection recovers exactly `words.positive`.
+  for (size_t i = 0; i < words.positive.size(); ++i) {
+    const Word& p = words.positive[i];
+    NodeId head = builder.AddNode("pos" + std::to_string(i));
+    NodeId current = head;
+    for (Symbol a : p) {
+      NodeId next = builder.AddNode();
+      builder.AddEdge(current, label_ids[a], next);
+      current = next;
+    }
+    out.sample.AddPositive(head);
+  }
+
+  // Negative component: the completed query DFA without its accepting
+  // states. Its path language from the initial state is exactly the words
+  // with no prefix in L(q).
+  const Dfa complete = query.Completed();
+  std::vector<NodeId> state_node(complete.num_states(), 0);
+  for (StateId s = 0; s < complete.num_states(); ++s) {
+    if (complete.IsAccepting(s)) continue;
+    state_node[s] = builder.AddNode("negdfa" + std::to_string(s));
+  }
+  for (StateId s = 0; s < complete.num_states(); ++s) {
+    if (complete.IsAccepting(s)) continue;
+    for (Symbol a = 0; a < complete.num_symbols(); ++a) {
+      StateId t = complete.Next(s, a);
+      if (t == kNoState || complete.IsAccepting(t)) continue;
+      builder.AddEdge(state_node[s], label_ids[a], state_node[t]);
+    }
+  }
+  out.sample.AddNegative(state_node[complete.initial_state()]);
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,42 @@
+#ifndef RPQLEARN_LEARN_CHAR_SAMPLE_H_
+#define RPQLEARN_LEARN_CHAR_SAMPLE_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "learn/rpni.h"
+#include "learn/sample.h"
+
+namespace rpqlearn {
+
+/// RPNI characteristic word sets for `target` (canonical, trimmed DFA):
+/// shortest access strings SP, kernel K = SP·Σ ∩ defined, acceptance
+/// extensions for kernel words, and distinguishing suffixes for every
+/// (kernel, SP) state pair. RPNI run on a superset of these words returns a
+/// DFA language-equal to `target` (Oncina & García 1992; used in the proof
+/// of the paper's Thm. 3.5).
+WordSample BuildRpniCharacteristicWords(const Dfa& target);
+
+/// A graph plus sample that is characteristic for a query (Thm. 3.5).
+struct CharacteristicGraphSample {
+  Graph graph;
+  Sample sample;
+};
+
+/// Builds the characteristic graph of a *prefix-free* canonical query
+/// (the paper's construction, illustrated in Fig. 7):
+///  * one chain per positive characteristic word p, whose head node has
+///    p as its unique SCP;
+///  * one negative node: the initial state of the completed canonical DFA
+///    with accepting states removed, whose path language is exactly the
+///    words with no prefix in L(q) — covering the negative characteristic
+///    words and every smaller non-L-prefixed word (conditions (ii)+(iii)).
+/// `alphabet` provides label names and must have ≥ query.num_symbols()
+/// symbols. For the degenerate query ε the graph is a single positive node.
+CharacteristicGraphSample BuildCharacteristicGraph(const Dfa& query,
+                                                   const Alphabet& alphabet);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_CHAR_SAMPLE_H_

@@ -1,0 +1,41 @@
+#include "learn/consistency.h"
+
+#include "automata/inclusion.h"
+#include "graph/graph_nfa.h"
+#include "learn/coverage.h"
+#include "learn/scp.h"
+
+namespace rpqlearn {
+
+StatusOr<bool> IsSampleConsistent(const Graph& graph, const Sample& sample,
+                                  size_t max_explored) {
+  Nfa negatives = GraphToNfa(graph, sample.negative);
+  for (NodeId v : sample.positive) {
+    Nfa positive = GraphToNfa(graph, {v});
+    StatusOr<InclusionResult> included =
+        CheckLanguageInclusion(positive, negatives, max_explored);
+    if (!included.ok()) return included.status();
+    if (included->included) return false;  // paths(v) ⊆ paths(S−)
+  }
+  return true;
+}
+
+StatusOr<bool> IsSampleConsistentBounded(const Graph& graph,
+                                         const Sample& sample, uint32_t k) {
+  Nfa negatives = GraphToNfa(graph, sample.negative);
+  SubsetCoverage::Options options;
+  options.k = k;
+  StatusOr<SubsetCoverage> coverage =
+      SubsetCoverage::Build(negatives, options);
+  if (!coverage.ok()) return coverage.status();
+  Nfa graph_nfa = GraphToNfa(graph, {});
+  for (NodeId v : sample.positive) {
+    StatusOr<ScpResult> scp =
+        SmallestConsistentPath(graph_nfa, {v}, coverage.value());
+    if (!scp.ok()) return scp.status();
+    if (!scp->path.has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,25 @@
+#ifndef RPQLEARN_LEARN_CONSISTENCY_H_
+#define RPQLEARN_LEARN_CONSISTENCY_H_
+
+#include "graph/graph.h"
+#include "learn/sample.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Exact consistency check via Lemma 3.1: S is consistent iff for every
+/// ν ∈ S+, paths_G(ν) ⊄ paths_G(S−). Each test is an NFA language-inclusion
+/// check — the problem is PSPACE-complete (Lemma 3.2), so the underlying
+/// antichain search is capped and may return ResourceExhausted.
+StatusOr<bool> IsSampleConsistent(const Graph& graph, const Sample& sample,
+                                  size_t max_explored = 500000);
+
+/// Bounded variant used in practice: true iff every positive node has a
+/// consistent path of length ≤ k (a sufficient condition for consistency;
+/// false only means "not witnessed within k").
+StatusOr<bool> IsSampleConsistentBounded(const Graph& graph,
+                                         const Sample& sample, uint32_t k);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_CONSISTENCY_H_

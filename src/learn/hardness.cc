@@ -1,0 +1,184 @@
+#include "learn/hardness.h"
+
+#include <set>
+#include <string>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+HardnessInstance BuildUniversalityReduction(const std::vector<Dfa>& dfas,
+                                            const Alphabet& alphabet) {
+  RPQ_CHECK(!dfas.empty());
+  const uint32_t sigma = dfas[0].num_symbols();
+  for (const Dfa& d : dfas) RPQ_CHECK_EQ(d.num_symbols(), sigma);
+  RPQ_CHECK_LE(sigma, alphabet.size());
+
+  HardnessInstance out;
+  GraphBuilder builder;
+  std::vector<Symbol> base_labels;
+  for (Symbol a = 0; a < sigma; ++a) {
+    base_labels.push_back(builder.InternLabel(alphabet.Name(a)));
+  }
+  Symbol s1 = builder.InternLabel("s1");
+  Symbol s2 = builder.InternLabel("s2");
+
+  // One component per DFA Di: ν_i --s1--> states(D_i); accepting --s2--> ν'_i.
+  for (size_t i = 0; i < dfas.size(); ++i) {
+    const Dfa& d = dfas[i];
+    NodeId entry = builder.AddNode("nu" + std::to_string(i + 1));
+    std::vector<NodeId> state_node(d.num_states());
+    for (StateId s = 0; s < d.num_states(); ++s) {
+      state_node[s] = builder.AddNode();
+    }
+    NodeId exit = builder.AddNode("nu" + std::to_string(i + 1) + "p");
+    for (StateId s = 0; s < d.num_states(); ++s) {
+      for (Symbol a = 0; a < sigma; ++a) {
+        StateId t = d.Next(s, a);
+        if (t != kNoState) {
+          builder.AddEdge(state_node[s], base_labels[a], state_node[t]);
+        }
+      }
+      if (d.IsAccepting(s)) builder.AddEdge(state_node[s], s2, exit);
+    }
+    builder.AddEdge(entry, s1, state_node[d.initial_state()]);
+    out.sample.AddNegative(entry);
+  }
+
+  // G_{n+1}: ν_{n+1} --s1--> u1, u1 loops on Σ (covers every s1·w prefix).
+  {
+    NodeId entry = builder.AddNode("nu_n1");
+    NodeId u1 = builder.AddNode("u1");
+    builder.AddEdge(entry, s1, u1);
+    for (Symbol a : base_labels) builder.AddEdge(u1, a, u1);
+    out.sample.AddNegative(entry);
+  }
+
+  // G_{n+2}: ν_{n+2} --s1--> u2, u2 loops on Σ, u2 --s2--> ν'_{n+2};
+  // the positive example, whose paths are s1·Σ*·(ε + s2).
+  {
+    NodeId entry = builder.AddNode("nu_n2");
+    NodeId u2 = builder.AddNode("u2");
+    NodeId exit = builder.AddNode("nu_n2p");
+    builder.AddEdge(entry, s1, u2);
+    for (Symbol a : base_labels) builder.AddEdge(u2, a, u2);
+    builder.AddEdge(u2, s2, exit);
+    out.sample.AddPositive(entry);
+  }
+
+  out.graph = builder.Build();
+  return out;
+}
+
+HardnessInstance Build3SatReduction(const std::vector<Clause3>& clauses,
+                                    int num_variables) {
+  RPQ_CHECK(!clauses.empty());
+  const size_t k = clauses.size();
+  HardnessInstance out;
+  GraphBuilder builder;
+
+  Symbol s1 = builder.InternLabel("s1");
+  Symbol s2 = builder.InternLabel("s2");
+  // a_{ij}: label of the j-th literal of clause i.
+  std::vector<std::array<Symbol, 3>> lit_label(k);
+  for (size_t i = 0; i < k; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      lit_label[i][j] = builder.InternLabel(
+          "a" + std::to_string(i + 1) + std::to_string(j + 1));
+    }
+  }
+  std::vector<Symbol> all_symbols;
+  all_symbols.push_back(s1);
+  all_symbols.push_back(s2);
+  for (const auto& labels : lit_label) {
+    for (Symbol a : labels) all_symbols.push_back(a);
+  }
+
+  // T_i / F_i: labels of positive / negative occurrences of variable x_i.
+  std::vector<std::set<Symbol>> pos_labels(num_variables);
+  std::vector<std::set<Symbol>> neg_labels(num_variables);
+  for (size_t i = 0; i < k; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      int lit = clauses[i].literals[j];
+      RPQ_CHECK_NE(lit, 0);
+      int var = std::abs(lit) - 1;
+      RPQ_CHECK_LT(var, num_variables);
+      (lit > 0 ? pos_labels : neg_labels)[var].insert(lit_label[i][j]);
+    }
+  }
+
+  // G_{φ+}: the positive chain ν_{φ+} --s1--> u1 --a_{1j}--> u2 ... --s2-->.
+  {
+    NodeId entry = builder.AddNode("phi_pos");
+    std::vector<NodeId> u(k + 1);
+    for (size_t i = 0; i <= k; ++i) {
+      u[i] = builder.AddNode("up" + std::to_string(i + 1));
+    }
+    NodeId exit = builder.AddNode("phi_pos_exit");
+    builder.AddEdge(entry, s1, u[0]);
+    for (size_t i = 0; i < k; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        builder.AddEdge(u[i], lit_label[i][j], u[i + 1]);
+      }
+    }
+    builder.AddEdge(u[k], s2, exit);
+    out.sample.AddPositive(entry);
+  }
+
+  // G_{φ−}: same chain without the trailing s2 — forces consistent queries
+  // to end with s2.
+  {
+    NodeId entry = builder.AddNode("phi_neg");
+    std::vector<NodeId> u(k + 1);
+    for (size_t i = 0; i <= k; ++i) {
+      u[i] = builder.AddNode("un" + std::to_string(i + 1));
+    }
+    builder.AddEdge(entry, s1, u[0]);
+    for (size_t i = 0; i < k; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        builder.AddEdge(u[i], lit_label[i][j], u[i + 1]);
+      }
+    }
+    out.sample.AddNegative(entry);
+  }
+
+  // G_i per variable appearing in both polarities: covers every s1·w·s2
+  // whose label set uses both a positive and a negative literal of x_i.
+  for (int var = 0; var < num_variables; ++var) {
+    const auto& ti = pos_labels[var];
+    const auto& fi = neg_labels[var];
+    if (ti.empty() || fi.empty()) continue;
+    NodeId n1 = builder.AddNode("x" + std::to_string(var + 1) + "_1");
+    NodeId n2 = builder.AddNode("x" + std::to_string(var + 1) + "_2");
+    NodeId n3 = builder.AddNode("x" + std::to_string(var + 1) + "_3");
+    NodeId n4 = builder.AddNode("x" + std::to_string(var + 1) + "_4");
+    NodeId n5 = builder.AddNode("x" + std::to_string(var + 1) + "_5");
+    builder.AddEdge(n1, s1, n2);
+    for (Symbol a : all_symbols) {
+      if (a != s2 && ti.count(a) == 0 && fi.count(a) == 0) {
+        builder.AddEdge(n2, a, n2);
+      }
+      if (a != s2 && ti.count(a) == 0) {
+        builder.AddEdge(n3, a, n3);
+      }
+      if (a != s2 && fi.count(a) == 0) {
+        builder.AddEdge(n4, a, n4);
+      }
+      builder.AddEdge(n5, a, n5);
+    }
+    for (Symbol a : fi) {
+      builder.AddEdge(n2, a, n3);
+      builder.AddEdge(n4, a, n5);
+    }
+    for (Symbol a : ti) {
+      builder.AddEdge(n2, a, n4);
+      builder.AddEdge(n3, a, n5);
+    }
+    out.sample.AddNegative(n1);
+  }
+
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,42 @@
+#ifndef RPQLEARN_LEARN_HARDNESS_H_
+#define RPQLEARN_LEARN_HARDNESS_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "learn/sample.h"
+
+namespace rpqlearn {
+
+/// A graph-plus-sample instance produced by a hardness reduction.
+struct HardnessInstance {
+  Graph graph;
+  Sample sample;
+};
+
+/// The paper's Lemma 3.2 construction (Fig. 13): given DFAs D1..Dn over a
+/// common alphabet Σ (symbols 0..m-1), builds a graph over Σ ∪ {s1, s2}
+/// and a sample that is *consistent iff ∪ L(Di) ≠ Σ**. Since universality
+/// of a DFA union is PSPACE-complete, so is consistency checking. The
+/// returned graph names the fresh symbols "s1" and "s2"; input labels are
+/// named via `alphabet`.
+HardnessInstance BuildUniversalityReduction(const std::vector<Dfa>& dfas,
+                                            const Alphabet& alphabet);
+
+/// One 3-CNF clause; literals are ±(variable index + 1), e.g. {1, -2, 3}.
+struct Clause3 {
+  int literals[3];
+};
+
+/// The paper's Lemma 3.3 construction (Fig. 14): given a 3-CNF formula,
+/// builds a graph and sample such that a consistent query of the form
+/// a1·...·an (pairwise distinct symbols) exists iff the formula is
+/// satisfiable — and on these instances plain consistency coincides with
+/// satisfiability, so IsSampleConsistent decides SAT on them.
+HardnessInstance Build3SatReduction(const std::vector<Clause3>& clauses,
+                                    int num_variables);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_HARDNESS_H_

@@ -1,0 +1,74 @@
+#ifndef RPQLEARN_LEARN_INCREMENTAL_H_
+#define RPQLEARN_LEARN_INCREMENTAL_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "learn/coverage.h"
+#include "learn/learner.h"
+#include "learn/sample.h"
+
+namespace rpqlearn {
+
+/// Incremental version of Algorithm 1 for the interactive loop (Sec. 4),
+/// where one label arrives per round and the learner reruns every time.
+/// Two facts make caching sound:
+///
+///  * Adding examples only ever *grows* paths_G(S−), i.e. shrinks the set
+///    of uncovered words. A cached SCP that is still uncovered therefore
+///    remains the canonically-least uncovered path; and a positive that had
+///    no SCP within k gains none. Only SCPs that become covered must be
+///    recomputed.
+///  * The coverage automaton and negative NFA depend only on S− (for a given
+///    k), so positive labels reuse them unchanged.
+///
+/// Produces byte-identical results to LearnPathQuery at the same k.
+class IncrementalLearner {
+ public:
+  IncrementalLearner(const Graph& graph, LearnerOptions options);
+
+  void AddPositive(NodeId v);
+  void AddNegative(NodeId v);
+
+  const Sample& sample() const { return sample_; }
+
+  /// Runs Algorithm 1 at exactly SCP bound `k`, reusing cached coverage and
+  /// SCPs where valid.
+  LearnOutcome LearnAtK(uint32_t k);
+
+  /// Dynamic-k variant mirroring LearnPathQuery: sweeps k from options.k to
+  /// options.max_k until a query is returned.
+  LearnOutcome Learn();
+
+  /// The coverage automaton for the current negatives at `k` (built on
+  /// demand and cached). Lets the interactive session share it with the
+  /// informativeness computation. Null on resource exhaustion.
+  const SubsetCoverage* CoverageAtK(uint32_t k);
+
+ private:
+  struct KState {
+    std::optional<SubsetCoverage> coverage;
+    /// Number of negatives the coverage was built for.
+    size_t built_for_negatives = 0;
+    /// Cached SCP per positive node (nullopt = proven absent within k).
+    std::unordered_map<NodeId, std::optional<Word>> scp;
+    /// True when the coverage build hit the state cap at this k.
+    bool exhausted = false;
+  };
+
+  /// Ensures state.coverage matches the current negatives.
+  void RefreshCoverage(uint32_t k, KState* state);
+
+  const Graph& graph_;
+  LearnerOptions options_;
+  Sample sample_;
+  Nfa graph_nfa_;     ///< whole graph, no initial states (shared by SCPs)
+  Nfa negative_nfa_;  ///< rebuilt when a negative arrives
+  std::map<uint32_t, KState> per_k_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_INCREMENTAL_H_

@@ -1,0 +1,102 @@
+#include "learn/learner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "automata/minimize.h"
+#include "automata/ops.h"
+#include "automata/prefix_free.h"
+#include "automata/pta.h"
+#include "graph/graph_nfa.h"
+#include "learn/coverage.h"
+#include "learn/rpni.h"
+#include "learn/scp.h"
+#include "query/eval.h"
+
+namespace rpqlearn {
+namespace {
+
+/// One pass of Algorithm 1 with a fixed k. Returns is_null on abstain.
+LearnOutcome LearnWithFixedK(const Graph& graph, const Sample& sample,
+                             const LearnerOptions& options, uint32_t k,
+                             const Nfa& graph_nfa_all,
+                             const Nfa& negative_nfa) {
+  LearnOutcome outcome;
+  outcome.stats.k_used = k;
+
+  SubsetCoverage::Options cov_options;
+  cov_options.k = k;
+  cov_options.max_states = options.coverage_state_cap;
+  StatusOr<SubsetCoverage> coverage =
+      SubsetCoverage::Build(negative_nfa, cov_options);
+  if (!coverage.ok()) return outcome;  // resource cap: abstain
+
+  // Lines 1-2: the set P of smallest consistent paths, deduplicated. The
+  // graph NFA is shared across positives; only the initial set varies.
+  std::set<Word, CanonicalWordLess> scp_words;
+  for (NodeId v : sample.positive) {
+    StatusOr<ScpResult> scp =
+        SmallestConsistentPath(graph_nfa_all, {v}, coverage.value(),
+                               options.scp_expansion_cap);
+    if (!scp.ok()) return outcome;  // expansion cap: abstain
+    if (scp->path.has_value()) {
+      ++outcome.stats.positives_with_scp;
+      scp_words.insert(*scp->path);
+    }
+  }
+  outcome.stats.num_scps = scp_words.size();
+
+  // Line 3: prefix tree acceptor of the SCPs.
+  std::vector<Word> words(scp_words.begin(), scp_words.end());
+  Dfa pta = BuildPta(words, graph.num_symbols());
+  outcome.stats.pta_states = pta.num_states();
+
+  // Lines 4-5: generalization by state merging while no negative node is
+  // covered, i.e. while L(A) ∩ paths_G(S−) = ∅ (PTIME product emptiness).
+  Dfa hypothesis = pta;
+  if (options.generalize && !words.empty()) {
+    RpniStats rpni_stats;
+    auto consistent = [&negative_nfa](const Dfa& candidate) {
+      return IntersectionIsEmpty(candidate.ToNfa(), negative_nfa);
+    };
+    hypothesis = RpniGeneralize(pta, consistent, &rpni_stats);
+    outcome.stats.merges_attempted = rpni_stats.merges_attempted;
+    outcome.stats.merges_accepted = rpni_stats.merges_accepted;
+  }
+
+  // Lines 6-7: the query must select every positive node (not only those
+  // whose SCPs built the PTA).
+  BitVector selected = EvalMonadic(graph, hypothesis);
+  for (NodeId v : sample.positive) {
+    if (!selected.Test(v)) return outcome;  // abstain
+  }
+  // Defensive re-check of consistency on the negative side (guaranteed by
+  // construction, cheap to verify).
+  for (NodeId v : sample.negative) {
+    if (selected.Test(v)) return outcome;
+  }
+
+  outcome.is_null = false;
+  outcome.query = MakePrefixFree(Canonicalize(hypothesis));
+  return outcome;
+}
+
+}  // namespace
+
+LearnOutcome LearnPathQuery(const Graph& graph, const Sample& sample,
+                            const LearnerOptions& options) {
+  Nfa graph_nfa_all = GraphToNfa(graph, {});
+  Nfa negative_nfa = GraphToNfa(graph, sample.negative);
+
+  uint32_t final_k = options.auto_k ? std::max(options.max_k, options.k)
+                                    : options.k;
+  LearnOutcome last;
+  for (uint32_t k = options.k; k <= final_k; ++k) {
+    last = LearnWithFixedK(graph, sample, options, k, graph_nfa_all,
+                           negative_nfa);
+    if (!last.is_null) return last;
+  }
+  return last;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,43 @@
+#include "learn/nary.h"
+
+#include "learn/binary.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+NaryOutcome LearnNaryPathQuery(const Graph& graph, const TupleSample& sample,
+                               const LearnerOptions& options) {
+  NaryOutcome outcome;
+  size_t arity = 0;
+  for (const auto& t : sample.positive) {
+    if (arity == 0) arity = t.size();
+    RPQ_CHECK_EQ(t.size(), arity);
+  }
+  for (const auto& t : sample.negative) {
+    if (arity == 0) arity = t.size();
+    RPQ_CHECK_EQ(t.size(), arity);
+  }
+  if (arity < 2) return outcome;
+
+  for (size_t i = 0; i + 1 < arity; ++i) {
+    PairSample pairs;
+    for (const auto& t : sample.positive) {
+      pairs.positive.emplace_back(t[i], t[i + 1]);
+    }
+    for (const auto& t : sample.negative) {
+      pairs.negative.emplace_back(t[i], t[i + 1]);
+    }
+    LearnOutcome learned = LearnBinaryPathQuery(graph, pairs, options);
+    if (learned.is_null) {
+      outcome.is_null = true;
+      outcome.queries.clear();
+      return outcome;
+    }
+    outcome.queries.push_back(std::move(learned.query));
+    outcome.stats.push_back(learned.stats);
+  }
+  outcome.is_null = false;
+  return outcome;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,30 @@
+#ifndef RPQLEARN_LEARN_NARY_H_
+#define RPQLEARN_LEARN_NARY_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "learn/learner.h"
+#include "learn/sample.h"
+
+namespace rpqlearn {
+
+/// Outcome of n-ary learning: one query per tuple position pair.
+struct NaryOutcome {
+  bool is_null = true;
+  /// The learned queries (q1..q(n-1)); only meaningful when !is_null.
+  std::vector<Dfa> queries;
+  std::vector<LearnerStats> stats;
+};
+
+/// Algorithm 3 (Appendix B): learning an n-ary path query by projecting
+/// every example tuple onto its consecutive pairs and running the binary
+/// learner (Algorithm 2) per position, abstaining if any position abstains.
+/// All tuples must share the same arity ≥ 2.
+NaryOutcome LearnNaryPathQuery(const Graph& graph, const TupleSample& sample,
+                               const LearnerOptions& options = {});
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_NARY_H_

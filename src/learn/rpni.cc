@@ -1,0 +1,78 @@
+#include "learn/rpni.h"
+
+#include <algorithm>
+#include <set>
+
+#include "automata/fold.h"
+#include "automata/pta.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+Dfa RpniGeneralize(const Dfa& pta,
+                   const std::function<bool(const Dfa&)>& is_consistent,
+                   RpniStats* stats) {
+  RpniStats local_stats;
+  Dfa current = pta;
+  std::set<StateId> red{current.initial_state()};
+
+  while (true) {
+    // Blue states: successors of red states that are not themselves red.
+    // State ids follow canonical access-word order (PTA numbering is
+    // preserved by FoldMerge's BFS renumbering), so min = canonical least.
+    std::set<StateId> blue;
+    for (StateId r : red) {
+      for (Symbol a = 0; a < current.num_symbols(); ++a) {
+        StateId t = current.Next(r, a);
+        if (t != kNoState && red.count(t) == 0) blue.insert(t);
+      }
+    }
+    if (blue.empty()) break;
+    StateId b = *blue.begin();
+
+    bool merged = false;
+    for (StateId r : red) {
+      ++local_stats.merges_attempted;
+      FoldResult candidate = FoldMerge(current, r, b);
+      if (is_consistent(candidate.dfa)) {
+        ++local_stats.merges_accepted;
+        // Remap red ids into the renumbered quotient.
+        std::set<StateId> new_red;
+        for (StateId old_r : red) {
+          StateId mapped = candidate.old_to_new[old_r];
+          RPQ_CHECK(mapped != kNoState);
+          new_red.insert(mapped);
+        }
+        red = std::move(new_red);
+        current = std::move(candidate.dfa);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      ++local_stats.promotions;
+      red.insert(b);
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return current;
+}
+
+StatusOr<Dfa> RpniLearnWords(const WordSample& sample, uint32_t num_symbols) {
+  Dfa pta = BuildPta(sample.positive, num_symbols);
+  for (const Word& w : sample.negative) {
+    if (pta.Accepts(w)) {
+      return Status::InvalidArgument(
+          "inconsistent word sample: a negative word is also positive");
+    }
+  }
+  auto consistent = [&sample](const Dfa& candidate) {
+    for (const Word& w : sample.negative) {
+      if (candidate.Accepts(w)) return false;
+    }
+    return true;
+  };
+  return RpniGeneralize(pta, consistent);
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,46 @@
+#ifndef RPQLEARN_LEARN_RPNI_H_
+#define RPQLEARN_LEARN_RPNI_H_
+
+#include <functional>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/word.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Counters reported by the generalization loop.
+struct RpniStats {
+  size_t merges_attempted = 0;
+  size_t merges_accepted = 0;
+  size_t promotions = 0;
+};
+
+/// RPNI-style red–blue generalization (Oncina & García; lines 4–5 of the
+/// paper's Algorithm 1). Starting from `pta`, repeatedly merge the
+/// canonically-least unmerged ("blue") state into the least compatible
+/// consolidated ("red") state, keeping a merge iff `is_consistent` approves
+/// the folded automaton; otherwise promote the blue state to red. The
+/// callback encodes the negative information: for word samples it is "no
+/// negative word accepted", for the graph learner it is
+/// "L(A) ∩ paths_G(S−) = ∅".
+Dfa RpniGeneralize(const Dfa& pta,
+                   const std::function<bool(const Dfa&)>& is_consistent,
+                   RpniStats* stats = nullptr);
+
+/// A set of positive and negative word examples for classic RPNI.
+struct WordSample {
+  std::vector<Word> positive;
+  std::vector<Word> negative;
+};
+
+/// Classic RPNI on words: PTA of the positives, generalized while no
+/// negative word is accepted. Returns InvalidArgument if a word is both
+/// positive and negative. This is the algorithm whose characteristic sets
+/// drive the paper's learnability proof (Thm. 3.5).
+StatusOr<Dfa> RpniLearnWords(const WordSample& sample, uint32_t num_symbols);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_RPNI_H_

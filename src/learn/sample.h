@@ -1,0 +1,61 @@
+#ifndef RPQLEARN_LEARN_SAMPLE_H_
+#define RPQLEARN_LEARN_SAMPLE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bit_vector.h"
+
+namespace rpqlearn {
+
+/// A set of labeled node examples (Sec. 3.1): S+ are nodes the user wants in
+/// the query result, S− nodes she rejects.
+struct Sample {
+  std::vector<NodeId> positive;
+  std::vector<NodeId> negative;
+
+  void AddPositive(NodeId v) { positive.push_back(v); }
+  void AddNegative(NodeId v) { negative.push_back(v); }
+
+  bool IsLabeled(NodeId v) const {
+    return std::find(positive.begin(), positive.end(), v) !=
+               positive.end() ||
+           std::find(negative.begin(), negative.end(), v) != negative.end();
+  }
+
+  size_t size() const { return positive.size() + negative.size(); }
+  bool empty() const { return positive.empty() && negative.empty(); }
+
+  /// Labels `nodes` according to the goal query's result set — the
+  /// simulated-user protocol of the paper's experiments (Sec. 5.2).
+  static Sample FromGoal(const BitVector& goal,
+                         const std::vector<NodeId>& nodes) {
+    Sample s;
+    for (NodeId v : nodes) {
+      if (goal.Test(v)) {
+        s.AddPositive(v);
+      } else {
+        s.AddNegative(v);
+      }
+    }
+    return s;
+  }
+};
+
+/// A sample of node pairs for binary semantics (Appendix B).
+struct PairSample {
+  std::vector<std::pair<NodeId, NodeId>> positive;
+  std::vector<std::pair<NodeId, NodeId>> negative;
+};
+
+/// A sample of node tuples for n-ary semantics (Appendix B). All tuples
+/// must have the same arity n ≥ 2.
+struct TupleSample {
+  std::vector<std::vector<NodeId>> positive;
+  std::vector<std::vector<NodeId>> negative;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_SAMPLE_H_

@@ -1,0 +1,73 @@
+#include "learn/scp.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+StatusOr<ScpResult> SmallestConsistentPath(const Nfa& positive,
+                                           const std::vector<StateId>& initial,
+                                           const SubsetCoverage& coverage,
+                                           size_t max_expansions) {
+  RPQ_CHECK(!positive.has_epsilon_transitions());
+  RPQ_CHECK_EQ(positive.num_symbols(), coverage.num_symbols());
+  const uint32_t k = coverage.k();
+
+  struct Entry {
+    std::vector<StateId> pos_subset;  // sorted, non-empty
+    StateId cov_state;
+    Word word;
+  };
+
+  ScpResult result;
+  std::vector<StateId> start = initial;
+  std::sort(start.begin(), start.end());
+  start.erase(std::unique(start.begin(), start.end()), start.end());
+  if (start.empty()) return result;  // no paths at all
+
+  auto is_goal = [&](const std::vector<StateId>& pos, StateId cov) {
+    return positive.ContainsAccepting(pos) && !coverage.IsCovering(cov);
+  };
+
+  if (is_goal(start, coverage.initial())) {
+    result.path = Word{};
+    return result;
+  }
+
+  std::set<std::pair<std::vector<StateId>, StateId>> visited;
+  std::deque<Entry> queue;
+  visited.emplace(start, coverage.initial());
+  queue.push_back(Entry{std::move(start), coverage.initial(), Word{}});
+
+  while (!queue.empty()) {
+    Entry current = std::move(queue.front());
+    queue.pop_front();
+    if (current.word.size() >= k) continue;
+    if (++result.expansions > max_expansions) {
+      return Status::ResourceExhausted("SCP search exceeded expansion cap");
+    }
+    for (Symbol a = 0; a < positive.num_symbols(); ++a) {
+      std::vector<StateId> next_pos = positive.Step(current.pos_subset, a);
+      if (next_pos.empty()) continue;  // no matching graph path
+      StateId next_cov = coverage.Next(current.cov_state, a);
+      Word next_word = current.word;
+      next_word.push_back(a);
+      if (is_goal(next_pos, next_cov)) {
+        result.path = std::move(next_word);
+        return result;
+      }
+      auto key = std::make_pair(std::move(next_pos), next_cov);
+      if (visited.insert(key).second) {
+        queue.push_back(
+            Entry{std::move(key.first), next_cov, std::move(next_word)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rpqlearn

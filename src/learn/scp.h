@@ -1,0 +1,43 @@
+#ifndef RPQLEARN_LEARN_SCP_H_
+#define RPQLEARN_LEARN_SCP_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/nfa.h"
+#include "learn/coverage.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Result of a smallest-consistent-path search.
+struct ScpResult {
+  /// The smallest (canonical order) consistent path of length ≤ k, or
+  /// nullopt if none exists within the bound.
+  std::optional<Word> path;
+  /// Number of product states expanded (for diagnostics/benches).
+  size_t expansions = 0;
+};
+
+/// Finds the smallest consistent path (lines 1–2 of the paper's
+/// Algorithm 1): the canonically-least word `w` with |w| ≤ k such that
+///  * the positive automaton accepts `w` (for the monadic learner this is
+///    the graph NFA with initial {ν} and all states accepting, i.e.
+///    `w ∈ paths_G(ν)`), and
+///  * `w` is not covered by the negatives (`coverage` does not accept it).
+///
+/// Implemented as a canonical-order BFS over pairs (subset of positive NFA
+/// states, coverage state), memoized on the pair: BFS with ascending-symbol
+/// expansion reaches each pair first via its canonically-least word, so
+/// pruning revisits preserves minimality. `positive` must be ε-free and its
+/// alphabet width must match `coverage`. `initial` overrides the positive
+/// automaton's own initial set, so one shared graph NFA serves every
+/// positive example.
+StatusOr<ScpResult> SmallestConsistentPath(const Nfa& positive,
+                                           const std::vector<StateId>& initial,
+                                           const SubsetCoverage& coverage,
+                                           size_t max_expansions = 4000000);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_LEARN_SCP_H_

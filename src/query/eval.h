@@ -1,0 +1,45 @@
+#ifndef RPQLEARN_QUERY_EVAL_H_
+#define RPQLEARN_QUERY_EVAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "util/bit_vector.h"
+
+namespace rpqlearn {
+
+/// Monadic evaluation q(G) = {ν | L(q) ∩ paths_G(ν) ≠ ∅} (Sec. 2).
+/// Backward reachability on the product G × DFA from all accepting pairs;
+/// O(|E|·|Q|) time, O(|V|·|Q|) space. The query DFA may be partial.
+BitVector EvalMonadic(const Graph& graph, const Dfa& query);
+
+/// Like EvalMonadic but only counts witness paths of length ≤ max_length.
+/// Used by the interactive loop's bounded checks.
+BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
+                             uint32_t max_length);
+
+/// True iff ν ∈ q(G); forward product search from (node, q0).
+bool SelectsNode(const Graph& graph, const Dfa& query, NodeId node);
+
+/// Binary semantics (Appendix B): all ν' with a path from `src` to ν'
+/// spelling a word of L(q); forward product reachability from (src, q0).
+BitVector EvalBinaryFrom(const Graph& graph, const Dfa& query, NodeId src);
+
+/// True iff (src, dst) is selected under binary semantics.
+bool SelectsPair(const Graph& graph, const Dfa& query, NodeId src, NodeId dst);
+
+/// Full binary result as (src, dst) pairs. O(|V|·|E|·|Q|) — small graphs.
+std::vector<std::pair<NodeId, NodeId>> EvalBinary(const Graph& graph,
+                                                  const Dfa& query);
+
+/// N-ary semantics (Appendix B): a tuple (ν1..νn) is selected by
+/// Q = (q1..q(n-1)) iff every consecutive pair (νi, νi+1) is selected by qi
+/// under binary semantics. `tuple.size()` must equal `queries.size() + 1`.
+bool SelectsTuple(const Graph& graph, const std::vector<Dfa>& queries,
+                  const std::vector<NodeId>& tuple);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_QUERY_EVAL_H_

@@ -1,0 +1,38 @@
+#include "query/metrics.h"
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+ClassifierMetrics ComputeMetrics(const BitVector& predicted,
+                                 const BitVector& truth) {
+  RPQ_CHECK_EQ(predicted.size(), truth.size());
+  ClassifierMetrics m;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    bool p = predicted.Test(i);
+    bool t = truth.Test(i);
+    if (p && t) {
+      ++m.true_positives;
+    } else if (p && !t) {
+      ++m.false_positives;
+    } else if (!p && t) {
+      ++m.false_negatives;
+    } else {
+      ++m.true_negatives;
+    }
+  }
+  size_t predicted_pos = m.true_positives + m.false_positives;
+  size_t actual_pos = m.true_positives + m.false_negatives;
+  m.precision = predicted_pos == 0
+                    ? (actual_pos == 0 ? 1.0 : 0.0)
+                    : static_cast<double>(m.true_positives) / predicted_pos;
+  m.recall = actual_pos == 0
+                 ? 1.0
+                 : static_cast<double>(m.true_positives) / actual_pos;
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+}  // namespace rpqlearn

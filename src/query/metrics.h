@@ -1,0 +1,27 @@
+#ifndef RPQLEARN_QUERY_METRICS_H_
+#define RPQLEARN_QUERY_METRICS_H_
+
+#include "util/bit_vector.h"
+
+namespace rpqlearn {
+
+/// Binary-classifier quality of a learned query against the goal query,
+/// measured on the node sets they select (the paper's F1 score, Sec. 5.2).
+struct ClassifierMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t true_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Compares `predicted` against `truth` (same size). Conventions: empty
+/// truth and empty prediction give precision = recall = F1 = 1.
+ClassifierMetrics ComputeMetrics(const BitVector& predicted,
+                                 const BitVector& truth);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_QUERY_METRICS_H_

@@ -1,0 +1,37 @@
+#include "query/path_query.h"
+
+#include "automata/minimize.h"
+#include "automata/prefix_free.h"
+#include "regex/from_dfa.h"
+#include "regex/parser.h"
+#include "regex/printer.h"
+#include "regex/to_nfa.h"
+
+namespace rpqlearn {
+
+StatusOr<PathQuery> PathQuery::Parse(std::string_view regex,
+                                     Alphabet* alphabet,
+                                     uint32_t num_symbols) {
+  StatusOr<RegexPtr> ast = ParseRegex(regex, alphabet);
+  if (!ast.ok()) return ast.status();
+  if (alphabet->size() > num_symbols) {
+    return Status::InvalidArgument(
+        "regex uses symbols outside the graph alphabet: " +
+        std::string(regex));
+  }
+  return PathQuery(RegexToCanonicalDfa(ast.value(), num_symbols));
+}
+
+PathQuery PathQuery::FromDfa(const Dfa& dfa) {
+  return PathQuery(Canonicalize(dfa));
+}
+
+PathQuery PathQuery::PrefixFree() const {
+  return PathQuery(MakePrefixFree(dfa_));
+}
+
+std::string PathQuery::ToRegexString(const Alphabet& alphabet) const {
+  return RegexToString(DfaToRegex(dfa_), alphabet);
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,50 @@
+#ifndef RPQLEARN_QUERY_PATH_QUERY_H_
+#define RPQLEARN_QUERY_PATH_QUERY_H_
+
+#include <string>
+#include <string_view>
+
+#include "automata/alphabet.h"
+#include "automata/dfa.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// A monadic path query (the paper's `pq` class): a regular language over
+/// edge labels represented by its canonical DFA. `q(G)` is the set of nodes
+/// with at least one outgoing path spelling a word of the language.
+class PathQuery {
+ public:
+  /// Parses a regex (e.g. "(tram+bus)*.cinema") against `alphabet`,
+  /// interning new symbols, and canonicalizes it. `num_symbols` fixes the
+  /// automaton width so queries from the same graph stay compatible; pass
+  /// the graph's alphabet size (symbols beyond it are rejected).
+  static StatusOr<PathQuery> Parse(std::string_view regex, Alphabet* alphabet,
+                                   uint32_t num_symbols);
+
+  /// Wraps an existing DFA; canonicalizes it.
+  static PathQuery FromDfa(const Dfa& dfa);
+
+  /// Canonical DFA; the paper defines query size = its number of states.
+  const Dfa& dfa() const { return dfa_; }
+  uint32_t size() const { return dfa_.num_states(); }
+
+  /// The unique equivalent prefix-free query (Sec. 2); two queries select
+  /// identical node sets on every graph iff their prefix-free forms are
+  /// language-equal.
+  PathQuery PrefixFree() const;
+
+  /// True iff L(q) = ∅ (selects no node on any graph).
+  bool IsEmpty() const { return dfa_.IsEmptyLanguage(); }
+
+  /// A regex rendering of the query via DFA state elimination.
+  std::string ToRegexString(const Alphabet& alphabet) const;
+
+ private:
+  explicit PathQuery(Dfa dfa) : dfa_(std::move(dfa)) {}
+  Dfa dfa_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_QUERY_PATH_QUERY_H_

@@ -1,0 +1,131 @@
+#include "regex/ast.h"
+
+#include <algorithm>
+
+namespace rpqlearn {
+namespace {
+
+RegexPtr MakeNode(RegexKind kind, Symbol symbol,
+                  std::vector<RegexPtr> children) {
+  auto node = std::make_shared<RegexNode>();
+  node->kind = kind;
+  node->symbol = symbol;
+  node->children = std::move(children);
+  return node;
+}
+
+bool IsKind(const RegexPtr& r, RegexKind kind) {
+  return r != nullptr && r->kind == kind;
+}
+
+}  // namespace
+
+RegexPtr MakeEmptySet() {
+  static const RegexPtr instance = MakeNode(RegexKind::kEmptySet, 0, {});
+  return instance;
+}
+
+RegexPtr MakeEpsilon() {
+  static const RegexPtr instance = MakeNode(RegexKind::kEpsilon, 0, {});
+  return instance;
+}
+
+RegexPtr MakeSymbol(Symbol symbol) {
+  return MakeNode(RegexKind::kSymbol, symbol, {});
+}
+
+RegexPtr MakeConcat(RegexPtr left, RegexPtr right) {
+  if (IsKind(left, RegexKind::kEmptySet) ||
+      IsKind(right, RegexKind::kEmptySet)) {
+    return MakeEmptySet();
+  }
+  if (IsKind(left, RegexKind::kEpsilon)) return right;
+  if (IsKind(right, RegexKind::kEpsilon)) return left;
+  std::vector<RegexPtr> children;
+  if (IsKind(left, RegexKind::kConcat)) {
+    children = left->children;
+  } else {
+    children.push_back(std::move(left));
+  }
+  if (IsKind(right, RegexKind::kConcat)) {
+    children.insert(children.end(), right->children.begin(),
+                    right->children.end());
+  } else {
+    children.push_back(std::move(right));
+  }
+  return MakeNode(RegexKind::kConcat, 0, std::move(children));
+}
+
+RegexPtr MakeUnion(RegexPtr left, RegexPtr right) {
+  if (IsKind(left, RegexKind::kEmptySet)) return right;
+  if (IsKind(right, RegexKind::kEmptySet)) return left;
+  std::vector<RegexPtr> children;
+  if (IsKind(left, RegexKind::kUnion)) {
+    children = left->children;
+  } else {
+    children.push_back(std::move(left));
+  }
+  if (IsKind(right, RegexKind::kUnion)) {
+    children.insert(children.end(), right->children.begin(),
+                    right->children.end());
+  } else {
+    children.push_back(std::move(right));
+  }
+  // Collapse structural duplicates to keep unions readable.
+  std::vector<RegexPtr> unique;
+  for (const RegexPtr& child : children) {
+    bool duplicate = false;
+    for (const RegexPtr& kept : unique) {
+      if (RegexEquals(child, kept)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) unique.push_back(child);
+  }
+  if (unique.size() == 1) return unique[0];
+  return MakeNode(RegexKind::kUnion, 0, std::move(unique));
+}
+
+RegexPtr MakeStar(RegexPtr inner) {
+  if (IsKind(inner, RegexKind::kEmptySet) ||
+      IsKind(inner, RegexKind::kEpsilon)) {
+    return MakeEpsilon();
+  }
+  if (IsKind(inner, RegexKind::kStar)) return inner;
+  return MakeNode(RegexKind::kStar, 0, {std::move(inner)});
+}
+
+RegexPtr MakeConcatAll(const std::vector<RegexPtr>& parts) {
+  RegexPtr result = MakeEpsilon();
+  for (const RegexPtr& part : parts) result = MakeConcat(result, part);
+  return result;
+}
+
+RegexPtr MakeUnionAll(const std::vector<RegexPtr>& parts) {
+  RegexPtr result = MakeEmptySet();
+  for (const RegexPtr& part : parts) result = MakeUnion(result, part);
+  return result;
+}
+
+size_t RegexNodeCount(const RegexPtr& regex) {
+  if (regex == nullptr) return 0;
+  size_t total = 1;
+  for (const RegexPtr& child : regex->children) {
+    total += RegexNodeCount(child);
+  }
+  return total;
+}
+
+bool RegexEquals(const RegexPtr& a, const RegexPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind || a->symbol != b->symbol) return false;
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!RegexEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,60 @@
+#ifndef RPQLEARN_REGEX_AST_H_
+#define RPQLEARN_REGEX_AST_H_
+
+#include <memory>
+#include <vector>
+
+#include "automata/alphabet.h"
+
+namespace rpqlearn {
+
+/// Node kinds of the regular-expression grammar from Sec. 2 of the paper:
+/// q := ε | a | q1 + q2 | q1 · q2 | q*  (plus ∅ for internal use by the
+/// DFA→regex converter).
+enum class RegexKind {
+  kEmptySet,  ///< ∅ — matches nothing
+  kEpsilon,   ///< ε
+  kSymbol,    ///< a ∈ Σ
+  kConcat,    ///< q1 · q2 · ... (n-ary)
+  kUnion,     ///< q1 + q2 + ... (n-ary)
+  kStar,      ///< q*
+};
+
+struct RegexNode;
+
+/// Immutable shared regex tree.
+using RegexPtr = std::shared_ptr<const RegexNode>;
+
+/// One node of a regular expression AST.
+struct RegexNode {
+  RegexKind kind;
+  Symbol symbol = 0;              ///< valid when kind == kSymbol
+  std::vector<RegexPtr> children;  ///< kConcat/kUnion: ≥2; kStar: exactly 1
+};
+
+/// Factory helpers. Concat/Union/Star apply local simplifications
+/// (∅ annihilates concat, ε is a concat identity, ∅ is a union identity,
+/// (q*)* = q*, ε* = ∅* = ε, duplicate union operands collapse) so that the
+/// DFA→regex converter produces readable output.
+RegexPtr MakeEmptySet();
+RegexPtr MakeEpsilon();
+RegexPtr MakeSymbol(Symbol symbol);
+RegexPtr MakeConcat(RegexPtr left, RegexPtr right);
+RegexPtr MakeUnion(RegexPtr left, RegexPtr right);
+RegexPtr MakeStar(RegexPtr inner);
+
+/// Builds q1 · q2 · ... · qn (ε for empty input).
+RegexPtr MakeConcatAll(const std::vector<RegexPtr>& parts);
+
+/// Builds q1 + q2 + ... + qn (∅ for empty input).
+RegexPtr MakeUnionAll(const std::vector<RegexPtr>& parts);
+
+/// Number of AST nodes (a readability proxy used in tests/benches).
+size_t RegexNodeCount(const RegexPtr& regex);
+
+/// Structural equality.
+bool RegexEquals(const RegexPtr& a, const RegexPtr& b);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_REGEX_AST_H_

@@ -1,0 +1,143 @@
+#include "regex/derivatives.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "regex/printer.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Canonical structural key for similarity-dedup of derivative states.
+/// Structural equality after the factories' simplifications (flattening,
+/// duplicate-union removal, ε/∅ identities) is enough for termination on
+/// the regex sizes the library manipulates.
+std::string StructuralKey(const RegexPtr& regex) {
+  switch (regex->kind) {
+    case RegexKind::kEmptySet:
+      return "0";
+    case RegexKind::kEpsilon:
+      return "e";
+    case RegexKind::kSymbol:
+      return "s" + std::to_string(regex->symbol);
+    case RegexKind::kConcat: {
+      std::string out = "(.";
+      for (const RegexPtr& child : regex->children) {
+        out += StructuralKey(child);
+      }
+      return out + ")";
+    }
+    case RegexKind::kUnion: {
+      // Order-insensitive: unions are sets.
+      std::vector<std::string> keys;
+      for (const RegexPtr& child : regex->children) {
+        keys.push_back(StructuralKey(child));
+      }
+      std::sort(keys.begin(), keys.end());
+      std::string out = "(+";
+      for (const std::string& k : keys) out += k;
+      return out + ")";
+    }
+    case RegexKind::kStar:
+      return "(*" + StructuralKey(regex->children[0]) + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool IsNullable(const RegexPtr& regex) {
+  RPQ_CHECK(regex != nullptr);
+  switch (regex->kind) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kSymbol:
+      return false;
+    case RegexKind::kEpsilon:
+    case RegexKind::kStar:
+      return true;
+    case RegexKind::kConcat:
+      for (const RegexPtr& child : regex->children) {
+        if (!IsNullable(child)) return false;
+      }
+      return true;
+    case RegexKind::kUnion:
+      for (const RegexPtr& child : regex->children) {
+        if (IsNullable(child)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+RegexPtr Derivative(const RegexPtr& regex, Symbol symbol) {
+  RPQ_CHECK(regex != nullptr);
+  switch (regex->kind) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+      return MakeEmptySet();
+    case RegexKind::kSymbol:
+      return regex->symbol == symbol ? MakeEpsilon() : MakeEmptySet();
+    case RegexKind::kConcat: {
+      // ∂a (r1·r2·...·rn) = (∂a r1)·r2·...·rn  +  [r1 nullable](∂a (r2...rn))
+      std::vector<RegexPtr> tail(regex->children.begin() + 1,
+                                 regex->children.end());
+      RegexPtr tail_regex = MakeConcatAll(tail);
+      RegexPtr first_part =
+          MakeConcat(Derivative(regex->children[0], symbol), tail_regex);
+      if (!IsNullable(regex->children[0])) return first_part;
+      return MakeUnion(std::move(first_part),
+                       Derivative(tail_regex, symbol));
+    }
+    case RegexKind::kUnion: {
+      RegexPtr result = MakeEmptySet();
+      for (const RegexPtr& child : regex->children) {
+        result = MakeUnion(std::move(result), Derivative(child, symbol));
+      }
+      return result;
+    }
+    case RegexKind::kStar:
+      // ∂a (r*) = (∂a r)·r*
+      return MakeConcat(Derivative(regex->children[0], symbol), regex);
+  }
+  return MakeEmptySet();
+}
+
+StatusOr<Dfa> BrzozowskiConstruct(const RegexPtr& regex, uint32_t num_symbols,
+                                  size_t max_states) {
+  Dfa dfa(num_symbols);
+  std::map<std::string, StateId> states;
+  std::deque<RegexPtr> queue;
+
+  auto intern = [&](const RegexPtr& r) -> std::pair<StateId, bool> {
+    std::string key = StructuralKey(r);
+    auto it = states.find(key);
+    if (it != states.end()) return {it->second, false};
+    StateId id = dfa.AddState(IsNullable(r));
+    states.emplace(std::move(key), id);
+    queue.push_back(r);
+    return {id, true};
+  };
+
+  intern(regex);
+  while (!queue.empty()) {
+    RegexPtr current = std::move(queue.front());
+    queue.pop_front();
+    StateId from = states.at(StructuralKey(current));
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      RegexPtr derived = Derivative(current, a);
+      if (derived->kind == RegexKind::kEmptySet) continue;
+      if (states.size() >= max_states && !states.count(StructuralKey(derived))) {
+        return Status::ResourceExhausted(
+            "Brzozowski construction exceeded state cap");
+      }
+      auto [to, inserted] = intern(derived);
+      dfa.SetTransition(from, a, to);
+    }
+  }
+  return dfa;
+}
+
+}  // namespace rpqlearn

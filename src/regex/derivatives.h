@@ -1,0 +1,27 @@
+#ifndef RPQLEARN_REGEX_DERIVATIVES_H_
+#define RPQLEARN_REGEX_DERIVATIVES_H_
+
+#include "automata/dfa.h"
+#include "regex/ast.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// True iff ε ∈ L(regex) (the regex is "nullable").
+bool IsNullable(const RegexPtr& regex);
+
+/// The Brzozowski derivative ∂a L = { w | a·w ∈ L }, as a simplified regex.
+RegexPtr Derivative(const RegexPtr& regex, Symbol symbol);
+
+/// Direct regex → DFA construction by iterated derivatives: states are
+/// similarity-classes of derivatives, transitions δ(r, a) = ∂a r, accepting
+/// iff nullable. An independent alternative to Thompson + subset
+/// construction (cross-checked against it in tests). The structural
+/// simplifications in the AST factories keep the derivative set finite in
+/// practice; `max_states` guards pathological blowups.
+StatusOr<Dfa> BrzozowskiConstruct(const RegexPtr& regex, uint32_t num_symbols,
+                                  size_t max_states = 100000);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_REGEX_DERIVATIVES_H_

@@ -1,0 +1,70 @@
+#include "regex/from_dfa.h"
+
+#include <vector>
+
+namespace rpqlearn {
+
+RegexPtr DfaToRegex(const Dfa& input) {
+  const Dfa dfa = input.Trimmed();
+  const uint32_t n = dfa.num_states();
+  // Generalized NFA over states {0..n-1} ∪ {start = n, accept = n+1}.
+  const uint32_t total = n + 2;
+  const uint32_t start = n;
+  const uint32_t accept = n + 1;
+
+  std::vector<RegexPtr> edge(static_cast<size_t>(total) * total,
+                             MakeEmptySet());
+  auto at = [&](uint32_t i, uint32_t j) -> RegexPtr& {
+    return edge[static_cast<size_t>(i) * total + j];
+  };
+
+  for (StateId s = 0; s < n; ++s) {
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      StateId t = dfa.Next(s, a);
+      if (t != kNoState) {
+        at(s, t) = MakeUnion(at(s, t), MakeSymbol(a));
+      }
+    }
+    if (dfa.IsAccepting(s)) at(s, accept) = MakeEpsilon();
+  }
+  at(start, dfa.initial_state()) = MakeEpsilon();
+
+  // Eliminate original states one by one, greedily picking the state with
+  // the smallest in-degree × out-degree product; this keeps the output
+  // regex close to the natural factoring (e.g. the learned Fig. 6(b) DFA
+  // prints as "(a.b)*.c" rather than "c+a.(b.a)*.b.c").
+  std::vector<bool> eliminated(total, false);
+  for (uint32_t round = 0; round < n; ++round) {
+    uint32_t best = total;
+    size_t best_weight = 0;
+    for (uint32_t k = 0; k < n; ++k) {
+      if (eliminated[k]) continue;
+      size_t in_degree = 0;
+      size_t out_degree = 0;
+      for (uint32_t i = 0; i < total; ++i) {
+        if (eliminated[i] || i == k) continue;
+        if (at(i, k)->kind != RegexKind::kEmptySet) ++in_degree;
+        if (at(k, i)->kind != RegexKind::kEmptySet) ++out_degree;
+      }
+      size_t weight = in_degree * out_degree;
+      if (best == total || weight < best_weight) {
+        best = k;
+        best_weight = weight;
+      }
+    }
+    uint32_t k = best;
+    eliminated[k] = true;
+    RegexPtr loop = MakeStar(at(k, k));
+    for (uint32_t i = 0; i < total; ++i) {
+      if (eliminated[i] || at(i, k)->kind == RegexKind::kEmptySet) continue;
+      for (uint32_t j = 0; j < total; ++j) {
+        if (eliminated[j] || at(k, j)->kind == RegexKind::kEmptySet) continue;
+        RegexPtr path = MakeConcat(MakeConcat(at(i, k), loop), at(k, j));
+        at(i, j) = MakeUnion(at(i, j), std::move(path));
+      }
+    }
+  }
+  return at(start, accept);
+}
+
+}  // namespace rpqlearn

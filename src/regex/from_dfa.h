@@ -1,0 +1,16 @@
+#ifndef RPQLEARN_REGEX_FROM_DFA_H_
+#define RPQLEARN_REGEX_FROM_DFA_H_
+
+#include "automata/dfa.h"
+#include "regex/ast.h"
+
+namespace rpqlearn {
+
+/// Converts a DFA to an equivalent regular expression by state elimination
+/// (Brzozowski–McCluskey). Used to display learned queries in the paper's
+/// regex notation, e.g. the learned DFA of Fig. 6(b) prints as `(a.b)*.c`.
+RegexPtr DfaToRegex(const Dfa& dfa);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_REGEX_FROM_DFA_H_

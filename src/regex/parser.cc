@@ -1,0 +1,126 @@
+#include "regex/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace rpqlearn {
+namespace {
+
+/// Recursive-descent parser over a character cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  StatusOr<RegexPtr> Parse() {
+    StatusOr<RegexPtr> result = ParseUnion();
+    if (!result.ok()) return result;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return result;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(pos_) + " in regex '" +
+                                   std::string(text_) + "'");
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipWhitespace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<RegexPtr> ParseUnion() {
+    StatusOr<RegexPtr> left = ParseConcat();
+    if (!left.ok()) return left;
+    RegexPtr result = left.value();
+    while (Consume('+') || Consume('|')) {
+      StatusOr<RegexPtr> right = ParseConcat();
+      if (!right.ok()) return right;
+      result = MakeUnion(std::move(result), right.value());
+    }
+    return result;
+  }
+
+  StatusOr<RegexPtr> ParseConcat() {
+    StatusOr<RegexPtr> left = ParseStarred();
+    if (!left.ok()) return left;
+    RegexPtr result = left.value();
+    while (Consume('.')) {
+      StatusOr<RegexPtr> right = ParseStarred();
+      if (!right.ok()) return right;
+      result = MakeConcat(std::move(result), right.value());
+    }
+    return result;
+  }
+
+  StatusOr<RegexPtr> ParseStarred() {
+    StatusOr<RegexPtr> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    RegexPtr result = atom.value();
+    while (Consume('*')) {
+      result = MakeStar(std::move(result));
+    }
+    return result;
+  }
+
+  StatusOr<RegexPtr> ParseAtom() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      StatusOr<RegexPtr> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      if (!Consume(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size()) {
+        char ch = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+            ch == '-') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      std::string_view name = text_.substr(start, pos_ - start);
+      if (name == "eps") return MakeEpsilon();
+      return MakeSymbol(alphabet_->Intern(name));
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  Alphabet* alphabet_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet) {
+  return Parser(text, alphabet).Parse();
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,24 @@
+#ifndef RPQLEARN_REGEX_PARSER_H_
+#define RPQLEARN_REGEX_PARSER_H_
+
+#include <string_view>
+
+#include "automata/alphabet.h"
+#include "regex/ast.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Parses the paper's regex syntax:
+///   union  := concat ('+' concat)*            (also '|' as alias)
+///   concat := starred ('.' starred)*          (explicit concatenation dot)
+///   starred:= atom '*'*
+///   atom   := SYMBOL | 'eps' | '(' union ')'
+/// SYMBOL is an identifier `[A-Za-z_][A-Za-z0-9_-]*`; symbols are interned
+/// into `alphabet`. Whitespace is ignored. Example from the paper:
+/// `(tram+bus)*.cinema`.
+StatusOr<RegexPtr> ParseRegex(std::string_view text, Alphabet* alphabet);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_REGEX_PARSER_H_

@@ -1,0 +1,69 @@
+#include "regex/printer.h"
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Binding strength: union < concat < star/atom.
+int Precedence(RegexKind kind) {
+  switch (kind) {
+    case RegexKind::kUnion:
+      return 0;
+    case RegexKind::kConcat:
+      return 1;
+    case RegexKind::kStar:
+      return 2;
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+    case RegexKind::kSymbol:
+      return 3;
+  }
+  return 3;
+}
+
+void Render(const RegexPtr& regex, const Alphabet& alphabet, int parent_prec,
+            std::string* out) {
+  RPQ_CHECK(regex != nullptr);
+  const int prec = Precedence(regex->kind);
+  const bool need_parens = prec < parent_prec;
+  if (need_parens) *out += "(";
+  switch (regex->kind) {
+    case RegexKind::kEmptySet:
+      *out += "empty";
+      break;
+    case RegexKind::kEpsilon:
+      *out += "eps";
+      break;
+    case RegexKind::kSymbol:
+      *out += alphabet.Name(regex->symbol);
+      break;
+    case RegexKind::kConcat:
+      for (size_t i = 0; i < regex->children.size(); ++i) {
+        if (i > 0) *out += ".";
+        Render(regex->children[i], alphabet, prec + 1, out);
+      }
+      break;
+    case RegexKind::kUnion:
+      for (size_t i = 0; i < regex->children.size(); ++i) {
+        if (i > 0) *out += "+";
+        Render(regex->children[i], alphabet, prec + 1, out);
+      }
+      break;
+    case RegexKind::kStar:
+      Render(regex->children[0], alphabet, prec + 1, out);
+      *out += "*";
+      break;
+  }
+  if (need_parens) *out += ")";
+}
+
+}  // namespace
+
+std::string RegexToString(const RegexPtr& regex, const Alphabet& alphabet) {
+  std::string out;
+  Render(regex, alphabet, 0, &out);
+  return out;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,18 @@
+#ifndef RPQLEARN_REGEX_PRINTER_H_
+#define RPQLEARN_REGEX_PRINTER_H_
+
+#include <string>
+
+#include "automata/alphabet.h"
+#include "regex/ast.h"
+
+namespace rpqlearn {
+
+/// Renders a regex in the parser's syntax (round-trippable through
+/// ParseRegex): `+` for union, `.` for concatenation, `*` for star, `eps`
+/// for ε and `empty` for ∅, with minimal parentheses.
+std::string RegexToString(const RegexPtr& regex, const Alphabet& alphabet);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_REGEX_PRINTER_H_

@@ -1,0 +1,34 @@
+#include "regex/random_regex.h"
+
+namespace rpqlearn {
+namespace {
+
+RegexPtr Generate(Rng* rng, const RandomRegexOptions& options,
+                  uint32_t depth) {
+  if (depth >= options.max_depth || rng->NextBernoulli(0.35)) {
+    // Leaf.
+    if (rng->NextBernoulli(options.epsilon_probability)) {
+      return MakeEpsilon();
+    }
+    return MakeSymbol(
+        static_cast<Symbol>(rng->NextBelow(options.num_symbols)));
+  }
+  switch (rng->NextBelow(3)) {
+    case 0:
+      return MakeConcat(Generate(rng, options, depth + 1),
+                        Generate(rng, options, depth + 1));
+    case 1:
+      return MakeUnion(Generate(rng, options, depth + 1),
+                       Generate(rng, options, depth + 1));
+    default:
+      return MakeStar(Generate(rng, options, depth + 1));
+  }
+}
+
+}  // namespace
+
+RegexPtr RandomRegex(Rng* rng, const RandomRegexOptions& options) {
+  return Generate(rng, options, 0);
+}
+
+}  // namespace rpqlearn

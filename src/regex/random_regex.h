@@ -1,0 +1,22 @@
+#ifndef RPQLEARN_REGEX_RANDOM_REGEX_H_
+#define RPQLEARN_REGEX_RANDOM_REGEX_H_
+
+#include "regex/ast.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+
+/// Knobs for random regex generation (property tests).
+struct RandomRegexOptions {
+  uint32_t num_symbols = 3;
+  uint32_t max_depth = 4;
+  /// Probability of ε at a leaf.
+  double epsilon_probability = 0.1;
+};
+
+/// A random regex AST with depth ≤ max_depth over the given alphabet size.
+RegexPtr RandomRegex(Rng* rng, const RandomRegexOptions& options);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_REGEX_RANDOM_REGEX_H_

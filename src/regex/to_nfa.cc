@@ -1,0 +1,86 @@
+#include "regex/to_nfa.h"
+
+#include "automata/minimize.h"
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// A Thompson fragment: entry and exit states within the NFA under
+/// construction.
+struct Fragment {
+  StateId entry;
+  StateId exit;
+};
+
+Fragment BuildFragment(const RegexPtr& regex, Nfa* nfa) {
+  RPQ_CHECK(regex != nullptr);
+  switch (regex->kind) {
+    case RegexKind::kEmptySet: {
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      // No transition: the exit is unreachable.
+      return f;
+    }
+    case RegexKind::kEpsilon: {
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      nfa->AddEpsilonTransition(f.entry, f.exit);
+      return f;
+    }
+    case RegexKind::kSymbol: {
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      nfa->AddTransition(f.entry, regex->symbol, f.exit);
+      return f;
+    }
+    case RegexKind::kConcat: {
+      RPQ_CHECK_GE(regex->children.size(), 2u);
+      Fragment first = BuildFragment(regex->children[0], nfa);
+      StateId entry = first.entry;
+      StateId current_exit = first.exit;
+      for (size_t i = 1; i < regex->children.size(); ++i) {
+        Fragment next = BuildFragment(regex->children[i], nfa);
+        nfa->AddEpsilonTransition(current_exit, next.entry);
+        current_exit = next.exit;
+      }
+      return Fragment{entry, current_exit};
+    }
+    case RegexKind::kUnion: {
+      RPQ_CHECK_GE(regex->children.size(), 2u);
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      for (const RegexPtr& child : regex->children) {
+        Fragment sub = BuildFragment(child, nfa);
+        nfa->AddEpsilonTransition(f.entry, sub.entry);
+        nfa->AddEpsilonTransition(sub.exit, f.exit);
+      }
+      return f;
+    }
+    case RegexKind::kStar: {
+      RPQ_CHECK_EQ(regex->children.size(), 1u);
+      Fragment f{nfa->AddState(), nfa->AddState()};
+      Fragment sub = BuildFragment(regex->children[0], nfa);
+      nfa->AddEpsilonTransition(f.entry, sub.entry);
+      nfa->AddEpsilonTransition(sub.exit, f.exit);
+      nfa->AddEpsilonTransition(f.entry, f.exit);
+      nfa->AddEpsilonTransition(sub.exit, sub.entry);
+      return f;
+    }
+  }
+  RPQ_CHECK(false) << "unreachable";
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+Nfa ThompsonConstruct(const RegexPtr& regex, uint32_t num_symbols) {
+  Nfa nfa(num_symbols);
+  Fragment f = BuildFragment(regex, &nfa);
+  nfa.AddInitial(f.entry);
+  nfa.SetAccepting(f.exit, true);
+  nfa.Finalize();
+  return nfa;
+}
+
+Dfa RegexToCanonicalDfa(const RegexPtr& regex, uint32_t num_symbols) {
+  return CanonicalDfaOf(ThompsonConstruct(regex, num_symbols));
+}
+
+}  // namespace rpqlearn

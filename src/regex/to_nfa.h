@@ -1,0 +1,21 @@
+#ifndef RPQLEARN_REGEX_TO_NFA_H_
+#define RPQLEARN_REGEX_TO_NFA_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "regex/ast.h"
+
+namespace rpqlearn {
+
+/// Thompson's construction: an ε-NFA with one initial and one accepting
+/// state whose language is L(regex). `num_symbols` must cover every symbol
+/// used in the regex.
+Nfa ThompsonConstruct(const RegexPtr& regex, uint32_t num_symbols);
+
+/// Convenience: the canonical DFA of a regex (Thompson + determinize +
+/// minimize), the query representation the paper uses throughout.
+Dfa RegexToCanonicalDfa(const RegexPtr& regex, uint32_t num_symbols);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_REGEX_TO_NFA_H_

@@ -1,0 +1,60 @@
+#ifndef RPQLEARN_UTIL_LOGGING_H_
+#define RPQLEARN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rpqlearn {
+namespace internal {
+
+/// Terminates the process after streaming a fatal diagnostic. Used by the
+/// CHECK macros below; invariant violations are programming errors, so we
+/// abort rather than propagate Status.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "FATAL " << file << ":" << line << ": ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rpqlearn
+
+/// Aborts with a message when `condition` is false.
+#define RPQ_CHECK(condition)                                        \
+  if (!(condition))                                                 \
+  ::rpqlearn::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #condition " "
+
+#define RPQ_CHECK_EQ(a, b) RPQ_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPQ_CHECK_NE(a, b) RPQ_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPQ_CHECK_LT(a, b) RPQ_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPQ_CHECK_LE(a, b) RPQ_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPQ_CHECK_GT(a, b) RPQ_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define RPQ_CHECK_GE(a, b) RPQ_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Aborts when a Status-returning expression fails. For use in tests,
+/// examples, and benches where failure is unrecoverable.
+#define RPQ_CHECK_OK(expr)                                  \
+  do {                                                      \
+    const ::rpqlearn::Status _rpq_st = (expr);              \
+    RPQ_CHECK(_rpq_st.ok()) << _rpq_st.ToString();          \
+  } while (false)
+
+#ifndef NDEBUG
+#define RPQ_DCHECK(condition) RPQ_CHECK(condition)
+#else
+#define RPQ_DCHECK(condition) \
+  if (false) RPQ_CHECK(condition)
+#endif
+
+#endif  // RPQLEARN_UTIL_LOGGING_H_

@@ -1,0 +1,101 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rpqlearn {
+namespace {
+
+/// SplitMix64, used to expand the user seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  RPQ_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  RPQ_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t population,
+                                                    uint32_t count) {
+  RPQ_CHECK_LE(count, population);
+  std::unordered_set<uint32_t> chosen;
+  std::vector<uint32_t> result;
+  result.reserve(count);
+  for (uint32_t j = population - count; j < population; ++j) {
+    uint32_t t = static_cast<uint32_t>(NextBelow(j + 1));
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double exponent) {
+  RPQ_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, exponent);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+uint32_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return static_cast<uint32_t>(cdf_.size() - 1);
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Probability(uint32_t r) const {
+  RPQ_CHECK_LT(r, cdf_.size());
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace rpqlearn

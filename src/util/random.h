@@ -1,0 +1,74 @@
+#ifndef RPQLEARN_UTIL_RANDOM_H_
+#define RPQLEARN_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All randomized components of
+/// the library take an explicit Rng so experiments are reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; two Rng instances with equal seeds produce
+  /// identical streams.
+  explicit Rng(uint64_t seed);
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniform integer in `[0, bound)`. `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Returns a uniform integer in `[lo, hi]` (inclusive).
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in `[0, 1)`.
+  double NextDouble();
+
+  /// Returns true with probability `p`.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from `[0, population)` without
+  /// replacement (Floyd's algorithm); the result is unsorted.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t population,
+                                                 uint32_t count);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Draws from a Zipfian distribution over ranks `{0, ..., n-1}` where rank r
+/// has probability proportional to `1 / (r+1)^exponent`. Used for edge-label
+/// distributions of the synthetic graphs (Sec. 5.1 of the paper).
+class ZipfDistribution {
+ public:
+  /// `n` must be positive; `exponent` is the Zipf skew (1.0 = classic Zipf).
+  ZipfDistribution(uint32_t n, double exponent);
+
+  /// Samples a rank in `[0, n)`.
+  uint32_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `r`.
+  double Probability(uint32_t r) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_UTIL_RANDOM_H_

@@ -1,0 +1,22 @@
+#ifndef RPQLEARN_UTIL_STRING_UTIL_H_
+#define RPQLEARN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpqlearn {
+
+/// Joins `parts` with `separator`, e.g. Join({"a","b"}, "+") == "a+b".
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Splits `text` at every occurrence of `separator`; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_UTIL_STRING_UTIL_H_

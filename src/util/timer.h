@@ -1,0 +1,32 @@
+#ifndef RPQLEARN_UTIL_TIMER_H_
+#define RPQLEARN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rpqlearn {
+
+/// Wall-clock stopwatch used by the experiment harness to report learning
+/// times (Figs. 12 and Table 2 of the paper).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_UTIL_TIMER_H_

@@ -1,0 +1,149 @@
+#include "workloads/workloads.h"
+
+#include "graph/generators.h"
+#include "query/path_query.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace rpqlearn {
+namespace {
+
+/// "(l5+l6+...+l9)" for a contiguous label-rank range [lo, hi].
+std::string Group(int lo, int hi) {
+  std::vector<std::string> parts;
+  for (int i = lo; i <= hi; ++i) parts.push_back("l" + std::to_string(i));
+  return "(" + Join(parts, "+") + ")";
+}
+
+void AddQuery(Dataset* dataset, const std::string& name,
+              const std::string& regex, double paper_selectivity) {
+  Alphabet alphabet = dataset->graph.alphabet();  // copy: parse must not
+                                                  // extend the graph alphabet
+  StatusOr<PathQuery> parsed =
+      PathQuery::Parse(regex, &alphabet, dataset->graph.num_symbols());
+  RPQ_CHECK(parsed.ok()) << parsed.status().ToString() << " in " << regex;
+  Workload w;
+  w.name = name;
+  w.regex = regex;
+  w.query = parsed->dfa();
+  w.paper_selectivity = paper_selectivity;
+  dataset->queries.push_back(std::move(w));
+}
+
+}  // namespace
+
+Dataset BuildAlibabaDataset(uint64_t seed) {
+  Dataset dataset;
+  dataset.name = "alibaba";
+
+  ScaleFreeOptions options;
+  options.num_nodes = 3000;
+  options.num_edges = 8000;
+  options.num_labels = 24;
+  options.zipf_exponent = 0.8;
+  options.preferential_probability = 0.6;
+  options.seed = seed;
+  Graph base = GenerateScaleFree(options);
+
+  // The paper's most selective queries (bio1: 0.03% = 1 node, bio2: 0.2%)
+  // hinge on labels far rarer than a 50-label Zipf tail provides, so two
+  // extra labels are planted sparsely: "b0" (1 edge, bio1's start) and
+  // "a0" (a handful of edges, bio2's middle symbol). Everything else is the
+  // untouched scale-free graph.
+  GraphBuilder builder;
+  builder.AddNodes(base.num_nodes());
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
+    for (const LabeledEdge& e : base.OutEdges(v)) {
+      builder.AddEdge(v, base.alphabet().Name(e.label), e.node);
+    }
+  }
+  // A target with an outgoing A-group edge (ranks 2..11), so that b0·A·A*
+  // (bio1) selects the planted source.
+  Rng plant_rng(seed ^ 0x5eedULL);
+  auto find_a_capable = [&](NodeId start) {
+    for (NodeId offset = 0; offset < base.num_nodes(); ++offset) {
+      NodeId v = (start + offset) % base.num_nodes();
+      for (const LabeledEdge& e : base.OutEdges(v)) {
+        if (e.label >= 3 && e.label <= 6) return v;
+      }
+    }
+    return start;
+  };
+  NodeId b0_target =
+      find_a_capable(static_cast<NodeId>(plant_rng.NextBelow(3000)));
+  NodeId b0_source = static_cast<NodeId>(plant_rng.NextBelow(3000));
+  builder.AddEdge(b0_source, "b0", b0_target);
+  // bio2 = C·C*·a0·A·A*: its selected nodes are C-predecessors of the a0
+  // sources, so plant a0 edges at nodes that have an incoming C-group edge
+  // (ranks 10..19).
+  auto find_c_reachable = [&](NodeId start) {
+    for (NodeId offset = 0; offset < base.num_nodes(); ++offset) {
+      NodeId v = (start + offset) % base.num_nodes();
+      for (const LabeledEdge& e : base.InEdges(v)) {
+        if (e.label >= 10 && e.label <= 13) return v;
+      }
+    }
+    return start;
+  };
+  for (int i = 0; i < 2; ++i) {
+    NodeId target =
+        find_a_capable(static_cast<NodeId>(plant_rng.NextBelow(3000)));
+    NodeId source =
+        find_c_reachable(static_cast<NodeId>(plant_rng.NextBelow(3000)));
+    builder.AddEdge(source, "a0", target);
+  }
+  dataset.graph = builder.Build();
+
+  // Label groups for the Table 1 query structures. Ranks are frequency
+  // ranks under the Zipf distribution (l0 most frequent); groups overlap,
+  // as the paper notes. Calibrated against Table 1 selectivities.
+  const std::string a_group = Group(3, 6);     // A: mid-frequency
+  const std::string i_group = Group(6, 9);     // I: overlaps A on l6
+  const std::string c_group = Group(10, 13);   // C
+  const std::string e_group = Group(14, 17);   // E
+  const std::string b_rare = "b0";             // planted, 1 edge
+  const std::string a_rare = "a0";             // planted, 2 edges
+
+  AddQuery(&dataset, "bio1", b_rare + "." + a_group + "." + a_group + "*",
+           0.0003);
+  AddQuery(&dataset, "bio2",
+           c_group + "." + c_group + "*." + a_rare + "." + a_group + "." +
+               a_group + "*",
+           0.002);
+  AddQuery(&dataset, "bio3", c_group + "." + e_group, 0.03);
+  AddQuery(&dataset, "bio4", i_group + "." + i_group + "." + i_group + "*",
+           0.11);
+  AddQuery(&dataset, "bio5",
+           a_group + "." + a_group + "." + a_group + "*." + i_group + "." +
+               i_group + "." + i_group + "*",
+           0.12);
+  AddQuery(&dataset, "bio6", a_group + "." + a_group + "." + a_group + "*",
+           0.22);
+  return dataset;
+}
+
+Dataset BuildSyntheticDataset(uint32_t num_nodes, uint64_t seed) {
+  Dataset dataset;
+  dataset.name = "syn" + std::to_string(num_nodes);
+
+  ScaleFreeOptions options;
+  options.num_nodes = num_nodes;
+  options.num_edges = static_cast<size_t>(num_nodes) * 3;
+  options.num_labels = 24;
+  options.zipf_exponent = 0.9;
+  options.preferential_probability = 0.6;
+  options.seed = seed;
+  dataset.graph = GenerateScaleFree(options);
+
+  // syn1..syn3: A·B*·C with selectivities 1%, 15%, 40% regardless of graph
+  // size (Sec. 5.1). Rarer groups give lower selectivity.
+  AddQuery(&dataset, "syn1",
+           Group(20, 21) + "." + Group(14, 17) + "*." + Group(22, 23), 0.01);
+  AddQuery(&dataset, "syn2",
+           Group(8, 11) + "." + Group(6, 9) + "*." + Group(9, 13), 0.15);
+  AddQuery(&dataset, "syn3",
+           Group(1, 6) + "." + Group(3, 8) + "*." + Group(2, 7), 0.40);
+  return dataset;
+}
+
+}  // namespace rpqlearn

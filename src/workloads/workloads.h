@@ -1,0 +1,44 @@
+#ifndef RPQLEARN_WORKLOADS_WORKLOADS_H_
+#define RPQLEARN_WORKLOADS_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+
+namespace rpqlearn {
+
+/// One goal query of an evaluation dataset.
+struct Workload {
+  std::string name;          ///< "bio1".."bio6", "syn1".."syn3"
+  std::string regex;         ///< display form, e.g. "C.E"
+  Dfa query{0};              ///< canonical DFA over the dataset's alphabet
+  double paper_selectivity;  ///< fraction of nodes the paper reports
+};
+
+/// A dataset: a graph plus its goal queries.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  std::vector<Workload> queries;
+};
+
+/// The AliBaba substitute (see DESIGN.md): the paper's real protein-
+/// interaction graph is not redistributable, so we generate a scale-free
+/// graph matching its published shape — ~3k nodes, ~8k edges, skewed label
+/// distribution — and instantiate bio1..bio6 from Table 1: same regex
+/// structure (disjunctions A, C, E, I of ≤10 overlapping symbols), with
+/// label groups calibrated so the measured selectivities approximate the
+/// paper's 0.03%..22% range and preserve the ordering.
+Dataset BuildAlibabaDataset(uint64_t seed = 42);
+
+/// The synthetic datasets of Sec. 5.1: scale-free graphs with Zipfian edge
+/// labels, `num_nodes` ∈ {10000, 20000, 30000} in the paper, three times as
+/// many edges, and queries syn1..syn3 of the form A·B*·C with target
+/// selectivities 1%, 15%, 40%.
+Dataset BuildSyntheticDataset(uint32_t num_nodes, uint64_t seed = 42);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_WORKLOADS_WORKLOADS_H_

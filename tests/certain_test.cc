@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "interact/certain.h"
+
+namespace rpqlearn {
+namespace {
+
+Sample ToSample(const FixtureSample& fs) {
+  Sample s;
+  s.positive = fs.positive;
+  s.negative = fs.negative;
+  return s;
+}
+
+TEST(CertainTest, Figure10UnlabeledIsCertainPositive) {
+  // Sec. 4.2: the unlabeled node of Fig. 10 is certain-positive — every
+  // consistent query must select it.
+  Graph g = Figure10Certain();
+  Sample sample = ToSample(Figure10Sample());
+  auto cert_pos = IsCertainPositive(g, sample, 2);
+  ASSERT_TRUE(cert_pos.ok());
+  EXPECT_TRUE(*cert_pos);
+  auto informative = IsInformativeExact(g, sample, 2);
+  ASSERT_TRUE(informative.ok());
+  EXPECT_FALSE(*informative);
+}
+
+TEST(CertainTest, NodeWithOnlyCoveredPathsIsCertainNegative) {
+  // In Fig. 10, the sink node's only path is ε, which the negative covers.
+  Graph g = Figure10Certain();
+  Sample sample = ToSample(Figure10Sample());
+  auto cert_neg = IsCertainNegative(g, sample, 3);
+  ASSERT_TRUE(cert_neg.ok());
+  EXPECT_TRUE(*cert_neg);
+}
+
+TEST(CertainTest, Lemma41NegativeCharacterization) {
+  // ν ∈ Cert− iff paths(ν) ⊆ paths(S−): on Fig. 3 with S− = {ν2, ν7},
+  // ν4 (paths = {ε}) and ν5 (paths = {ε, a, b}, all paths of ν2) are
+  // certain-negative; ν1 is not (path abc is uncovered) and ν3 is not
+  // (path c is uncovered).
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.negative = {1, 6};
+  for (NodeId certain : {3u, 4u}) {
+    auto result = IsCertainNegative(g, sample, certain);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(*result) << "node " << certain;
+  }
+  for (NodeId open : {0u, 2u}) {
+    auto result = IsCertainNegative(g, sample, open);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(*result) << "node " << open;
+  }
+}
+
+TEST(CertainTest, CertainPositiveNeedsAPositiveExample) {
+  // Cert+ is defined through an existing positive; with S+ = ∅ nothing is
+  // certain-positive.
+  Graph g = Figure10Certain();
+  Sample sample;
+  sample.negative = {1};
+  auto cert_pos = IsCertainPositive(g, sample, 2);
+  ASSERT_TRUE(cert_pos.ok());
+  EXPECT_FALSE(*cert_pos);
+}
+
+TEST(CertainTest, LabeledNodesAreTriviallyCertain) {
+  // A positive example itself satisfies the Cert+ characterization (its
+  // paths are covered by paths(S−) ∪ paths(itself)).
+  Graph g = Figure10Certain();
+  Sample sample = ToSample(Figure10Sample());
+  auto cert = IsCertainPositive(g, sample, /*v=*/0);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_TRUE(*cert);
+}
+
+TEST(CertainTest, InformativeNodeOnFig3) {
+  // On Fig. 3 with only S− = {ν2, ν7} labeled, ν1 is informative: it can
+  // still be labeled either way.
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.negative = {1, 6};
+  auto informative = IsInformativeExact(g, sample, 0);
+  ASSERT_TRUE(informative.ok());
+  EXPECT_TRUE(*informative);
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "learn/consistency.h"
+
+namespace rpqlearn {
+namespace {
+
+Sample ToSample(const FixtureSample& fs) {
+  Sample s;
+  s.positive = fs.positive;
+  s.negative = fs.negative;
+  return s;
+}
+
+TEST(ConsistencyTest, Fig3SampleIsConsistent) {
+  // Sec. 3.1: S+ = {ν1, ν3}, S− = {ν2, ν7} is consistent on G0.
+  Graph g = Figure3G0();
+  auto result = IsSampleConsistent(g, ToSample(Figure3Sample()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST(ConsistencyTest, Fig5SampleIsInconsistent) {
+  // Fig. 5: all paths of the positive are covered by the negatives.
+  Graph g = Figure5Inconsistent();
+  auto result = IsSampleConsistent(g, ToSample(Figure5Sample()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(ConsistencyTest, EmptyNegativesAlwaysConsistent) {
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.positive = {0, 1, 2};
+  auto result = IsSampleConsistent(g, sample);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST(ConsistencyTest, PositiveAlsoNegativeIsInconsistent) {
+  // A node labeled both ways: paths(v) ⊆ paths(S−) trivially.
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.positive = {0};
+  sample.negative = {0};
+  auto result = IsSampleConsistent(g, sample);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(ConsistencyTest, SinkPositiveWithAnyNegativeIsInconsistent) {
+  // paths(ν4) = {ε} ⊆ paths of any node (ε is universal).
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.positive = {3};
+  sample.negative = {4};
+  auto result = IsSampleConsistent(g, sample);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(*result);
+}
+
+TEST(ConsistencyTest, BoundedAgreesOnFig3) {
+  Graph g = Figure3G0();
+  auto bounded = IsSampleConsistentBounded(g, ToSample(Figure3Sample()), 3);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_TRUE(*bounded);
+  // Bounded with too small k cannot witness consistency.
+  auto tight = IsSampleConsistentBounded(g, ToSample(Figure3Sample()), 2);
+  ASSERT_TRUE(tight.ok());
+  EXPECT_FALSE(*tight);
+}
+
+TEST(ConsistencyTest, BoundedOnInconsistentStaysFalse) {
+  Graph g = Figure5Inconsistent();
+  for (uint32_t k = 1; k <= 5; ++k) {
+    auto result = IsSampleConsistentBounded(g, ToSample(Figure5Sample()), k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(*result) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace rpqlearn

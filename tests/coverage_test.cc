@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "automata/word.h"
+#include "graph/fixtures.h"
+#include "graph/graph_nfa.h"
+#include "learn/coverage.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Runs the coverage automaton on a word (must have |w| ≤ k).
+StateId RunCoverage(const SubsetCoverage& cov, const Word& w) {
+  StateId s = cov.initial();
+  for (Symbol a : w) s = cov.Next(s, a);
+  return s;
+}
+
+TEST(CoverageTest, MonadicCoverageMatchesPaths) {
+  // Negatives of the Fig. 3 sample: {ν2, ν7}. covered(w) ⟺ w ∈ paths(S−).
+  Graph g = Figure3G0();
+  Nfa negatives = GraphToNfa(g, {1, 6});
+  SubsetCoverage::Options options;
+  options.k = 3;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  ASSERT_TRUE(cov.ok());
+
+  for (const Word& w : AllWordsUpTo(3, 3)) {
+    bool covered = cov->IsCovering(RunCoverage(*cov, w));
+    bool expected = g.HasPathFrom(1, w) || g.HasPathFrom(6, w);
+    EXPECT_EQ(covered, expected) << WordToString(w, g.alphabet());
+  }
+}
+
+TEST(CoverageTest, PaperCoverageFacts) {
+  // From the Fig. 3 walkthrough: bc is covered by ν2; abc and c are not
+  // covered by any negative.
+  Graph g = Figure3G0();
+  Nfa negatives = GraphToNfa(g, {1, 6});
+  SubsetCoverage::Options options;
+  options.k = 3;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_TRUE(cov->IsCovering(RunCoverage(*cov, {1, 2})));    // bc
+  EXPECT_FALSE(cov->IsCovering(RunCoverage(*cov, {0, 1, 2})));  // abc
+  EXPECT_FALSE(cov->IsCovering(RunCoverage(*cov, {2})));        // c
+  EXPECT_TRUE(cov->IsCovering(RunCoverage(*cov, {})));          // ε
+}
+
+TEST(CoverageTest, EmptyNegativesCoverNothing) {
+  Graph g = Figure3G0();
+  Nfa negatives = GraphToNfa(g, {});
+  SubsetCoverage::Options options;
+  options.k = 2;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_EQ(cov->initial(), cov->empty_state());
+  EXPECT_FALSE(cov->IsCovering(cov->initial()));
+  EXPECT_FALSE(cov->IsCovering(RunCoverage(*cov, {0, 0})));
+}
+
+TEST(CoverageTest, EmptySubsetAbsorbs) {
+  Graph g = Figure10Certain();
+  Nfa negatives = GraphToNfa(g, {1});  // neg has only path "a"
+  SubsetCoverage::Options options;
+  options.k = 2;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  ASSERT_TRUE(cov.ok());
+  StateId after_b = cov->Next(cov->initial(), 1);  // 'b' not coverable
+  EXPECT_TRUE(cov->IsEmptySubset(after_b));
+  EXPECT_TRUE(cov->IsEmptySubset(cov->Next(after_b, 0)));
+}
+
+TEST(CoverageTest, BinaryCoverageUsesAcceptance) {
+  // paths2(ν1, ν4) on Fig. 3: abc is covered (accepting), ab is not
+  // (non-empty subset but not at ν4).
+  Graph g = Figure3G0();
+  Nfa pairs = GraphToNfaPairs(g, {{0, 3}});
+  SubsetCoverage::Options options;
+  options.k = 3;
+  auto cov = SubsetCoverage::Build(pairs, options);
+  ASSERT_TRUE(cov.ok());
+  StateId after_abc = RunCoverage(*cov, {0, 1, 2});
+  EXPECT_TRUE(cov->IsCovering(after_abc));
+  StateId after_ab = RunCoverage(*cov, {0, 1});
+  EXPECT_FALSE(cov->IsCovering(after_ab));
+  EXPECT_FALSE(cov->IsEmptySubset(after_ab));
+}
+
+TEST(CoverageTest, StateCapAborts) {
+  Graph g = Figure3G0();
+  Nfa negatives = GraphToNfa(g, {0, 1, 2, 3, 4, 5, 6});
+  SubsetCoverage::Options options;
+  options.k = 3;
+  options.max_states = 2;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  EXPECT_FALSE(cov.ok());
+  EXPECT_EQ(cov.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CoverageTest, DepthTracksBfsLevels) {
+  Graph g = Figure3G0();
+  Nfa negatives = GraphToNfa(g, {1});
+  SubsetCoverage::Options options;
+  options.k = 2;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_EQ(cov->DepthOf(cov->initial()), 0u);
+  StateId next = cov->Next(cov->initial(), 0);
+  if (!cov->IsEmptySubset(next)) {
+    EXPECT_EQ(cov->DepthOf(next), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.h"
+#include "automata/minimize.h"
+#include "regex/derivatives.h"
+#include "regex/parser.h"
+#include "regex/random_regex.h"
+#include "regex/to_nfa.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+RegexPtr Parse(const std::string& text, Alphabet* alphabet) {
+  auto ast = ParseRegex(text, alphabet);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  return ast.value();
+}
+
+TEST(NullableTest, Basics) {
+  Alphabet alphabet;
+  EXPECT_TRUE(IsNullable(Parse("eps", &alphabet)));
+  EXPECT_TRUE(IsNullable(Parse("a*", &alphabet)));
+  EXPECT_TRUE(IsNullable(Parse("a*+b", &alphabet)));
+  EXPECT_TRUE(IsNullable(Parse("a*.b*", &alphabet)));
+  EXPECT_FALSE(IsNullable(Parse("a", &alphabet)));
+  EXPECT_FALSE(IsNullable(Parse("a.b*", &alphabet)));
+  EXPECT_FALSE(IsNullable(MakeEmptySet()));
+}
+
+TEST(DerivativeTest, SymbolCases) {
+  RegexPtr a = MakeSymbol(0);
+  EXPECT_EQ(Derivative(a, 0)->kind, RegexKind::kEpsilon);
+  EXPECT_EQ(Derivative(a, 1)->kind, RegexKind::kEmptySet);
+}
+
+TEST(DerivativeTest, MatchesLanguageShift) {
+  // w ∈ ∂a L ⟺ a·w ∈ L, checked on (a.b)*.c.
+  Alphabet alphabet;
+  RegexPtr regex = Parse("(a.b)*.c", &alphabet);
+  Dfa original = RegexToCanonicalDfa(regex, 3);
+  for (Symbol a = 0; a < 3; ++a) {
+    Dfa derived = RegexToCanonicalDfa(Derivative(regex, a), 3);
+    for (const Word& w : AllWordsUpTo(3, 5)) {
+      Word shifted;
+      shifted.push_back(a);
+      shifted.insert(shifted.end(), w.begin(), w.end());
+      EXPECT_EQ(derived.Accepts(w), original.Accepts(shifted))
+          << "symbol " << a;
+    }
+  }
+}
+
+TEST(BrzozowskiTest, MatchesThompsonOnPaperQueries) {
+  Alphabet alphabet;
+  for (const char* text :
+       {"(a.b)*.c", "a+b.c", "(a+b)*", "a.b.c", "eps+a*", "(a.b+c)*.a"}) {
+    RegexPtr regex = Parse(text, &alphabet);
+    auto brzozowski = BrzozowskiConstruct(regex, alphabet.size());
+    ASSERT_TRUE(brzozowski.ok()) << text;
+    Dfa thompson = RegexToCanonicalDfa(regex, alphabet.size());
+    EXPECT_TRUE(AreEquivalent(*brzozowski, thompson)) << text;
+  }
+}
+
+TEST(BrzozowskiTest, ProducesNearMinimalDfaForPrefixFreeQueries) {
+  Alphabet alphabet;
+  RegexPtr regex = Parse("(a.b)*.c", &alphabet);
+  auto dfa = BrzozowskiConstruct(regex, 3);
+  ASSERT_TRUE(dfa.ok());
+  // Minimal DFA has 3 states; derivatives give at most a couple more.
+  EXPECT_LE(dfa->num_states(), 5u);
+  EXPECT_EQ(Minimize(*dfa).num_states(), 3u);
+}
+
+class BrzozowskiPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BrzozowskiPropertyTest, AgreesWithThompsonOnRandomRegexes) {
+  Rng rng(GetParam());
+  RandomRegexOptions options;
+  options.num_symbols = 2;
+  options.max_depth = 4;
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    RegexPtr regex = RandomRegex(&rng, options);
+    auto brzozowski = BrzozowskiConstruct(regex, 2);
+    ASSERT_TRUE(brzozowski.ok()) << "iteration " << iteration;
+    Dfa thompson = RegexToCanonicalDfa(regex, 2);
+    EXPECT_TRUE(AreEquivalent(*brzozowski, thompson))
+        << "iteration " << iteration;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BrzozowskiPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "automata/equivalence.h"
+#include "automata/minimize.h"
+#include "automata/random_automata.h"
+#include "automata/word.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(DeterminizeTest, SimpleNfa) {
+  // (a+b)*·a — classic NFA needing subset construction.
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState(true);
+  nfa.AddTransition(s0, 0, s0);
+  nfa.AddTransition(s0, 1, s0);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddInitial(s0);
+  nfa.Finalize();
+
+  Dfa dfa = Determinize(nfa);
+  EXPECT_TRUE(dfa.Accepts({0}));
+  EXPECT_TRUE(dfa.Accepts({1, 1, 0}));
+  EXPECT_FALSE(dfa.Accepts({}));
+  EXPECT_FALSE(dfa.Accepts({0, 1}));
+}
+
+TEST(DeterminizeTest, EmptyInitialGivesEmptyLanguage) {
+  Nfa nfa(2);
+  nfa.AddState(true);
+  nfa.Finalize();
+  Dfa dfa = Determinize(nfa);
+  EXPECT_TRUE(dfa.IsEmptyLanguage());
+  EXPECT_EQ(dfa.num_states(), 1u);
+}
+
+TEST(DeterminizeTest, AgreesWithNfaOnAllShortWords) {
+  Rng rng(21);
+  RandomAutomatonOptions options;
+  options.num_states = 6;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    Nfa nfa = RandomNfa(&rng, options);
+    Dfa dfa = Determinize(nfa);
+    for (const Word& w : AllWordsUpTo(2, 6)) {
+      EXPECT_EQ(dfa.Accepts(w), nfa.Accepts(w))
+          << "iteration " << iteration;
+    }
+  }
+}
+
+TEST(MinimizeTest, CollapsesEquivalentStates) {
+  // Two interchangeable accepting states.
+  Dfa dfa(1);
+  StateId s0 = dfa.AddState(false);
+  StateId s1 = dfa.AddState(true);
+  StateId s2 = dfa.AddState(true);
+  dfa.SetTransition(s0, 0, s1);
+  dfa.SetTransition(s1, 0, s2);
+  dfa.SetTransition(s2, 0, s1);
+  Dfa minimal = Minimize(dfa);
+  EXPECT_EQ(minimal.num_states(), 2u);  // a·a* needs 2 states
+  EXPECT_TRUE(minimal.Accepts({0}));
+  EXPECT_TRUE(minimal.Accepts({0, 0, 0}));
+  EXPECT_FALSE(minimal.Accepts({}));
+}
+
+TEST(MinimizeTest, EmptyLanguageBecomesSingleState) {
+  Dfa dfa(2);
+  StateId s0 = dfa.AddState(false);
+  StateId s1 = dfa.AddState(false);
+  dfa.SetTransition(s0, 0, s1);
+  dfa.SetTransition(s1, 1, s0);
+  Dfa minimal = Minimize(dfa);
+  EXPECT_EQ(minimal.num_states(), 1u);
+  EXPECT_TRUE(minimal.IsEmptyLanguage());
+}
+
+TEST(MinimizeTest, PreservesLanguage) {
+  Rng rng(33);
+  RandomAutomatonOptions options;
+  options.num_states = 8;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    Dfa minimal = Minimize(dfa);
+    for (const Word& w : AllWordsUpTo(2, 7)) {
+      EXPECT_EQ(minimal.Accepts(w), dfa.Accepts(w))
+          << "iteration " << iteration;
+    }
+  }
+}
+
+TEST(MinimizeTest, HopcroftAgreesWithMoore) {
+  Rng rng(44);
+  RandomAutomatonOptions options;
+  options.num_states = 10;
+  options.num_symbols = 3;
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    Dfa hopcroft = Minimize(dfa);
+    Dfa moore = MinimizeMoore(dfa);
+    EXPECT_EQ(hopcroft.num_states(), moore.num_states())
+        << "iteration " << iteration;
+    EXPECT_TRUE(AreEquivalent(hopcroft, moore)) << "iteration " << iteration;
+  }
+}
+
+TEST(MinimizeTest, CanonicalizationIsCanonical) {
+  // Two structurally different automata for the same language canonicalize
+  // to structurally equal DFAs.
+  Rng rng(55);
+  RandomAutomatonOptions options;
+  options.num_states = 7;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    Dfa canon1 = Canonicalize(dfa);
+    // Round-trip through a redundant completion + re-minimization.
+    Dfa canon2 = Canonicalize(canon1.Completed());
+    EXPECT_TRUE(canon1 == canon2) << "iteration " << iteration;
+  }
+}
+
+TEST(MinimizeTest, MinimalityOnRandomInputs) {
+  // Any further state merge of the minimized DFA changes the language, so
+  // the minimal DFA of the same language can never be smaller.
+  Rng rng(66);
+  RandomAutomatonOptions options;
+  options.num_states = 9;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    Dfa minimal = Minimize(dfa);
+    Dfa again = Minimize(minimal);
+    EXPECT_EQ(minimal.num_states(), again.num_states());
+  }
+}
+
+TEST(CanonicalDfaOfTest, NfaToCanonical) {
+  // ε-NFA for a* through Thompson-like ε chain.
+  Nfa nfa(1);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState(true);
+  nfa.AddEpsilonTransition(s0, s1);
+  nfa.AddTransition(s1, 0, s1);
+  nfa.AddInitial(s0);
+  nfa.Finalize();
+  Dfa canon = CanonicalDfaOf(nfa);
+  EXPECT_EQ(canon.num_states(), 1u);
+  EXPECT_TRUE(canon.Accepts({}));
+  EXPECT_TRUE(canon.Accepts({0, 0}));
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "graph/dot_export.h"
+#include "graph/fixtures.h"
+#include "query/path_query.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(DotExportTest, GraphContainsNodesAndEdges) {
+  Graph g = Figure1Geographic();
+  std::string dot = GraphToDot(g);
+  EXPECT_NE(dot.find("digraph G"), std::string::npos);
+  EXPECT_NE(dot.find("\"N1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"tram\""), std::string::npos);
+  EXPECT_NE(dot.find("\"cinema\""), std::string::npos);
+}
+
+TEST(DotExportTest, SampleColorsNodes) {
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.positive = {0};
+  sample.negative = {1};
+  std::string dot = GraphToDot(g, sample);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos);
+}
+
+TEST(DotExportTest, NoSampleNoColors) {
+  Graph g = Figure3G0();
+  std::string dot = GraphToDot(g);
+  EXPECT_EQ(dot.find("palegreen"), std::string::npos);
+  EXPECT_EQ(dot.find("lightcoral"), std::string::npos);
+}
+
+TEST(DotExportTest, DfaMarksAcceptingAndInitial) {
+  Alphabet alphabet;
+  auto q = PathQuery::Parse("(a.b)*.c", &alphabet, 3);
+  ASSERT_TRUE(q.ok());
+  std::string dot = DfaToDot(q->dfa(), alphabet);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("start -> q0"), std::string::npos);
+  EXPECT_NE(dot.find("\"c\""), std::string::npos);
+}
+
+TEST(DotExportTest, EdgeCountMatches) {
+  Graph g = Figure3G0();
+  std::string dot = GraphToDot(g);
+  size_t arrows = 0;
+  for (size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, g.num_edges());
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "automata/equivalence.h"
+#include "automata/minimize.h"
+#include "automata/random_automata.h"
+#include "automata/word.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(EquivalenceTest, IdenticalDfasAreEquivalent) {
+  Dfa dfa(2);
+  StateId s0 = dfa.AddState(false);
+  StateId s1 = dfa.AddState(true);
+  dfa.SetTransition(s0, 0, s1);
+  EXPECT_TRUE(AreEquivalent(dfa, dfa));
+}
+
+TEST(EquivalenceTest, DifferentLanguagesAreNot) {
+  Dfa a(1);
+  StateId a0 = a.AddState(false);
+  StateId a1 = a.AddState(true);
+  a.SetTransition(a0, 0, a1);
+
+  Dfa b(1);
+  StateId b0 = b.AddState(true);
+  b.SetTransition(b0, 0, b0);
+  EXPECT_FALSE(AreEquivalent(a, b));
+}
+
+TEST(EquivalenceTest, StructurallyDifferentSameLanguage) {
+  // a* as one state vs. two redundant states.
+  Dfa one(1);
+  StateId s = one.AddState(true);
+  one.SetTransition(s, 0, s);
+
+  Dfa two(1);
+  StateId t0 = two.AddState(true);
+  StateId t1 = two.AddState(true);
+  two.SetTransition(t0, 0, t1);
+  two.SetTransition(t1, 0, t0);
+  EXPECT_TRUE(AreEquivalent(one, two));
+}
+
+TEST(EquivalenceTest, AgreesWithExhaustiveCheckOnRandomPairs) {
+  Rng rng(51);
+  RandomAutomatonOptions options;
+  options.num_states = 5;
+  options.num_symbols = 2;
+  int equivalent_count = 0;
+  for (int iteration = 0; iteration < 80; ++iteration) {
+    Dfa a = RandomDfa(&rng, options);
+    Dfa b = RandomDfa(&rng, options);
+    bool fast = AreEquivalent(a, b);
+    // With ≤5 states each, words up to length 10 (>= product size) decide
+    // equivalence exhaustively.
+    bool exhaustive = true;
+    for (const Word& w : AllWordsUpTo(2, 10)) {
+      if (a.Accepts(w) != b.Accepts(w)) {
+        exhaustive = false;
+        break;
+      }
+    }
+    EXPECT_EQ(fast, exhaustive) << "iteration " << iteration;
+    if (fast) ++equivalent_count;
+  }
+  EXPECT_GT(equivalent_count, 0);  // the random sweep hits both outcomes
+  EXPECT_LT(equivalent_count, 80);
+}
+
+TEST(EquivalenceTest, MinimizePreservesEquivalence) {
+  Rng rng(52);
+  RandomAutomatonOptions options;
+  options.num_states = 8;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    EXPECT_TRUE(AreEquivalent(dfa, Minimize(dfa)))
+        << "iteration " << iteration;
+  }
+}
+
+TEST(IsomorphismTest, CanonicalFormsAreIsomorphic) {
+  Rng rng(53);
+  RandomAutomatonOptions options;
+  options.num_states = 6;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    Dfa c1 = Canonicalize(dfa);
+    Dfa c2 = Canonicalize(dfa.Completed());
+    EXPECT_TRUE(AreIsomorphic(c1, c2)) << "iteration " << iteration;
+  }
+}
+
+TEST(IsomorphismTest, DetectsDifferentShapes) {
+  Dfa a(1);
+  StateId a0 = a.AddState(false);
+  StateId a1 = a.AddState(true);
+  a.SetTransition(a0, 0, a1);
+
+  Dfa b(1);
+  StateId b0 = b.AddState(true);
+  StateId b1 = b.AddState(false);
+  b.SetTransition(b0, 0, b1);
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(EquivalenceNfaTest, ViaDeterminization) {
+  // Two NFAs for "words over {a} of odd length".
+  Nfa a(1);
+  StateId a0 = a.AddState(false);
+  StateId a1 = a.AddState(true);
+  a.AddTransition(a0, 0, a1);
+  a.AddTransition(a1, 0, a0);
+  a.AddInitial(a0);
+  a.Finalize();
+
+  Nfa b(1);
+  StateId b0 = b.AddState(false);
+  StateId b1 = b.AddState(true);
+  StateId b2 = b.AddState(false);
+  b.AddTransition(b0, 0, b1);
+  b.AddTransition(b1, 0, b2);
+  b.AddTransition(b2, 0, b1);
+  b.AddInitial(b0);
+  b.Finalize();
+  EXPECT_TRUE(AreEquivalentNfa(a, b));
+}
+
+}  // namespace
+}  // namespace rpqlearn

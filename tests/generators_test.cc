@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(ScaleFreeTest, RespectsSizes) {
+  ScaleFreeOptions options;
+  options.num_nodes = 500;
+  options.num_edges = 1500;
+  options.num_labels = 10;
+  options.seed = 1;
+  Graph g = GenerateScaleFree(options);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  // Duplicates are collapsed, so ≤ requested; should still be close.
+  EXPECT_LE(g.num_edges(), 1500u);
+  EXPECT_GE(g.num_edges(), 1400u);
+  EXPECT_EQ(g.num_symbols(), 10u);
+}
+
+TEST(ScaleFreeTest, DeterministicBySeed) {
+  ScaleFreeOptions options;
+  options.num_nodes = 200;
+  options.num_edges = 600;
+  options.seed = 7;
+  Graph a = GenerateScaleFree(options);
+  Graph b = GenerateScaleFree(options);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    auto ea = a.OutEdges(v);
+    auto eb = b.OutEdges(v);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_TRUE(ea[i] == eb[i]);
+    }
+  }
+}
+
+TEST(ScaleFreeTest, DifferentSeedsDiffer) {
+  ScaleFreeOptions options;
+  options.num_nodes = 200;
+  options.num_edges = 600;
+  options.seed = 1;
+  Graph a = GenerateScaleFree(options);
+  options.seed = 2;
+  Graph b = GenerateScaleFree(options);
+  bool differs = a.num_edges() != b.num_edges();
+  for (NodeId v = 0; !differs && v < a.num_nodes(); ++v) {
+    if (a.OutDegree(v) != b.OutDegree(v)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScaleFreeTest, DegreeDistributionIsSkewed) {
+  // Preferential attachment must give a heavier max degree than uniform.
+  ScaleFreeOptions sf;
+  sf.num_nodes = 2000;
+  sf.num_edges = 6000;
+  sf.preferential_probability = 0.8;
+  sf.seed = 3;
+  GraphStats sf_stats = ComputeGraphStats(GenerateScaleFree(sf));
+
+  ErdosRenyiOptions er;
+  er.num_nodes = 2000;
+  er.num_edges = 6000;
+  er.seed = 3;
+  GraphStats er_stats = ComputeGraphStats(GenerateErdosRenyi(er));
+
+  EXPECT_GT(sf_stats.max_out_degree, 2 * er_stats.max_out_degree);
+}
+
+TEST(ScaleFreeTest, ZipfLabelSkew) {
+  ScaleFreeOptions options;
+  options.num_nodes = 1000;
+  options.num_edges = 8000;
+  options.num_labels = 10;
+  options.zipf_exponent = 1.0;
+  options.seed = 5;
+  GraphStats stats = ComputeGraphStats(GenerateScaleFree(options));
+  // Rank-0 label clearly more frequent than rank-9.
+  EXPECT_GT(stats.label_histogram[0], 3 * stats.label_histogram[9]);
+}
+
+TEST(ScaleFreeTest, CustomLabelNames) {
+  ScaleFreeOptions options;
+  options.num_nodes = 50;
+  options.num_edges = 100;
+  options.num_labels = 2;
+  options.label_names = {"interacts", "activates"};
+  options.seed = 9;
+  Graph g = GenerateScaleFree(options);
+  EXPECT_TRUE(g.alphabet().Contains("interacts"));
+  EXPECT_TRUE(g.alphabet().Contains("activates"));
+}
+
+TEST(ErdosRenyiTest, RespectsSizes) {
+  ErdosRenyiOptions options;
+  options.num_nodes = 300;
+  options.num_edges = 900;
+  options.num_labels = 4;
+  options.seed = 11;
+  Graph g = GenerateErdosRenyi(options);
+  EXPECT_EQ(g.num_nodes(), 300u);
+  EXPECT_LE(g.num_edges(), 900u);
+  EXPECT_EQ(g.num_symbols(), 4u);
+}
+
+}  // namespace
+}  // namespace rpqlearn

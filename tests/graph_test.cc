@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/fixtures.h"
+#include "graph/graph.h"
+#include "graph/graph_nfa.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(GraphBuilderTest, BuildsCsrBothDirections) {
+  GraphBuilder b;
+  NodeId u = b.AddNode("u");
+  NodeId v = b.AddNode("v");
+  NodeId w = b.AddNode("w");
+  b.AddEdge(u, "x", v);
+  b.AddEdge(u, "y", w);
+  b.AddEdge(v, "x", w);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutEdges(u).size(), 2u);
+  EXPECT_EQ(g.InEdges(w).size(), 2u);
+  EXPECT_EQ(g.OutDegree(w), 0u);
+  EXPECT_EQ(g.NodeName(1), "v");
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder b;
+  NodeId u = b.AddNode();
+  NodeId v = b.AddNode();
+  b.AddEdge(u, "x", v);
+  b.AddEdge(u, "x", v);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, OutEdgesSortedByLabel) {
+  GraphBuilder b;
+  b.InternLabels({"a", "b"});
+  NodeId u = b.AddNode();
+  NodeId v = b.AddNode();
+  b.AddEdge(u, "b", v);
+  b.AddEdge(u, "a", v);
+  Graph g = b.Build();
+  auto edges = g.OutEdges(u);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_LT(edges[0].label, edges[1].label);
+}
+
+TEST(GraphTest, OutEdgesWithLabel) {
+  Graph g = Figure3G0();
+  Symbol a = *g.alphabet().Find("a");
+  Symbol c = *g.alphabet().Find("c");
+  NodeId v3 = 2;
+  EXPECT_EQ(g.OutEdgesWithLabel(v3, a).size(), 2u);  // v3 -a-> v2, v4
+  EXPECT_EQ(g.OutEdgesWithLabel(v3, c).size(), 1u);
+  NodeId v4 = 3;
+  EXPECT_TRUE(g.OutEdgesWithLabel(v4, a).empty());
+}
+
+TEST(GraphTest, FindNodeByName) {
+  Graph g = Figure1Geographic();
+  EXPECT_EQ(g.NodeName(g.FindNodeByName("N4")), "N4");
+  EXPECT_EQ(g.FindNodeByName("nope"), g.num_nodes());
+}
+
+TEST(GraphTest, HasPathFromMatchesPaperFacts) {
+  Graph g = Figure3G0();
+  Symbol a = 0, b = 1, c = 2;
+  // "the word aba matches the sequences ν1ν2ν3ν4 and ν3ν2ν3ν4".
+  EXPECT_TRUE(g.HasPathFrom(0, {a, b, a}));
+  EXPECT_TRUE(g.HasPathFrom(2, {a, b, a}));
+  // paths(ν5) = {ε, a, b} (finite; see the fixture doc for why the paper's
+  // extra c-path is dropped).
+  EXPECT_TRUE(g.HasPathFrom(4, {}));
+  EXPECT_TRUE(g.HasPathFrom(4, {a}));
+  EXPECT_TRUE(g.HasPathFrom(4, {b}));
+  EXPECT_FALSE(g.HasPathFrom(4, {c}));
+  EXPECT_FALSE(g.HasPathFrom(4, {a, a}));
+  EXPECT_FALSE(g.HasPathFrom(4, {a, b}));
+  EXPECT_FALSE(g.HasPathFrom(4, {c, c}));
+}
+
+TEST(GraphTest, HasPathBetween) {
+  Graph g = Figure3G0();
+  Symbol a = 0, b = 1, c = 2;
+  EXPECT_TRUE(g.HasPathBetween(0, 3, {a, b, c}));   // v1 -abc-> v4
+  EXPECT_FALSE(g.HasPathBetween(0, 4, {a, b, c}));  // not to v5
+}
+
+TEST(GraphNfaTest, PathsLanguage) {
+  Graph g = Figure3G0();
+  Nfa nfa = GraphToNfa(g, {4});  // ν5
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts({0}));
+  EXPECT_TRUE(nfa.Accepts({1}));
+  EXPECT_FALSE(nfa.Accepts({2}));
+  EXPECT_FALSE(nfa.Accepts({0, 0}));
+}
+
+TEST(GraphNfaTest, BetweenLanguage) {
+  Graph g = Figure3G0();
+  Nfa nfa = GraphToNfaBetween(g, 0, 3);  // ν1 to ν4
+  EXPECT_TRUE(nfa.Accepts({0, 1, 2}));   // abc
+  EXPECT_FALSE(nfa.Accepts({0}));        // a ends at ν2, not ν4
+  EXPECT_FALSE(nfa.Accepts({}));
+}
+
+TEST(GraphNfaTest, PairsUnionLanguage) {
+  Graph g = Figure3G0();
+  Nfa nfa = GraphToNfaPairs(g, {{0, 3}, {2, 1}});  // ν1→ν4 and ν3→ν2
+  EXPECT_TRUE(nfa.Accepts({0, 1, 2}));  // abc: ν1→ν4
+  EXPECT_TRUE(nfa.Accepts({0}));        // a: ν3→ν2
+  EXPECT_FALSE(nfa.Accepts({}));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  Graph g = Figure1Geographic();
+  std::ostringstream out;
+  WriteGraphText(g, out);
+  std::istringstream in(out.str());
+  StatusOr<Graph> loaded = ReadGraphText(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->NodeName(0), "N1");
+  // Same adjacency after round trip.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto lhs = g.OutEdges(v);
+    auto rhs = loaded->OutEdges(v);
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (size_t i = 0; i < lhs.size(); ++i) {
+      EXPECT_EQ(g.alphabet().Name(lhs[i].label),
+                loaded->alphabet().Name(rhs[i].label));
+      EXPECT_EQ(lhs[i].node, rhs[i].node);
+    }
+  }
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n0 a 1\n1 b 2\n");
+  StatusOr<Graph> g = ReadGraphText(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphIoTest, RejectsMalformedLines) {
+  std::istringstream in("0 a\n");
+  EXPECT_FALSE(ReadGraphText(in).ok());
+}
+
+TEST(GraphStatsTest, CountsAreConsistent) {
+  Graph g = Figure3G0();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 7u);
+  EXPECT_EQ(stats.num_edges, 12u);
+  EXPECT_EQ(stats.num_labels, 3u);
+  size_t histogram_total = 0;
+  for (size_t c : stats.label_histogram) histogram_total += c;
+  EXPECT_EQ(histogram_total, stats.num_edges);
+  EXPECT_NEAR(stats.sink_fraction, 1.0 / 7.0, 1e-9);  // only ν4 is a sink
+  EXPECT_FALSE(StatsToString(stats, g.alphabet()).empty());
+}
+
+TEST(FixtureTest, Figure5PositiveCoveredByNegatives) {
+  Graph g = Figure5Inconsistent();
+  // Every word over {a,b} is a path of all three nodes.
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_TRUE(g.HasPathFrom(v, {0, 1, 0, 1}));
+  }
+}
+
+TEST(FixtureTest, EmptyGraphDefaults) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace rpqlearn

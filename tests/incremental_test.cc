@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.h"
+#include "graph/fixtures.h"
+#include "learn/incremental.h"
+#include "learn/learner.h"
+#include "query/eval.h"
+#include "util/random.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(IncrementalLearnerTest, MatchesBatchOnFig3Walkthrough) {
+  Graph g = Figure3G0();
+  LearnerOptions options;
+  options.k = 3;
+  options.auto_k = false;
+  IncrementalLearner incremental(g, options);
+  incremental.AddPositive(0);
+  incremental.AddPositive(2);
+  incremental.AddNegative(1);
+  incremental.AddNegative(6);
+
+  LearnOutcome inc = incremental.LearnAtK(3);
+  Sample sample;
+  sample.positive = {0, 2};
+  sample.negative = {1, 6};
+  LearnOutcome batch = LearnPathQuery(g, sample, options);
+  ASSERT_FALSE(inc.is_null);
+  ASSERT_FALSE(batch.is_null);
+  EXPECT_TRUE(inc.query == batch.query);
+  EXPECT_EQ(inc.stats.num_scps, batch.stats.num_scps);
+}
+
+TEST(IncrementalLearnerTest, CachedScpSurvivesPositiveLabels) {
+  // Adding positives must not invalidate anything: results identical before
+  // and after interleaving positive additions.
+  Graph g = Figure3G0();
+  LearnerOptions options;
+  options.k = 3;
+  options.auto_k = false;
+  IncrementalLearner learner(g, options);
+  learner.AddNegative(1);
+  learner.AddNegative(6);
+  learner.AddPositive(2);
+  LearnOutcome first = learner.LearnAtK(3);
+  ASSERT_FALSE(first.is_null);
+  learner.AddPositive(0);  // positive only: caches stay valid
+  LearnOutcome second = learner.LearnAtK(3);
+  ASSERT_FALSE(second.is_null);
+  EXPECT_TRUE(AreEquivalent(second.query, first.query) ||
+              second.query.num_states() >= first.query.num_states());
+  // And it still matches the batch learner exactly.
+  Sample sample;
+  sample.positive = {2, 0};
+  sample.negative = {1, 6};
+  LearnOutcome batch = LearnPathQuery(g, sample, options);
+  EXPECT_TRUE(second.query == batch.query);
+}
+
+TEST(IncrementalLearnerTest, ScpRevalidationOnNewNegatives) {
+  // A new negative that covers the previous SCP must force recomputation:
+  // the incremental result still equals the batch result.
+  Graph g = Figure3G0();
+  LearnerOptions options;
+  options.k = 3;
+  options.auto_k = false;
+  IncrementalLearner learner(g, options);
+  learner.AddPositive(2);  // SCP with no negatives: ε
+  LearnOutcome loose = learner.LearnAtK(3);
+  ASSERT_FALSE(loose.is_null);
+  EXPECT_TRUE(loose.query.Accepts({}));
+
+  learner.AddNegative(1);  // covers ε, a, b, ... — SCP must move to c
+  learner.AddNegative(6);
+  LearnOutcome tight = learner.LearnAtK(3);
+  ASSERT_FALSE(tight.is_null);
+  EXPECT_FALSE(tight.query.Accepts({}));
+  EXPECT_TRUE(tight.query.Accepts({2}));
+
+  Sample sample;
+  sample.positive = {2};
+  sample.negative = {1, 6};
+  LearnOutcome batch = LearnPathQuery(g, sample, options);
+  EXPECT_TRUE(tight.query == batch.query);
+}
+
+TEST(IncrementalLearnerTest, DynamicKSweepMatchesBatch) {
+  Graph g = Figure3G0();
+  LearnerOptions options;  // defaults: k=2, auto_k, max_k=8
+  IncrementalLearner learner(g, options);
+  learner.AddPositive(0);
+  learner.AddPositive(2);
+  learner.AddNegative(1);
+  learner.AddNegative(6);
+  LearnOutcome inc = learner.Learn();
+  Sample sample;
+  sample.positive = {0, 2};
+  sample.negative = {1, 6};
+  LearnOutcome batch = LearnPathQuery(g, sample, options);
+  ASSERT_FALSE(inc.is_null);
+  ASSERT_FALSE(batch.is_null);
+  EXPECT_TRUE(inc.query == batch.query);
+  EXPECT_EQ(inc.stats.k_used, batch.stats.k_used);
+}
+
+TEST(IncrementalLearnerTest, AbstainsLikeBatchOnInconsistency) {
+  Graph g = Figure5Inconsistent();
+  IncrementalLearner learner(g, {});
+  learner.AddPositive(0);
+  learner.AddNegative(1);
+  learner.AddNegative(2);
+  EXPECT_TRUE(learner.Learn().is_null);
+}
+
+TEST(IncrementalLearnerTest, CoverageAtKIsShared) {
+  Graph g = Figure3G0();
+  IncrementalLearner learner(g, {});
+  learner.AddNegative(1);
+  const SubsetCoverage* cov = learner.CoverageAtK(2);
+  ASSERT_NE(cov, nullptr);
+  EXPECT_EQ(cov->k(), 2u);
+  EXPECT_TRUE(cov->IsCovering(cov->initial()));  // ε covered
+  // Same pointer while negatives unchanged.
+  learner.AddPositive(0);
+  EXPECT_EQ(learner.CoverageAtK(2), cov);
+}
+
+class IncrementalEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IncrementalEquivalenceTest, RandomLabelStreamsMatchBatch) {
+  // Property: after any prefix of a random label stream, the incremental
+  // learner's outcome equals the batch learner's on the same sample.
+  Dataset dataset = BuildSyntheticDataset(300, /*seed=*/GetParam());
+  const Graph& g = dataset.graph;
+  BitVector goal = EvalMonadic(g, dataset.queries[1].query);
+  Rng rng(GetParam() * 7919 + 1);
+
+  LearnerOptions options;
+  options.k = 2;
+  options.auto_k = false;
+  IncrementalLearner incremental(g, options);
+  Sample sample;
+  for (int step = 0; step < 12; ++step) {
+    NodeId v = static_cast<NodeId>(rng.NextBelow(g.num_nodes()));
+    if (sample.IsLabeled(v)) continue;
+    if (goal.Test(v)) {
+      incremental.AddPositive(v);
+      sample.AddPositive(v);
+    } else {
+      incremental.AddNegative(v);
+      sample.AddNegative(v);
+    }
+    LearnOutcome inc = incremental.LearnAtK(2);
+    LearnOutcome batch = LearnPathQuery(g, sample, options);
+    ASSERT_EQ(inc.is_null, batch.is_null) << "step " << step;
+    if (!inc.is_null) {
+      EXPECT_TRUE(inc.query == batch.query) << "step " << step;
+      EXPECT_EQ(inc.stats.num_scps, batch.stats.num_scps) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, IncrementalEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "graph/fixtures.h"
+#include "graph/graph_nfa.h"
+#include "interact/certain.h"
+#include "interact/informative.h"
+#include "interact/strategy.h"
+
+namespace rpqlearn {
+namespace {
+
+SubsetCoverage CoverageOf(const Graph& g, const std::vector<NodeId>& negs,
+                          uint32_t k) {
+  Nfa negatives = GraphToNfa(g, negs);
+  SubsetCoverage::Options options;
+  options.k = k;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  EXPECT_TRUE(cov.ok());
+  return std::move(cov).value();
+}
+
+TEST(InformativeTest, MatchesDefinitionOnFig3) {
+  // k-informative ⟺ some path of length ≤ k is uncovered by S−.
+  Graph g = Figure3G0();
+  for (uint32_t k = 1; k <= 3; ++k) {
+    SubsetCoverage cov = CoverageOf(g, {1, 6}, k);
+    BitVector informative = ComputeKInformative(g, cov);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      bool expected = false;
+      for (const Word& w : AllWordsUpTo(3, k)) {
+        if (g.HasPathFrom(v, w) && !g.HasPathFrom(1, w) &&
+            !g.HasPathFrom(6, w)) {
+          expected = true;
+          break;
+        }
+      }
+      EXPECT_EQ(informative.Test(v), expected) << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(InformativeTest, EmptyNegativesMakeEveryoneInformative) {
+  Graph g = Figure3G0();
+  SubsetCoverage cov = CoverageOf(g, {}, 2);
+  BitVector informative = ComputeKInformative(g, cov);
+  EXPECT_EQ(informative.Count(), g.num_nodes());
+}
+
+TEST(InformativeTest, KInformativeImpliesInformative) {
+  // Sec. 4.2: "If a node is k-informative, then it is also informative."
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.negative = {1, 6};
+  SubsetCoverage cov = CoverageOf(g, sample.negative, 3);
+  BitVector informative = ComputeKInformative(g, cov);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!informative.Test(v) || sample.IsLabeled(v)) continue;
+    auto exact = IsInformativeExact(g, sample, v);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_TRUE(*exact) << "node " << v;
+  }
+}
+
+TEST(UncoveredPathCounterTest, CountsMatchBruteForce) {
+  Graph g = Figure3G0();
+  const uint32_t k = 3;
+  SubsetCoverage cov = CoverageOf(g, {1, 6}, k);
+  UncoveredPathCounter counter(g, cov);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Brute force: enumerate node sequences of length ≤ k from v and count
+    // those whose word is uncovered.
+    uint64_t expected = 0;
+    struct Walker {
+      const Graph& g;
+      uint64_t count = 0;
+      void Walk(NodeId node, Word word, uint32_t remaining) {
+        if (!g.HasPathFrom(1, word) && !g.HasPathFrom(6, word)) ++count;
+        if (remaining == 0) return;
+        for (const LabeledEdge& e : g.OutEdges(node)) {
+          Word next = word;
+          next.push_back(e.label);
+          Walk(e.node, std::move(next), remaining - 1);
+        }
+      }
+    };
+    Walker walker{g};
+    walker.Walk(v, {}, k);
+    expected = walker.count;
+    EXPECT_EQ(counter.Count(v), expected) << "node " << v;
+  }
+}
+
+TEST(UncoveredPathCounterTest, ZeroForFullyCoveredNode) {
+  // ν4's only path is ε, covered once any negative exists.
+  Graph g = Figure3G0();
+  SubsetCoverage cov = CoverageOf(g, {1, 6}, 3);
+  UncoveredPathCounter counter(g, cov);
+  EXPECT_EQ(counter.Count(3), 0u);
+}
+
+TEST(StrategyTest, BothStrategiesReturnInformativeUnlabeledNodes) {
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.negative = {1, 6};
+  SubsetCoverage cov = CoverageOf(g, sample.negative, 3);
+  BitVector informative = ComputeKInformative(g, cov);
+  Rng rng(5);
+  for (StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kSmallestPaths}) {
+    auto pick = PickNextNode(g, sample, cov, informative, kind, &rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(informative.Test(*pick));
+    EXPECT_FALSE(sample.IsLabeled(*pick));
+  }
+}
+
+TEST(StrategyTest, KSmallestPicksMinimalCount) {
+  Graph g = Figure3G0();
+  Sample sample;
+  sample.negative = {1, 6};
+  SubsetCoverage cov = CoverageOf(g, sample.negative, 3);
+  BitVector informative = ComputeKInformative(g, cov);
+  Rng rng(6);
+  auto pick = PickNextNode(g, sample, cov, informative,
+                           StrategyKind::kSmallestPaths, &rng);
+  ASSERT_TRUE(pick.has_value());
+  UncoveredPathCounter counter(g, cov);
+  uint64_t picked_count = counter.Count(*pick);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (informative.Test(v) && !sample.IsLabeled(v)) {
+      EXPECT_LE(picked_count, counter.Count(v)) << "node " << v;
+    }
+  }
+}
+
+TEST(StrategyTest, NoCandidatesReturnsNullopt) {
+  // Fig. 5 with both negatives labeled: the positive node is the only
+  // remaining one and all of its paths are covered.
+  Graph g = Figure5Inconsistent();
+  Sample sample;
+  sample.negative = {1, 2};
+  sample.positive = {};
+  SubsetCoverage cov = CoverageOf(g, sample.negative, 4);
+  BitVector informative = ComputeKInformative(g, cov);
+  Rng rng(7);
+  auto pick = PickNextNode(g, sample, cov, informative,
+                           StrategyKind::kRandom, &rng);
+  EXPECT_FALSE(pick.has_value());
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "experiments/interactive_experiment.h"
+#include "experiments/report.h"
+#include "experiments/static_experiment.h"
+#include "query/eval.h"
+#include "workloads/workloads.h"
+
+namespace rpqlearn {
+namespace {
+
+/// A small AliBaba-like dataset keeps the integration tests fast.
+Dataset SmallDataset() { return BuildSyntheticDataset(600, 3); }
+
+TEST(IntegrationTest, StaticSweepF1Improves) {
+  // Fig. 11's qualitative shape: more labels → F1 does not collapse, and at
+  // generous label fractions F1 is high.
+  Dataset dataset = SmallDataset();
+  StaticSweepOptions options;
+  options.fractions = {0.02, 0.10, 0.30};
+  options.trials = 2;
+  options.seed = 9;
+  auto points =
+      RunStaticSweep(dataset.graph, dataset.queries[2].query, options);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_GE(points.back().f1_mean, points.front().f1_mean - 0.05);
+  EXPECT_GE(points.back().f1_mean, 0.8);
+}
+
+TEST(IntegrationTest, StaticSweepRecordsTime) {
+  Dataset dataset = SmallDataset();
+  StaticSweepOptions options;
+  options.fractions = {0.05};
+  options.trials = 1;
+  auto points =
+      RunStaticSweep(dataset.graph, dataset.queries[1].query, options);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_GE(points[0].time_mean_seconds, 0.0);
+}
+
+TEST(IntegrationTest, InteractiveReachesF1One) {
+  Dataset dataset = SmallDataset();
+  InteractiveSummary summary = RunInteractiveExperiment(
+      dataset.graph, dataset.queries[1].query, StrategyKind::kRandom, 21);
+  EXPECT_TRUE(summary.reached_goal);
+  EXPECT_GT(summary.interactions, 0u);
+}
+
+TEST(IntegrationTest, InteractiveBeatsStaticOnLabels) {
+  // Table 2's headline: interactions need far fewer labels than the static
+  // protocol for F1 = 1.
+  Dataset dataset = SmallDataset();
+  const Dfa& goal = dataset.queries[1].query;
+  LearnerOptions learner;
+  double static_fraction = LabelsNeededForPerfectF1(
+      dataset.graph, goal, /*step=*/0.05, /*max_fraction=*/1.0, 33, learner);
+  InteractiveSummary interactive = RunInteractiveExperiment(
+      dataset.graph, goal, StrategyKind::kRandom, 33);
+  ASSERT_TRUE(interactive.reached_goal);
+  EXPECT_LT(interactive.label_percent / 100.0, static_fraction);
+}
+
+TEST(IntegrationTest, BothStrategiesConvergeOnSmallSynthetic) {
+  Dataset dataset = SmallDataset();
+  for (StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kSmallestPaths}) {
+    InteractiveSummary summary = RunInteractiveExperiment(
+        dataset.graph, dataset.queries[2].query, kind, 17);
+    EXPECT_TRUE(summary.reached_goal)
+        << "strategy " << static_cast<int>(kind);
+  }
+}
+
+TEST(ReportTest, RendersAlignedTable) {
+  TableReport report({"query", "F1"});
+  report.AddRow({"bio1", TableReport::Num(0.987, 3)});
+  report.AddRow({"syn1-long-name", TableReport::Percent(0.5, 1)});
+  std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("bio1"), std::string::npos);
+  EXPECT_NE(rendered.find("0.987"), std::string::npos);
+  EXPECT_NE(rendered.find("50.0%"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(rendered.find("|--"), std::string::npos);
+}
+
+TEST(ReportTest, NumFormatting) {
+  EXPECT_EQ(TableReport::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TableReport::Percent(0.123456, 2), "12.35%");
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/fixtures.h"
+#include "graph/io.h"
+
+namespace rpqlearn {
+namespace {
+
+class IoFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("rpqlearn_io_test_" + std::to_string(::getpid()) + ".graph"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(IoFileTest, SaveLoadRoundTrip) {
+  Graph original = Figure1Geographic();
+  ASSERT_TRUE(SaveGraphFile(original, path_).ok());
+  StatusOr<Graph> loaded = LoadGraphFile(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  EXPECT_EQ(loaded->FindNodeByName("N4"), original.FindNodeByName("N4"));
+}
+
+TEST_F(IoFileTest, LoadMissingFileIsNotFound) {
+  StatusOr<Graph> result = LoadGraphFile("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoFileTest, SaveToUnwritablePathFails) {
+  Graph g = Figure3G0();
+  Status status = SaveGraphFile(g, "/nonexistent-dir/graph.txt");
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(IoFileTest, LoadedGraphIsQueryable) {
+  ASSERT_TRUE(SaveGraphFile(Figure3G0(), path_).ok());
+  StatusOr<Graph> loaded = LoadGraphFile(path_);
+  ASSERT_TRUE(loaded.ok());
+  Symbol a = *loaded->alphabet().Find("a");
+  Symbol b = *loaded->alphabet().Find("b");
+  EXPECT_TRUE(loaded->HasPathFrom(0, {a, b, a}));
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "query/metrics.h"
+
+namespace rpqlearn {
+namespace {
+
+BitVector Bits(size_t size, std::initializer_list<size_t> set) {
+  BitVector bv(size);
+  for (size_t i : set) bv.Set(i);
+  return bv;
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  auto truth = Bits(10, {1, 3, 5});
+  ClassifierMetrics m = ComputeMetrics(truth, truth);
+  EXPECT_EQ(m.true_positives, 3u);
+  EXPECT_EQ(m.false_positives, 0u);
+  EXPECT_EQ(m.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, AllWrong) {
+  auto predicted = Bits(4, {0, 1});
+  auto truth = Bits(4, {2, 3});
+  ClassifierMetrics m = ComputeMetrics(predicted, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  auto predicted = Bits(8, {0, 1, 2, 3});
+  auto truth = Bits(8, {2, 3, 4, 5});
+  ClassifierMetrics m = ComputeMetrics(predicted, truth);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 0.5);
+  EXPECT_EQ(m.true_negatives, 2u);
+}
+
+TEST(MetricsTest, EmptyTruthEmptyPrediction) {
+  BitVector empty(5);
+  ClassifierMetrics m = ComputeMetrics(empty, empty);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(MetricsTest, EmptyPredictionNonEmptyTruth) {
+  BitVector predicted(5);
+  auto truth = Bits(5, {0});
+  ClassifierMetrics m = ComputeMetrics(predicted, truth);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, PrecisionRecallAsymmetry) {
+  auto predicted = Bits(10, {0, 1, 2, 3, 4, 5});
+  auto truth = Bits(10, {0, 1});
+  ClassifierMetrics m = ComputeMetrics(predicted, truth);
+  EXPECT_NEAR(m.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.f1, 2 * (1.0 / 3) * 1.0 / (1.0 / 3 + 1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace rpqlearn

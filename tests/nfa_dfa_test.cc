@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace rpqlearn {
+namespace {
+
+/// The canonical DFA for (a.b)*.c from Fig. 4 of the paper.
+Dfa Fig4Dfa() {
+  Dfa dfa(3);  // a=0, b=1, c=2
+  StateId s0 = dfa.AddState(false);
+  StateId s1 = dfa.AddState(false);
+  StateId s2 = dfa.AddState(true);
+  dfa.SetTransition(s0, 0, s1);
+  dfa.SetTransition(s1, 1, s0);
+  dfa.SetTransition(s0, 2, s2);
+  return dfa;
+}
+
+TEST(DfaTest, Fig4AcceptsAbStarC) {
+  Dfa dfa = Fig4Dfa();
+  EXPECT_TRUE(dfa.Accepts({2}));           // c
+  EXPECT_TRUE(dfa.Accepts({0, 1, 2}));     // abc
+  EXPECT_TRUE(dfa.Accepts({0, 1, 0, 1, 2}));
+  EXPECT_FALSE(dfa.Accepts({}));
+  EXPECT_FALSE(dfa.Accepts({0}));
+  EXPECT_FALSE(dfa.Accepts({0, 1}));
+  EXPECT_FALSE(dfa.Accepts({1, 2}));
+  EXPECT_FALSE(dfa.Accepts({0, 1, 2, 2}));
+}
+
+TEST(DfaTest, SizeOfFig4QueryIsThree) {
+  // "the size of the query (a·b)*·c is 3" (Sec. 2).
+  EXPECT_EQ(Fig4Dfa().num_states(), 3u);
+}
+
+TEST(DfaTest, RunReturnsNoStateOffTheMap) {
+  Dfa dfa = Fig4Dfa();
+  EXPECT_EQ(dfa.Run(0, {0, 0}), kNoState);  // no a from state 1
+  EXPECT_EQ(dfa.Run(0, {0, 1}), 0u);
+}
+
+TEST(DfaTest, CompletedAddsSink) {
+  Dfa dfa = Fig4Dfa();
+  EXPECT_FALSE(dfa.IsComplete());
+  Dfa complete = dfa.Completed();
+  EXPECT_TRUE(complete.IsComplete());
+  EXPECT_EQ(complete.num_states(), 4u);
+  // Language unchanged.
+  EXPECT_TRUE(complete.Accepts({0, 1, 2}));
+  EXPECT_FALSE(complete.Accepts({0, 0}));
+}
+
+TEST(DfaTest, CompletedOnCompleteIsIdentity) {
+  Dfa dfa(1);
+  StateId s = dfa.AddState(true);
+  dfa.SetTransition(s, 0, s);
+  EXPECT_EQ(dfa.Completed().num_states(), 1u);
+}
+
+TEST(DfaTest, TrimmedRemovesDeadAndUnreachable) {
+  Dfa dfa(2);
+  StateId s0 = dfa.AddState(false);
+  StateId acc = dfa.AddState(true);
+  StateId dead = dfa.AddState(false);       // reachable, no accept ahead
+  StateId unreachable = dfa.AddState(true);  // never reached
+  dfa.SetTransition(s0, 0, acc);
+  dfa.SetTransition(s0, 1, dead);
+  dfa.SetTransition(dead, 0, dead);
+  dfa.SetTransition(unreachable, 0, acc);
+  Dfa trimmed = dfa.Trimmed();
+  EXPECT_EQ(trimmed.num_states(), 2u);
+  EXPECT_TRUE(trimmed.Accepts({0}));
+  EXPECT_FALSE(trimmed.Accepts({1}));
+}
+
+TEST(DfaTest, TrimmedKeepsInitialForEmptyLanguage) {
+  Dfa dfa(1);
+  dfa.AddState(false);
+  Dfa trimmed = dfa.Trimmed();
+  EXPECT_EQ(trimmed.num_states(), 1u);
+  EXPECT_TRUE(trimmed.IsEmptyLanguage());
+}
+
+TEST(DfaTest, IsEmptyLanguage) {
+  Dfa dfa(1);
+  StateId s0 = dfa.AddState(false);
+  StateId s1 = dfa.AddState(false);
+  dfa.SetTransition(s0, 0, s1);
+  EXPECT_TRUE(dfa.IsEmptyLanguage());
+  dfa.SetAccepting(s1, true);
+  EXPECT_FALSE(dfa.IsEmptyLanguage());
+}
+
+TEST(DfaTest, ToNfaPreservesLanguage) {
+  Dfa dfa = Fig4Dfa();
+  Nfa nfa = dfa.ToNfa();
+  EXPECT_TRUE(nfa.Accepts({2}));
+  EXPECT_TRUE(nfa.Accepts({0, 1, 2}));
+  EXPECT_FALSE(nfa.Accepts({0, 1}));
+  EXPECT_EQ(nfa.NumTransitions(), dfa.NumTransitions());
+}
+
+TEST(DfaTest, ClearTransition) {
+  Dfa dfa = Fig4Dfa();
+  dfa.ClearTransition(0, 2);
+  EXPECT_FALSE(dfa.Accepts({2}));
+}
+
+TEST(NfaTest, NondeterministicAcceptance) {
+  // Two a-branches: one leads to acceptance via b, one dead-ends.
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId s2 = nfa.AddState();
+  StateId s3 = nfa.AddState(true);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s0, 0, s2);
+  nfa.AddTransition(s1, 1, s3);
+  nfa.AddInitial(s0);
+  nfa.Finalize();
+  EXPECT_TRUE(nfa.Accepts({0, 1}));
+  EXPECT_FALSE(nfa.Accepts({0}));
+  EXPECT_FALSE(nfa.Accepts({1}));
+}
+
+TEST(NfaTest, EpsilonClosureChains) {
+  Nfa nfa(1);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId s2 = nfa.AddState(true);
+  nfa.AddEpsilonTransition(s0, s1);
+  nfa.AddEpsilonTransition(s1, s2);
+  nfa.AddInitial(s0);
+  nfa.Finalize();
+  EXPECT_EQ(nfa.EpsilonClosure({s0}),
+            (std::vector<StateId>{s0, s1, s2}));
+  EXPECT_TRUE(nfa.Accepts({}));  // ε reaches the accepting state
+}
+
+TEST(NfaTest, StepAppliesClosureAfterMove) {
+  Nfa nfa(1);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId s2 = nfa.AddState(true);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddEpsilonTransition(s1, s2);
+  nfa.AddInitial(s0);
+  nfa.Finalize();
+  EXPECT_TRUE(nfa.Accepts({0}));
+  EXPECT_EQ(nfa.Step({s0}, 0), (std::vector<StateId>{s1, s2}));
+}
+
+TEST(NfaTest, MultipleInitialStates) {
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId acc = nfa.AddState(true);
+  nfa.AddTransition(s0, 0, acc);
+  nfa.AddTransition(s1, 1, acc);
+  nfa.AddInitial(s0);
+  nfa.AddInitial(s1);
+  nfa.Finalize();
+  EXPECT_TRUE(nfa.Accepts({0}));
+  EXPECT_TRUE(nfa.Accepts({1}));
+  EXPECT_FALSE(nfa.Accepts({0, 1}));
+}
+
+TEST(NfaTest, FinalizeDeduplicatesTransitions) {
+  Nfa nfa(1);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState(true);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddInitial(s0);
+  nfa.AddInitial(s0);
+  nfa.Finalize();
+  EXPECT_EQ(nfa.TransitionsFrom(s0).size(), 1u);
+  EXPECT_EQ(nfa.initial_states().size(), 1u);
+}
+
+TEST(NfaTest, EmptyInitialAcceptsNothing) {
+  Nfa nfa(1);
+  nfa.AddState(true);
+  nfa.Finalize();
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_FALSE(nfa.Accepts({0}));
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "automata/ops.h"
+#include "automata/random_automata.h"
+#include "automata/word.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+Nfa SingleWordNfa(const Word& w, uint32_t num_symbols) {
+  Nfa nfa(num_symbols);
+  StateId current = nfa.AddState(w.empty());
+  nfa.AddInitial(current);
+  for (size_t i = 0; i < w.size(); ++i) {
+    StateId next = nfa.AddState(i + 1 == w.size());
+    nfa.AddTransition(current, w[i], next);
+    current = next;
+  }
+  nfa.Finalize();
+  return nfa;
+}
+
+TEST(RemoveEpsilonsTest, PreservesLanguage) {
+  Nfa nfa(2);
+  StateId s0 = nfa.AddState();
+  StateId s1 = nfa.AddState();
+  StateId s2 = nfa.AddState(true);
+  nfa.AddEpsilonTransition(s0, s1);
+  nfa.AddTransition(s1, 0, s2);
+  nfa.AddTransition(s2, 1, s0);
+  nfa.AddInitial(s0);
+  nfa.Finalize();
+  Nfa plain = RemoveEpsilons(nfa);
+  EXPECT_FALSE(plain.has_epsilon_transitions());
+  for (const Word& w : AllWordsUpTo(2, 5)) {
+    EXPECT_EQ(plain.Accepts(w), nfa.Accepts(w));
+  }
+}
+
+TEST(UnionNfaTest, AcceptsEitherLanguage) {
+  Nfa a = SingleWordNfa({0, 1}, 2);
+  Nfa b = SingleWordNfa({1}, 2);
+  Nfa u = UnionNfa(a, b);
+  EXPECT_TRUE(u.Accepts({0, 1}));
+  EXPECT_TRUE(u.Accepts({1}));
+  EXPECT_FALSE(u.Accepts({0}));
+  EXPECT_FALSE(u.Accepts({}));
+}
+
+TEST(IntersectionNfaTest, MatchesMembership) {
+  Rng rng(17);
+  RandomAutomatonOptions options;
+  options.num_states = 5;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    Nfa a = RandomNfa(&rng, options);
+    Nfa b = RandomNfa(&rng, options);
+    Nfa product = IntersectionNfa(a, b);
+    for (const Word& w : AllWordsUpTo(2, 5)) {
+      EXPECT_EQ(product.Accepts(w), a.Accepts(w) && b.Accepts(w))
+          << "iteration " << iteration;
+    }
+  }
+}
+
+TEST(ComplementDfaTest, FlipsMembership) {
+  Rng rng(18);
+  RandomAutomatonOptions options;
+  options.num_states = 5;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    Dfa complement = ComplementDfa(dfa);
+    for (const Word& w : AllWordsUpTo(2, 5)) {
+      EXPECT_NE(complement.Accepts(w), dfa.Accepts(w))
+          << "iteration " << iteration;
+    }
+  }
+}
+
+TEST(FindShortestAcceptedWordTest, EmptyWord) {
+  Nfa nfa = SingleWordNfa({}, 2);
+  auto word = FindShortestAcceptedWord(nfa);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_TRUE(word->empty());
+}
+
+TEST(FindShortestAcceptedWordTest, EmptyLanguage) {
+  Nfa nfa(2);
+  nfa.AddInitial(nfa.AddState(false));
+  nfa.Finalize();
+  EXPECT_FALSE(FindShortestAcceptedWord(nfa).has_value());
+}
+
+TEST(FindShortestAcceptedWordTest, FindsShortest) {
+  // Language {aa, b}: shortest is b.
+  Nfa a = SingleWordNfa({0, 0}, 2);
+  Nfa b = SingleWordNfa({1}, 2);
+  auto word = FindShortestAcceptedWord(UnionNfa(a, b));
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(*word, (Word{1}));
+}
+
+TEST(IntersectionEmptinessTest, DisjointLanguages) {
+  Nfa a = SingleWordNfa({0}, 2);
+  Nfa b = SingleWordNfa({1}, 2);
+  EXPECT_TRUE(IntersectionIsEmpty(a, b));
+  EXPECT_FALSE(FindShortestWordInIntersection(a, b).has_value());
+}
+
+TEST(IntersectionEmptinessTest, WitnessIsShortestCommonWord) {
+  // a* ∩ (aa)* — shortest common word is ε.
+  Nfa astar(1);
+  StateId s = astar.AddState(true);
+  astar.AddTransition(s, 0, s);
+  astar.AddInitial(s);
+  astar.Finalize();
+
+  Nfa aeven(1);
+  StateId e0 = aeven.AddState(true);
+  StateId e1 = aeven.AddState(false);
+  aeven.AddTransition(e0, 0, e1);
+  aeven.AddTransition(e1, 0, e0);
+  aeven.AddInitial(e0);
+  aeven.Finalize();
+
+  auto witness = FindShortestWordInIntersection(astar, aeven);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST(IntersectionEmptinessTest, NonEmptyWitnessIsAccepted) {
+  Rng rng(19);
+  RandomAutomatonOptions options;
+  options.num_states = 6;
+  options.num_symbols = 2;
+  int nonempty = 0;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    Nfa a = RandomNfa(&rng, options);
+    Nfa b = RandomNfa(&rng, options);
+    auto witness = FindShortestWordInIntersection(a, b);
+    if (witness.has_value()) {
+      ++nonempty;
+      EXPECT_TRUE(a.Accepts(*witness)) << "iteration " << iteration;
+      EXPECT_TRUE(b.Accepts(*witness)) << "iteration " << iteration;
+    } else {
+      // Cross-check emptiness by exhaustive short-word search.
+      for (const Word& w : AllWordsUpTo(2, 5)) {
+        EXPECT_FALSE(a.Accepts(w) && b.Accepts(w))
+            << "iteration " << iteration;
+      }
+    }
+  }
+  EXPECT_GT(nonempty, 0);  // the sweep exercises both branches
+}
+
+TEST(IntersectionEmptinessTest, HandlesEpsilonInputs) {
+  // Thompson-style fragments carry ε-transitions; the ops must accept them.
+  Nfa a(1);
+  StateId a0 = a.AddState();
+  StateId a1 = a.AddState(true);
+  a.AddEpsilonTransition(a0, a1);
+  a.AddTransition(a1, 0, a1);
+  a.AddInitial(a0);
+  a.Finalize();
+  Nfa b = SingleWordNfa({0}, 1);
+  auto witness = FindShortestWordInIntersection(a, b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(*witness, (Word{0}));
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.h"
+#include "automata/minimize.h"
+#include "automata/prefix_free.h"
+#include "automata/pta.h"
+#include "automata/random_automata.h"
+#include "automata/word.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+Dfa DfaOfWords(const std::vector<Word>& words, uint32_t num_symbols) {
+  return Canonicalize(BuildPta(words, num_symbols));
+}
+
+TEST(PrefixFreeTest, DetectsViolation) {
+  // {a, ab}: a is a prefix of ab.
+  Dfa dfa = DfaOfWords({{0}, {0, 1}}, 2);
+  EXPECT_FALSE(IsPrefixFree(dfa));
+}
+
+TEST(PrefixFreeTest, DetectsCompliance) {
+  Dfa dfa = DfaOfWords({{0, 0}, {0, 1}}, 2);
+  EXPECT_TRUE(IsPrefixFree(dfa));
+}
+
+TEST(PrefixFreeTest, PaperExampleAEquivalentToABStar) {
+  // Sec. 2: "the queries a and a·b* are equivalent". Their prefix-free
+  // forms must coincide (both are just {a}).
+  Dfa just_a = DfaOfWords({{0}}, 2);
+
+  // a·b* as a DFA.
+  Dfa abstar(2);
+  StateId s0 = abstar.AddState(false);
+  StateId s1 = abstar.AddState(true);
+  abstar.SetTransition(s0, 0, s1);
+  abstar.SetTransition(s1, 1, s1);
+
+  Dfa pf1 = MakePrefixFree(just_a);
+  Dfa pf2 = MakePrefixFree(abstar);
+  EXPECT_TRUE(AreEquivalent(pf1, pf2));
+  EXPECT_TRUE(pf1 == pf2);  // canonical forms are structurally equal
+}
+
+TEST(PrefixFreeTest, MakePrefixFreeKeepsMinimalWords) {
+  // {b, ba, bb}: prefix-free form is {b}.
+  Dfa dfa = DfaOfWords({{1}, {1, 0}, {1, 1}}, 2);
+  Dfa pf = MakePrefixFree(dfa);
+  EXPECT_TRUE(pf.Accepts({1}));
+  EXPECT_FALSE(pf.Accepts({1, 0}));
+  EXPECT_FALSE(pf.Accepts({1, 1}));
+  EXPECT_TRUE(IsPrefixFree(pf));
+}
+
+TEST(PrefixFreeTest, IdempotentOnRandomQueries) {
+  Rng rng(61);
+  RandomAutomatonOptions options;
+  options.num_states = 6;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    Dfa dfa = RandomDfa(&rng, options);
+    Dfa pf = MakePrefixFree(dfa);
+    EXPECT_TRUE(IsPrefixFree(pf)) << "iteration " << iteration;
+    Dfa pf2 = MakePrefixFree(pf);
+    EXPECT_TRUE(pf == pf2) << "iteration " << iteration;
+  }
+}
+
+TEST(PrefixFreeTest, KeepsExactlyNonPrefixedWords) {
+  // The prefix-free form keeps a word iff none of its proper prefixes is in
+  // the language.
+  Rng rng(62);
+  RandomAutomatonOptions options;
+  options.num_states = 5;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    Dfa dfa = Canonicalize(RandomDfa(&rng, options));
+    Dfa pf = MakePrefixFree(dfa);
+    for (const Word& w : AllWordsUpTo(2, 6)) {
+      bool has_proper_prefix_in_l = false;
+      for (size_t len = 0; len < w.size(); ++len) {
+        Word prefix(w.begin(), w.begin() + len);
+        if (dfa.Accepts(prefix)) {
+          has_proper_prefix_in_l = true;
+          break;
+        }
+      }
+      bool expected = dfa.Accepts(w) && !has_proper_prefix_in_l;
+      EXPECT_EQ(pf.Accepts(w), expected)
+          << "iteration " << iteration << " word size " << w.size();
+    }
+  }
+}
+
+TEST(PrefixFreeTest, RandomPrefixFreeQueryIsValid) {
+  Rng rng(63);
+  RandomAutomatonOptions options;
+  options.num_states = 5;
+  options.num_symbols = 3;
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    Dfa q = RandomPrefixFreeQuery(&rng, options);
+    EXPECT_TRUE(IsPrefixFree(q));
+    EXPECT_FALSE(q.IsEmptyLanguage());
+  }
+}
+
+}  // namespace
+}  // namespace rpqlearn

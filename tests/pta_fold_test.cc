@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "automata/fold.h"
+#include "automata/pta.h"
+#include "automata/word.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(PtaTest, EmptySetIsSingleRejectingRoot) {
+  Dfa pta = BuildPta({}, 2);
+  EXPECT_EQ(pta.num_states(), 1u);
+  EXPECT_TRUE(pta.IsEmptyLanguage());
+}
+
+TEST(PtaTest, AcceptsExactlyTheWords) {
+  std::vector<Word> words{{0, 1, 2}, {2}};  // the Fig. 6(a) inputs abc, c
+  Dfa pta = BuildPta(words, 3);
+  EXPECT_TRUE(pta.Accepts({0, 1, 2}));
+  EXPECT_TRUE(pta.Accepts({2}));
+  EXPECT_FALSE(pta.Accepts({}));
+  EXPECT_FALSE(pta.Accepts({0}));
+  EXPECT_FALSE(pta.Accepts({0, 1}));
+  EXPECT_FALSE(pta.Accepts({2, 2}));
+}
+
+TEST(PtaTest, Fig6aShape) {
+  // The PTA of {abc, c} has 5 states: ε, a, c, ab, abc (Fig. 6(a)).
+  Dfa pta = BuildPta({{0, 1, 2}, {2}}, 3);
+  EXPECT_EQ(pta.num_states(), 5u);
+  // Canonical numbering: ε=0, a=1, c=2, ab=3, abc=4.
+  EXPECT_EQ(pta.Next(0, 0), 1u);   // ε --a--> a
+  EXPECT_EQ(pta.Next(0, 2), 2u);   // ε --c--> c
+  EXPECT_EQ(pta.Next(1, 1), 3u);   // a --b--> ab
+  EXPECT_EQ(pta.Next(3, 2), 4u);   // ab --c--> abc
+  EXPECT_TRUE(pta.IsAccepting(2));
+  EXPECT_TRUE(pta.IsAccepting(4));
+  EXPECT_FALSE(pta.IsAccepting(0));
+}
+
+TEST(PtaTest, EpsilonWordMakesRootAccepting) {
+  Dfa pta = BuildPta({{}}, 2);
+  EXPECT_TRUE(pta.Accepts({}));
+  EXPECT_EQ(pta.num_states(), 1u);
+}
+
+TEST(PtaTest, SharedPrefixesShareStates) {
+  // {ab, ac}: states ε, a, ab, ac = 4.
+  Dfa pta = BuildPta({{0, 1}, {0, 2}}, 3);
+  EXPECT_EQ(pta.num_states(), 4u);
+}
+
+TEST(PtaTest, DuplicateWordsAreIdempotent) {
+  Dfa a = BuildPta({{0, 1}, {0, 1}}, 2);
+  Dfa b = BuildPta({{0, 1}}, 2);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FoldTest, MergeAcceptingIntoRootLoopsLanguage) {
+  // PTA of {abc, c}; merging state ab (id 3) into ε (id 0) must give
+  // (a·b)*·c — the paper's Fig. 6(b) generalization step.
+  Dfa pta = BuildPta({{0, 1, 2}, {2}}, 3);
+  FoldResult folded = FoldMerge(pta, 0, 3);
+  const Dfa& dfa = folded.dfa;
+  EXPECT_EQ(dfa.num_states(), 3u);
+  EXPECT_TRUE(dfa.Accepts({2}));
+  EXPECT_TRUE(dfa.Accepts({0, 1, 2}));
+  EXPECT_TRUE(dfa.Accepts({0, 1, 0, 1, 2}));
+  EXPECT_FALSE(dfa.Accepts({}));
+  EXPECT_FALSE(dfa.Accepts({0, 2, 2}));
+  EXPECT_FALSE(dfa.Accepts({1, 2}));
+}
+
+TEST(FoldTest, MergeEpsilonAndAGivesAStarBranch) {
+  // Merging state a (id 1) into ε (id 0) in the PTA of {abc, c} yields
+  // a*·(b·c + c) — which accepts bc, the word that dooms this merge in the
+  // paper's walkthrough.
+  Dfa pta = BuildPta({{0, 1, 2}, {2}}, 3);
+  FoldResult folded = FoldMerge(pta, 0, 1);
+  EXPECT_TRUE(folded.dfa.Accepts({1, 2}));        // bc
+  EXPECT_TRUE(folded.dfa.Accepts({0, 0, 1, 2}));  // aabc
+  EXPECT_TRUE(folded.dfa.Accepts({2}));
+  EXPECT_FALSE(folded.dfa.Accepts({1, 1, 2}));
+}
+
+TEST(FoldTest, ResultIsSuperset) {
+  // Folding only ever grows the language.
+  Dfa pta = BuildPta({{0, 0}, {1}, {0, 1, 1}}, 2);
+  for (StateId r = 0; r < pta.num_states(); ++r) {
+    for (StateId b = r + 1; b < pta.num_states(); ++b) {
+      FoldResult folded = FoldMerge(pta, r, b);
+      for (const Word& w : AllWordsUpTo(2, 4)) {
+        if (pta.Accepts(w)) {
+          EXPECT_TRUE(folded.dfa.Accepts(w))
+              << "merge " << r << "<-" << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(FoldTest, OldToNewCoversAllStates) {
+  Dfa pta = BuildPta({{0, 1, 2}, {2}}, 3);
+  FoldResult folded = FoldMerge(pta, 0, 3);
+  ASSERT_EQ(folded.old_to_new.size(), pta.num_states());
+  for (StateId s = 0; s < pta.num_states(); ++s) {
+    EXPECT_NE(folded.old_to_new[s], kNoState);
+    EXPECT_LT(folded.old_to_new[s], folded.dfa.num_states());
+  }
+  // The merged pair maps to the same new state.
+  EXPECT_EQ(folded.old_to_new[0], folded.old_to_new[3]);
+}
+
+TEST(FoldTest, SelfMergeIsIdentity) {
+  Dfa pta = BuildPta({{0, 1}}, 2);
+  FoldResult folded = FoldMerge(pta, 1, 1);
+  EXPECT_TRUE(folded.dfa == pta);
+}
+
+TEST(FoldTest, CascadingDeterminization) {
+  // Merging two states with conflicting successors must recursively merge
+  // the successors.
+  Dfa dfa(1);
+  StateId s0 = dfa.AddState(false);
+  StateId s1 = dfa.AddState(false);
+  StateId s2 = dfa.AddState(true);
+  StateId s3 = dfa.AddState(false);
+  dfa.SetTransition(s0, 0, s1);
+  dfa.SetTransition(s1, 0, s2);
+  dfa.SetTransition(s3, 0, s3);
+  // Merge s3 into s0: s0 has successor s1, s3 has successor s3(=s0) so s1
+  // and the merged class fold together, pulling s2 in as well.
+  FoldResult folded = FoldMerge(dfa, s0, s3);
+  // Result must be deterministic and accept a·a (via the original path).
+  EXPECT_TRUE(folded.dfa.Accepts({0, 0}));
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.h"
+#include "automata/minimize.h"
+#include "automata/word.h"
+#include "regex/ast.h"
+#include "regex/from_dfa.h"
+#include "regex/parser.h"
+#include "regex/printer.h"
+#include "regex/random_regex.h"
+#include "regex/to_nfa.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+Dfa ParseToDfa(const std::string& text, Alphabet* alphabet,
+               uint32_t num_symbols) {
+  auto ast = ParseRegex(text, alphabet);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  return RegexToCanonicalDfa(ast.value(), num_symbols);
+}
+
+TEST(ParserTest, SingleSymbol) {
+  Alphabet alphabet;
+  auto ast = ParseRegex("a", &alphabet);
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ((*ast)->kind, RegexKind::kSymbol);
+  EXPECT_EQ(alphabet.size(), 1u);
+}
+
+TEST(ParserTest, PaperGeoQuery) {
+  Alphabet alphabet;
+  auto ast = ParseRegex("(tram+bus)*.cinema", &alphabet);
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(alphabet.size(), 3u);
+  Dfa dfa = RegexToCanonicalDfa(ast.value(), 3);
+  Symbol tram = *alphabet.Find("tram");
+  Symbol bus = *alphabet.Find("bus");
+  Symbol cinema = *alphabet.Find("cinema");
+  EXPECT_TRUE(dfa.Accepts({cinema}));
+  EXPECT_TRUE(dfa.Accepts({tram, bus, tram, cinema}));
+  EXPECT_FALSE(dfa.Accepts({tram}));
+  EXPECT_FALSE(dfa.Accepts({cinema, cinema}));
+}
+
+TEST(ParserTest, WorkflowQueryFromIntro) {
+  Alphabet alphabet;
+  auto ast = ParseRegex(
+      "ProteinPurification.ProteinSeparation*.MassSpectrometry", &alphabet);
+  ASSERT_TRUE(ast.ok());
+  Dfa dfa = RegexToCanonicalDfa(ast.value(), 3);
+  EXPECT_TRUE(dfa.Accepts({0, 2}));
+  EXPECT_TRUE(dfa.Accepts({0, 1, 1, 2}));
+  EXPECT_FALSE(dfa.Accepts({0, 1}));
+}
+
+TEST(ParserTest, EpsilonKeyword) {
+  Alphabet alphabet;
+  auto ast = ParseRegex("eps+a", &alphabet);
+  ASSERT_TRUE(ast.ok());
+  Dfa dfa = RegexToCanonicalDfa(ast.value(), 1);
+  EXPECT_TRUE(dfa.Accepts({}));
+  EXPECT_TRUE(dfa.Accepts({0}));
+  EXPECT_FALSE(dfa.Accepts({0, 0}));
+}
+
+TEST(ParserTest, PipeAliasForUnion) {
+  Alphabet alphabet;
+  Dfa plus = ParseToDfa("a+b", &alphabet, 2);
+  Dfa pipe = ParseToDfa("a|b", &alphabet, 2);
+  EXPECT_TRUE(plus == pipe);
+}
+
+TEST(ParserTest, WhitespaceIgnored) {
+  Alphabet alphabet;
+  Dfa a = ParseToDfa(" ( a + b ) * . c ", &alphabet, 3);
+  Dfa b = ParseToDfa("(a+b)*.c", &alphabet, 3);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ParserTest, DoubleStarCollapses) {
+  Alphabet alphabet;
+  Dfa a = ParseToDfa("a**", &alphabet, 1);
+  Dfa b = ParseToDfa("a*", &alphabet, 1);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ParserTest, ErrorOnUnbalancedParen) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseRegex("(a+b", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a)", &alphabet).ok());
+}
+
+TEST(ParserTest, ErrorOnEmptyInput) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseRegex("", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("a..b", &alphabet).ok());
+  EXPECT_FALSE(ParseRegex("*", &alphabet).ok());
+}
+
+TEST(ThompsonTest, StarAcceptsEmptyAndRepetition) {
+  Alphabet alphabet;
+  auto ast = ParseRegex("(a.b)*", &alphabet);
+  ASSERT_TRUE(ast.ok());
+  Nfa nfa = ThompsonConstruct(ast.value(), 2);
+  EXPECT_TRUE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts({0, 1}));
+  EXPECT_TRUE(nfa.Accepts({0, 1, 0, 1}));
+  EXPECT_FALSE(nfa.Accepts({0}));
+  EXPECT_FALSE(nfa.Accepts({1, 0}));
+}
+
+TEST(ThompsonTest, EmptySetAcceptsNothing) {
+  Nfa nfa = ThompsonConstruct(MakeEmptySet(), 2);
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_FALSE(nfa.Accepts({0}));
+}
+
+TEST(AstTest, SimplificationRules) {
+  RegexPtr a = MakeSymbol(0);
+  EXPECT_EQ(MakeConcat(MakeEpsilon(), a), a);
+  EXPECT_EQ(MakeConcat(a, MakeEpsilon()), a);
+  EXPECT_EQ(MakeConcat(MakeEmptySet(), a)->kind, RegexKind::kEmptySet);
+  EXPECT_EQ(MakeUnion(MakeEmptySet(), a), a);
+  EXPECT_EQ(MakeStar(MakeEpsilon())->kind, RegexKind::kEpsilon);
+  EXPECT_TRUE(RegexEquals(MakeStar(MakeStar(a)), MakeStar(a)));
+  // Union deduplication.
+  RegexPtr u = MakeUnion(a, MakeSymbol(0));
+  EXPECT_EQ(u->kind, RegexKind::kSymbol);
+}
+
+TEST(AstTest, NodeCount) {
+  Alphabet alphabet;
+  auto ast = ParseRegex("(a+b)*.c", &alphabet);
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(RegexNodeCount(ast.value()), 6u);  // concat(star(union(a,b)),c)
+}
+
+TEST(PrinterTest, RoundTripsThroughParser) {
+  Alphabet alphabet;
+  const std::string inputs[] = {"(a+b)*.c", "a.b.c", "a+b.c", "(a.b+c)*",
+                                "eps", "a*.b*"};
+  for (const std::string& text : inputs) {
+    auto ast = ParseRegex(text, &alphabet);
+    ASSERT_TRUE(ast.ok()) << text;
+    std::string printed = RegexToString(ast.value(), alphabet);
+    auto reparsed = ParseRegex(printed, &alphabet);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    Dfa original = RegexToCanonicalDfa(ast.value(), alphabet.size());
+    Dfa round = RegexToCanonicalDfa(reparsed.value(), alphabet.size());
+    EXPECT_TRUE(original == round) << text << " -> " << printed;
+  }
+}
+
+TEST(DfaToRegexTest, RecoversFig4Language) {
+  Alphabet alphabet;
+  Dfa dfa = ParseToDfa("(a.b)*.c", &alphabet, 3);
+  RegexPtr recovered = DfaToRegex(dfa);
+  Dfa round = RegexToCanonicalDfa(recovered, 3);
+  EXPECT_TRUE(dfa == round);
+}
+
+TEST(DfaToRegexTest, EmptyLanguage) {
+  Dfa dfa(2);
+  dfa.AddState(false);
+  RegexPtr regex = DfaToRegex(dfa);
+  EXPECT_EQ(regex->kind, RegexKind::kEmptySet);
+}
+
+TEST(DfaToRegexTest, RoundTripOnRandomRegexes) {
+  Rng rng(71);
+  RandomRegexOptions options;
+  options.num_symbols = 2;
+  options.max_depth = 4;
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    RegexPtr regex = RandomRegex(&rng, options);
+    Dfa dfa = RegexToCanonicalDfa(regex, 2);
+    RegexPtr recovered = DfaToRegex(dfa);
+    Dfa round = RegexToCanonicalDfa(recovered, 2);
+    EXPECT_TRUE(dfa == round) << "iteration " << iteration;
+  }
+}
+
+TEST(ThompsonVsMembershipProperty, RandomRegexesAgainstBruteForce) {
+  // Brute-force matcher over the AST vs the automaton pipeline.
+  struct Matcher {
+    static bool Matches(const RegexPtr& r, const Word& w, size_t lo,
+                        size_t hi) {
+      switch (r->kind) {
+        case RegexKind::kEmptySet:
+          return false;
+        case RegexKind::kEpsilon:
+          return lo == hi;
+        case RegexKind::kSymbol:
+          return hi == lo + 1 && w[lo] == r->symbol;
+        case RegexKind::kConcat: {
+          return MatchesConcat(r, w, lo, hi, 0);
+        }
+        case RegexKind::kUnion: {
+          for (const RegexPtr& child : r->children) {
+            if (Matches(child, w, lo, hi)) return true;
+          }
+          return false;
+        }
+        case RegexKind::kStar: {
+          if (lo == hi) return true;
+          for (size_t mid = lo + 1; mid <= hi; ++mid) {
+            if (Matches(r->children[0], w, lo, mid) &&
+                Matches(r, w, mid, hi)) {
+              return true;
+            }
+          }
+          return false;
+        }
+      }
+      return false;
+    }
+    static bool MatchesConcat(const RegexPtr& r, const Word& w, size_t lo,
+                              size_t hi, size_t child) {
+      if (child + 1 == r->children.size()) {
+        return Matches(r->children[child], w, lo, hi);
+      }
+      for (size_t mid = lo; mid <= hi; ++mid) {
+        if (Matches(r->children[child], w, lo, mid) &&
+            MatchesConcat(r, w, mid, hi, child + 1)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  };
+
+  Rng rng(72);
+  RandomRegexOptions options;
+  options.num_symbols = 2;
+  options.max_depth = 3;
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    RegexPtr regex = RandomRegex(&rng, options);
+    Dfa dfa = RegexToCanonicalDfa(regex, 2);
+    for (const Word& w : AllWordsUpTo(2, 4)) {
+      EXPECT_EQ(dfa.Accepts(w), Matcher::Matches(regex, w, 0, w.size()))
+          << "iteration " << iteration;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.h"
+#include "automata/minimize.h"
+#include "automata/pta.h"
+#include "automata/random_automata.h"
+#include "learn/char_sample.h"
+#include "learn/rpni.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(RpniTest, LearnsAbStarCFromCharacteristicWords) {
+  // The paper's running example: P+ = {c, abc}, P− = {ε, a, ab, ac, bc}
+  // (proof of Thm. 3.5) make RPNI return (a·b)*·c.
+  WordSample sample;
+  sample.positive = {{2}, {0, 1, 2}};
+  sample.negative = {{}, {0}, {0, 1}, {0, 2}, {1, 2}};
+  auto learned = RpniLearnWords(sample, 3);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_TRUE(learned->Accepts({2}));
+  EXPECT_TRUE(learned->Accepts({0, 1, 2}));
+  EXPECT_TRUE(learned->Accepts({0, 1, 0, 1, 2}));
+  EXPECT_FALSE(learned->Accepts({1, 2}));
+  EXPECT_FALSE(learned->Accepts({}));
+  EXPECT_EQ(Minimize(*learned).num_states(), 3u);
+}
+
+TEST(RpniTest, RejectsContradictorySample) {
+  WordSample sample;
+  sample.positive = {{0}};
+  sample.negative = {{0}};
+  EXPECT_FALSE(RpniLearnWords(sample, 1).ok());
+}
+
+TEST(RpniTest, ConsistentWithInput) {
+  // Whatever RPNI returns must accept all positives and no negative.
+  Rng rng(81);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    WordSample sample;
+    int npos = 1 + static_cast<int>(rng.NextBelow(4));
+    int nneg = static_cast<int>(rng.NextBelow(4));
+    auto random_word = [&rng]() {
+      Word w;
+      size_t len = rng.NextBelow(5);
+      for (size_t i = 0; i < len; ++i) {
+        w.push_back(static_cast<Symbol>(rng.NextBelow(2)));
+      }
+      return w;
+    };
+    for (int i = 0; i < npos; ++i) sample.positive.push_back(random_word());
+    for (int i = 0; i < nneg; ++i) {
+      Word w = random_word();
+      bool clash = false;
+      for (const Word& p : sample.positive) clash |= p == w;
+      if (!clash) sample.negative.push_back(w);
+    }
+    auto learned = RpniLearnWords(sample, 2);
+    ASSERT_TRUE(learned.ok()) << "iteration " << iteration;
+    for (const Word& p : sample.positive) {
+      EXPECT_TRUE(learned->Accepts(p)) << "iteration " << iteration;
+    }
+    for (const Word& n : sample.negative) {
+      EXPECT_FALSE(learned->Accepts(n)) << "iteration " << iteration;
+    }
+  }
+}
+
+TEST(RpniTest, NoNegativesCollapsesAggressively) {
+  // With no negatives every merge is allowed; the result collapses to a
+  // single-state automaton accepting a superset of the positives.
+  WordSample sample;
+  sample.positive = {{0, 1}, {1, 0, 1}};
+  auto learned = RpniLearnWords(sample, 2);
+  ASSERT_TRUE(learned.ok());
+  EXPECT_EQ(learned->num_states(), 1u);
+  EXPECT_TRUE(learned->Accepts({0, 1}));
+}
+
+TEST(RpniTest, GeneralizeKeepsPtaWhenNothingMergeable) {
+  // Consistency callback that rejects everything: the result is the PTA.
+  Dfa pta = BuildPta({{0}, {1, 1}}, 2);
+  RpniStats stats;
+  Dfa result = RpniGeneralize(
+      pta, [&pta](const Dfa& candidate) {
+        return candidate.num_states() >= pta.num_states();
+      },
+      &stats);
+  EXPECT_TRUE(result == pta);
+  EXPECT_EQ(stats.merges_accepted, 0u);
+  EXPECT_GT(stats.merges_attempted, 0u);
+}
+
+TEST(RpniTest, IdentifiesRandomTargetsFromCharacteristicWords) {
+  // The learnability engine behind Thm. 3.5: for random canonical targets,
+  // RPNI on their characteristic word sample returns an equivalent DFA.
+  Rng rng(82);
+  RandomAutomatonOptions options;
+  options.num_states = 4;
+  options.num_symbols = 2;
+  int nontrivial = 0;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    Dfa target = Canonicalize(RandomDfa(&rng, options));
+    if (target.IsEmptyLanguage()) continue;
+    ++nontrivial;
+    WordSample words = BuildRpniCharacteristicWords(target);
+    auto learned = RpniLearnWords(words, 2);
+    ASSERT_TRUE(learned.ok()) << "iteration " << iteration;
+    EXPECT_TRUE(AreEquivalent(*learned, target))
+        << "iteration " << iteration;
+  }
+  EXPECT_GT(nontrivial, 10);
+}
+
+TEST(RpniTest, CharacteristicWordsAreConsistentWithTarget) {
+  Rng rng(83);
+  RandomAutomatonOptions options;
+  options.num_states = 5;
+  options.num_symbols = 2;
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    Dfa target = Canonicalize(RandomDfa(&rng, options));
+    if (target.IsEmptyLanguage()) continue;
+    WordSample words = BuildRpniCharacteristicWords(target);
+    for (const Word& p : words.positive) {
+      EXPECT_TRUE(target.Accepts(p)) << "iteration " << iteration;
+    }
+    for (const Word& n : words.negative) {
+      EXPECT_FALSE(target.Accepts(n)) << "iteration " << iteration;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "automata/word.h"
+#include "graph/fixtures.h"
+#include "graph/graph_nfa.h"
+#include "learn/coverage.h"
+#include "learn/scp.h"
+
+namespace rpqlearn {
+namespace {
+
+SubsetCoverage CoverageOf(const Graph& g, const std::vector<NodeId>& negs,
+                          uint32_t k) {
+  Nfa negatives = GraphToNfa(g, negs);
+  SubsetCoverage::Options options;
+  options.k = k;
+  auto cov = SubsetCoverage::Build(negatives, options);
+  EXPECT_TRUE(cov.ok());
+  return std::move(cov).value();
+}
+
+TEST(ScpTest, PaperExampleFig3) {
+  // With S+ = {ν1, ν3}, S− = {ν2, ν7}, k = 3: "we obtain the SCPs abc and c
+  // for ν1 and ν3, respectively" (Sec. 3.2).
+  Graph g = Figure3G0();
+  SubsetCoverage cov = CoverageOf(g, {1, 6}, 3);
+  Nfa graph_nfa = GraphToNfa(g, {});
+
+  auto scp1 = SmallestConsistentPath(graph_nfa, {0}, cov);
+  ASSERT_TRUE(scp1.ok());
+  ASSERT_TRUE(scp1->path.has_value());
+  EXPECT_EQ(*scp1->path, (Word{0, 1, 2}));  // abc
+
+  auto scp3 = SmallestConsistentPath(graph_nfa, {2}, cov);
+  ASSERT_TRUE(scp3.ok());
+  ASSERT_TRUE(scp3->path.has_value());
+  EXPECT_EQ(*scp3->path, (Word{2}));  // c
+}
+
+TEST(ScpTest, TooSmallKFindsNothing) {
+  // ν1's smallest consistent path abc has length 3, so k = 2 fails for it.
+  Graph g = Figure3G0();
+  SubsetCoverage cov = CoverageOf(g, {1, 6}, 2);
+  Nfa graph_nfa = GraphToNfa(g, {});
+  auto scp = SmallestConsistentPath(graph_nfa, {0}, cov);
+  ASSERT_TRUE(scp.ok());
+  EXPECT_FALSE(scp->path.has_value());
+}
+
+TEST(ScpTest, InconsistentSampleFig5HasNoScp) {
+  // Fig. 5: all of the positive node's (infinitely many) paths are covered.
+  Graph g = Figure5Inconsistent();
+  for (uint32_t k = 1; k <= 6; ++k) {
+    SubsetCoverage cov = CoverageOf(g, {1, 2}, k);
+    Nfa graph_nfa = GraphToNfa(g, {});
+    auto scp = SmallestConsistentPath(graph_nfa, {0}, cov);
+    ASSERT_TRUE(scp.ok());
+    EXPECT_FALSE(scp->path.has_value()) << "k=" << k;
+  }
+}
+
+TEST(ScpTest, EmptyNegativesGiveEpsilon) {
+  // With no negatives even ε is uncovered, so it is the SCP of every node.
+  Graph g = Figure3G0();
+  SubsetCoverage cov = CoverageOf(g, {}, 2);
+  Nfa graph_nfa = GraphToNfa(g, {});
+  auto scp = SmallestConsistentPath(graph_nfa, {5}, cov);
+  ASSERT_TRUE(scp.ok());
+  ASSERT_TRUE(scp->path.has_value());
+  EXPECT_TRUE(scp->path->empty());
+}
+
+TEST(ScpTest, ResultIsTrulySmallest) {
+  // Exhaustive cross-check on Fig. 3: the returned SCP equals the first
+  // word in canonical enumeration that is a path of ν and uncovered.
+  Graph g = Figure3G0();
+  const uint32_t k = 3;
+  SubsetCoverage cov = CoverageOf(g, {1, 6}, k);
+  Nfa graph_nfa = GraphToNfa(g, {});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::optional<Word> expected;
+    for (const Word& w : AllWordsUpTo(3, k)) {
+      if (!g.HasPathFrom(v, w)) continue;
+      if (g.HasPathFrom(1, w) || g.HasPathFrom(6, w)) continue;
+      expected = w;
+      break;
+    }
+    auto scp = SmallestConsistentPath(graph_nfa, {v}, cov);
+    ASSERT_TRUE(scp.ok());
+    EXPECT_EQ(scp->path, expected) << "node " << v;
+  }
+}
+
+TEST(ScpTest, BinaryScpRespectsDestination) {
+  // paths2(ν1, ν4) with no negatives: smallest word from ν1 landing exactly
+  // at ν4.
+  Graph g = Figure3G0();
+  Nfa no_negatives = GraphToNfaPairs(g, {});
+  SubsetCoverage::Options options;
+  options.k = 3;
+  auto cov = SubsetCoverage::Build(no_negatives, options);
+  ASSERT_TRUE(cov.ok());
+  Nfa between = GraphToNfaBetween(g, 0, 3);
+  auto scp = SmallestConsistentPath(between, {0}, *cov);
+  ASSERT_TRUE(scp.ok());
+  ASSERT_TRUE(scp->path.has_value());
+  // Shortest ν1→ν4 path: a·a(ν2→?)... enumerate: ν1-a->ν2; length-2 words
+  // landing at ν4: none (ν2's successors are ν6, ν3); length 3: aba via
+  // ν2-b->ν3-a->ν4 is smaller than abc.
+  EXPECT_EQ(*scp->path, (Word{0, 1, 0}));
+}
+
+TEST(ScpTest, ExpansionCapAborts) {
+  Graph g = Figure3G0();
+  SubsetCoverage cov = CoverageOf(g, {1, 6}, 3);
+  Nfa graph_nfa = GraphToNfa(g, {});
+  auto scp = SmallestConsistentPath(graph_nfa, {0}, cov, /*max_expansions=*/1);
+  EXPECT_FALSE(scp.ok());
+  EXPECT_EQ(scp.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rpqlearn

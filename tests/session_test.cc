@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "automata/equivalence.h"
+#include "graph/fixtures.h"
+#include "interact/session.h"
+#include "query/eval.h"
+#include "query/metrics.h"
+#include "query/path_query.h"
+
+namespace rpqlearn {
+namespace {
+
+Dfa QueryOn(const Graph& graph, const std::string& regex) {
+  Alphabet alphabet = graph.alphabet();
+  auto q = PathQuery::Parse(regex, &alphabet, graph.num_symbols());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q->dfa();
+}
+
+TEST(SessionTest, ConvergesOnFig3Goal) {
+  Graph g = Figure3G0();
+  Dfa goal = QueryOn(g, "(a.b)*.c");
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  SessionOptions options;
+  options.seed = 3;
+  SessionResult result = RunInteractiveSession(g, oracle, options);
+  ASSERT_TRUE(result.reached_goal);
+  BitVector learned_set = EvalMonadic(g, result.final_query);
+  EXPECT_TRUE(learned_set == oracle.goal());
+  EXPECT_LE(result.interactions.size(), g.num_nodes());
+}
+
+TEST(SessionTest, ConvergesOnGeoGoal) {
+  Graph g = Figure1Geographic();
+  Dfa goal = QueryOn(g, "(tram+bus)*.cinema");
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  for (StrategyKind kind :
+       {StrategyKind::kRandom, StrategyKind::kSmallestPaths}) {
+    SessionOptions options;
+    options.strategy = kind;
+    options.seed = 11;
+    SessionResult result = RunInteractiveSession(g, oracle, options);
+    ASSERT_TRUE(result.reached_goal) << "strategy " << static_cast<int>(kind);
+    EXPECT_TRUE(EvalMonadic(g, result.final_query) == oracle.goal());
+  }
+}
+
+TEST(SessionTest, LabelsMatchOracle) {
+  Graph g = Figure3G0();
+  Dfa goal = QueryOn(g, "a");
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  SessionOptions options;
+  options.seed = 5;
+  SessionResult result = RunInteractiveSession(g, oracle, options);
+  for (const InteractionRecord& r : result.interactions) {
+    EXPECT_EQ(r.positive, oracle.Label(r.node));
+  }
+}
+
+TEST(SessionTest, NoNodeLabeledTwice) {
+  Graph g = Figure3G0();
+  Dfa goal = QueryOn(g, "(a.b)*.c");
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  SessionOptions options;
+  options.seed = 7;
+  SessionResult result = RunInteractiveSession(g, oracle, options);
+  std::set<NodeId> seen;
+  for (const InteractionRecord& r : result.interactions) {
+    EXPECT_TRUE(seen.insert(r.node).second) << "node " << r.node;
+  }
+}
+
+TEST(SessionTest, FewerLabelsThanFullGraph) {
+  // The point of Sec. 4: interactions should need far fewer labels than
+  // labeling everything.
+  Graph g = Figure1Geographic();
+  Dfa goal = QueryOn(g, "(tram+bus)*.cinema");
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  SessionOptions options;
+  options.seed = 13;
+  SessionResult result = RunInteractiveSession(g, oracle, options);
+  ASSERT_TRUE(result.reached_goal);
+  EXPECT_LT(result.interactions.size(), g.num_nodes());
+}
+
+TEST(SessionTest, RespectsInteractionBudget) {
+  Graph g = Figure3G0();
+  Dfa goal = QueryOn(g, "(a.b)*.c");
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  SessionOptions options;
+  options.max_interactions = 1;
+  options.seed = 17;
+  SessionResult result = RunInteractiveSession(g, oracle, options);
+  EXPECT_LE(result.interactions.size(), 1u);
+}
+
+TEST(SessionTest, EmptyGoalConvergesToEmptyQuery) {
+  // Goal selecting nothing: after enough negative labels the learner's
+  // empty query has F1 = 1 (both sets empty).
+  Graph g = Figure3G0();
+  Dfa goal = QueryOn(g, "c.c.c");  // selects no node on G0
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  SessionOptions options;
+  options.seed = 19;
+  SessionResult result = RunInteractiveSession(g, oracle, options);
+  ASSERT_TRUE(result.reached_goal);
+  EXPECT_TRUE(EvalMonadic(g, result.final_query).None());
+}
+
+TEST(SessionTest, DeterministicGivenSeed) {
+  Graph g = Figure3G0();
+  Dfa goal = QueryOn(g, "(a.b)*.c");
+  Oracle oracle = Oracle::FromQuery(g, goal);
+  SessionOptions options;
+  options.seed = 23;
+  SessionResult r1 = RunInteractiveSession(g, oracle, options);
+  SessionResult r2 = RunInteractiveSession(g, oracle, options);
+  ASSERT_EQ(r1.interactions.size(), r2.interactions.size());
+  for (size_t i = 0; i < r1.interactions.size(); ++i) {
+    EXPECT_EQ(r1.interactions[i].node, r2.interactions[i].node);
+  }
+}
+
+}  // namespace
+}  // namespace rpqlearn

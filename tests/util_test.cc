@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/bit_vector.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AbstainCodeExists) {
+  Status s = Status::Abstain("not enough examples");
+  EXPECT_EQ(s.code(), StatusCode::kAbstain);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool differs = false;
+  for (int i = 0; i < 16 && !differs; ++i) differs = a.Next() != b.Next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, NextBelowIsInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.NextInRange(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(5);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleFullPopulation) {
+  Rng rng(6);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(20, 1.0);
+  double total = 0.0;
+  for (uint32_t r = 0; r < 20; ++r) total += zipf.Probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsMostLikely) {
+  ZipfDistribution zipf(10, 1.2);
+  for (uint32_t r = 1; r < 10; ++r) {
+    EXPECT_GT(zipf.Probability(0), zipf.Probability(r));
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequencyMatches) {
+  ZipfDistribution zipf(5, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint32_t r = 0; r < 5; ++r) {
+    double expected = zipf.Probability(r);
+    double observed = static_cast<double>(counts[r]) / n;
+    EXPECT_NEAR(observed, expected, 0.01) << "rank " << r;
+  }
+}
+
+TEST(BitVectorTest, SetAndTest) {
+  BitVector bv(130);
+  EXPECT_FALSE(bv.Test(0));
+  bv.Set(0);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(129));
+  EXPECT_FALSE(bv.Test(63));
+  EXPECT_EQ(bv.Count(), 3u);
+}
+
+TEST(BitVectorTest, ResetAndClear) {
+  BitVector bv(70);
+  bv.Set(5);
+  bv.Set(65);
+  bv.Reset(5);
+  EXPECT_FALSE(bv.Test(5));
+  EXPECT_TRUE(bv.Test(65));
+  bv.Clear();
+  EXPECT_EQ(bv.Count(), 0u);
+  EXPECT_TRUE(bv.None());
+}
+
+TEST(BitVectorTest, SetOperations) {
+  BitVector a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  BitVector u = a;
+  u.OrWith(b);
+  EXPECT_EQ(u.Count(), 3u);
+  BitVector i = a;
+  i.AndWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(50));
+  BitVector d = a;
+  d.SubtractWith(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(BitVectorTest, SubsetCheck) {
+  BitVector a(64), b(64);
+  a.Set(3);
+  b.Set(3);
+  b.Set(10);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+}
+
+TEST(BitVectorTest, ToIndices) {
+  BitVector bv(200);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(199);
+  EXPECT_EQ(bv.ToIndices(), (std::vector<uint32_t>{0, 63, 64, 199}));
+}
+
+TEST(BitVectorTest, Equality) {
+  BitVector a(10), b(10);
+  a.Set(3);
+  EXPECT_FALSE(a == b);
+  b.Set(3);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "+"), "a+b+c");
+  EXPECT_EQ(Join({}, "+"), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+}  // namespace
+}  // namespace rpqlearn

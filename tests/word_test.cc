@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "automata/alphabet.h"
+#include "automata/word.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(AlphabetTest, InternAssignsDenseIds) {
+  Alphabet alphabet;
+  EXPECT_EQ(alphabet.Intern("a"), 0u);
+  EXPECT_EQ(alphabet.Intern("b"), 1u);
+  EXPECT_EQ(alphabet.Intern("a"), 0u);  // idempotent
+  EXPECT_EQ(alphabet.size(), 2u);
+}
+
+TEST(AlphabetTest, NameRoundTrips) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("tram");
+  EXPECT_EQ(alphabet.Name(a), "tram");
+}
+
+TEST(AlphabetTest, FindMissingIsNotFound) {
+  Alphabet alphabet;
+  alphabet.Intern("x");
+  EXPECT_FALSE(alphabet.Find("y").ok());
+  EXPECT_TRUE(alphabet.Find("x").ok());
+  EXPECT_TRUE(alphabet.Contains("x"));
+  EXPECT_FALSE(alphabet.Contains("y"));
+}
+
+TEST(AlphabetTest, InternGenerated) {
+  Alphabet alphabet;
+  auto ids = alphabet.InternGenerated("l", 5);
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(alphabet.Name(ids[3]), "l3");
+}
+
+TEST(CanonicalOrderTest, ShorterWordsFirst) {
+  EXPECT_TRUE(CanonicalLess({}, {0}));
+  EXPECT_TRUE(CanonicalLess({2}, {0, 0}));
+  EXPECT_FALSE(CanonicalLess({0, 0}, {2}));
+}
+
+TEST(CanonicalOrderTest, LexWithinLength) {
+  EXPECT_TRUE(CanonicalLess({0, 1}, {0, 2}));
+  EXPECT_TRUE(CanonicalLess({0, 2}, {1, 0}));
+  EXPECT_FALSE(CanonicalLess({1, 0}, {0, 2}));
+}
+
+TEST(CanonicalOrderTest, Irreflexive) {
+  Word w{1, 2, 3};
+  EXPECT_FALSE(CanonicalLess(w, w));
+}
+
+TEST(CanonicalOrderTest, PaperExampleAbcBeforeC) {
+  // In the canonical order, c < abc (shorter first): the Fig. 3 SCPs are
+  // enumerated as c then abc.
+  Word abc{0, 1, 2};
+  Word c{2};
+  EXPECT_TRUE(CanonicalLess(c, abc));
+}
+
+TEST(CanonicalOrderTest, TotalOrderOnEnumeration) {
+  auto words = AllWordsUpTo(3, 3);
+  for (size_t i = 0; i + 1 < words.size(); ++i) {
+    EXPECT_TRUE(CanonicalLess(words[i], words[i + 1]))
+        << "position " << i;
+  }
+}
+
+TEST(AllWordsUpToTest, CountMatchesGeometricSum) {
+  // 1 + 3 + 9 + 27 = 40 words of length <= 3 over 3 symbols.
+  EXPECT_EQ(AllWordsUpTo(3, 3).size(), 40u);
+  EXPECT_EQ(AllWordsUpTo(2, 0).size(), 1u);  // just ε
+}
+
+TEST(WordToStringTest, RendersWithDots) {
+  Alphabet alphabet;
+  Symbol a = alphabet.Intern("a");
+  Symbol b = alphabet.Intern("b");
+  EXPECT_EQ(WordToString({a, b, a}, alphabet), "a.b.a");
+  EXPECT_EQ(WordToString({}, alphabet), "eps");
+}
+
+TEST(IsPrefixOfTest, Basics) {
+  EXPECT_TRUE(IsPrefixOf({}, {1, 2}));
+  EXPECT_TRUE(IsPrefixOf({1}, {1, 2}));
+  EXPECT_TRUE(IsPrefixOf({1, 2}, {1, 2}));
+  EXPECT_FALSE(IsPrefixOf({2}, {1, 2}));
+  EXPECT_FALSE(IsPrefixOf({1, 2, 3}, {1, 2}));
+}
+
+}  // namespace
+}  // namespace rpqlearn
