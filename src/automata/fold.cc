@@ -18,6 +18,43 @@ StateId Find(std::vector<StateId>* parent, StateId x) {
   return x;
 }
 
+/// Builds the quotient DFA over class representatives: trimmed to states
+/// reachable from the initial class, BFS-renumbered with symbol-ascending
+/// expansion. Shared by FoldMerge and MergePartition::Materialize, whose
+/// outputs must stay byte-identical.
+template <typename AcceptingVec, typename FindFn>
+FoldResult BuildQuotient(uint32_t n, uint32_t sigma, StateId initial,
+                         const std::vector<StateId>& table,
+                         const AcceptingVec& accepting, FindFn find) {
+  FoldResult result;
+  result.old_to_new.assign(n, kNoState);
+  Dfa out(sigma);
+  StateId init = find(initial);
+  std::vector<StateId> rep_to_new(n, kNoState);
+  std::deque<StateId> queue{init};
+  rep_to_new[init] = out.AddState(static_cast<bool>(accepting[init]));
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (Symbol a = 0; a < sigma; ++a) {
+      StateId t = table[static_cast<size_t>(s) * sigma + a];
+      if (t == kNoState) continue;
+      t = find(t);
+      if (rep_to_new[t] == kNoState) {
+        rep_to_new[t] = out.AddState(static_cast<bool>(accepting[t]));
+        queue.push_back(t);
+      }
+      out.SetTransition(rep_to_new[s], a, rep_to_new[t]);
+    }
+  }
+  out.SetInitial(rep_to_new[init]);
+  for (StateId s = 0; s < n; ++s) {
+    result.old_to_new[s] = rep_to_new[find(s)];
+  }
+  result.dfa = std::move(out);
+  return result;
+}
+
 }  // namespace
 
 FoldResult FoldMerge(const Dfa& dfa, StateId r, StateId b) {
@@ -60,35 +97,82 @@ FoldResult FoldMerge(const Dfa& dfa, StateId r, StateId b) {
     }
   }
 
-  // Build the quotient over representatives, BFS-renumbered from the initial
-  // representative with symbol-ascending expansion.
-  FoldResult result;
-  result.old_to_new.assign(n, kNoState);
-  Dfa out(sigma);
-  StateId init = Find(&parent, dfa.initial_state());
-  std::vector<StateId> rep_to_new(n, kNoState);
-  std::deque<StateId> queue{init};
-  rep_to_new[init] = out.AddState(accepting[init]);
-  while (!queue.empty()) {
-    StateId s = queue.front();
-    queue.pop_front();
-    for (Symbol a = 0; a < sigma; ++a) {
-      StateId t = table[static_cast<size_t>(s) * sigma + a];
-      if (t == kNoState) continue;
-      t = Find(&parent, t);
-      if (rep_to_new[t] == kNoState) {
-        rep_to_new[t] = out.AddState(accepting[t]);
-        queue.push_back(t);
-      }
-      out.SetTransition(rep_to_new[s], a, rep_to_new[t]);
+  return BuildQuotient(n, sigma, dfa.initial_state(), table, accepting,
+                       [&parent](StateId s) { return Find(&parent, s); });
+}
+
+void MergePartition::Reset(const Dfa& dfa) {
+  const uint32_t n = dfa.num_states();
+  num_symbols_ = dfa.num_symbols();
+  initial_ = dfa.initial_state();
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), 0);
+  accepting_.resize(n);
+  table_.resize(static_cast<size_t>(n) * num_symbols_);
+  for (StateId s = 0; s < n; ++s) {
+    accepting_[s] = dfa.IsAccepting(s) ? 1 : 0;
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      table_[static_cast<size_t>(s) * num_symbols_ + a] = dfa.Next(s, a);
     }
   }
-  out.SetInitial(rep_to_new[init]);
-  for (StateId s = 0; s < n; ++s) {
-    result.old_to_new[s] = rep_to_new[Find(&parent, s)];
+  undo_.clear();
+}
+
+void MergePartition::Fold(StateId r, StateId b) {
+  RPQ_CHECK_LT(r, base_states());
+  RPQ_CHECK_LT(b, base_states());
+  RPQ_CHECK(undo_.empty()) << "Fold() with an outstanding trial";
+  pending_.clear();
+  pending_.emplace_back(r, b);
+  // FIFO cascade identical to FoldMerge()'s deque (a cursor into a vector
+  // avoids deque churn). Find() skips path compression so every mutation
+  // goes through the undo log.
+  for (size_t head = 0; head < pending_.size(); ++head) {
+    auto [x_raw, y_raw] = pending_[head];
+    StateId x = Find(x_raw);
+    StateId y = Find(y_raw);
+    if (x == y) continue;
+    undo_.push_back({y, parent_[y], UndoKind::kParent});
+    parent_[y] = x;
+    if (accepting_[y] && !accepting_[x]) {
+      undo_.push_back({x, 0, UndoKind::kAccepting});
+      accepting_[x] = 1;
+    }
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      StateId ty = table_[static_cast<size_t>(y) * num_symbols_ + a];
+      if (ty == kNoState) continue;
+      const size_t x_cell = static_cast<size_t>(x) * num_symbols_ + a;
+      if (table_[x_cell] == kNoState) {
+        undo_.push_back({x_cell, kNoState, UndoKind::kTableCell});
+        table_[x_cell] = ty;
+      } else {
+        pending_.emplace_back(table_[x_cell], ty);
+      }
+    }
   }
-  result.dfa = std::move(out);
-  return result;
+}
+
+void MergePartition::Rollback() {
+  for (size_t i = undo_.size(); i > 0; --i) {
+    const UndoEntry& e = undo_[i - 1];
+    switch (e.kind) {
+      case UndoKind::kParent:
+        parent_[e.index] = e.old_value;
+        break;
+      case UndoKind::kAccepting:
+        accepting_[e.index] = 0;
+        break;
+      case UndoKind::kTableCell:
+        table_[e.index] = e.old_value;
+        break;
+    }
+  }
+  undo_.clear();
+}
+
+FoldResult MergePartition::Materialize() const {
+  return BuildQuotient(base_states(), num_symbols_, initial_, table_,
+                       accepting_, [this](StateId s) { return Find(s); });
 }
 
 }  // namespace rpqlearn

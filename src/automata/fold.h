@@ -23,6 +23,71 @@ struct FoldResult {
 /// resulting language is a superset of the input language.
 FoldResult FoldMerge(const Dfa& dfa, StateId r, StateId b);
 
+/// Zero-copy trial-merge engine for RPNI generalization. Holds one flat copy
+/// of the base DFA plus a union-find partition over its states; Fold()
+/// applies the same cascade as FoldMerge() directly on the partition while
+/// recording an undo log, so a rejected trial costs O(cells touched) to roll
+/// back instead of an O(states × symbols) automaton copy. Accepted merges
+/// call Materialize() — which produces exactly FoldMerge()'s BFS-renumbered
+/// quotient — and then Reset() on the result.
+///
+/// Trial protocol: Fold(r, b), read the quotient through the view accessors
+/// (InitialRep/NextRep/IsAcceptingRep), then either Rollback() or
+/// Materialize() + Reset(). At most one Fold may be outstanding.
+class MergePartition {
+ public:
+  explicit MergePartition(const Dfa& dfa) { Reset(dfa); }
+
+  /// Rebuilds the partition over a new base DFA (identity classes).
+  void Reset(const Dfa& dfa);
+
+  /// Merges `b`'s class into `r`'s class and folds successors to restore
+  /// determinism, mirroring FoldMerge()'s cascade order exactly.
+  void Fold(StateId r, StateId b);
+
+  /// Reverts all changes made by the outstanding Fold().
+  void Rollback();
+
+  /// The quotient DFA of the current partition, trimmed to states reachable
+  /// from the initial class and BFS-renumbered with symbol-ascending
+  /// expansion — byte-identical to FoldMerge(base, r, b) after Fold(r, b).
+  FoldResult Materialize() const;
+
+  // --- Quotient view (for consistency oracles) ------------------------
+  uint32_t num_symbols() const { return num_symbols_; }
+  /// Number of states of the base DFA (class ids live in [0, base_states)).
+  uint32_t base_states() const { return static_cast<uint32_t>(parent_.size()); }
+  /// Class representative of `s` (no path compression: reads are const).
+  StateId Find(StateId s) const {
+    while (parent_[s] != s) s = parent_[s];
+    return s;
+  }
+  StateId InitialRep() const { return Find(initial_); }
+  /// Representative of the a-successor class of class `rep`, or kNoState.
+  /// `rep` must be a representative.
+  StateId NextRep(StateId rep, Symbol a) const {
+    StateId t = table_[static_cast<size_t>(rep) * num_symbols_ + a];
+    return t == kNoState ? kNoState : Find(t);
+  }
+  bool IsAcceptingRep(StateId rep) const { return accepting_[rep] != 0; }
+
+ private:
+  enum class UndoKind : uint8_t { kParent, kAccepting, kTableCell };
+  struct UndoEntry {
+    size_t index;
+    StateId old_value;
+    UndoKind kind;
+  };
+
+  uint32_t num_symbols_ = 0;
+  StateId initial_ = kNoState;
+  std::vector<StateId> parent_;
+  std::vector<uint8_t> accepting_;  // folded accepting flag, valid on reps
+  std::vector<StateId> table_;      // folded rows, valid on reps
+  std::vector<UndoEntry> undo_;
+  std::vector<std::pair<StateId, StateId>> pending_;  // scratch for Fold
+};
+
 }  // namespace rpqlearn
 
 #endif  // RPQLEARN_AUTOMATA_FOLD_H_

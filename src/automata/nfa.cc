@@ -14,6 +14,17 @@ StateId Nfa::AddState(bool accepting) {
   return id;
 }
 
+void Nfa::ReserveStates(uint32_t num_states) {
+  transitions_.reserve(num_states);
+  epsilon_.reserve(num_states);
+  accepting_.reserve(num_states);
+}
+
+void Nfa::ReserveTransitions(StateId s, size_t count) {
+  RPQ_DCHECK(s < num_states());
+  transitions_[s].reserve(count);
+}
+
 void Nfa::AddTransition(StateId from, Symbol symbol, StateId to) {
   RPQ_DCHECK(from < num_states());
   RPQ_DCHECK(to < num_states());

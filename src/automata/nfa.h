@@ -27,6 +27,12 @@ class Nfa {
   /// Adds a fresh state and returns its id.
   StateId AddState(bool accepting = false);
 
+  /// Reserves capacity for `num_states` total states (bulk construction).
+  void ReserveStates(uint32_t num_states);
+
+  /// Reserves capacity for `count` labeled transitions out of `s`.
+  void ReserveTransitions(StateId s, size_t count);
+
   /// Adds the transition `from --symbol--> to`.
   void AddTransition(StateId from, Symbol symbol, StateId to);
 

@@ -137,6 +137,34 @@ Graph GraphBuilder::Build() {
     graph.in_edges_.push_back(LabeledEdge{e.label, e.src});
   }
 
+  // Label-grouped CSR over both directions. The adjacency arrays above are
+  // sorted by (node, label, endpoint), so each (node, label) run is already
+  // contiguous; this pass just records run boundaries and strips the labels
+  // into flat endpoint arrays for dense iteration.
+  RPQ_CHECK_LE(edges_.size(), static_cast<size_t>(UINT32_MAX));
+  const uint32_t sigma = graph.alphabet_.size();
+  const size_t cells = static_cast<size_t>(n) * sigma;
+  auto build_label_csr = [&](const std::vector<size_t>& node_offsets,
+                             const std::vector<LabeledEdge>& edges,
+                             std::vector<uint32_t>* label_offsets,
+                             std::vector<NodeId>* endpoints) {
+    label_offsets->assign(cells + 1, 0);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (size_t i = node_offsets[v]; i < node_offsets[v + 1]; ++i) {
+        ++(*label_offsets)[static_cast<size_t>(v) * sigma + edges[i].label + 1];
+      }
+    }
+    for (size_t c = 0; c < cells; ++c) {
+      (*label_offsets)[c + 1] += (*label_offsets)[c];
+    }
+    endpoints->reserve(edges.size());
+    for (const LabeledEdge& e : edges) endpoints->push_back(e.node);
+  };
+  build_label_csr(graph.out_offsets_, graph.out_edges_,
+                  &graph.out_label_offsets_, &graph.out_targets_);
+  build_label_csr(graph.in_offsets_, graph.in_edges_,
+                  &graph.in_label_offsets_, &graph.in_sources_);
+
   edges_.clear();
   return graph;
 }

@@ -60,6 +60,22 @@ class Graph {
   /// Outgoing edges of `v` labeled `a` (a contiguous subrange of OutEdges).
   std::span<const LabeledEdge> OutEdgesWithLabel(NodeId v, Symbol a) const;
 
+  /// Targets of `v --a-->` edges, ascending. Backed by a label-grouped CSR
+  /// index (`num_nodes × num_symbols` offsets into a flat target array), so
+  /// the evaluation inner loops iterate exactly the neighbors under one label
+  /// with no per-edge label filtering and no binary search.
+  std::span<const NodeId> OutNeighbors(NodeId v, Symbol a) const {
+    const size_t cell = static_cast<size_t>(v) * num_symbols() + a;
+    return {out_targets_.data() + out_label_offsets_[cell],
+            out_label_offsets_[cell + 1] - out_label_offsets_[cell]};
+  }
+  /// Sources of `--a--> v` edges, ascending.
+  std::span<const NodeId> InNeighbors(NodeId v, Symbol a) const {
+    const size_t cell = static_cast<size_t>(v) * num_symbols() + a;
+    return {in_sources_.data() + in_label_offsets_[cell],
+            in_label_offsets_[cell + 1] - in_label_offsets_[cell]};
+  }
+
   /// Display name of node `v` ("v<id>" unless set at build time).
   const std::string& NodeName(NodeId v) const { return names_[v]; }
 
@@ -90,6 +106,12 @@ class Graph {
   std::vector<LabeledEdge> out_edges_;
   std::vector<size_t> in_offsets_;
   std::vector<LabeledEdge> in_edges_;
+  // Label-grouped CSR: offsets are num_nodes × num_symbols + 1; cell (v, a)
+  // spans the neighbors of v under label a in the flat endpoint arrays.
+  std::vector<uint32_t> out_label_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<uint32_t> in_label_offsets_;
+  std::vector<NodeId> in_sources_;
 };
 
 /// Accumulates nodes and edges, then produces an immutable Graph.

@@ -3,21 +3,31 @@
 namespace rpqlearn {
 namespace {
 
-/// Adds all graph edges as transitions with the given state-id offset.
-void CopyEdges(const Graph& graph, StateId offset, Nfa* nfa) {
+/// Appends one copy of the graph to `nfa` — a state per node (accepting
+/// according to `accepting`), a transition per edge — and returns the
+/// state-id offset of the copy. The single builder behind all graph→NFA
+/// conversions; capacity is reserved up front from the graph's node count
+/// and per-node out-degrees (num_edges in total) before the bulk
+/// AddTransition loop.
+template <typename AcceptFn>
+StateId AppendGraphCopy(const Graph& graph, AcceptFn accepting, Nfa* nfa) {
+  const StateId offset = nfa->num_states();
+  nfa->ReserveStates(offset + graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) nfa->AddState(accepting(v));
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    nfa->ReserveTransitions(v + offset, graph.OutDegree(v));
     for (const LabeledEdge& e : graph.OutEdges(v)) {
       nfa->AddTransition(v + offset, e.label, e.node + offset);
     }
   }
+  return offset;
 }
 
 }  // namespace
 
 Nfa GraphToNfa(const Graph& graph, const std::vector<NodeId>& initial) {
   Nfa nfa(graph.num_symbols());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) nfa.AddState(true);
-  CopyEdges(graph, 0, &nfa);
+  AppendGraphCopy(graph, [](NodeId) { return true; }, &nfa);
   for (NodeId v : initial) nfa.AddInitial(v);
   nfa.Finalize();
   return nfa;
@@ -25,8 +35,7 @@ Nfa GraphToNfa(const Graph& graph, const std::vector<NodeId>& initial) {
 
 Nfa GraphToNfaBetween(const Graph& graph, NodeId from, NodeId to) {
   Nfa nfa(graph.num_symbols());
-  for (NodeId v = 0; v < graph.num_nodes(); ++v) nfa.AddState(v == to);
-  CopyEdges(graph, 0, &nfa);
+  AppendGraphCopy(graph, [to](NodeId v) { return v == to; }, &nfa);
   nfa.AddInitial(from);
   nfa.Finalize();
   return nfa;
@@ -35,13 +44,13 @@ Nfa GraphToNfaBetween(const Graph& graph, NodeId from, NodeId to) {
 Nfa GraphToNfaPairs(const Graph& graph,
                     const std::vector<std::pair<NodeId, NodeId>>& pairs) {
   Nfa nfa(graph.num_symbols());
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    StateId offset = static_cast<StateId>(i * graph.num_nodes());
-    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      nfa.AddState(v == pairs[i].second);
-    }
-    CopyEdges(graph, offset, &nfa);
-    nfa.AddInitial(offset + pairs[i].first);
+  // Reserve all copies at once: the per-copy reserve below asks for exact
+  // sizes, which would reallocate every copy if left to grow one at a time.
+  nfa.ReserveStates(static_cast<uint32_t>(pairs.size() * graph.num_nodes()));
+  for (const auto& [from, to] : pairs) {
+    StateId offset =
+        AppendGraphCopy(graph, [to](NodeId v) { return v == to; }, &nfa);
+    nfa.AddInitial(offset + from);
   }
   nfa.Finalize();
   return nfa;

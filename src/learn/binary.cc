@@ -3,7 +3,6 @@
 #include <set>
 
 #include "automata/minimize.h"
-#include "automata/ops.h"
 #include "automata/prefix_free.h"
 #include "automata/pta.h"
 #include "graph/graph_nfa.h"
@@ -50,10 +49,9 @@ LearnOutcome LearnBinaryWithFixedK(const Graph& graph,
   Dfa hypothesis = pta;
   if (options.generalize && !words.empty()) {
     RpniStats rpni_stats;
-    auto consistent = [&negative_nfa](const Dfa& candidate) {
-      return IntersectionIsEmpty(candidate.ToNfa(), negative_nfa);
-    };
-    hypothesis = RpniGeneralize(pta, consistent, &rpni_stats);
+    NfaDisjointnessOracle consistent(&negative_nfa);
+    hypothesis = RpniGeneralizeOnPartition(pta, std::ref(consistent),
+                                           &rpni_stats);
     outcome.stats.merges_attempted = rpni_stats.merges_attempted;
     outcome.stats.merges_accepted = rpni_stats.merges_accepted;
   }

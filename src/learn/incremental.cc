@@ -3,7 +3,6 @@
 #include <set>
 
 #include "automata/minimize.h"
-#include "automata/ops.h"
 #include "automata/prefix_free.h"
 #include "automata/pta.h"
 #include "graph/graph_nfa.h"
@@ -104,10 +103,9 @@ LearnOutcome IncrementalLearner::LearnAtK(uint32_t k) {
   Dfa hypothesis = pta;
   if (options_.generalize && !words.empty()) {
     RpniStats rpni_stats;
-    auto consistent = [this](const Dfa& candidate) {
-      return IntersectionIsEmpty(candidate.ToNfa(), negative_nfa_);
-    };
-    hypothesis = RpniGeneralize(pta, consistent, &rpni_stats);
+    NfaDisjointnessOracle consistent(&negative_nfa_);
+    hypothesis = RpniGeneralizeOnPartition(pta, std::ref(consistent),
+                                           &rpni_stats);
     outcome.stats.merges_attempted = rpni_stats.merges_attempted;
     outcome.stats.merges_accepted = rpni_stats.merges_accepted;
   }

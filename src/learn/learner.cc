@@ -4,7 +4,6 @@
 #include <set>
 
 #include "automata/minimize.h"
-#include "automata/ops.h"
 #include "automata/prefix_free.h"
 #include "automata/pta.h"
 #include "graph/graph_nfa.h"
@@ -52,14 +51,14 @@ LearnOutcome LearnWithFixedK(const Graph& graph, const Sample& sample,
   outcome.stats.pta_states = pta.num_states();
 
   // Lines 4-5: generalization by state merging while no negative node is
-  // covered, i.e. while L(A) ∩ paths_G(S−) = ∅ (PTIME product emptiness).
+  // covered, i.e. while L(A) ∩ paths_G(S−) = ∅ (PTIME product emptiness),
+  // decided on the zero-copy merge partition view.
   Dfa hypothesis = pta;
   if (options.generalize && !words.empty()) {
     RpniStats rpni_stats;
-    auto consistent = [&negative_nfa](const Dfa& candidate) {
-      return IntersectionIsEmpty(candidate.ToNfa(), negative_nfa);
-    };
-    hypothesis = RpniGeneralize(pta, consistent, &rpni_stats);
+    NfaDisjointnessOracle consistent(&negative_nfa);
+    hypothesis = RpniGeneralizeOnPartition(pta, std::ref(consistent),
+                                           &rpni_stats);
     outcome.stats.merges_attempted = rpni_stats.merges_attempted;
     outcome.stats.merges_accepted = rpni_stats.merges_accepted;
   }

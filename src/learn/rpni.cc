@@ -58,6 +58,108 @@ Dfa RpniGeneralize(const Dfa& pta,
   return current;
 }
 
+Dfa RpniGeneralizeOnPartition(const Dfa& pta,
+                              const PartitionConsistency& is_consistent,
+                              RpniStats* stats) {
+  RpniStats local_stats;
+  Dfa current = pta;
+  MergePartition partition(current);
+  std::set<StateId> red{current.initial_state()};
+
+  while (true) {
+    // Identical red–blue schedule to RpniGeneralize: the partition is reset
+    // to the renumbered quotient after every accepted merge, so blue
+    // selection still happens over canonical state ids.
+    std::set<StateId> blue;
+    for (StateId r : red) {
+      for (Symbol a = 0; a < current.num_symbols(); ++a) {
+        StateId t = current.Next(r, a);
+        if (t != kNoState && red.count(t) == 0) blue.insert(t);
+      }
+    }
+    if (blue.empty()) break;
+    StateId b = *blue.begin();
+
+    bool merged = false;
+    for (StateId r : red) {
+      ++local_stats.merges_attempted;
+      partition.Fold(r, b);
+      if (is_consistent(partition)) {
+        ++local_stats.merges_accepted;
+        FoldResult candidate = partition.Materialize();
+        std::set<StateId> new_red;
+        for (StateId old_r : red) {
+          StateId mapped = candidate.old_to_new[old_r];
+          RPQ_CHECK(mapped != kNoState);
+          new_red.insert(mapped);
+        }
+        red = std::move(new_red);
+        current = std::move(candidate.dfa);
+        partition.Reset(current);
+        merged = true;
+        break;
+      }
+      partition.Rollback();
+    }
+    if (!merged) {
+      ++local_stats.promotions;
+      red.insert(b);
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return current;
+}
+
+NfaDisjointnessOracle::NfaDisjointnessOracle(const Nfa* nfa) : nfa_(nfa) {
+  RPQ_CHECK(!nfa_->has_epsilon_transitions())
+      << "NfaDisjointnessOracle requires an ε-free NFA";
+}
+
+bool NfaDisjointnessOracle::operator()(const MergePartition& view) const {
+  const uint32_t nb = nfa_->num_states();
+  const size_t need = static_cast<size_t>(view.base_states()) * nb;
+  const bool dense = need <= kDenseStampLimit;
+  if (dense) {
+    if (stamp_.size() < need) stamp_.assign(need, 0);
+    if (++generation_ == 0) {
+      // Wrapped: stale stamps from 2^32 trials ago would read as visited.
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      generation_ = 1;
+    }
+  } else {
+    sparse_visited_.clear();
+  }
+  // First visit of a (DFA class, NFA state) product pair.
+  auto mark = [&](size_t idx) {
+    if (dense) {
+      if (stamp_[idx] == generation_) return false;
+      stamp_[idx] = generation_;
+      return true;
+    }
+    return sparse_visited_.insert(idx).second;
+  };
+  stack_.clear();
+
+  const StateId d0 = view.InitialRep();
+  const bool d0_accepting = view.IsAcceptingRep(d0);
+  for (StateId s0 : nfa_->initial_states()) {
+    if (d0_accepting && nfa_->IsAccepting(s0)) return false;  // ε witness
+    if (mark(static_cast<size_t>(d0) * nb + s0)) stack_.emplace_back(d0, s0);
+  }
+  while (!stack_.empty()) {
+    auto [d, s] = stack_.back();
+    stack_.pop_back();
+    for (const auto& [a, t] : nfa_->TransitionsFrom(s)) {
+      if (a >= view.num_symbols()) continue;
+      const StateId dn = view.NextRep(d, a);
+      if (dn == kNoState) continue;
+      if (view.IsAcceptingRep(dn) && nfa_->IsAccepting(t)) return false;
+      if (mark(static_cast<size_t>(dn) * nb + t)) stack_.emplace_back(dn, t);
+    }
+  }
+  return true;
+}
+
 StatusOr<Dfa> RpniLearnWords(const WordSample& sample, uint32_t num_symbols) {
   Dfa pta = BuildPta(sample.positive, num_symbols);
   for (const Word& w : sample.negative) {
@@ -66,13 +168,7 @@ StatusOr<Dfa> RpniLearnWords(const WordSample& sample, uint32_t num_symbols) {
           "inconsistent word sample: a negative word is also positive");
     }
   }
-  auto consistent = [&sample](const Dfa& candidate) {
-    for (const Word& w : sample.negative) {
-      if (candidate.Accepts(w)) return false;
-    }
-    return true;
-  };
-  return RpniGeneralize(pta, consistent);
+  return RpniGeneralizeOnPartition(pta, WordRejectionOracle(&sample.negative));
 }
 
 }  // namespace rpqlearn

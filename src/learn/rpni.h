@@ -1,10 +1,15 @@
 #ifndef RPQLEARN_LEARN_RPNI_H_
 #define RPQLEARN_LEARN_RPNI_H_
 
+#include <cstdint>
 #include <functional>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "automata/dfa.h"
+#include "automata/fold.h"
+#include "automata/nfa.h"
 #include "automata/word.h"
 #include "util/status.h"
 
@@ -28,6 +33,71 @@ struct RpniStats {
 Dfa RpniGeneralize(const Dfa& pta,
                    const std::function<bool(const Dfa&)>& is_consistent,
                    RpniStats* stats = nullptr);
+
+/// Consistency oracle over a trial merge, evaluated directly on the
+/// MergePartition quotient view — no candidate automaton is materialized.
+using PartitionConsistency = std::function<bool(const MergePartition&)>;
+
+/// Zero-copy variant of RpniGeneralize: each attempted merge is folded on a
+/// union-find partition of the current DFA, tested through `is_consistent`,
+/// and rolled back in O(cells touched) when rejected. Only *accepted* merges
+/// materialize (and BFS-renumber) the quotient. For oracles that test the
+/// quotient's language — which all of the learner's consistency checks do —
+/// the result and stats are identical to RpniGeneralize's, at a fraction of
+/// the cost: the reference path copies the whole automaton per attempt.
+Dfa RpniGeneralizeOnPartition(const Dfa& pta,
+                              const PartitionConsistency& is_consistent,
+                              RpniStats* stats = nullptr);
+
+/// PartitionConsistency for classic RPNI on words: the quotient must reject
+/// every negative word. Runs each word on the partition view.
+class WordRejectionOracle {
+ public:
+  /// `negatives` must outlive the oracle.
+  explicit WordRejectionOracle(const std::vector<Word>* negatives)
+      : negatives_(negatives) {}
+
+  bool operator()(const MergePartition& view) const {
+    for (const Word& w : *negatives_) {
+      StateId s = view.InitialRep();
+      for (Symbol a : w) {
+        s = view.NextRep(s, a);
+        if (s == kNoState) break;
+      }
+      if (s != kNoState && view.IsAcceptingRep(s)) return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::vector<Word>* negatives_;
+};
+
+/// PartitionConsistency for the graph learners: L(quotient) ∩ L(nfa) must be
+/// empty (the paper's "no negative node covered" check, normally phrased as
+/// IntersectionIsEmpty(candidate.ToNfa(), negative_nfa)). Decided by product
+/// reachability between the partition view and the NFA; the visited arena is
+/// allocated once and recycled across trials via generation stamps, so a
+/// trial allocates nothing after warm-up. The NFA must be ε-free (graph NFAs
+/// are) and must outlive the oracle.
+class NfaDisjointnessOracle {
+ public:
+  explicit NfaDisjointnessOracle(const Nfa* nfa);
+
+  bool operator()(const MergePartition& view) const;
+
+ private:
+  /// Above this many (DFA state × NFA state) cells (128 MiB of stamps) the
+  /// dense arena would dwarf what a trial actually visits; fall back to a
+  /// per-trial sparse visited set instead.
+  static constexpr size_t kDenseStampLimit = size_t{1} << 25;
+
+  const Nfa* nfa_;
+  mutable std::vector<uint32_t> stamp_;  // visited iff stamp == generation
+  mutable uint32_t generation_ = 0;
+  mutable std::unordered_set<size_t> sparse_visited_;
+  mutable std::vector<std::pair<StateId, StateId>> stack_;
+};
 
 /// A set of positive and negative word examples for classic RPNI.
 struct WordSample {

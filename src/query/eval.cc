@@ -1,21 +1,33 @@
 #include "query/eval.h"
 
-#include <deque>
+#include <algorithm>
+#include <bit>
+#include <span>
 
+#include "automata/dfa_csr.h"
 #include "util/logging.h"
 
 namespace rpqlearn {
 namespace {
 
-/// Reverse DFA transitions: for (symbol, target) the list of sources.
-std::vector<std::vector<std::vector<StateId>>> ReverseDfa(const Dfa& dfa) {
-  std::vector<std::vector<std::vector<StateId>>> rev(
-      dfa.num_symbols(),
-      std::vector<std::vector<StateId>>(dfa.num_states()));
-  for (StateId s = 0; s < dfa.num_states(); ++s) {
-    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
-      StateId t = dfa.Next(s, a);
-      if (t != kNoState) rev[a][t].push_back(s);
+/// Symbols shared by query and graph: edges labeled outside the query
+/// alphabet can never advance the product, and query symbols outside the
+/// graph alphabet have no edges.
+Symbol SharedSymbolCount(const Graph& graph, const FrozenDfa& query) {
+  return std::min(query.num_symbols(), graph.num_symbols());
+}
+
+/// Per-state list of the non-empty reverse entries (symbol, sources of
+/// a-transitions into the state), so the backward product BFS only touches
+/// symbols that can actually advance it. Spans point into `frozen`.
+std::vector<std::vector<std::pair<Symbol, std::span<const StateId>>>>
+ReverseTransitionLists(const FrozenDfa& frozen, Symbol num_shared) {
+  std::vector<std::vector<std::pair<Symbol, std::span<const StateId>>>> rev(
+      frozen.num_states());
+  for (StateId q = 0; q < frozen.num_states(); ++q) {
+    for (Symbol a = 0; a < num_shared; ++a) {
+      std::span<const StateId> sources = frozen.Sources(a, q);
+      if (!sources.empty()) rev[q].emplace_back(a, sources);
     }
   }
   return rev;
@@ -27,36 +39,41 @@ BitVector EvalMonadic(const Graph& graph, const Dfa& query) {
   RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
   const uint32_t nq = query.num_states();
   const uint32_t nv = graph.num_nodes();
-  auto rev = ReverseDfa(query);
+  const FrozenDfa frozen(query);
 
-  // visited[(v, q)] = an accepting pair is reachable from (v, q).
+  // visited[(v, q)] = an accepting pair is reachable from (v, q); computed by
+  // backward product reachability. Worklist order does not affect the fixed
+  // point, so a LIFO vector replaces the deque.
   BitVector visited(static_cast<size_t>(nv) * nq);
-  std::deque<std::pair<NodeId, StateId>> queue;
+  std::vector<std::pair<NodeId, StateId>> worklist;
   for (StateId q = 0; q < nq; ++q) {
-    if (!query.IsAccepting(q)) continue;
+    if (!frozen.IsAccepting(q)) continue;
     for (NodeId v = 0; v < nv; ++v) {
       visited.Set(static_cast<size_t>(v) * nq + q);
-      queue.emplace_back(v, q);
+      worklist.emplace_back(v, q);
     }
   }
-  while (!queue.empty()) {
-    auto [v, q] = queue.front();
-    queue.pop_front();
-    // Predecessor pairs: (u, p) with edge (u, a, v) and delta(p, a) = q.
-    for (const LabeledEdge& e : graph.InEdges(v)) {
-      if (e.label >= query.num_symbols()) continue;
-      for (StateId p : rev[e.label][q]) {
-        size_t idx = static_cast<size_t>(e.node) * nq + p;
-        if (!visited.Test(idx)) {
-          visited.Set(idx);
-          queue.emplace_back(e.node, p);
+  const auto rev = ReverseTransitionLists(frozen, frozen.num_symbols());
+  while (!worklist.empty()) {
+    auto [v, q] = worklist.back();
+    worklist.pop_back();
+    // Predecessor pairs: (u, p) with edge (u, a, v) and delta(p, a) = q,
+    // iterated as (symbol run) × (reverse-CSR sources).
+    for (const auto& [a, sources] : rev[q]) {
+      for (NodeId u : graph.InNeighbors(v, a)) {
+        for (StateId p : sources) {
+          size_t idx = static_cast<size_t>(u) * nq + p;
+          if (!visited.Test(idx)) {
+            visited.Set(idx);
+            worklist.emplace_back(u, p);
+          }
         }
       }
     }
   }
 
   BitVector result(nv);
-  const StateId q0 = query.initial_state();
+  const StateId q0 = frozen.initial_state();
   for (NodeId v = 0; v < nv; ++v) {
     if (visited.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
   }
@@ -65,38 +82,42 @@ BitVector EvalMonadic(const Graph& graph, const Dfa& query) {
 
 BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
                              uint32_t max_length) {
+  RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
   const uint32_t nq = query.num_states();
   const uint32_t nv = graph.num_nodes();
-  auto rev = ReverseDfa(query);
+  const FrozenDfa frozen(query);
 
   BitVector reached(static_cast<size_t>(nv) * nq);
   std::vector<std::pair<NodeId, StateId>> frontier;
+  std::vector<std::pair<NodeId, StateId>> next;
   for (StateId q = 0; q < nq; ++q) {
-    if (!query.IsAccepting(q)) continue;
+    if (!frozen.IsAccepting(q)) continue;
     for (NodeId v = 0; v < nv; ++v) {
       reached.Set(static_cast<size_t>(v) * nq + q);
       frontier.emplace_back(v, q);
     }
   }
+  const auto rev = ReverseTransitionLists(frozen, frozen.num_symbols());
   for (uint32_t step = 0; step < max_length && !frontier.empty(); ++step) {
-    std::vector<std::pair<NodeId, StateId>> next;
+    next.clear();
     for (auto [v, q] : frontier) {
-      for (const LabeledEdge& e : graph.InEdges(v)) {
-        if (e.label >= query.num_symbols()) continue;
-        for (StateId p : rev[e.label][q]) {
-          size_t idx = static_cast<size_t>(e.node) * nq + p;
-          if (!reached.Test(idx)) {
-            reached.Set(idx);
-            next.emplace_back(e.node, p);
+      for (const auto& [a, sources] : rev[q]) {
+        for (NodeId u : graph.InNeighbors(v, a)) {
+          for (StateId p : sources) {
+            size_t idx = static_cast<size_t>(u) * nq + p;
+            if (!reached.Test(idx)) {
+              reached.Set(idx);
+              next.emplace_back(u, p);
+            }
           }
         }
       }
     }
-    frontier = std::move(next);
+    std::swap(frontier, next);
   }
 
   BitVector result(nv);
-  const StateId q0 = query.initial_state();
+  const StateId q0 = frozen.initial_state();
   for (NodeId v = 0; v < nv; ++v) {
     if (reached.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
   }
@@ -105,24 +126,28 @@ BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
 
 bool SelectsNode(const Graph& graph, const Dfa& query, NodeId node) {
   const uint32_t nq = query.num_states();
+  const FrozenDfa frozen(query);
+  const Symbol num_shared = SharedSymbolCount(graph, frozen);
   BitVector visited(static_cast<size_t>(graph.num_nodes()) * nq);
-  std::deque<std::pair<NodeId, StateId>> queue;
-  const StateId q0 = query.initial_state();
-  if (query.IsAccepting(q0)) return true;
+  std::vector<std::pair<NodeId, StateId>> worklist;
+  const StateId q0 = frozen.initial_state();
+  if (frozen.IsAccepting(q0)) return true;
   visited.Set(static_cast<size_t>(node) * nq + q0);
-  queue.emplace_back(node, q0);
-  while (!queue.empty()) {
-    auto [v, q] = queue.front();
-    queue.pop_front();
-    for (const LabeledEdge& e : graph.OutEdges(v)) {
-      if (e.label >= query.num_symbols()) continue;
-      StateId t = query.Next(q, e.label);
+  worklist.emplace_back(node, q0);
+  while (!worklist.empty()) {
+    auto [v, q] = worklist.back();
+    worklist.pop_back();
+    for (Symbol a = 0; a < num_shared; ++a) {
+      StateId t = frozen.Next(q, a);
       if (t == kNoState) continue;
-      if (query.IsAccepting(t)) return true;
-      size_t idx = static_cast<size_t>(e.node) * nq + t;
-      if (!visited.Test(idx)) {
-        visited.Set(idx);
-        queue.emplace_back(e.node, t);
+      const bool accepting = frozen.IsAccepting(t);
+      for (NodeId u : graph.OutNeighbors(v, a)) {
+        if (accepting) return true;
+        size_t idx = static_cast<size_t>(u) * nq + t;
+        if (!visited.Test(idx)) {
+          visited.Set(idx);
+          worklist.emplace_back(u, t);
+        }
       }
     }
   }
@@ -132,25 +157,29 @@ bool SelectsNode(const Graph& graph, const Dfa& query, NodeId node) {
 BitVector EvalBinaryFrom(const Graph& graph, const Dfa& query, NodeId src) {
   const uint32_t nq = query.num_states();
   const uint32_t nv = graph.num_nodes();
+  const FrozenDfa frozen(query);
+  const Symbol num_shared = SharedSymbolCount(graph, frozen);
   BitVector visited(static_cast<size_t>(nv) * nq);
-  std::deque<std::pair<NodeId, StateId>> queue;
-  const StateId q0 = query.initial_state();
+  std::vector<std::pair<NodeId, StateId>> worklist;
+  const StateId q0 = frozen.initial_state();
   visited.Set(static_cast<size_t>(src) * nq + q0);
-  queue.emplace_back(src, q0);
+  worklist.emplace_back(src, q0);
   BitVector result(nv);
-  if (query.IsAccepting(q0)) result.Set(src);
-  while (!queue.empty()) {
-    auto [v, q] = queue.front();
-    queue.pop_front();
-    for (const LabeledEdge& e : graph.OutEdges(v)) {
-      if (e.label >= query.num_symbols()) continue;
-      StateId t = query.Next(q, e.label);
+  if (frozen.IsAccepting(q0)) result.Set(src);
+  while (!worklist.empty()) {
+    auto [v, q] = worklist.back();
+    worklist.pop_back();
+    for (Symbol a = 0; a < num_shared; ++a) {
+      StateId t = frozen.Next(q, a);
       if (t == kNoState) continue;
-      size_t idx = static_cast<size_t>(e.node) * nq + t;
-      if (!visited.Test(idx)) {
-        visited.Set(idx);
-        if (query.IsAccepting(t)) result.Set(e.node);
-        queue.emplace_back(e.node, t);
+      const bool accepting = frozen.IsAccepting(t);
+      for (NodeId u : graph.OutNeighbors(v, a)) {
+        size_t idx = static_cast<size_t>(u) * nq + t;
+        if (!visited.Test(idx)) {
+          visited.Set(idx);
+          if (accepting) result.Set(u);
+          worklist.emplace_back(u, t);
+        }
       }
     }
   }
@@ -164,12 +193,138 @@ bool SelectsPair(const Graph& graph, const Dfa& query, NodeId src,
 
 std::vector<std::pair<NodeId, NodeId>> EvalBinary(const Graph& graph,
                                                   const Dfa& query) {
+  const uint32_t nq = query.num_states();
+  const uint32_t nv = graph.num_nodes();
   std::vector<std::pair<NodeId, NodeId>> result;
-  for (NodeId src = 0; src < graph.num_nodes(); ++src) {
-    BitVector targets = EvalBinaryFrom(graph, query, src);
-    for (uint32_t dst : targets.ToIndices()) {
-      result.emplace_back(src, dst);
+  if (nv == 0) return result;
+  RPQ_DCHECK(nq > 0);
+  const FrozenDfa frozen(query);
+  const Symbol num_shared = SharedSymbolCount(graph, frozen);
+  const StateId q0 = frozen.initial_state();
+  constexpr uint32_t kBatch = 64;  // one source per bit of the lane mask
+
+  // Per-state lists of defined transitions on shared symbols, so the inner
+  // loop never probes undefined (state, symbol) cells. States without
+  // outgoing transitions (e.g. accepting sinks of prefix-free queries) are
+  // never enqueued: reaching them updates the mask, which the final sweep
+  // reads, but they have nothing to propagate.
+  struct StateTransition {
+    Symbol symbol;
+    StateId target;
+  };
+  std::vector<std::vector<StateTransition>> transitions(nq);
+  std::vector<StateId> accepting_states;
+  std::vector<uint8_t> accepting_flag(nq, 0);
+  for (StateId q = 0; q < nq; ++q) {
+    for (Symbol a = 0; a < num_shared; ++a) {
+      StateId t = frozen.Next(q, a);
+      if (t != kNoState) transitions[q].push_back({a, t});
     }
+    if (frozen.IsAccepting(q)) {
+      accepting_states.push_back(q);
+      accepting_flag[q] = 1;
+    }
+  }
+
+  // All scratch is allocated once and reused across batches: `mask[(v, q)]`
+  // holds the lane set that has reached the product pair, `pending` marks
+  // pairs queued in a frontier, and `touched` records cells whose mask went
+  // nonzero, so per-batch clearing and result recovery cost O(cells the BFS
+  // actually reached) instead of O(nv·nq) — on graphs of small components
+  // the batch loop never pays for the nodes it never visits.
+  const size_t num_pairs = static_cast<size_t>(nv) * nq;
+  std::vector<uint64_t> mask(num_pairs, 0);
+  std::vector<uint8_t> pending(num_pairs, 0);
+  std::vector<size_t> touched;
+  std::vector<std::pair<NodeId, StateId>> frontier;
+  std::vector<std::pair<NodeId, StateId>> next;
+  std::vector<std::vector<NodeId>> per_lane(kBatch);
+
+  for (NodeId base = 0; base < nv; base += kBatch) {
+    const uint32_t lanes = std::min(kBatch, nv - base);
+    frontier.clear();
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      const NodeId src = base + lane;
+      const size_t idx = static_cast<size_t>(src) * nq + q0;
+      if (mask[idx] == 0) touched.push_back(idx);
+      mask[idx] |= uint64_t{1} << lane;
+      if (!transitions[q0].empty() && !pending[idx]) {
+        pending[idx] = 1;
+        frontier.emplace_back(src, q0);
+      }
+    }
+
+    // Multi-source product BFS: propagate lane masks to a monotone fixed
+    // point. A pair re-enters the frontier whenever it gains new lanes.
+    while (!frontier.empty()) {
+      next.clear();
+      for (auto [v, q] : frontier) {
+        const size_t vq = static_cast<size_t>(v) * nq + q;
+        pending[vq] = 0;
+        const uint64_t lanes_here = mask[vq];
+        for (const StateTransition& tr : transitions[q]) {
+          for (NodeId u : graph.OutNeighbors(v, tr.symbol)) {
+            const size_t ut = static_cast<size_t>(u) * nq + tr.target;
+            const uint64_t fresh = lanes_here & ~mask[ut];
+            if (fresh == 0) continue;
+            if (mask[ut] == 0) touched.push_back(ut);
+            mask[ut] |= fresh;
+            if (!transitions[tr.target].empty() && !pending[ut]) {
+              pending[ut] = 1;
+              next.emplace_back(u, tr.target);
+            }
+          }
+        }
+      }
+      std::swap(frontier, next);
+    }
+
+    // Recover the result lanes: a visited (u, q_accepting) pair is exactly
+    // a selected (source, u) edge of the batch. When the BFS saturated the
+    // pair space a dense node sweep is cheapest; otherwise only the touched
+    // cells are inspected (sort+unique restores ascending-dst order and
+    // drops nodes reached in several accepting states). Emitted
+    // (src asc, dst asc), matching the per-source reference order.
+    for (uint32_t lane = 0; lane < lanes; ++lane) per_lane[lane].clear();
+    if (touched.size() >= num_pairs / 4) {
+      for (NodeId u = 0; u < nv; ++u) {
+        uint64_t h = 0;
+        for (StateId q : accepting_states) {
+          h |= mask[static_cast<size_t>(u) * nq + q];
+        }
+        while (h != 0) {
+          const int lane = std::countr_zero(h);
+          per_lane[lane].push_back(u);
+          h &= h - 1;
+        }
+      }
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        const NodeId src = base + lane;
+        for (NodeId dst : per_lane[lane]) result.emplace_back(src, dst);
+      }
+    } else {
+      for (size_t cell : touched) {
+        const StateId q = static_cast<StateId>(cell % nq);
+        if (!accepting_flag[q]) continue;
+        const NodeId u = static_cast<NodeId>(cell / nq);
+        uint64_t h = mask[cell];
+        while (h != 0) {
+          const int lane = std::countr_zero(h);
+          per_lane[lane].push_back(u);
+          h &= h - 1;
+        }
+      }
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        std::vector<NodeId>& dsts = per_lane[lane];
+        std::sort(dsts.begin(), dsts.end());
+        dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+        const NodeId src = base + lane;
+        for (NodeId dst : dsts) result.emplace_back(src, dst);
+      }
+    }
+
+    for (size_t cell : touched) mask[cell] = 0;
+    touched.clear();
   }
   return result;
 }

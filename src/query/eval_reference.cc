@@ -1,0 +1,147 @@
+#include "query/eval_reference.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Reverse DFA transitions: for (symbol, target) the list of sources.
+std::vector<std::vector<std::vector<StateId>>> ReverseDfa(const Dfa& dfa) {
+  std::vector<std::vector<std::vector<StateId>>> rev(
+      dfa.num_symbols(),
+      std::vector<std::vector<StateId>>(dfa.num_states()));
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      StateId t = dfa.Next(s, a);
+      if (t != kNoState) rev[a][t].push_back(s);
+    }
+  }
+  return rev;
+}
+
+}  // namespace
+
+BitVector EvalMonadicReference(const Graph& graph, const Dfa& query) {
+  RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
+  const uint32_t nq = query.num_states();
+  const uint32_t nv = graph.num_nodes();
+  auto rev = ReverseDfa(query);
+
+  // visited[(v, q)] = an accepting pair is reachable from (v, q).
+  BitVector visited(static_cast<size_t>(nv) * nq);
+  std::deque<std::pair<NodeId, StateId>> queue;
+  for (StateId q = 0; q < nq; ++q) {
+    if (!query.IsAccepting(q)) continue;
+    for (NodeId v = 0; v < nv; ++v) {
+      visited.Set(static_cast<size_t>(v) * nq + q);
+      queue.emplace_back(v, q);
+    }
+  }
+  while (!queue.empty()) {
+    auto [v, q] = queue.front();
+    queue.pop_front();
+    // Predecessor pairs: (u, p) with edge (u, a, v) and delta(p, a) = q.
+    for (const LabeledEdge& e : graph.InEdges(v)) {
+      if (e.label >= query.num_symbols()) continue;
+      for (StateId p : rev[e.label][q]) {
+        size_t idx = static_cast<size_t>(e.node) * nq + p;
+        if (!visited.Test(idx)) {
+          visited.Set(idx);
+          queue.emplace_back(e.node, p);
+        }
+      }
+    }
+  }
+
+  BitVector result(nv);
+  const StateId q0 = query.initial_state();
+  for (NodeId v = 0; v < nv; ++v) {
+    if (visited.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
+  }
+  return result;
+}
+
+BitVector EvalMonadicBoundedReference(const Graph& graph, const Dfa& query,
+                                      uint32_t max_length) {
+  const uint32_t nq = query.num_states();
+  const uint32_t nv = graph.num_nodes();
+  auto rev = ReverseDfa(query);
+
+  BitVector reached(static_cast<size_t>(nv) * nq);
+  std::vector<std::pair<NodeId, StateId>> frontier;
+  for (StateId q = 0; q < nq; ++q) {
+    if (!query.IsAccepting(q)) continue;
+    for (NodeId v = 0; v < nv; ++v) {
+      reached.Set(static_cast<size_t>(v) * nq + q);
+      frontier.emplace_back(v, q);
+    }
+  }
+  for (uint32_t step = 0; step < max_length && !frontier.empty(); ++step) {
+    std::vector<std::pair<NodeId, StateId>> next;
+    for (auto [v, q] : frontier) {
+      for (const LabeledEdge& e : graph.InEdges(v)) {
+        if (e.label >= query.num_symbols()) continue;
+        for (StateId p : rev[e.label][q]) {
+          size_t idx = static_cast<size_t>(e.node) * nq + p;
+          if (!reached.Test(idx)) {
+            reached.Set(idx);
+            next.emplace_back(e.node, p);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  BitVector result(nv);
+  const StateId q0 = query.initial_state();
+  for (NodeId v = 0; v < nv; ++v) {
+    if (reached.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
+  }
+  return result;
+}
+
+BitVector EvalBinaryFromReference(const Graph& graph, const Dfa& query,
+                                  NodeId src) {
+  const uint32_t nq = query.num_states();
+  const uint32_t nv = graph.num_nodes();
+  BitVector visited(static_cast<size_t>(nv) * nq);
+  std::deque<std::pair<NodeId, StateId>> queue;
+  const StateId q0 = query.initial_state();
+  visited.Set(static_cast<size_t>(src) * nq + q0);
+  queue.emplace_back(src, q0);
+  BitVector result(nv);
+  if (query.IsAccepting(q0)) result.Set(src);
+  while (!queue.empty()) {
+    auto [v, q] = queue.front();
+    queue.pop_front();
+    for (const LabeledEdge& e : graph.OutEdges(v)) {
+      if (e.label >= query.num_symbols()) continue;
+      StateId t = query.Next(q, e.label);
+      if (t == kNoState) continue;
+      size_t idx = static_cast<size_t>(e.node) * nq + t;
+      if (!visited.Test(idx)) {
+        visited.Set(idx);
+        if (query.IsAccepting(t)) result.Set(e.node);
+        queue.emplace_back(e.node, t);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<NodeId, NodeId>> EvalBinaryReference(const Graph& graph,
+                                                           const Dfa& query) {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  for (NodeId src = 0; src < graph.num_nodes(); ++src) {
+    BitVector targets = EvalBinaryFromReference(graph, query, src);
+    for (uint32_t dst : targets.ToIndices()) {
+      result.emplace_back(src, dst);
+    }
+  }
+  return result;
+}
+
+}  // namespace rpqlearn

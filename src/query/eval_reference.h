@@ -1,0 +1,31 @@
+#ifndef RPQLEARN_QUERY_EVAL_REFERENCE_H_
+#define RPQLEARN_QUERY_EVAL_REFERENCE_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graph/graph.h"
+#include "util/bit_vector.h"
+
+namespace rpqlearn {
+
+/// Reference (pre-CSR) evaluation paths, kept verbatim from the original
+/// implementation. They are the correctness oracle for the CSR engine in
+/// eval.cc — the differential test asserts bit-identical results — and the
+/// baseline the hot-path benchmark measures speedups against. Not for
+/// production use: they re-allocate traversal state per call/source.
+BitVector EvalMonadicReference(const Graph& graph, const Dfa& query);
+
+BitVector EvalMonadicBoundedReference(const Graph& graph, const Dfa& query,
+                                      uint32_t max_length);
+
+BitVector EvalBinaryFromReference(const Graph& graph, const Dfa& query,
+                                  NodeId src);
+
+std::vector<std::pair<NodeId, NodeId>> EvalBinaryReference(const Graph& graph,
+                                                           const Dfa& query);
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_QUERY_EVAL_REFERENCE_H_
