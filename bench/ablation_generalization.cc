@@ -19,6 +19,7 @@ void RunDataset(const Dataset& dataset, double fraction) {
   TableReport table({"query", "F1 with generalization",
                      "F1 without (SCP disjunction)", "delta"});
   StaticSweepOptions options;
+  options.eval = bench::EvalConfig();
   options.fractions = {fraction};
   options.trials = bench::Trials();
   options.seed = 27;

@@ -20,6 +20,7 @@ void RunDataset(const Dataset& dataset, double fraction) {
   for (const Workload& w : dataset.queries) {
     for (uint32_t k = 1; k <= 4; ++k) {
       StaticSweepOptions options;
+      options.eval = bench::EvalConfig();
       options.fractions = {fraction};
       options.trials = bench::Trials();
       options.seed = 31;
@@ -32,6 +33,7 @@ void RunDataset(const Dataset& dataset, double fraction) {
                     std::to_string(points[0].max_k_used)});
     }
     StaticSweepOptions dynamic;
+    dynamic.eval = bench::EvalConfig();
     dynamic.fractions = {fraction};
     dynamic.trials = bench::Trials();
     dynamic.seed = 31;

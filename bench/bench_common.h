@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "query/eval.h"
+
 namespace rpqlearn::bench {
 
 /// Benchmark scale, selected with RPQ_BENCH_SCALE:
@@ -26,6 +28,23 @@ inline std::vector<uint32_t> SyntheticSizes() {
 
 /// Trials per configuration for the current scale.
 inline int Trials() { return PaperScale() ? 3 : 2; }
+
+/// Evaluation worker threads, selected with RPQ_EVAL_THREADS (default: all
+/// hardware threads). Values below 1 fall back to the default — the benches
+/// are not the place to exercise the InvalidArgument path.
+inline uint32_t EvalThreads() {
+  const char* env = std::getenv("RPQ_EVAL_THREADS");
+  if (env == nullptr) return DefaultEvalThreads();
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed >= 1 ? static_cast<uint32_t>(parsed) : DefaultEvalThreads();
+}
+
+/// EvalOptions for the current environment: RPQ_EVAL_THREADS workers.
+inline EvalOptions EvalConfig() {
+  EvalOptions options;
+  options.threads = EvalThreads();
+  return options;
+}
 
 }  // namespace rpqlearn::bench
 

@@ -162,6 +162,77 @@ double Speedup(double ref_seconds, double fast_seconds) {
   return fast_seconds > 0 ? ref_seconds / fast_seconds : 0;
 }
 
+struct ParallelEvalResult {
+  uint32_t threads = 1;
+  double binary_one_thread_seconds = 0;
+  double binary_parallel_seconds = 0;
+  double monadic_one_thread_seconds = 0;
+  double monadic_parallel_seconds = 0;
+};
+
+/// Thread-pool evaluation versus the identical engine pinned to one thread,
+/// on the same workload as BenchEval. Outputs are checked bit-identical
+/// before timing, so the reported speedup is also a determinism witness.
+ParallelEvalResult BenchParallelEval(uint32_t num_nodes, int trials) {
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = num_nodes;
+  graph_options.num_edges = 3 * static_cast<size_t>(num_nodes);
+  graph_options.num_labels = 8;
+  graph_options.seed = 7;
+  Graph graph = GenerateScaleFree(graph_options);
+  Dfa query = CompileQuery("(l0+l1)*.l2", graph);
+
+  EvalOptions one_thread;
+  one_thread.threads = 1;
+  EvalOptions parallel = bench::EvalConfig();
+  // Let the thread count alone decide the path at this scale.
+  parallel.parallel_threshold_pairs = 0;
+
+  ParallelEvalResult result;
+  result.threads = parallel.threads;
+
+  auto sequential_pairs = EvalBinary(graph, query, one_thread);
+  RPQ_CHECK(sequential_pairs.ok());
+  auto parallel_pairs = EvalBinary(graph, query, parallel);
+  RPQ_CHECK(parallel_pairs.ok());
+  RPQ_CHECK(*parallel_pairs == *sequential_pairs)
+      << "parallel EvalBinary diverged from threads=1";
+
+  WallTimer timer;
+  for (int t = 0; t < trials; ++t) {
+    auto pairs = EvalBinary(graph, query, one_thread);
+    RPQ_CHECK_EQ(pairs->size(), sequential_pairs->size());
+  }
+  result.binary_one_thread_seconds = timer.ElapsedSeconds() / trials;
+  timer.Restart();
+  for (int t = 0; t < trials; ++t) {
+    auto pairs = EvalBinary(graph, query, parallel);
+    RPQ_CHECK_EQ(pairs->size(), sequential_pairs->size());
+  }
+  result.binary_parallel_seconds = timer.ElapsedSeconds() / trials;
+
+  auto sequential_monadic = EvalMonadic(graph, query, one_thread);
+  RPQ_CHECK(sequential_monadic.ok());
+  auto parallel_monadic = EvalMonadic(graph, query, parallel);
+  RPQ_CHECK(parallel_monadic.ok());
+  RPQ_CHECK(*parallel_monadic == *sequential_monadic)
+      << "parallel EvalMonadic diverged from threads=1";
+  const int monadic_trials = trials * 5;
+  timer.Restart();
+  for (int t = 0; t < monadic_trials; ++t) {
+    auto r = EvalMonadic(graph, query, one_thread);
+    RPQ_CHECK_EQ(r->Count(), sequential_monadic->Count());
+  }
+  result.monadic_one_thread_seconds = timer.ElapsedSeconds() / monadic_trials;
+  timer.Restart();
+  for (int t = 0; t < monadic_trials; ++t) {
+    auto r = EvalMonadic(graph, query, parallel);
+    RPQ_CHECK_EQ(r->Count(), sequential_monadic->Count());
+  }
+  result.monadic_parallel_seconds = timer.ElapsedSeconds() / monadic_trials;
+  return result;
+}
+
 }  // namespace
 }  // namespace rpqlearn
 
@@ -200,6 +271,21 @@ int main() {
   std::printf("monadic eval: reference %.4fs, csr %.4fs, speedup %.2fx\n",
               monadic_ref, monadic_csr, monadic_speedup);
 
+  // --- thread-pool parallel evaluation ---------------------------------
+  auto par = BenchParallelEval(eval_nodes, trials);
+  const double par_binary_speedup =
+      Speedup(par.binary_one_thread_seconds, par.binary_parallel_seconds);
+  const double par_monadic_speedup =
+      Speedup(par.monadic_one_thread_seconds, par.monadic_parallel_seconds);
+  std::printf("parallel eval (%u threads, RPQ_EVAL_THREADS to override):\n",
+              par.threads);
+  std::printf("  binary   1-thread %8.3fs  %u-thread %8.3fs  speedup %.2fx\n",
+              par.binary_one_thread_seconds, par.threads,
+              par.binary_parallel_seconds, par_binary_speedup);
+  std::printf("  monadic  1-thread %8.4fs  %u-thread %8.4fs  speedup %.2fx\n",
+              par.monadic_one_thread_seconds, par.threads,
+              par.monadic_parallel_seconds, par_monadic_speedup);
+
   FILE* out = std::fopen("BENCH_hotpath.json", "w");
   RPQ_CHECK(out != nullptr) << "cannot write BENCH_hotpath.json";
   std::fprintf(out,
@@ -226,13 +312,26 @@ int main() {
                "    \"ref_seconds\": %.6f,\n"
                "    \"csr_seconds\": %.6f,\n"
                "    \"speedup\": %.2f\n"
+               "  },\n"
+               "  \"eval_parallel\": {\n"
+               "    \"threads\": %u,\n"
+               "    \"binary_one_thread_seconds\": %.6f,\n"
+               "    \"binary_parallel_seconds\": %.6f,\n"
+               "    \"binary_speedup\": %.2f,\n"
+               "    \"monadic_one_thread_seconds\": %.6f,\n"
+               "    \"monadic_parallel_seconds\": %.6f,\n"
+               "    \"monadic_speedup\": %.2f\n"
                "  }\n"
                "}\n",
                paper ? "paper" : "small", merge.pta_states, merge.attempted,
                merge.ref_seconds, merge.fast_seconds, merge_ref_ops,
                merge_fast_ops, merge_speedup, eval.nodes, eval.edges,
                eval.query_states, eval.ref_seconds, eval.csr_seconds,
-               binary_speedup, monadic_ref, monadic_csr, monadic_speedup);
+               binary_speedup, monadic_ref, monadic_csr, monadic_speedup,
+               par.threads, par.binary_one_thread_seconds,
+               par.binary_parallel_seconds, par_binary_speedup,
+               par.monadic_one_thread_seconds, par.monadic_parallel_seconds,
+               par_monadic_speedup);
   std::fclose(out);
   std::printf("wrote BENCH_hotpath.json\n");
   return 0;

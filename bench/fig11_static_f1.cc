@@ -18,6 +18,7 @@ void RunPanel(const Dataset& dataset) {
   StaticSweepOptions options;
   options.trials = bench::Trials();
   options.seed = 7;
+  options.eval = bench::EvalConfig();
 
   std::vector<std::string> headers{"labeled %"};
   for (const Workload& w : dataset.queries) headers.push_back(w.name);

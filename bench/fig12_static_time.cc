@@ -16,6 +16,7 @@ namespace {
 void RunPanel(const Dataset& dataset) {
   std::printf("-- Figure 12 panel: %s --\n", dataset.name.c_str());
   StaticSweepOptions options;
+  options.eval = bench::EvalConfig();
   options.trials = bench::Trials();
   options.seed = 7;
 

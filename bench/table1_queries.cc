@@ -9,6 +9,7 @@
 #include "experiments/report.h"
 #include "graph/stats.h"
 #include "query/eval.h"
+#include "util/logging.h"
 #include "workloads/workloads.h"
 
 namespace rpqlearn {
@@ -22,7 +23,10 @@ void ReportDataset(const Dataset& dataset) {
   TableReport table({"query", "size", "paper selectivity",
                      "measured selectivity", "selected nodes"});
   for (const Workload& w : dataset.queries) {
-    BitVector result = EvalMonadic(dataset.graph, w.query);
+    StatusOr<BitVector> selected =
+        EvalMonadic(dataset.graph, w.query, bench::EvalConfig());
+    RPQ_CHECK(selected.ok()) << selected.status().ToString();
+    BitVector result = *std::move(selected);
     double selectivity =
         static_cast<double>(result.Count()) / dataset.graph.num_nodes();
     table.AddRow({w.name, std::to_string(w.query.num_states()),

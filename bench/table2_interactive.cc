@@ -30,7 +30,8 @@ void RunDataset(const Dataset& dataset) {
     const double step = bench::PaperScale() ? 0.02 : 0.05;
     const double max_fraction = bench::PaperScale() ? 0.9 : 0.25;
     double static_fraction = LabelsNeededForPerfectF1(
-        dataset.graph, w.query, step, max_fraction, /*seed=*/13, learner);
+        dataset.graph, w.query, step, max_fraction, /*seed=*/13, learner,
+        bench::EvalConfig());
     std::string static_cell =
         static_fraction >= max_fraction - 1e-9
             ? "> " + TableReport::Percent(max_fraction, 0)
@@ -39,7 +40,8 @@ void RunDataset(const Dataset& dataset) {
     for (StrategyKind kind :
          {StrategyKind::kRandom, StrategyKind::kSmallestPaths}) {
       InteractiveSummary summary = RunInteractiveExperiment(
-          dataset.graph, w.query, kind, /*seed=*/13, max_interactions);
+          dataset.graph, w.query, kind, /*seed=*/13, max_interactions,
+          bench::EvalConfig());
       table.AddRow({w.name, static_cell, summary.strategy,
                     TableReport::Percent(summary.label_percent / 100.0, 2),
                     summary.reached_goal ? "yes" : "no",

@@ -8,12 +8,14 @@ InteractiveSummary RunInteractiveExperiment(const Graph& graph,
                                             const Dfa& goal,
                                             StrategyKind strategy,
                                             uint64_t seed,
-                                            size_t max_interactions) {
-  Oracle oracle = Oracle::FromQuery(graph, goal);
+                                            size_t max_interactions,
+                                            const EvalOptions& eval) {
+  Oracle oracle = Oracle::FromQuery(graph, goal, eval);
   SessionOptions options;
   options.strategy = strategy;
   options.seed = seed;
   options.max_interactions = max_interactions;
+  options.eval = eval;
 
   SessionResult session = RunInteractiveSession(graph, oracle, options);
 

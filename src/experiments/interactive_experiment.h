@@ -20,12 +20,15 @@ struct InteractiveSummary {
   uint32_t final_k = 0;
 };
 
-/// Runs one interactive session against `goal` and summarizes it.
+/// Runs one interactive session against `goal` and summarizes it. `eval`
+/// selects the evaluation thread count for the oracle's goal set and every
+/// per-interaction F1 scoring pass.
 InteractiveSummary RunInteractiveExperiment(const Graph& graph,
                                             const Dfa& goal,
                                             StrategyKind strategy,
                                             uint64_t seed,
-                                            size_t max_interactions = 5000);
+                                            size_t max_interactions = 5000,
+                                            const EvalOptions& eval = {});
 
 }  // namespace rpqlearn
 

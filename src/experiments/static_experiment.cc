@@ -6,11 +6,21 @@
 #include "learn/sample.h"
 #include "query/eval.h"
 #include "query/metrics.h"
+#include "util/logging.h"
 #include "util/random.h"
 #include "util/timer.h"
 
 namespace rpqlearn {
 namespace {
+
+/// Monadic evaluation with the experiment's EvalOptions; a bad configuration
+/// is a driver bug, so the validation Status aborts loudly.
+BitVector EvalGoalSet(const Graph& graph, const Dfa& query,
+                      const EvalOptions& eval) {
+  StatusOr<BitVector> selected = EvalMonadic(graph, query, eval);
+  RPQ_CHECK(selected.ok()) << selected.status().ToString();
+  return *std::move(selected);
+}
 
 /// The paper's static sampling protocol (Sec. 5.2): positives are random
 /// nodes *selected by the goal*, negatives random nodes *not selected*,
@@ -45,7 +55,7 @@ Sample RandomSample(const Graph& graph, const BitVector& goal,
 
 std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
                                         const StaticSweepOptions& options) {
-  BitVector goal_set = EvalMonadic(graph, goal);
+  BitVector goal_set = EvalGoalSet(graph, goal, options.eval);
   Rng rng(options.seed);
   std::vector<StaticPoint> points;
   for (double fraction : options.fractions) {
@@ -62,7 +72,7 @@ std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
         continue;
       }
       point.max_k_used = std::max(point.max_k_used, outcome.stats.k_used);
-      BitVector selected = EvalMonadic(graph, outcome.query);
+      BitVector selected = EvalGoalSet(graph, outcome.query, options.eval);
       point.f1_mean += ComputeMetrics(selected, goal_set).f1;
     }
     int successes = options.trials - abstains;
@@ -77,8 +87,9 @@ std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
 double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
                                 double step, double max_fraction,
                                 uint64_t seed,
-                                const LearnerOptions& learner) {
-  BitVector goal_set = EvalMonadic(graph, goal);
+                                const LearnerOptions& learner,
+                                const EvalOptions& eval) {
+  BitVector goal_set = EvalGoalSet(graph, goal, eval);
   Rng rng(seed);
   // Incrementally extend fixed orderings of both pools so successive
   // fractions nest (same stratified protocol as RandomSample).
@@ -113,7 +124,7 @@ double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
     }
     LearnOutcome outcome = incremental.Learn();
     if (outcome.is_null) continue;
-    BitVector selected = EvalMonadic(graph, outcome.query);
+    BitVector selected = EvalGoalSet(graph, outcome.query, eval);
     if (ComputeMetrics(selected, goal_set).f1 == 1.0) return fraction;
   }
   return max_fraction;

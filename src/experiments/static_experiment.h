@@ -6,6 +6,7 @@
 #include "automata/dfa.h"
 #include "graph/graph.h"
 #include "learn/learner.h"
+#include "query/eval.h"
 
 namespace rpqlearn {
 
@@ -27,6 +28,9 @@ struct StaticSweepOptions {
   int trials = 3;
   uint64_t seed = 1;
   LearnerOptions learner;
+  /// Evaluation knobs (thread count) for scoring learned queries against
+  /// the goal; invalid options abort the sweep with the validation message.
+  EvalOptions eval;
 };
 
 /// Runs the Sec. 5.2 static experiment for one goal query.
@@ -38,7 +42,8 @@ std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
 /// reaches F1 = 1; returns the fraction (or max_fraction if never reached).
 double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
                                 double step, double max_fraction,
-                                uint64_t seed, const LearnerOptions& learner);
+                                uint64_t seed, const LearnerOptions& learner,
+                                const EvalOptions& eval = {});
 
 }  // namespace rpqlearn
 

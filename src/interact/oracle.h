@@ -1,10 +1,13 @@
 #ifndef RPQLEARN_INTERACT_ORACLE_H_
 #define RPQLEARN_INTERACT_ORACLE_H_
 
+#include <utility>
+
 #include "automata/dfa.h"
 #include "graph/graph.h"
 #include "query/eval.h"
 #include "util/bit_vector.h"
+#include "util/logging.h"
 
 namespace rpqlearn {
 
@@ -18,8 +21,13 @@ class Oracle {
   explicit Oracle(BitVector goal) : goal_(std::move(goal)) {}
 
   /// Evaluates the goal query on the graph once and labels from the result.
-  static Oracle FromQuery(const Graph& graph, const Dfa& goal_query) {
-    return Oracle(EvalMonadic(graph, goal_query));
+  /// `eval` selects the evaluation thread count; invalid options abort (the
+  /// simulated user is experiment harness code, not a fallible API).
+  static Oracle FromQuery(const Graph& graph, const Dfa& goal_query,
+                          const EvalOptions& eval = {}) {
+    StatusOr<BitVector> goal = EvalMonadic(graph, goal_query, eval);
+    RPQ_CHECK(goal.ok()) << goal.status().ToString();
+    return Oracle(*std::move(goal));
   }
 
   /// The user's answer for node `v`: true = positive example.

@@ -3,6 +3,7 @@
 #include "learn/incremental.h"
 #include "query/eval.h"
 #include "query/metrics.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace rpqlearn {
@@ -27,8 +28,10 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
     if (outcome.is_null) return -1.0;
     result.final_query = outcome.query;
     have_query = true;
-    BitVector selected = EvalMonadic(graph, result.final_query);
-    return ComputeMetrics(selected, oracle.goal()).f1;
+    StatusOr<BitVector> selected =
+        EvalMonadic(graph, result.final_query, options.eval);
+    RPQ_CHECK(selected.ok()) << selected.status().ToString();
+    return ComputeMetrics(*selected, oracle.goal()).f1;
   };
 
   while (result.interactions.size() < options.max_interactions) {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <numeric>
 #include <span>
+#include <thread>
 
 #include "automata/dfa_csr.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace rpqlearn {
 namespace {
@@ -33,34 +36,66 @@ ReverseTransitionLists(const FrozenDfa& frozen, Symbol num_shared) {
   return rev;
 }
 
-}  // namespace
+/// Pool shared by every parallel evaluation call in the process. Sized once
+/// to the hardware; EvalOptions.threads caps how many of its workers one
+/// call may occupy (ThreadPool::ParallelFor never uses more executors than
+/// requested). Calls with threads == 1 never touch it.
+ThreadPool& EvalPool() {
+  static ThreadPool pool(DefaultEvalThreads());
+  return pool;
+}
 
-BitVector EvalMonadic(const Graph& graph, const Dfa& query) {
-  RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
-  const uint32_t nq = query.num_states();
-  const uint32_t nv = graph.num_nodes();
-  const FrozenDfa frozen(query);
+/// Effective worker count for `num_items` independent work units over a
+/// product space of `num_pairs` (node, state) cells. Small problems and
+/// single-unit calls run sequentially: the result is identical either way,
+/// so this is purely a scheduling decision.
+uint32_t ResolveWorkers(const EvalOptions& validated, size_t num_pairs,
+                        size_t num_items) {
+  if (validated.threads <= 1 || num_items <= 1) return 1;
+  if (num_pairs < validated.parallel_threshold_pairs) return 1;
+  return static_cast<uint32_t>(
+      std::min<size_t>(validated.threads, num_items));
+}
 
-  // visited[(v, q)] = an accepting pair is reachable from (v, q); computed by
-  // backward product reachability. Worklist order does not affect the fixed
-  // point, so a LIFO vector replaces the deque.
+// --------------------------------------------------------------- monadic
+
+/// Read-only state shared by all monadic sweeps of one call.
+struct MonadicContext {
+  const Graph& graph;
+  const FrozenDfa& frozen;
+  const std::vector<std::vector<std::pair<Symbol, std::span<const StateId>>>>&
+      rev;
+};
+
+/// One backward product sweep seeded by the accepting pairs whose *node*
+/// lies in [node_lo, node_hi); returns the selected-node column (which nodes
+/// reach an accepting pair of the range from state q0). Backward
+/// reachability distributes over seed unions, so the union of the per-range
+/// sweeps equals the full sweep — that is the parallel decomposition.
+BitVector MonadicSweep(const MonadicContext& ctx, NodeId node_lo,
+                       NodeId node_hi) {
+  const uint32_t nq = ctx.frozen.num_states();
+  const uint32_t nv = ctx.graph.num_nodes();
+
+  // visited[(v, q)] = an accepting seed pair is reachable from (v, q).
+  // Worklist order does not affect the fixed point, so a LIFO vector
+  // replaces the deque.
   BitVector visited(static_cast<size_t>(nv) * nq);
   std::vector<std::pair<NodeId, StateId>> worklist;
   for (StateId q = 0; q < nq; ++q) {
-    if (!frozen.IsAccepting(q)) continue;
-    for (NodeId v = 0; v < nv; ++v) {
+    if (!ctx.frozen.IsAccepting(q)) continue;
+    for (NodeId v = node_lo; v < node_hi; ++v) {
       visited.Set(static_cast<size_t>(v) * nq + q);
       worklist.emplace_back(v, q);
     }
   }
-  const auto rev = ReverseTransitionLists(frozen, frozen.num_symbols());
   while (!worklist.empty()) {
     auto [v, q] = worklist.back();
     worklist.pop_back();
     // Predecessor pairs: (u, p) with edge (u, a, v) and delta(p, a) = q,
     // iterated as (symbol run) × (reverse-CSR sources).
-    for (const auto& [a, sources] : rev[q]) {
-      for (NodeId u : graph.InNeighbors(v, a)) {
+    for (const auto& [a, sources] : ctx.rev[q]) {
+      for (NodeId u : ctx.graph.InNeighbors(v, a)) {
         for (StateId p : sources) {
           size_t idx = static_cast<size_t>(u) * nq + p;
           if (!visited.Test(idx)) {
@@ -73,36 +108,37 @@ BitVector EvalMonadic(const Graph& graph, const Dfa& query) {
   }
 
   BitVector result(nv);
-  const StateId q0 = frozen.initial_state();
+  const StateId q0 = ctx.frozen.initial_state();
   for (NodeId v = 0; v < nv; ++v) {
     if (visited.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
   }
   return result;
 }
 
-BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
-                             uint32_t max_length) {
-  RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
-  const uint32_t nq = query.num_states();
-  const uint32_t nv = graph.num_nodes();
-  const FrozenDfa frozen(query);
+/// Level-synchronous variant of MonadicSweep stopping after `max_length`
+/// expansions. The BFS level of a pair from a seed union is the minimum over
+/// the union's members, so bounded reachability distributes over seed unions
+/// exactly like the unbounded sweep.
+BitVector MonadicSweepBounded(const MonadicContext& ctx, uint32_t max_length,
+                              NodeId node_lo, NodeId node_hi) {
+  const uint32_t nq = ctx.frozen.num_states();
+  const uint32_t nv = ctx.graph.num_nodes();
 
   BitVector reached(static_cast<size_t>(nv) * nq);
   std::vector<std::pair<NodeId, StateId>> frontier;
   std::vector<std::pair<NodeId, StateId>> next;
   for (StateId q = 0; q < nq; ++q) {
-    if (!frozen.IsAccepting(q)) continue;
-    for (NodeId v = 0; v < nv; ++v) {
+    if (!ctx.frozen.IsAccepting(q)) continue;
+    for (NodeId v = node_lo; v < node_hi; ++v) {
       reached.Set(static_cast<size_t>(v) * nq + q);
       frontier.emplace_back(v, q);
     }
   }
-  const auto rev = ReverseTransitionLists(frozen, frozen.num_symbols());
   for (uint32_t step = 0; step < max_length && !frontier.empty(); ++step) {
     next.clear();
     for (auto [v, q] : frontier) {
-      for (const auto& [a, sources] : rev[q]) {
-        for (NodeId u : graph.InNeighbors(v, a)) {
+      for (const auto& [a, sources] : ctx.rev[q]) {
+        for (NodeId u : ctx.graph.InNeighbors(v, a)) {
           for (StateId p : sources) {
             size_t idx = static_cast<size_t>(u) * nq + p;
             if (!reached.Test(idx)) {
@@ -117,11 +153,325 @@ BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
   }
 
   BitVector result(nv);
-  const StateId q0 = frozen.initial_state();
+  const StateId q0 = ctx.frozen.initial_state();
   for (NodeId v = 0; v < nv; ++v) {
     if (reached.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
   }
   return result;
+}
+
+/// Runs per-node-range monadic sweeps (bounded iff max_length != none) on
+/// `workers` contexts and unions the per-range selected sets.
+BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
+                          bool bounded, uint32_t max_length,
+                          const EvalOptions& validated) {
+  RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
+  const uint32_t nq = query.num_states();
+  const uint32_t nv = graph.num_nodes();
+  const FrozenDfa frozen(query);
+  const auto rev = ReverseTransitionLists(frozen, frozen.num_symbols());
+  const MonadicContext ctx{graph, frozen, rev};
+
+  auto sweep = [&](NodeId lo, NodeId hi) {
+    return bounded ? MonadicSweepBounded(ctx, max_length, lo, hi)
+                   : MonadicSweep(ctx, lo, hi);
+  };
+
+  uint32_t workers =
+      ResolveWorkers(validated, static_cast<size_t>(nv) * nq, nv);
+  if (workers > 1) {
+    // Unlike binary batches, node-range sweeps can re-traverse each other's
+    // backward cones, so chunks beyond the executors actually available
+    // (pool + caller) would multiply duplicated work without adding
+    // concurrency. The cap is scheduling-only: the union is the same.
+    workers = std::min(workers, EvalPool().num_threads() + 1);
+  }
+  if (workers == 1) return sweep(0, nv);
+
+  // Contiguous balanced node ranges; each sweep owns its slot, the union is
+  // commutative, so the result is independent of scheduling.
+  std::vector<BitVector> partial(workers);
+  EvalPool().ParallelFor(
+      workers, workers, [&](uint32_t /*worker*/, size_t chunk) {
+        const NodeId lo =
+            static_cast<NodeId>(static_cast<size_t>(nv) * chunk / workers);
+        const NodeId hi = static_cast<NodeId>(static_cast<size_t>(nv) *
+                                              (chunk + 1) / workers);
+        partial[chunk] = sweep(lo, hi);
+      });
+  BitVector result = std::move(partial[0]);
+  for (uint32_t chunk = 1; chunk < workers; ++chunk) {
+    result.OrWith(partial[chunk]);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------- binary
+
+constexpr uint32_t kLaneBatch = 64;  // one source per bit of the lane mask
+
+struct StateTransition {
+  Symbol symbol;
+  StateId target;
+};
+
+/// Read-only per-call tables for the batched binary BFS, shared by all
+/// workers: per-state lists of defined transitions on shared symbols (so
+/// the inner loop never probes undefined cells) and the accepting set.
+struct BinaryTables {
+  std::vector<std::vector<StateTransition>> transitions;
+  std::vector<StateId> accepting_states;
+  std::vector<uint8_t> accepting_flag;
+  StateId q0 = 0;
+  uint32_t nq = 0;
+  uint32_t nv = 0;
+};
+
+BinaryTables BuildBinaryTables(const Graph& graph, const FrozenDfa& frozen) {
+  const Symbol num_shared = SharedSymbolCount(graph, frozen);
+  BinaryTables tables;
+  tables.nq = frozen.num_states();
+  tables.nv = graph.num_nodes();
+  tables.q0 = frozen.initial_state();
+  tables.transitions.resize(tables.nq);
+  tables.accepting_flag.assign(tables.nq, 0);
+  for (StateId q = 0; q < tables.nq; ++q) {
+    for (Symbol a = 0; a < num_shared; ++a) {
+      StateId t = frozen.Next(q, a);
+      if (t != kNoState) tables.transitions[q].push_back({a, t});
+    }
+    if (frozen.IsAccepting(q)) {
+      tables.accepting_states.push_back(q);
+      tables.accepting_flag[q] = 1;
+    }
+  }
+  return tables;
+}
+
+/// Scratch of one batched multi-source product BFS, owned by exactly one
+/// worker and reused across its batches: `mask[(v, q)]` holds the lane set
+/// that has reached the product pair, `pending` marks pairs queued in a
+/// frontier, and `touched` records cells whose mask went nonzero, so
+/// per-batch clearing and result recovery cost O(cells the BFS actually
+/// reached) instead of O(nv·nq).
+class BinaryBatchScratch {
+ public:
+  /// Sizes the arrays for an nv × nq product space; idempotent, so workers
+  /// call it lazily on their first batch.
+  void Prepare(size_t num_pairs) {
+    if (mask_.size() != num_pairs) {
+      mask_.assign(num_pairs, 0);
+      pending_.assign(num_pairs, 0);
+    }
+  }
+
+  /// Evaluates one batch of ≤ 64 sources (lane i = sources[i]) and appends
+  /// its (src, dst) pairs to `out`, grouped by lane in input order with
+  /// destinations ascending. Pure function of (graph, tables, sources):
+  /// scratch reuse and worker assignment never change the output.
+  void RunBatch(const Graph& graph, const BinaryTables& tables,
+                std::span<const NodeId> sources,
+                std::vector<std::pair<NodeId, NodeId>>* out) {
+    RPQ_DCHECK(sources.size() <= kLaneBatch);
+    const uint32_t nq = tables.nq;
+    const uint32_t lanes = static_cast<uint32_t>(sources.size());
+    const size_t num_pairs = mask_.size();
+    frontier_.clear();
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      const NodeId src = sources[lane];
+      const size_t idx = static_cast<size_t>(src) * nq + tables.q0;
+      if (mask_[idx] == 0) touched_.push_back(idx);
+      mask_[idx] |= uint64_t{1} << lane;
+      if (!tables.transitions[tables.q0].empty() && !pending_[idx]) {
+        pending_[idx] = 1;
+        frontier_.emplace_back(src, tables.q0);
+      }
+    }
+
+    // Multi-source product BFS: propagate lane masks to a monotone fixed
+    // point. A pair re-enters the frontier whenever it gains new lanes;
+    // states with no outgoing transitions are never enqueued (reaching them
+    // updates the mask, which the final sweep reads).
+    while (!frontier_.empty()) {
+      next_.clear();
+      for (auto [v, q] : frontier_) {
+        const size_t vq = static_cast<size_t>(v) * nq + q;
+        pending_[vq] = 0;
+        const uint64_t lanes_here = mask_[vq];
+        for (const StateTransition& tr : tables.transitions[q]) {
+          for (NodeId u : graph.OutNeighbors(v, tr.symbol)) {
+            const size_t ut = static_cast<size_t>(u) * nq + tr.target;
+            const uint64_t fresh = lanes_here & ~mask_[ut];
+            if (fresh == 0) continue;
+            if (mask_[ut] == 0) touched_.push_back(ut);
+            mask_[ut] |= fresh;
+            if (!tables.transitions[tr.target].empty() && !pending_[ut]) {
+              pending_[ut] = 1;
+              next_.emplace_back(u, tr.target);
+            }
+          }
+        }
+      }
+      std::swap(frontier_, next_);
+    }
+
+    // Recover the result lanes: a visited (u, q_accepting) pair is exactly
+    // a selected (source, u) edge of the batch. When the BFS saturated the
+    // pair space a dense node sweep is cheapest; otherwise only the touched
+    // cells are inspected (sort+unique restores ascending-dst order and
+    // drops nodes reached in several accepting states).
+    for (uint32_t lane = 0; lane < lanes; ++lane) per_lane_[lane].clear();
+    if (touched_.size() >= num_pairs / 4) {
+      for (NodeId u = 0; u < tables.nv; ++u) {
+        uint64_t h = 0;
+        for (StateId q : tables.accepting_states) {
+          h |= mask_[static_cast<size_t>(u) * nq + q];
+        }
+        while (h != 0) {
+          const int lane = std::countr_zero(h);
+          per_lane_[lane].push_back(u);
+          h &= h - 1;
+        }
+      }
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        const NodeId src = sources[lane];
+        for (NodeId dst : per_lane_[lane]) out->emplace_back(src, dst);
+      }
+    } else {
+      for (size_t cell : touched_) {
+        const StateId q = static_cast<StateId>(cell % nq);
+        if (!tables.accepting_flag[q]) continue;
+        const NodeId u = static_cast<NodeId>(cell / nq);
+        uint64_t h = mask_[cell];
+        while (h != 0) {
+          const int lane = std::countr_zero(h);
+          per_lane_[lane].push_back(u);
+          h &= h - 1;
+        }
+      }
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        std::vector<NodeId>& dsts = per_lane_[lane];
+        std::sort(dsts.begin(), dsts.end());
+        dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+        const NodeId src = sources[lane];
+        for (NodeId dst : dsts) out->emplace_back(src, dst);
+      }
+    }
+
+    for (size_t cell : touched_) mask_[cell] = 0;
+    touched_.clear();
+  }
+
+ private:
+  std::vector<uint64_t> mask_;
+  std::vector<uint8_t> pending_;
+  std::vector<size_t> touched_;
+  std::vector<std::pair<NodeId, StateId>> frontier_;
+  std::vector<std::pair<NodeId, StateId>> next_;
+  std::vector<NodeId> per_lane_[kLaneBatch];
+};
+
+/// Batched binary evaluation over an explicit source list. Batches are
+/// independent given private scratch, so with workers > 1 each batch writes
+/// its pairs into its own slot and the slots are concatenated in batch
+/// order — byte-identical to the sequential loop for every thread count.
+std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
+    const Graph& graph, const Dfa& query, std::span<const NodeId> sources,
+    const EvalOptions& validated) {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  if (sources.empty()) return result;
+  const uint32_t nq = query.num_states();
+  RPQ_DCHECK(nq > 0);
+  const FrozenDfa frozen(query);
+  const BinaryTables tables = BuildBinaryTables(graph, frozen);
+  const size_t num_pairs = static_cast<size_t>(tables.nv) * nq;
+  const size_t num_batches = (sources.size() + kLaneBatch - 1) / kLaneBatch;
+  auto batch_sources = [&](size_t batch) {
+    const size_t base = batch * kLaneBatch;
+    return sources.subspan(base,
+                           std::min<size_t>(kLaneBatch, sources.size() - base));
+  };
+
+  const uint32_t workers = ResolveWorkers(validated, num_pairs, num_batches);
+  if (workers == 1) {
+    BinaryBatchScratch scratch;
+    scratch.Prepare(num_pairs);
+    for (size_t batch = 0; batch < num_batches; ++batch) {
+      scratch.RunBatch(graph, tables, batch_sources(batch), &result);
+    }
+    return result;
+  }
+
+  std::vector<BinaryBatchScratch> scratch(workers);
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> per_batch(num_batches);
+  EvalPool().ParallelFor(
+      workers, num_batches, [&](uint32_t worker, size_t batch) {
+        scratch[worker].Prepare(num_pairs);
+        scratch[worker].RunBatch(graph, tables, batch_sources(batch),
+                                 &per_batch[batch]);
+      });
+  size_t total = 0;
+  for (const auto& pairs : per_batch) total += pairs.size();
+  result.reserve(total);
+  for (const auto& pairs : per_batch) {
+    result.insert(result.end(), pairs.begin(), pairs.end());
+  }
+  return result;
+}
+
+/// The all-sources list 0, 1, …, nv-1 for EvalBinary.
+std::vector<NodeId> AllSources(uint32_t nv) {
+  std::vector<NodeId> sources(nv);
+  std::iota(sources.begin(), sources.end(), NodeId{0});
+  return sources;
+}
+
+}  // namespace
+
+uint32_t DefaultEvalThreads() {
+  static const uint32_t cached = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;  // the standard allows "unknown"
+    return std::min<uint32_t>(static_cast<uint32_t>(hw), kMaxEvalThreads);
+  }();
+  return cached;
+}
+
+StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options) {
+  if (options.threads == 0) {
+    return Status::InvalidArgument(
+        "EvalOptions.threads must be at least 1 (0 requests no execution "
+        "context); use threads = 1 for the sequential path or "
+        "DefaultEvalThreads() for one worker per hardware thread");
+  }
+  options.threads = std::min(options.threads, kMaxEvalThreads);
+  return options;
+}
+
+BitVector EvalMonadic(const Graph& graph, const Dfa& query) {
+  return EvalMonadicImpl(graph, query, /*bounded=*/false, 0, EvalOptions{});
+}
+
+StatusOr<BitVector> EvalMonadic(const Graph& graph, const Dfa& query,
+                                const EvalOptions& options) {
+  StatusOr<EvalOptions> validated = ValidateEvalOptions(options);
+  if (!validated.ok()) return validated.status();
+  return EvalMonadicImpl(graph, query, /*bounded=*/false, 0, *validated);
+}
+
+BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
+                             uint32_t max_length) {
+  return EvalMonadicImpl(graph, query, /*bounded=*/true, max_length,
+                         EvalOptions{});
+}
+
+StatusOr<BitVector> EvalMonadicBounded(const Graph& graph, const Dfa& query,
+                                       uint32_t max_length,
+                                       const EvalOptions& options) {
+  StatusOr<EvalOptions> validated = ValidateEvalOptions(options);
+  if (!validated.ok()) return validated.status();
+  return EvalMonadicImpl(graph, query, /*bounded=*/true, max_length,
+                         *validated);
 }
 
 bool SelectsNode(const Graph& graph, const Dfa& query, NodeId node) {
@@ -193,140 +543,33 @@ bool SelectsPair(const Graph& graph, const Dfa& query, NodeId src,
 
 std::vector<std::pair<NodeId, NodeId>> EvalBinary(const Graph& graph,
                                                   const Dfa& query) {
-  const uint32_t nq = query.num_states();
+  const std::vector<NodeId> sources = AllSources(graph.num_nodes());
+  return EvalBinaryImpl(graph, query, sources, EvalOptions{});
+}
+
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinary(
+    const Graph& graph, const Dfa& query, const EvalOptions& options) {
+  StatusOr<EvalOptions> validated = ValidateEvalOptions(options);
+  if (!validated.ok()) return validated.status();
+  const std::vector<NodeId> sources = AllSources(graph.num_nodes());
+  return EvalBinaryImpl(graph, query, sources, *validated);
+}
+
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryFromSources(
+    const Graph& graph, const Dfa& query, std::span<const NodeId> sources,
+    const EvalOptions& options) {
+  StatusOr<EvalOptions> validated = ValidateEvalOptions(options);
+  if (!validated.ok()) return validated.status();
   const uint32_t nv = graph.num_nodes();
-  std::vector<std::pair<NodeId, NodeId>> result;
-  if (nv == 0) return result;
-  RPQ_DCHECK(nq > 0);
-  const FrozenDfa frozen(query);
-  const Symbol num_shared = SharedSymbolCount(graph, frozen);
-  const StateId q0 = frozen.initial_state();
-  constexpr uint32_t kBatch = 64;  // one source per bit of the lane mask
-
-  // Per-state lists of defined transitions on shared symbols, so the inner
-  // loop never probes undefined (state, symbol) cells. States without
-  // outgoing transitions (e.g. accepting sinks of prefix-free queries) are
-  // never enqueued: reaching them updates the mask, which the final sweep
-  // reads, but they have nothing to propagate.
-  struct StateTransition {
-    Symbol symbol;
-    StateId target;
-  };
-  std::vector<std::vector<StateTransition>> transitions(nq);
-  std::vector<StateId> accepting_states;
-  std::vector<uint8_t> accepting_flag(nq, 0);
-  for (StateId q = 0; q < nq; ++q) {
-    for (Symbol a = 0; a < num_shared; ++a) {
-      StateId t = frozen.Next(q, a);
-      if (t != kNoState) transitions[q].push_back({a, t});
-    }
-    if (frozen.IsAccepting(q)) {
-      accepting_states.push_back(q);
-      accepting_flag[q] = 1;
+  for (NodeId src : sources) {
+    if (src >= nv) {
+      return Status::InvalidArgument("evaluation source node " +
+                                     std::to_string(src) +
+                                     " out of range (graph has " +
+                                     std::to_string(nv) + " nodes)");
     }
   }
-
-  // All scratch is allocated once and reused across batches: `mask[(v, q)]`
-  // holds the lane set that has reached the product pair, `pending` marks
-  // pairs queued in a frontier, and `touched` records cells whose mask went
-  // nonzero, so per-batch clearing and result recovery cost O(cells the BFS
-  // actually reached) instead of O(nv·nq) — on graphs of small components
-  // the batch loop never pays for the nodes it never visits.
-  const size_t num_pairs = static_cast<size_t>(nv) * nq;
-  std::vector<uint64_t> mask(num_pairs, 0);
-  std::vector<uint8_t> pending(num_pairs, 0);
-  std::vector<size_t> touched;
-  std::vector<std::pair<NodeId, StateId>> frontier;
-  std::vector<std::pair<NodeId, StateId>> next;
-  std::vector<std::vector<NodeId>> per_lane(kBatch);
-
-  for (NodeId base = 0; base < nv; base += kBatch) {
-    const uint32_t lanes = std::min(kBatch, nv - base);
-    frontier.clear();
-    for (uint32_t lane = 0; lane < lanes; ++lane) {
-      const NodeId src = base + lane;
-      const size_t idx = static_cast<size_t>(src) * nq + q0;
-      if (mask[idx] == 0) touched.push_back(idx);
-      mask[idx] |= uint64_t{1} << lane;
-      if (!transitions[q0].empty() && !pending[idx]) {
-        pending[idx] = 1;
-        frontier.emplace_back(src, q0);
-      }
-    }
-
-    // Multi-source product BFS: propagate lane masks to a monotone fixed
-    // point. A pair re-enters the frontier whenever it gains new lanes.
-    while (!frontier.empty()) {
-      next.clear();
-      for (auto [v, q] : frontier) {
-        const size_t vq = static_cast<size_t>(v) * nq + q;
-        pending[vq] = 0;
-        const uint64_t lanes_here = mask[vq];
-        for (const StateTransition& tr : transitions[q]) {
-          for (NodeId u : graph.OutNeighbors(v, tr.symbol)) {
-            const size_t ut = static_cast<size_t>(u) * nq + tr.target;
-            const uint64_t fresh = lanes_here & ~mask[ut];
-            if (fresh == 0) continue;
-            if (mask[ut] == 0) touched.push_back(ut);
-            mask[ut] |= fresh;
-            if (!transitions[tr.target].empty() && !pending[ut]) {
-              pending[ut] = 1;
-              next.emplace_back(u, tr.target);
-            }
-          }
-        }
-      }
-      std::swap(frontier, next);
-    }
-
-    // Recover the result lanes: a visited (u, q_accepting) pair is exactly
-    // a selected (source, u) edge of the batch. When the BFS saturated the
-    // pair space a dense node sweep is cheapest; otherwise only the touched
-    // cells are inspected (sort+unique restores ascending-dst order and
-    // drops nodes reached in several accepting states). Emitted
-    // (src asc, dst asc), matching the per-source reference order.
-    for (uint32_t lane = 0; lane < lanes; ++lane) per_lane[lane].clear();
-    if (touched.size() >= num_pairs / 4) {
-      for (NodeId u = 0; u < nv; ++u) {
-        uint64_t h = 0;
-        for (StateId q : accepting_states) {
-          h |= mask[static_cast<size_t>(u) * nq + q];
-        }
-        while (h != 0) {
-          const int lane = std::countr_zero(h);
-          per_lane[lane].push_back(u);
-          h &= h - 1;
-        }
-      }
-      for (uint32_t lane = 0; lane < lanes; ++lane) {
-        const NodeId src = base + lane;
-        for (NodeId dst : per_lane[lane]) result.emplace_back(src, dst);
-      }
-    } else {
-      for (size_t cell : touched) {
-        const StateId q = static_cast<StateId>(cell % nq);
-        if (!accepting_flag[q]) continue;
-        const NodeId u = static_cast<NodeId>(cell / nq);
-        uint64_t h = mask[cell];
-        while (h != 0) {
-          const int lane = std::countr_zero(h);
-          per_lane[lane].push_back(u);
-          h &= h - 1;
-        }
-      }
-      for (uint32_t lane = 0; lane < lanes; ++lane) {
-        std::vector<NodeId>& dsts = per_lane[lane];
-        std::sort(dsts.begin(), dsts.end());
-        dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
-        const NodeId src = base + lane;
-        for (NodeId dst : dsts) result.emplace_back(src, dst);
-      }
-    }
-
-    for (size_t cell : touched) mask[cell] = 0;
-    touched.clear();
-  }
-  return result;
+  return EvalBinaryImpl(graph, query, sources, *validated);
 }
 
 bool SelectsTuple(const Graph& graph, const std::vector<Dfa>& queries,

@@ -1,24 +1,71 @@
 #ifndef RPQLEARN_QUERY_EVAL_H_
 #define RPQLEARN_QUERY_EVAL_H_
 
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "automata/dfa.h"
 #include "graph/graph.h"
 #include "util/bit_vector.h"
+#include "util/status.h"
 
 namespace rpqlearn {
+
+/// Worker count used by default-constructed EvalOptions: every hardware
+/// thread (at least 1, capped at kMaxEvalThreads).
+uint32_t DefaultEvalThreads();
+
+/// Hard cap on EvalOptions.threads; ValidateEvalOptions clamps to it.
+inline constexpr uint32_t kMaxEvalThreads = 256;
+
+/// Knobs of the evaluation engine. Every options-taking entry point
+/// validates through ValidateEvalOptions and surfaces its Status — an
+/// invalid configuration is an error, never a silent fallback.
+struct EvalOptions {
+  /// Worker contexts the evaluation may use. 1 runs the exact
+  /// single-threaded path; 0 is InvalidArgument. The parallel results are
+  /// bit-identical to threads = 1 for every value: work is partitioned into
+  /// deterministic units (64-source batches, node ranges) whose outputs are
+  /// combined in a scheduling-independent order.
+  uint32_t threads = DefaultEvalThreads();
+  /// Product spaces smaller than this many (node, state) pairs run
+  /// sequentially even when threads > 1 — spreading tiny problems over a
+  /// pool costs more than it saves. The default admits the paper-scale
+  /// graphs (10k nodes × small query DFAs) while keeping the learner's
+  /// inner-loop evaluations on toy graphs sequential. Tests set 0 to force
+  /// the parallel path.
+  size_t parallel_threshold_pairs = size_t{1} << 12;
+};
+
+/// The single validation point for EvalOptions: rejects threads == 0 with
+/// InvalidArgument and clamps threads to kMaxEvalThreads. All options-taking
+/// evaluation entry points call this first.
+StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options);
 
 /// Monadic evaluation q(G) = {ν | L(q) ∩ paths_G(ν) ≠ ∅} (Sec. 2).
 /// Backward reachability on the product G × DFA from all accepting pairs;
 /// O(|E|·|Q|) time, O(|V|·|Q|) space. The query DFA may be partial.
 BitVector EvalMonadic(const Graph& graph, const Dfa& query);
 
+/// EvalMonadic with explicit options: with threads > 1 the accepting seed
+/// pairs are partitioned by node range and each worker runs an independent
+/// backward sweep; the result is the union of the per-range sweeps, which
+/// equals the single sweep exactly.
+StatusOr<BitVector> EvalMonadic(const Graph& graph, const Dfa& query,
+                                const EvalOptions& options);
+
 /// Like EvalMonadic but only counts witness paths of length ≤ max_length.
 /// Used by the interactive loop's bounded checks.
 BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
                              uint32_t max_length);
+
+/// EvalMonadicBounded with explicit options (same node-range partitioning
+/// as EvalMonadic; level-synchronous, so the bound is exact per sweep).
+StatusOr<BitVector> EvalMonadicBounded(const Graph& graph, const Dfa& query,
+                                       uint32_t max_length,
+                                       const EvalOptions& options);
 
 /// True iff ν ∈ q(G); forward product search from (node, q0).
 bool SelectsNode(const Graph& graph, const Dfa& query, NodeId node);
@@ -30,9 +77,25 @@ BitVector EvalBinaryFrom(const Graph& graph, const Dfa& query, NodeId src);
 /// True iff (src, dst) is selected under binary semantics.
 bool SelectsPair(const Graph& graph, const Dfa& query, NodeId src, NodeId dst);
 
-/// Full binary result as (src, dst) pairs. O(|V|·|E|·|Q|) — small graphs.
+/// Full binary result as (src, dst) pairs, (src asc, dst asc).
 std::vector<std::pair<NodeId, NodeId>> EvalBinary(const Graph& graph,
                                                   const Dfa& query);
+
+/// EvalBinary with explicit options: the 64-source lane batches are
+/// independent, so workers evaluate whole batches with per-worker scratch
+/// and write their pairs into per-batch slots that are concatenated in batch
+/// order — output is identical to threads = 1 for every thread count.
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinary(
+    const Graph& graph, const Dfa& query, const EvalOptions& options);
+
+/// Binary evaluation restricted to an explicit source set: returns the
+/// (src, dst) pairs for every entry of `sources`, grouped in input order
+/// (one group per occurrence — duplicates are answered twice), each group's
+/// destinations ascending. EvalBinary(g, q) ≡ EvalBinaryFromSources over
+/// (0, 1, …, |V|-1). Sources out of range are InvalidArgument.
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryFromSources(
+    const Graph& graph, const Dfa& query, std::span<const NodeId> sources,
+    const EvalOptions& options = {});
 
 /// N-ary semantics (Appendix B): a tuple (ν1..νn) is selected by
 /// Q = (q1..q(n-1)) iff every consecutive pair (νi, νi+1) is selected by qi

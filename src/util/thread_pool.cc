@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// The pool whose WorkerLoop owns the current thread, if any. Lets
+/// ParallelFor detect re-entrant use (a task of this pool starting a nested
+/// loop on it) and degrade to inline execution instead of deadlocking on
+/// helper tasks queued behind its own blocked worker.
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  RPQ_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_workers_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_workers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint32_t num_workers, size_t count,
+    const std::function<void(uint32_t worker, size_t index)>& fn) {
+  RPQ_CHECK(num_workers >= 1) << "ParallelFor needs at least one worker";
+  if (count == 0) return;
+  if (current_pool == this) {
+    // Re-entrant call from one of this pool's own tasks: helpers would
+    // queue behind the blocked worker, so run the loop inline instead.
+    for (size_t index = 0; index < count; ++index) fn(0, index);
+    return;
+  }
+
+  // Shared dynamic schedule: workers draw the next index from one atomic
+  // cursor. The first exception flips `failed`, which makes every executor
+  // stop drawing; it is rethrown once all of them have drained.
+  struct LoopState {
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  auto run_worker = [state, count, &fn](uint32_t worker) {
+    while (!state->failed.load(std::memory_order_relaxed)) {
+      const size_t index =
+          state->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) return;
+      try {
+        fn(worker, index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->first_error) state->first_error = std::current_exception();
+        state->failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const uint32_t helpers = static_cast<uint32_t>(std::min<size_t>(
+      std::min(num_workers - 1, num_threads()), count - 1));
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (uint32_t helper = 0; helper < helpers; ++helper) {
+    pending.push_back(Submit([run_worker, helper] { run_worker(helper + 1); }));
+  }
+  run_worker(0);
+  for (std::future<void>& future : pending) future.get();
+
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,91 @@
+#ifndef RPQLEARN_UTIL_THREAD_POOL_H_
+#define RPQLEARN_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rpqlearn {
+
+/// Fixed-size thread pool: a single locked FIFO queue drained by `num_threads`
+/// workers — deliberately work-stealing-free, so scheduling is easy to reason
+/// about and the pool stays small enough to audit under TSan. Used by the
+/// parallel evaluation layer (src/query/eval.cc), whose tasks are coarse
+/// (one 64-source batch or one node-range sweep each), so queue contention is
+/// negligible.
+///
+/// Destruction drains the queue: tasks already submitted still run to
+/// completion before the workers join, so a future obtained from `Submit` is
+/// always eventually satisfied.
+class ThreadPool {
+ public:
+  /// Spawns exactly `num_threads` workers (must be ≥ 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every queued task, then joins all workers.
+  ~ThreadPool();
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Enqueues `task` and returns a future for its result. An exception
+  /// thrown by the task is captured and rethrown from `future.get()`.
+  template <typename F>
+  auto Submit(F task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::move(task));
+    std::future<R> future = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    wake_workers_.notify_one();
+    return future;
+  }
+
+  /// Runs `fn(worker, index)` for every index in [0, count), dynamically
+  /// load-balanced over at most `num_workers` concurrent executors: the
+  /// calling thread is worker 0 and up to min(num_workers - 1, num_threads())
+  /// pool threads join as workers 1, 2, …. Worker ids are dense, so callers
+  /// can index per-worker scratch arrays with them; an id is owned by exactly
+  /// one thread for the whole call, but which *indices* a worker draws is
+  /// scheduling-dependent — `fn` must not let its output depend on the
+  /// assignment (write to per-index or per-worker slots).
+  ///
+  /// Blocks until every index has run. If one or more invocations throw, the
+  /// remaining indices are abandoned, all executors are drained, and the
+  /// first captured exception is rethrown on the calling thread.
+  ///
+  /// Re-entrant calls — a task running on this pool starting a nested
+  /// ParallelFor on the same pool — execute the whole loop inline on the
+  /// calling worker (helpers would queue behind it and deadlock).
+  void ParallelFor(uint32_t num_workers, size_t count,
+                   const std::function<void(uint32_t worker, size_t index)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,171 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rpqlearn {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  std::future<int> sum = pool.Submit([] { return 40 + 2; });
+  std::future<std::string> text =
+      pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(sum.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesOutOfSubmit) {
+  ThreadPool pool(2);
+  std::future<int> failing = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          failing.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The worker that ran the throwing task must survive for later tasks.
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(pool.Submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) f.get();
+    ASSERT_EQ(counter.load(), 20) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  std::atomic<int> completed{0};
+  constexpr int kTasks = 64;
+  {
+    // One worker and slow tasks guarantee a deep queue at destruction time.
+    ThreadPool pool(1);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ++completed;
+      });
+    }
+  }
+  EXPECT_EQ(completed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (uint32_t num_workers : {1u, 2u, 3u, 8u}) {
+    constexpr size_t kCount = 500;
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.ParallelFor(num_workers, kCount,
+                     [&visits](uint32_t /*worker*/, size_t index) {
+                       ++visits[index];
+                     });
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(visits[i].load(), 1)
+          << "index " << i << " with " << num_workers << " workers";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWorkerIdsAreDenseAndExclusive) {
+  ThreadPool pool(4);
+  const uint32_t num_workers = 3;
+  std::mutex mutex;
+  std::set<uint32_t> seen_workers;
+  std::vector<std::thread::id> owner(num_workers);
+  pool.ParallelFor(num_workers, 200, [&](uint32_t worker, size_t /*index*/) {
+    ASSERT_LT(worker, num_workers);
+    std::lock_guard<std::mutex> lock(mutex);
+    seen_workers.insert(worker);
+    // A worker id is bound to one thread for the whole loop.
+    if (owner[worker] == std::thread::id{}) {
+      owner[worker] = std::this_thread::get_id();
+    } else {
+      ASSERT_EQ(owner[worker], std::this_thread::get_id());
+    }
+  });
+  // At least one executor ran; the caller (worker 0) usually participates
+  // but may draw nothing if the helpers drain the loop first.
+  EXPECT_FALSE(seen_workers.empty());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(4, 1000,
+                       [&ran](uint32_t /*worker*/, size_t index) {
+                         ++ran;
+                         if (index == 5) throw std::runtime_error("boom");
+                         // Slow enough that the throw at index 5 lands
+                         // before the loop could drain all 1000 indices.
+                         std::this_thread::sleep_for(
+                             std::chrono::microseconds(50));
+                       }),
+      std::runtime_error);
+  // The failure aborts the remaining indices instead of running all 1000.
+  EXPECT_LT(ran.load(), 1000);
+  // The pool stays usable after a failed loop.
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, 100,
+                   [&counter](uint32_t, size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // Every worker of a 2-thread pool starts a nested loop on the same pool;
+  // without the re-entrancy fallback the helpers would queue behind the
+  // blocked workers forever.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(2, 4, [&pool, &inner_total](uint32_t, size_t) {
+    pool.ParallelFor(4, 25,
+                     [&inner_total](uint32_t, size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 25);
+}
+
+TEST(ThreadPoolTest, ParallelForWithMoreWorkersThanWorkOrThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(16, 3, [&counter](uint32_t worker, size_t) {
+    EXPECT_LT(worker, 3u);  // helpers are capped by count - 1
+    ++counter;
+  });
+  EXPECT_EQ(counter.load(), 3);
+  pool.ParallelFor(5, 0, [](uint32_t, size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace rpqlearn
