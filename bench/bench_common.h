@@ -39,10 +39,37 @@ inline uint32_t EvalThreads() {
   return parsed >= 1 ? static_cast<uint32_t>(parsed) : DefaultEvalThreads();
 }
 
-/// EvalOptions for the current environment: RPQ_EVAL_THREADS workers.
+/// Direction-optimizing crossover, selected with RPQ_EVAL_DENSE_THRESHOLD
+/// (fraction of the product-pair space a round's frontier must reach to run
+/// dense). Values outside [0, 1] fall back to the engine default.
+inline double EvalDenseThreshold() {
+  const char* env = std::getenv("RPQ_EVAL_DENSE_THRESHOLD");
+  const double fallback = EvalOptions{}.dense_threshold;
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  return (end != env && parsed >= 0.0 && parsed <= 1.0) ? parsed : fallback;
+}
+
+/// Traversal-direction pin, selected with RPQ_EVAL_MODE (`auto` — the
+/// per-round heuristic, default — or `sparse` / `dense` to pin one round
+/// kind). Unknown values fall back to auto.
+inline EvalMode EvalForceMode() {
+  const char* env = std::getenv("RPQ_EVAL_MODE");
+  if (env == nullptr) return EvalMode::kAuto;
+  const std::string value(env);
+  if (value == "sparse") return EvalMode::kSparse;
+  if (value == "dense") return EvalMode::kDense;
+  return EvalMode::kAuto;
+}
+
+/// EvalOptions for the current environment: RPQ_EVAL_THREADS workers plus
+/// the RPQ_EVAL_DENSE_THRESHOLD / RPQ_EVAL_MODE direction knobs.
 inline EvalOptions EvalConfig() {
   EvalOptions options;
   options.threads = EvalThreads();
+  options.dense_threshold = EvalDenseThreshold();
+  options.force_mode = EvalForceMode();
   return options;
 }
 

@@ -37,6 +37,21 @@ FrozenDfa::FrozenDfa(const Dfa& dfa)
       }
     }
   }
+
+  // Per-target list of non-empty reverse cells, symbol-ascending — the
+  // iteration order of the backward monadic sweep and the bottom-up dense
+  // rounds (ReverseInto).
+  rev_entry_offsets_.assign(num_states_ + 1, 0);
+  for (StateId t = 0; t < num_states_; ++t) {
+    rev_entry_offsets_[t + 1] = rev_entry_offsets_[t];
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      const size_t cell = static_cast<size_t>(a) * num_states_ + t;
+      if (rev_offsets_[cell + 1] > rev_offsets_[cell]) {
+        rev_entries_.push_back({a, rev_offsets_[cell], rev_offsets_[cell + 1]});
+        ++rev_entry_offsets_[t + 1];
+      }
+    }
+  }
 }
 
 }  // namespace rpqlearn

@@ -34,6 +34,31 @@ class FrozenDfa {
             rev_offsets_[cell + 1] - rev_offsets_[cell]};
   }
 
+  /// One non-empty reverse cell of a target state: the symbol plus the
+  /// [begin, end) range of `Sources(symbol, target)` inside the flat source
+  /// array. Offsets instead of spans, because spans into this object's own
+  /// rev_sources_ would dangle after a copy or move.
+  struct ReverseEntry {
+    Symbol symbol;
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  /// The non-empty reverse cells of `target`, symbol-ascending: exactly the
+  /// (symbol, sources) pairs that can advance a backward/bottom-up product
+  /// step into `target`. Empty cells never appear, so traversal loops skip
+  /// symbols that cannot fire without probing them.
+  std::span<const ReverseEntry> ReverseInto(StateId target) const {
+    return {rev_entries_.data() + rev_entry_offsets_[target],
+            rev_entry_offsets_[target + 1] - rev_entry_offsets_[target]};
+  }
+
+  /// The source span of one ReverseEntry.
+  std::span<const StateId> EntrySources(const ReverseEntry& entry) const {
+    return {rev_sources_.data() + entry.begin,
+            static_cast<size_t>(entry.end - entry.begin)};
+  }
+
  private:
   uint32_t num_states_;
   uint32_t num_symbols_;
@@ -42,6 +67,8 @@ class FrozenDfa {
   std::vector<uint8_t> accepting_;  // flat bool, avoids vector<bool> bit ops
   std::vector<uint32_t> rev_offsets_;  // num_symbols × num_states + 1
   std::vector<StateId> rev_sources_;   // grouped by (symbol, target)
+  std::vector<uint32_t> rev_entry_offsets_;  // num_states + 1
+  std::vector<ReverseEntry> rev_entries_;    // non-empty cells per target
 };
 
 }  // namespace rpqlearn

@@ -21,8 +21,9 @@ struct InteractiveSummary {
 };
 
 /// Runs one interactive session against `goal` and summarizes it. `eval`
-/// selects the evaluation thread count for the oracle's goal set and every
-/// per-interaction F1 scoring pass.
+/// carries the evaluation knobs (thread count, direction-optimizing
+/// mode/threshold) for the oracle's goal set and every per-interaction F1
+/// scoring pass.
 InteractiveSummary RunInteractiveExperiment(const Graph& graph,
                                             const Dfa& goal,
                                             StrategyKind strategy,

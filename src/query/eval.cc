@@ -20,22 +20,6 @@ Symbol SharedSymbolCount(const Graph& graph, const FrozenDfa& query) {
   return std::min(query.num_symbols(), graph.num_symbols());
 }
 
-/// Per-state list of the non-empty reverse entries (symbol, sources of
-/// a-transitions into the state), so the backward product BFS only touches
-/// symbols that can actually advance it. Spans point into `frozen`.
-std::vector<std::vector<std::pair<Symbol, std::span<const StateId>>>>
-ReverseTransitionLists(const FrozenDfa& frozen, Symbol num_shared) {
-  std::vector<std::vector<std::pair<Symbol, std::span<const StateId>>>> rev(
-      frozen.num_states());
-  for (StateId q = 0; q < frozen.num_states(); ++q) {
-    for (Symbol a = 0; a < num_shared; ++a) {
-      std::span<const StateId> sources = frozen.Sources(a, q);
-      if (!sources.empty()) rev[q].emplace_back(a, sources);
-    }
-  }
-  return rev;
-}
-
 /// Pool shared by every parallel evaluation call in the process. Sized once
 /// to the hardware; EvalOptions.threads caps how many of its workers one
 /// call may occupy (ThreadPool::ParallelFor never uses more executors than
@@ -59,12 +43,13 @@ uint32_t ResolveWorkers(const EvalOptions& validated, size_t num_pairs,
 
 // --------------------------------------------------------------- monadic
 
-/// Read-only state shared by all monadic sweeps of one call.
+/// Read-only state shared by all monadic sweeps of one call. Predecessor
+/// iteration reads the frozen DFA's per-target reverse entries directly
+/// (FrozenDfa::ReverseInto), which list exactly the non-empty (symbol,
+/// sources) cells — no per-call reverse table is built.
 struct MonadicContext {
   const Graph& graph;
   const FrozenDfa& frozen;
-  const std::vector<std::vector<std::pair<Symbol, std::span<const StateId>>>>&
-      rev;
 };
 
 /// One backward product sweep seeded by the accepting pairs whose *node*
@@ -94,9 +79,9 @@ BitVector MonadicSweep(const MonadicContext& ctx, NodeId node_lo,
     worklist.pop_back();
     // Predecessor pairs: (u, p) with edge (u, a, v) and delta(p, a) = q,
     // iterated as (symbol run) × (reverse-CSR sources).
-    for (const auto& [a, sources] : ctx.rev[q]) {
-      for (NodeId u : ctx.graph.InNeighbors(v, a)) {
-        for (StateId p : sources) {
+    for (const auto& entry : ctx.frozen.ReverseInto(q)) {
+      for (NodeId u : ctx.graph.InNeighbors(v, entry.symbol)) {
+        for (StateId p : ctx.frozen.EntrySources(entry)) {
           size_t idx = static_cast<size_t>(u) * nq + p;
           if (!visited.Test(idx)) {
             visited.Set(idx);
@@ -137,9 +122,9 @@ BitVector MonadicSweepBounded(const MonadicContext& ctx, uint32_t max_length,
   for (uint32_t step = 0; step < max_length && !frontier.empty(); ++step) {
     next.clear();
     for (auto [v, q] : frontier) {
-      for (const auto& [a, sources] : ctx.rev[q]) {
-        for (NodeId u : ctx.graph.InNeighbors(v, a)) {
-          for (StateId p : sources) {
+      for (const auto& entry : ctx.frozen.ReverseInto(q)) {
+        for (NodeId u : ctx.graph.InNeighbors(v, entry.symbol)) {
+          for (StateId p : ctx.frozen.EntrySources(entry)) {
             size_t idx = static_cast<size_t>(u) * nq + p;
             if (!reached.Test(idx)) {
               reached.Set(idx);
@@ -169,8 +154,7 @@ BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
   const uint32_t nq = query.num_states();
   const uint32_t nv = graph.num_nodes();
   const FrozenDfa frozen(query);
-  const auto rev = ReverseTransitionLists(frozen, frozen.num_symbols());
-  const MonadicContext ctx{graph, frozen, rev};
+  const MonadicContext ctx{graph, frozen};
 
   auto sweep = [&](NodeId lo, NodeId hi) {
     return bounded ? MonadicSweepBounded(ctx, max_length, lo, hi)
@@ -217,26 +201,30 @@ struct StateTransition {
 
 /// Read-only per-call tables for the batched binary BFS, shared by all
 /// workers: per-state lists of defined transitions on shared symbols (so
-/// the inner loop never probes undefined cells) and the accepting set.
+/// the inner loop never probes undefined cells), the accepting set, and the
+/// frozen DFA whose reverse entries the dense bottom-up rounds pull through.
 struct BinaryTables {
   std::vector<std::vector<StateTransition>> transitions;
   std::vector<StateId> accepting_states;
   std::vector<uint8_t> accepting_flag;
+  const FrozenDfa* frozen = nullptr;
+  Symbol num_shared = 0;
   StateId q0 = 0;
   uint32_t nq = 0;
   uint32_t nv = 0;
 };
 
 BinaryTables BuildBinaryTables(const Graph& graph, const FrozenDfa& frozen) {
-  const Symbol num_shared = SharedSymbolCount(graph, frozen);
   BinaryTables tables;
+  tables.frozen = &frozen;
+  tables.num_shared = SharedSymbolCount(graph, frozen);
   tables.nq = frozen.num_states();
   tables.nv = graph.num_nodes();
   tables.q0 = frozen.initial_state();
   tables.transitions.resize(tables.nq);
   tables.accepting_flag.assign(tables.nq, 0);
   for (StateId q = 0; q < tables.nq; ++q) {
-    for (Symbol a = 0; a < num_shared; ++a) {
+    for (Symbol a = 0; a < tables.num_shared; ++a) {
       StateId t = frozen.Next(q, a);
       if (t != kNoState) tables.transitions[q].push_back({a, t});
     }
@@ -248,12 +236,64 @@ BinaryTables BuildBinaryTables(const Graph& graph, const FrozenDfa& frozen) {
   return tables;
 }
 
+/// Per-batch round counts, accumulated locally by one RunBatch call and
+/// added to EvalOptions.stats (if any) by the caller.
+struct RoundCounters {
+  uint64_t sparse = 0;
+  uint64_t dense = 0;
+};
+
+/// Direction policy of one evaluation call, resolved from validated
+/// EvalOptions by EvalBinaryImpl: a batch round runs dense iff its frontier
+/// holds at least `dense_cutoff_pairs` product pairs.
+struct DirectionPolicy {
+  size_t dense_cutoff_pairs = 0;
+};
+
+DirectionPolicy ResolveDirectionPolicy(const EvalOptions& validated,
+                                       size_t num_pairs) {
+  DirectionPolicy policy;
+  switch (validated.force_mode) {
+    case EvalMode::kSparse:
+      // Unreachable cutoff: a frontier is at most num_pairs strong.
+      policy.dense_cutoff_pairs = num_pairs + 1;
+      break;
+    case EvalMode::kDense:
+      policy.dense_cutoff_pairs = 0;
+      break;
+    case EvalMode::kAuto: {
+      const double cutoff =
+          validated.dense_threshold * static_cast<double>(num_pairs);
+      policy.dense_cutoff_pairs = static_cast<size_t>(cutoff);
+      if (static_cast<double>(policy.dense_cutoff_pairs) < cutoff) {
+        ++policy.dense_cutoff_pairs;  // ceil: "at least the fraction"
+      }
+      break;
+    }
+  }
+  return policy;
+}
+
 /// Scratch of one batched multi-source product BFS, owned by exactly one
 /// worker and reused across its batches: `mask[(v, q)]` holds the lane set
 /// that has reached the product pair, `pending` marks pairs queued in a
-/// frontier, and `touched` records cells whose mask went nonzero, so
-/// per-batch clearing and result recovery cost O(cells the BFS actually
-/// reached) instead of O(nv·nq).
+/// sparse frontier, `frontier_bits`/`next_bits` are the bitmap frontiers of
+/// the dense bottom-up rounds, and `touched` records cells whose mask went
+/// nonzero, so per-batch clearing and result recovery cost O(cells the BFS
+/// actually reached) instead of O(nv·nq).
+///
+/// Direction optimization: every round the frontier size (in product pairs)
+/// is compared against DirectionPolicy.dense_cutoff_pairs. Below the cutoff
+/// the round runs sparse — pop each frontier pair, push its lanes over
+/// OutNeighbors (work ∝ edges out of the frontier). At or above it the
+/// round runs dense — sweep every product pair (u, t) and pull lanes from
+/// its predecessors over InNeighbors and the frozen DFA's reverse entries,
+/// gated by a frontier bitmap (work ∝ |E|·|δ⁻¹|, frontier-independent, with
+/// sequential access instead of queue churn). Both round kinds apply the
+/// same monotone mask-join, and the frontier invariant — every pair whose
+/// mask changed in round k propagates in round k+1 unless it has no
+/// outgoing transitions — is preserved across mode switches, so the fixed
+/// point (and hence the output) is identical for every mode sequence.
 class BinaryBatchScratch {
  public:
   /// Sizes the arrays for an nv × nq product space; idempotent, so workers
@@ -262,20 +302,27 @@ class BinaryBatchScratch {
     if (mask_.size() != num_pairs) {
       mask_.assign(num_pairs, 0);
       pending_.assign(num_pairs, 0);
+      frontier_bits_ = BitVector(num_pairs);
+      next_bits_ = BitVector(num_pairs);
     }
   }
 
   /// Evaluates one batch of ≤ 64 sources (lane i = sources[i]) and appends
   /// its (src, dst) pairs to `out`, grouped by lane in input order with
-  /// destinations ascending. Pure function of (graph, tables, sources):
-  /// scratch reuse and worker assignment never change the output.
+  /// destinations ascending, adding its round counts to `rounds`. Pure
+  /// function of (graph, tables, sources): scratch reuse, worker assignment
+  /// and the direction policy never change the output.
   void RunBatch(const Graph& graph, const BinaryTables& tables,
+                const DirectionPolicy& policy,
                 std::span<const NodeId> sources,
-                std::vector<std::pair<NodeId, NodeId>>* out) {
+                std::vector<std::pair<NodeId, NodeId>>* out,
+                RoundCounters* rounds) {
     RPQ_DCHECK(sources.size() <= kLaneBatch);
     const uint32_t nq = tables.nq;
     const uint32_t lanes = static_cast<uint32_t>(sources.size());
     const size_t num_pairs = mask_.size();
+    batch_full_ = lanes == kLaneBatch ? ~uint64_t{0}
+                                      : (uint64_t{1} << lanes) - 1;
     frontier_.clear();
     for (uint32_t lane = 0; lane < lanes; ++lane) {
       const NodeId src = sources[lane];
@@ -288,31 +335,29 @@ class BinaryBatchScratch {
       }
     }
 
-    // Multi-source product BFS: propagate lane masks to a monotone fixed
-    // point. A pair re-enters the frontier whenever it gains new lanes;
-    // states with no outgoing transitions are never enqueued (reaching them
-    // updates the mask, which the final sweep reads).
-    while (!frontier_.empty()) {
-      next_.clear();
-      for (auto [v, q] : frontier_) {
-        const size_t vq = static_cast<size_t>(v) * nq + q;
-        pending_[vq] = 0;
-        const uint64_t lanes_here = mask_[vq];
-        for (const StateTransition& tr : tables.transitions[q]) {
-          for (NodeId u : graph.OutNeighbors(v, tr.symbol)) {
-            const size_t ut = static_cast<size_t>(u) * nq + tr.target;
-            const uint64_t fresh = lanes_here & ~mask_[ut];
-            if (fresh == 0) continue;
-            if (mask_[ut] == 0) touched_.push_back(ut);
-            mask_[ut] |= fresh;
-            if (!tables.transitions[tr.target].empty() && !pending_[ut]) {
-              pending_[ut] = 1;
-              next_.emplace_back(u, tr.target);
-            }
-          }
+    // Multi-source product BFS to the monotone lane-mask fixed point,
+    // choosing the round direction per round. The frontier lives in exactly
+    // one representation at a time (list + pending flags when sparse,
+    // bitmap when dense); switches convert it without changing its set.
+    bool dense = false;
+    size_t frontier_pairs = frontier_.size();
+    while (frontier_pairs > 0) {
+      const bool want_dense = frontier_pairs >= policy.dense_cutoff_pairs;
+      if (want_dense != dense) {
+        if (want_dense) {
+          SparseFrontierToBits(nq);
+        } else {
+          BitsToSparseFrontier(nq);
         }
+        dense = want_dense;
       }
-      std::swap(frontier_, next_);
+      if (dense) {
+        frontier_pairs = DenseRound(graph, tables);
+        ++rounds->dense;
+      } else {
+        frontier_pairs = SparseRound(graph, tables);
+        ++rounds->sparse;
+      }
     }
 
     // Recover the result lanes: a visited (u, q_accepting) pair is exactly
@@ -363,13 +408,152 @@ class BinaryBatchScratch {
   }
 
  private:
+  /// One sparse top-down round: expand every frontier pair over
+  /// OutNeighbors, pushing fresh lanes into successors. Returns the next
+  /// frontier's size. Pairs whose target state has no outgoing transitions
+  /// are never enqueued (reaching them only updates the mask).
+  size_t SparseRound(const Graph& graph, const BinaryTables& tables) {
+    const uint32_t nq = tables.nq;
+    next_.clear();
+    for (auto [v, q] : frontier_) {
+      const size_t vq = static_cast<size_t>(v) * nq + q;
+      pending_[vq] = 0;
+      const uint64_t lanes_here = mask_[vq];
+      for (const StateTransition& tr : tables.transitions[q]) {
+        for (NodeId u : graph.OutNeighbors(v, tr.symbol)) {
+          const size_t ut = static_cast<size_t>(u) * nq + tr.target;
+          const uint64_t fresh = lanes_here & ~mask_[ut];
+          if (fresh == 0) continue;
+          if (mask_[ut] == 0) touched_.push_back(ut);
+          mask_[ut] |= fresh;
+          if (!tables.transitions[tr.target].empty() && !pending_[ut]) {
+            pending_[ut] = 1;
+            next_.emplace_back(u, tr.target);
+          }
+        }
+      }
+    }
+    std::swap(frontier_, next_);
+    return frontier_.size();
+  }
+
+  /// One dense bottom-up round: for every product pair (u, t), pull the
+  /// lanes of its predecessor pairs — (v, p) with edge (v, a, u) and
+  /// δ(p, a) = t, iterated as the frozen DFA's reverse entries × per-label
+  /// InNeighbors runs — gated by the frontier bitmap. Cells whose mask
+  /// grows form the next frontier bitmap. Returns its population count.
+  ///
+  /// Two pull short-circuits exploit the saturated regime dense rounds run
+  /// in: a cell already holding every batch lane is skipped outright, and a
+  /// pull stops as soon as it has gained all the cell's missing lanes —
+  /// both are no-ops on the fixed point (a full cell gains nothing; gained
+  /// lanes beyond `missing` were already present).
+  size_t DenseRound(const Graph& graph, const BinaryTables& tables) {
+    const uint32_t nq = tables.nq;
+    const FrozenDfa& frozen = *tables.frozen;
+    next_bits_.Clear();
+    size_t next_pairs = 0;
+    for (StateId t = 0; t < nq; ++t) {
+      const auto entries = frozen.ReverseInto(t);
+      if (entries.empty()) continue;
+      const bool has_out = !tables.transitions[t].empty();
+      for (NodeId u = 0; u < tables.nv; ++u) {
+        const size_t cell = static_cast<size_t>(u) * nq + t;
+        const uint64_t missing = batch_full_ & ~mask_[cell];
+        if (missing == 0) continue;  // cell complete, nothing to gain
+        const uint64_t gained = PullMissing(graph, tables, u, entries,
+                                            missing);
+        if (gained == 0) continue;
+        if (mask_[cell] == 0) touched_.push_back(cell);
+        mask_[cell] |= gained;
+        if (has_out) {
+          next_bits_.Set(cell);
+          ++next_pairs;
+        }
+      }
+    }
+    std::swap(frontier_bits_, next_bits_);
+    return next_pairs;
+  }
+
+  /// The pull of one dense-round cell: OR together `missing` lanes from the
+  /// frontier predecessors of (u, t) — `entries` = ReverseInto(t) — exiting
+  /// early once every missing lane is gained.
+  uint64_t PullMissing(const Graph& graph, const BinaryTables& tables,
+                       NodeId u,
+                       std::span<const FrozenDfa::ReverseEntry> entries,
+                       uint64_t missing) {
+    const uint32_t nq = tables.nq;
+    const FrozenDfa& frozen = *tables.frozen;
+    uint64_t gained = 0;
+    for (const auto& entry : entries) {
+      // Entries are symbol-ascending; symbols the graph lacks have no
+      // edges and trail the shared range.
+      if (entry.symbol >= tables.num_shared) break;
+      for (NodeId v : graph.InNeighbors(u, entry.symbol)) {
+        for (StateId p : frozen.EntrySources(entry)) {
+          const size_t vp = static_cast<size_t>(v) * nq + p;
+          if (!frontier_bits_.Test(vp)) continue;
+          gained |= mask_[vp] & missing;
+          if (gained == missing) return gained;
+        }
+      }
+    }
+    return gained;
+  }
+
+  /// Sparse → dense switch: move the frontier list into the bitmap (which
+  /// is all-zero outside rounds) and drop the pending flags.
+  void SparseFrontierToBits(uint32_t nq) {
+    for (auto [v, q] : frontier_) {
+      const size_t vq = static_cast<size_t>(v) * nq + q;
+      pending_[vq] = 0;
+      frontier_bits_.Set(vq);
+    }
+    frontier_.clear();
+  }
+
+  /// Dense → sparse switch: drain the bitmap into the frontier list
+  /// (ascending cell order — irrelevant to the fixed point) and restore the
+  /// pending flags, leaving the bitmap all-zero.
+  void BitsToSparseFrontier(uint32_t nq) {
+    frontier_.clear();
+    frontier_bits_.ForEachSetBit([&](size_t cell) {
+      pending_[cell] = 1;
+      frontier_.emplace_back(static_cast<NodeId>(cell / nq),
+                             static_cast<StateId>(cell % nq));
+    });
+    frontier_bits_.Clear();
+  }
+
   std::vector<uint64_t> mask_;
   std::vector<uint8_t> pending_;
   std::vector<size_t> touched_;
   std::vector<std::pair<NodeId, StateId>> frontier_;
   std::vector<std::pair<NodeId, StateId>> next_;
+  BitVector frontier_bits_;
+  BitVector next_bits_;
+  uint64_t batch_full_ = 0;  // all lanes of the current batch
   std::vector<NodeId> per_lane_[kLaneBatch];
 };
+
+/// Sums per-batch round counters into EvalOptions.stats, if present. The
+/// totals are deterministic: each batch's counts are a pure function of
+/// (graph, query, batch sources, policy), independent of scheduling.
+void AccumulateStats(const EvalOptions& validated,
+                     std::span<const RoundCounters> per_batch) {
+  if (validated.stats == nullptr) return;
+  uint64_t sparse = 0, dense = 0, dense_batches = 0;
+  for (const RoundCounters& rounds : per_batch) {
+    sparse += rounds.sparse;
+    dense += rounds.dense;
+    if (rounds.dense > 0) ++dense_batches;
+  }
+  validated.stats->sparse_rounds.fetch_add(sparse, std::memory_order_relaxed);
+  validated.stats->dense_rounds.fetch_add(dense, std::memory_order_relaxed);
+  validated.stats->dense_batches.fetch_add(dense_batches,
+                                           std::memory_order_relaxed);
+}
 
 /// Batched binary evaluation over an explicit source list. Batches are
 /// independent given private scratch, so with workers > 1 each batch writes
@@ -385,6 +569,7 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
   const FrozenDfa frozen(query);
   const BinaryTables tables = BuildBinaryTables(graph, frozen);
   const size_t num_pairs = static_cast<size_t>(tables.nv) * nq;
+  const DirectionPolicy policy = ResolveDirectionPolicy(validated, num_pairs);
   const size_t num_batches = (sources.size() + kLaneBatch - 1) / kLaneBatch;
   auto batch_sources = [&](size_t batch) {
     const size_t base = batch * kLaneBatch;
@@ -392,13 +577,16 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
                            std::min<size_t>(kLaneBatch, sources.size() - base));
   };
 
+  std::vector<RoundCounters> per_batch_rounds(num_batches);
   const uint32_t workers = ResolveWorkers(validated, num_pairs, num_batches);
   if (workers == 1) {
     BinaryBatchScratch scratch;
     scratch.Prepare(num_pairs);
     for (size_t batch = 0; batch < num_batches; ++batch) {
-      scratch.RunBatch(graph, tables, batch_sources(batch), &result);
+      scratch.RunBatch(graph, tables, policy, batch_sources(batch), &result,
+                       &per_batch_rounds[batch]);
     }
+    AccumulateStats(validated, per_batch_rounds);
     return result;
   }
 
@@ -407,9 +595,10 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
   EvalPool().ParallelFor(
       workers, num_batches, [&](uint32_t worker, size_t batch) {
         scratch[worker].Prepare(num_pairs);
-        scratch[worker].RunBatch(graph, tables, batch_sources(batch),
-                                 &per_batch[batch]);
+        scratch[worker].RunBatch(graph, tables, policy, batch_sources(batch),
+                                 &per_batch[batch], &per_batch_rounds[batch]);
       });
+  AccumulateStats(validated, per_batch_rounds);
   size_t total = 0;
   for (const auto& pairs : per_batch) total += pairs.size();
   result.reserve(total);
@@ -445,6 +634,25 @@ StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options) {
         "DefaultEvalThreads() for one worker per hardware thread");
   }
   options.threads = std::min(options.threads, kMaxEvalThreads);
+  // `!(x >= 0 && x <= 1)` rather than `x < 0 || x > 1` so NaN is rejected.
+  if (!(options.dense_threshold >= 0.0 && options.dense_threshold <= 1.0)) {
+    return Status::InvalidArgument(
+        "EvalOptions.dense_threshold must lie in [0, 1] (got " +
+        std::to_string(options.dense_threshold) +
+        "): it is the frontier fraction of the (node, state) pair space at "
+        "which batched rounds switch to the dense bottom-up sweep");
+  }
+  switch (options.force_mode) {
+    case EvalMode::kAuto:
+    case EvalMode::kSparse:
+    case EvalMode::kDense:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "EvalOptions.force_mode must be EvalMode::kAuto, kSparse or "
+          "kDense (got " +
+          std::to_string(static_cast<int>(options.force_mode)) + ")");
+  }
   return options;
 }
 

@@ -1,6 +1,7 @@
 #ifndef RPQLEARN_QUERY_EVAL_H_
 #define RPQLEARN_QUERY_EVAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -20,6 +21,37 @@ uint32_t DefaultEvalThreads();
 /// Hard cap on EvalOptions.threads; ValidateEvalOptions clamps to it.
 inline constexpr uint32_t kMaxEvalThreads = 256;
 
+/// Traversal-direction policy of the batched product BFS (EvalBinary and
+/// EvalBinaryFromSources). The engine is direction-optimizing: each round it
+/// compares the frontier against EvalOptions.dense_threshold and runs either
+/// a sparse top-down push (expand frontier pairs over OutNeighbors) or a
+/// dense bottom-up pull (sweep every product pair over InNeighbors with a
+/// bitmap frontier). Both rounds compute the same monotone lane-mask fixed
+/// point, so the mode sequence never changes the result — kSparse / kDense
+/// pin one round kind for testing and benchmarking.
+enum class EvalMode : uint8_t {
+  kAuto = 0,   ///< per-round heuristic on frontier density (production)
+  kSparse = 1, ///< always top-down push (pre-direction-optimizing behavior)
+  kDense = 2,  ///< always bottom-up pull
+};
+
+/// Round counters of one or more evaluation calls, filled when
+/// EvalOptions.stats points here. Atomic so parallel batch workers can
+/// accumulate without synchronization; totals are deterministic (each batch
+/// contributes a scheduling-independent count), only the add order varies.
+struct EvalStats {
+  std::atomic<uint64_t> sparse_rounds{0};
+  std::atomic<uint64_t> dense_rounds{0};
+  /// Batches in which at least one dense round ran.
+  std::atomic<uint64_t> dense_batches{0};
+
+  void Reset() {
+    sparse_rounds.store(0, std::memory_order_relaxed);
+    dense_rounds.store(0, std::memory_order_relaxed);
+    dense_batches.store(0, std::memory_order_relaxed);
+  }
+};
+
 /// Knobs of the evaluation engine. Every options-taking entry point
 /// validates through ValidateEvalOptions and surfaces its Status — an
 /// invalid configuration is an error, never a silent fallback.
@@ -37,11 +69,33 @@ struct EvalOptions {
   /// inner-loop evaluations on toy graphs sequential. Tests set 0 to force
   /// the parallel path.
   size_t parallel_threshold_pairs = size_t{1} << 12;
+  /// Direction-optimizing crossover for the batched product BFS: a round
+  /// whose frontier holds at least `dense_threshold` × (nodes × states)
+  /// product pairs runs bottom-up (dense bitmap pull); below it, top-down
+  /// (sparse push). Evaluated every round, so the engine switches back as
+  /// soon as the frontier shrinks under the cutoff. Must lie in [0, 1]:
+  /// 0 makes every round dense, 1 effectively none (only a frontier covering
+  /// the whole pair space qualifies). Pure scheduling — results are
+  /// bit-identical for every value. Ignored when force_mode != kAuto.
+  /// The default is where the bench_hotpath crossover sits: dense rounds pay
+  /// off once a sparse round would touch a quarter of the pair space (the
+  /// saturated phase of kleene-star queries on dense graphs), and low-density
+  /// workloads never reach it, keeping them purely sparse.
+  double dense_threshold = 0.25;
+  /// Pins the round kind of the batched product BFS regardless of frontier
+  /// density; kAuto applies the dense_threshold heuristic. For tests and
+  /// benchmarks — results are identical in every mode.
+  EvalMode force_mode = EvalMode::kAuto;
+  /// Optional round counters; when non-null, every batched binary evaluation
+  /// through these options adds its sparse/dense round counts. The pointee
+  /// must outlive the evaluation call. Never read, only added to.
+  EvalStats* stats = nullptr;
 };
 
-/// The single validation point for EvalOptions: rejects threads == 0 with
-/// InvalidArgument and clamps threads to kMaxEvalThreads. All options-taking
-/// evaluation entry points call this first.
+/// The single validation point for EvalOptions: rejects threads == 0,
+/// dense_threshold outside [0, 1] (or NaN), and unknown force_mode values
+/// with InvalidArgument, and clamps threads to kMaxEvalThreads. All
+/// options-taking evaluation entry points call this first.
 StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options);
 
 /// Monadic evaluation q(G) = {ν | L(q) ∩ paths_G(ν) ≠ ∅} (Sec. 2).

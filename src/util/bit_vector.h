@@ -15,12 +15,33 @@ namespace rpqlearn {
 /// bulk operations the evaluation engine needs.
 class BitVector {
  public:
+  /// Bits per storage word; index `i` lives in word `i / kBitsPerWord`.
+  static constexpr size_t kBitsPerWord = 64;
+
   BitVector() : size_(0) {}
   /// Creates `size` bits, all zero.
   explicit BitVector(size_t size)
       : size_(size), words_((size + 63) / 64, 0) {}
 
   size_t size() const { return size_; }
+  size_t num_words() const { return words_.size(); }
+
+  /// Raw storage word `wi` (bit `i` of the vector is bit `i % 64` of word
+  /// `i / 64`). Bits beyond size() are always zero.
+  uint64_t Word(size_t wi) const {
+    RPQ_DCHECK(wi < words_.size());
+    return words_[wi];
+  }
+
+  /// ORs `bits` into storage word `wi`. The caller must not set bits beyond
+  /// size() (checked in debug builds) — every other operation relies on the
+  /// tail of the last word staying zero.
+  void OrWord(size_t wi, uint64_t bits) {
+    RPQ_DCHECK(wi < words_.size());
+    RPQ_DCHECK((wi + 1 < words_.size()) || (size_ % 64 == 0) ||
+               (bits >> (size_ % 64)) == 0);
+    words_[wi] |= bits;
+  }
 
   bool Test(size_t i) const {
     RPQ_DCHECK(i < size_);
@@ -86,6 +107,21 @@ class BitVector {
       if ((words_[i] & ~other.words_[i]) != 0) return false;
     }
     return true;
+  }
+
+  /// Invokes `fn(index)` for every set bit, ascending, without allocating.
+  /// The word-at-a-time scan (countr_zero + clear-lowest) is what the dense
+  /// evaluation rounds use to drain frontier bitmaps.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(wi * kBitsPerWord + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
   }
 
   /// Indices of all set bits, ascending.

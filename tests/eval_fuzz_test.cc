@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/random_automata.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "query/eval.h"
+#include "query/eval_reference.h"
+#include "regex/printer.h"
+#include "regex/random_regex.h"
+#include "regex/to_nfa.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+// Seeded randomized differential fuzzer over the whole evaluation matrix:
+// random graphs (Erdős–Rényi and scale-free, from src/graph/generators.*) ×
+// random queries (regex ASTs from src/regex/random_regex.* compiled through
+// the production Thompson → determinize → minimize pipeline, plus raw
+// random DFAs) drive the seed reference against every engine configuration —
+// sparse, dense, hybrid (auto crossover) — across thread counts {1, 2, 8}.
+// On a mismatch the failing case is shrunk (greedy edge and node removal
+// while the mismatch persists) and printed as a self-contained reproduction
+// block.
+//
+// The default run fuzzes 200 cases; set RPQ_FUZZ_ITERS for longer campaigns
+// (the nightly CI job runs 10×).
+
+uint32_t FuzzIterations() {
+  const char* env = std::getenv("RPQ_FUZZ_ITERS");
+  if (env == nullptr) return 200;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed >= 1 ? static_cast<uint32_t>(parsed) : 200;
+}
+
+// ----------------------------------------------------------- fuzz inputs
+
+/// A graph in shrinkable form: plain edge list plus fixed node/label counts.
+/// num_labels never shrinks so the query's alphabet stays valid.
+struct EdgeList {
+  uint32_t num_nodes = 0;
+  uint32_t num_labels = 0;
+  std::vector<std::array<uint32_t, 3>> edges;  // {src, label, dst}
+
+  Graph BuildGraph() const {
+    GraphBuilder builder;
+    std::vector<std::string> labels;
+    for (uint32_t i = 0; i < num_labels; ++i) {
+      labels.push_back("l" + std::to_string(i));
+    }
+    builder.InternLabels(labels);
+    builder.AddNodes(num_nodes);
+    for (const auto& e : edges) {
+      builder.AddEdge(e[0], static_cast<Symbol>(e[1]), e[2]);
+    }
+    return builder.Build();
+  }
+};
+
+EdgeList ExtractEdgeList(const Graph& g) {
+  EdgeList el;
+  el.num_nodes = g.num_nodes();
+  el.num_labels = g.num_symbols();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const LabeledEdge& e : g.OutEdges(v)) {
+      el.edges.push_back({v, e.label, e.node});
+    }
+  }
+  return el;
+}
+
+EdgeList RandomEdgeList(Rng* rng, uint32_t num_labels) {
+  const uint64_t kind = rng->NextBelow(10);
+  if (kind < 5) {
+    // Small uniform graphs: the bulk of the corpus.
+    ErdosRenyiOptions options;
+    options.num_nodes = 2 + static_cast<uint32_t>(rng->NextBelow(60));
+    options.num_edges =
+        rng->NextBelow(4 * static_cast<size_t>(options.num_nodes) + 1);
+    options.num_labels = num_labels;
+    options.seed = rng->Next();
+    return ExtractEdgeList(GenerateErdosRenyi(options));
+  }
+  if (kind < 7) {
+    // Scale-free topology with Zipfian labels: heavy hubs saturate the
+    // product BFS, the regime where dense rounds engage.
+    ScaleFreeOptions options;
+    options.num_nodes = 10 + static_cast<uint32_t>(rng->NextBelow(80));
+    options.num_edges = 3 * static_cast<size_t>(options.num_nodes);
+    options.num_labels = num_labels;
+    options.seed = rng->Next();
+    return ExtractEdgeList(GenerateScaleFree(options));
+  }
+  // Larger uniform graphs crossing several 64-source lane batches.
+  ErdosRenyiOptions options;
+  options.num_nodes = 65 + static_cast<uint32_t>(rng->NextBelow(140));
+  options.num_edges = 2 * static_cast<size_t>(options.num_nodes) +
+                      rng->NextBelow(3 * static_cast<size_t>(options.num_nodes));
+  options.num_labels = num_labels;
+  options.seed = rng->Next();
+  return ExtractEdgeList(GenerateErdosRenyi(options));
+}
+
+/// A query DFA plus a human-readable description for reproduction output.
+struct FuzzQuery {
+  Dfa dfa;
+  std::string description;
+};
+
+std::string DescribeDfa(const Dfa& dfa) {
+  std::ostringstream out;
+  out << "dfa states=" << dfa.num_states() << " symbols=" << dfa.num_symbols()
+      << " initial=" << dfa.initial_state() << " accepting={";
+  bool first = true;
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    if (!dfa.IsAccepting(s)) continue;
+    if (!first) out << ",";
+    out << s;
+    first = false;
+  }
+  out << "} delta={";
+  first = true;
+  for (StateId s = 0; s < dfa.num_states(); ++s) {
+    for (Symbol a = 0; a < dfa.num_symbols(); ++a) {
+      const StateId t = dfa.Next(s, a);
+      if (t == kNoState) continue;
+      if (!first) out << ", ";
+      out << s << "-l" << a << "->" << t;
+      first = false;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+FuzzQuery MakeQuery(Rng* rng, uint32_t query_symbols) {
+  if (rng->NextBernoulli(0.6)) {
+    RandomRegexOptions options;
+    options.num_symbols = query_symbols;
+    options.max_depth = 2 + static_cast<uint32_t>(rng->NextBelow(3));
+    const RegexPtr regex = RandomRegex(rng, options);
+    // A local alphabet sized to the query: it may name more symbols than
+    // the graph has (the oversized-alphabet cases).
+    Alphabet alphabet;
+    alphabet.InternGenerated("l", query_symbols);
+    FuzzQuery query{RegexToCanonicalDfa(regex, query_symbols),
+                    "regex " + RegexToString(regex, alphabet)};
+    return query;
+  }
+  RandomAutomatonOptions options;
+  options.num_states = 1 + static_cast<uint32_t>(rng->NextBelow(6));
+  options.num_symbols = query_symbols;
+  options.transition_density = 0.3 + 0.6 * rng->NextDouble();
+  options.accepting_probability = 0.4;
+  Dfa dfa = RandomDfa(rng, options);
+  std::string description = DescribeDfa(dfa);
+  return FuzzQuery{std::move(dfa), std::move(description)};
+}
+
+// ------------------------------------------------------- engine configs
+
+struct EngineConfig {
+  const char* name;
+  EvalMode mode;
+  double dense_threshold;
+  uint32_t threads;
+};
+
+/// The fuzzed configuration matrix: every force_mode plus the hybrid
+/// crossover (auto with a threshold low enough to engage dense rounds on
+/// these small graphs), each at thread counts 1, 2 and 8.
+const EngineConfig kEngineConfigs[] = {
+    {"sparse/threads=1", EvalMode::kSparse, 0.05, 1},
+    {"sparse/threads=2", EvalMode::kSparse, 0.05, 2},
+    {"sparse/threads=8", EvalMode::kSparse, 0.05, 8},
+    {"dense/threads=1", EvalMode::kDense, 0.05, 1},
+    {"dense/threads=2", EvalMode::kDense, 0.05, 2},
+    {"dense/threads=8", EvalMode::kDense, 0.05, 8},
+    {"hybrid/threads=1", EvalMode::kAuto, 0.02, 1},
+    {"hybrid/threads=2", EvalMode::kAuto, 0.02, 2},
+    {"hybrid/threads=8", EvalMode::kAuto, 0.02, 8},
+    {"auto-default/threads=1", EvalMode::kAuto,
+     EvalOptions{}.dense_threshold, 1},
+};
+
+EvalOptions ToOptions(const EngineConfig& config) {
+  EvalOptions options;
+  options.threads = config.threads;
+  options.parallel_threshold_pairs = 0;  // force the parallel path
+  options.force_mode = config.mode;
+  options.dense_threshold = config.dense_threshold;
+  return options;
+}
+
+enum class CheckKind { kMonadic, kMonadicBounded, kBinaryAllPairs,
+                       kBinaryFromSources };
+
+const char* CheckName(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kMonadic: return "monadic";
+    case CheckKind::kMonadicBounded: return "monadic-bounded";
+    case CheckKind::kBinaryAllPairs: return "binary-all-pairs";
+    case CheckKind::kBinaryFromSources: return "binary-from-sources";
+  }
+  return "?";
+}
+
+/// Clamps a source template onto a (possibly shrunk) graph.
+std::vector<NodeId> ClampSources(const std::vector<NodeId>& sources,
+                                 uint32_t num_nodes) {
+  std::vector<NodeId> clamped;
+  for (NodeId src : sources) clamped.push_back(src % num_nodes);
+  return clamped;
+}
+
+std::vector<std::pair<NodeId, NodeId>> FromSourcesReference(
+    const Graph& graph, const Dfa& query, const std::vector<NodeId>& sources) {
+  std::vector<std::pair<NodeId, NodeId>> expected;
+  for (NodeId src : sources) {
+    BitVector targets = EvalBinaryFromReference(graph, query, src);
+    for (uint32_t dst : targets.ToIndices()) expected.emplace_back(src, dst);
+  }
+  return expected;
+}
+
+/// True iff `config` disagrees with the seed reference on `check`. The
+/// shrinker re-runs this as its failure predicate.
+bool Mismatches(const Graph& graph, const Dfa& query, CheckKind check,
+                const EngineConfig& config, uint32_t bound,
+                const std::vector<NodeId>& source_template) {
+  if (graph.num_nodes() == 0) return false;
+  const EvalOptions options = ToOptions(config);
+  switch (check) {
+    case CheckKind::kMonadic: {
+      StatusOr<BitVector> actual = EvalMonadic(graph, query, options);
+      if (!actual.ok()) return true;
+      return !(*actual == EvalMonadicReference(graph, query));
+    }
+    case CheckKind::kMonadicBounded: {
+      StatusOr<BitVector> actual =
+          EvalMonadicBounded(graph, query, bound, options);
+      if (!actual.ok()) return true;
+      return !(*actual == EvalMonadicBoundedReference(graph, query, bound));
+    }
+    case CheckKind::kBinaryAllPairs: {
+      auto actual = EvalBinary(graph, query, options);
+      if (!actual.ok()) return true;
+      return *actual != EvalBinaryReference(graph, query);
+    }
+    case CheckKind::kBinaryFromSources: {
+      const std::vector<NodeId> sources =
+          ClampSources(source_template, graph.num_nodes());
+      auto actual = EvalBinaryFromSources(graph, query, sources, options);
+      if (!actual.ok()) return true;
+      return *actual != FromSourcesReference(graph, query, sources);
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- shrinking
+
+/// Greedy minimization: repeatedly drop edges, then nodes (remapping ids),
+/// keeping any removal under which the mismatch persists. Bounded by a
+/// predicate-evaluation budget so a pathological case cannot hang the run.
+EdgeList ShrinkGraph(EdgeList current,
+                     const std::function<bool(const EdgeList&)>& fails) {
+  int budget = 1500;
+  bool progress = true;
+  while (progress && budget > 0) {
+    progress = false;
+    for (size_t i = current.edges.size(); i-- > 0 && budget > 0;) {
+      EdgeList candidate = current;
+      candidate.edges.erase(candidate.edges.begin() +
+                            static_cast<ptrdiff_t>(i));
+      --budget;
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+      }
+    }
+    for (uint32_t v = current.num_nodes; v-- > 0 && budget > 0;) {
+      if (current.num_nodes <= 1 || v >= current.num_nodes) continue;
+      EdgeList candidate;
+      candidate.num_nodes = current.num_nodes - 1;
+      candidate.num_labels = current.num_labels;
+      for (std::array<uint32_t, 3> e : current.edges) {
+        if (e[0] == v || e[2] == v) continue;
+        if (e[0] > v) --e[0];
+        if (e[2] > v) --e[2];
+        candidate.edges.push_back(e);
+      }
+      --budget;
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::string ReproBlock(uint64_t case_seed, CheckKind check,
+                       const EngineConfig& config, const EdgeList& graph,
+                       const std::string& query_description, uint32_t bound,
+                       const std::vector<NodeId>& sources) {
+  std::ostringstream out;
+  out << "\n=== RPQ eval fuzz mismatch (minimized) ===\n"
+      << "case_seed: " << case_seed << "\n"
+      << "check: " << CheckName(check) << "\n"
+      << "engine: " << config.name
+      << " (dense_threshold=" << config.dense_threshold << ")\n"
+      << "query: " << query_description << "\n"
+      << "graph: nodes=" << graph.num_nodes
+      << " labels=" << graph.num_labels << " edges=" << graph.edges.size()
+      << "\n";
+  for (const auto& e : graph.edges) {
+    out << "  " << e[0] << " --l" << e[1] << "--> " << e[2] << "\n";
+  }
+  if (check == CheckKind::kMonadicBounded) out << "bound: " << bound << "\n";
+  if (check == CheckKind::kBinaryFromSources) {
+    out << "sources (mod nodes): [";
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << sources[i];
+    }
+    out << "]\n";
+  }
+  out << "==========================================";
+  return out.str();
+}
+
+// ------------------------------------------------------------ the fuzzer
+
+TEST(EvalFuzzTest, DifferentialAgainstSeedReference) {
+  const uint32_t iterations = FuzzIterations();
+  Rng master(0x5eedf00d);
+  uint32_t mismatches = 0;
+  for (uint32_t iteration = 0; iteration < iterations; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+
+    const uint32_t num_labels = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    const EdgeList edge_list = RandomEdgeList(&rng, num_labels);
+    const Graph graph = edge_list.BuildGraph();
+
+    // Mostly queries over the graph's alphabet; occasionally a strictly
+    // larger query alphabet, which binary semantics must handle (symbols
+    // the graph lacks never fire) but monadic rejects by contract.
+    const bool oversized_alphabet = rng.NextBernoulli(0.15);
+    const uint32_t query_symbols =
+        oversized_alphabet
+            ? num_labels + 1 + static_cast<uint32_t>(rng.NextBelow(2))
+            : num_labels;
+    const FuzzQuery query = MakeQuery(&rng, query_symbols);
+
+    const uint32_t bound = static_cast<uint32_t>(rng.NextBelow(8));
+    std::vector<NodeId> sources;
+    const size_t num_sources = 1 + rng.NextBelow(120);
+    for (size_t i = 0; i < num_sources; ++i) {
+      sources.push_back(
+          static_cast<NodeId>(rng.NextBelow(graph.num_nodes())));
+    }
+
+    std::vector<CheckKind> checks = {CheckKind::kBinaryAllPairs,
+                                     CheckKind::kBinaryFromSources};
+    if (!oversized_alphabet) {
+      checks.push_back(CheckKind::kMonadic);
+      checks.push_back(CheckKind::kMonadicBounded);
+    }
+
+    for (CheckKind check : checks) {
+      for (const EngineConfig& config : kEngineConfigs) {
+        if (!Mismatches(graph, query.dfa, check, config, bound, sources)) {
+          continue;
+        }
+        ++mismatches;
+        const EdgeList minimized =
+            ShrinkGraph(edge_list, [&](const EdgeList& candidate) {
+              return Mismatches(candidate.BuildGraph(), query.dfa, check,
+                                config, bound, sources);
+            });
+        ADD_FAILURE() << ReproBlock(case_seed, check, config, minimized,
+                                    query.description, bound, sources);
+        break;  // one repro per check is enough; move to the next check
+      }
+      if (mismatches >= 5) break;  // don't flood the log
+    }
+    if (mismatches >= 5) {
+      ADD_FAILURE() << "stopping after 5 mismatching cases ("
+                    << iteration + 1 << " of " << iterations
+                    << " iterations fuzzed)";
+      break;
+    }
+  }
+}
+
+TEST(EvalFuzzTest, HybridEngagesDenseRoundsSomewhere) {
+  // Meta-check on the corpus: across a slice of the fuzzed cases, the
+  // hybrid configuration must actually cross into dense rounds at least
+  // once — otherwise the matrix above silently stops covering the
+  // direction-optimizing path (e.g. after a threshold or fixture change).
+  Rng master(0x5eedf00d);
+  EvalStats stats;
+  for (uint32_t iteration = 0; iteration < 40; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    const uint32_t num_labels = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    const EdgeList edge_list = RandomEdgeList(&rng, num_labels);
+    const Graph graph = edge_list.BuildGraph();
+    const FuzzQuery query = MakeQuery(&rng, num_labels);
+
+    EvalOptions hybrid;
+    hybrid.threads = 1;
+    hybrid.dense_threshold = 0.02;
+    hybrid.stats = &stats;
+    auto result = EvalBinary(graph, query.dfa, hybrid);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_GT(stats.dense_rounds.load(), 0u)
+      << "no fuzzed case engaged dense rounds under the hybrid config";
+  EXPECT_GT(stats.sparse_rounds.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rpqlearn
