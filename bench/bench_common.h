@@ -63,13 +63,26 @@ inline EvalMode EvalForceMode() {
   return EvalMode::kAuto;
 }
 
-/// EvalOptions for the current environment: RPQ_EVAL_THREADS workers plus
-/// the RPQ_EVAL_DENSE_THRESHOLD / RPQ_EVAL_MODE direction knobs.
+/// Node-range shard count, selected with RPQ_EVAL_SHARDS (default 1, the
+/// monolithic path). Values below 1 fall back to the default; results are
+/// bit-identical for every count (see "Sharded evaluation" in
+/// docs/ARCHITECTURE.md).
+inline uint32_t EvalShards() {
+  const char* env = std::getenv("RPQ_EVAL_SHARDS");
+  if (env == nullptr) return 1;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed >= 1 ? static_cast<uint32_t>(parsed) : 1;
+}
+
+/// EvalOptions for the current environment: RPQ_EVAL_THREADS workers, the
+/// RPQ_EVAL_DENSE_THRESHOLD / RPQ_EVAL_MODE direction knobs, and
+/// RPQ_EVAL_SHARDS node-range shards.
 inline EvalOptions EvalConfig() {
   EvalOptions options;
   options.threads = EvalThreads();
   options.dense_threshold = EvalDenseThreshold();
   options.force_mode = EvalForceMode();
+  options.shards = EvalShards();
   return options;
 }
 

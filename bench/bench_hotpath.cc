@@ -13,6 +13,7 @@
 #include "automata/pta.h"
 #include "bench/bench_common.h"
 #include "graph/generators.h"
+#include "graph/shard.h"
 #include "learn/rpni.h"
 #include "query/eval.h"
 #include "query/eval_reference.h"
@@ -329,6 +330,135 @@ void PrintDirectionFixture(const char* name,
               static_cast<unsigned long long>(r.hybrid_dense_batches));
 }
 
+struct ShardPointResult {
+  uint32_t shards = 0;
+  size_t boundary_edges = 0;
+  double binary_seconds = 0;
+  double monadic_seconds = 0;
+  uint64_t supersteps = 0;
+  uint64_t cross_shard_pairs = 0;
+};
+
+struct ShardSweepResult {
+  uint32_t nodes = 0;
+  size_t edges = 0;
+  std::vector<ShardPointResult> points;
+};
+
+/// Sharded vs monolithic evaluation over K ∈ {1, 2, 4, 8} node-range
+/// shards on one scale-free fixture (threads from RPQ_EVAL_THREADS so the
+/// shard count is the only variable per run). Every K is checked
+/// bit-identical to K = 1 before timing; the per-batch supersteps and
+/// exchanged frontier pairs are recorded so the JSON shows the BSP traffic
+/// a distributed deployment would put on the wire.
+ShardSweepResult BenchShardSweep(uint32_t num_nodes, size_t edges_per_node,
+                                 int trials) {
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = num_nodes;
+  graph_options.num_edges = edges_per_node * static_cast<size_t>(num_nodes);
+  graph_options.num_labels = 8;
+  graph_options.seed = 7;
+  Graph graph = GenerateScaleFree(graph_options);
+  Dfa query = CompileQuery("(l0+l1)*.l2", graph);
+
+  ShardSweepResult result;
+  result.nodes = graph.num_nodes();
+  result.edges = graph.num_edges();
+
+  EvalOptions base = bench::EvalConfig();
+  base.shards = 1;
+  auto monolithic_pairs = EvalBinary(graph, query, base);
+  auto monolithic_monadic = EvalMonadic(graph, query, base);
+  RPQ_CHECK(monolithic_pairs.ok() && monolithic_monadic.ok());
+
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    EvalOptions options = base;
+    options.shards = shards;
+    EvalStats stats;
+    options.stats = &stats;
+
+    ShardPointResult point;
+    point.shards = shards;
+    point.boundary_edges =
+        ShardedGraph::Partition(graph, shards).num_boundary_edges();
+
+    auto pairs = EvalBinary(graph, query, options);
+    RPQ_CHECK(pairs.ok());
+    RPQ_CHECK(*pairs == *monolithic_pairs)
+        << "sharded EvalBinary diverged from shards=1 at K=" << shards;
+    auto monadic = EvalMonadic(graph, query, options);
+    RPQ_CHECK(monadic.ok());
+    RPQ_CHECK(*monadic == *monolithic_monadic)
+        << "sharded EvalMonadic diverged from shards=1 at K=" << shards;
+    stats.Reset();
+
+    WallTimer timer;
+    for (int t = 0; t < trials; ++t) {
+      auto p = EvalBinary(graph, query, options);
+      RPQ_CHECK_EQ(p->size(), monolithic_pairs->size());
+    }
+    point.binary_seconds = timer.ElapsedSeconds() / trials;
+    // Per-trial BSP traffic (identical every trial: deterministic).
+    point.supersteps = stats.supersteps.load() / static_cast<uint64_t>(trials);
+    point.cross_shard_pairs =
+        stats.cross_shard_pairs.load() / static_cast<uint64_t>(trials);
+
+    const int monadic_trials = trials * 5;
+    timer.Restart();
+    for (int t = 0; t < monadic_trials; ++t) {
+      auto r = EvalMonadic(graph, query, options);
+      RPQ_CHECK_EQ(r->Count(), monolithic_monadic->Count());
+    }
+    point.monadic_seconds = timer.ElapsedSeconds() / monadic_trials;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+void PrintShardSweep(const char* name, const ShardSweepResult& r) {
+  std::printf("sharded eval, %s fixture (%u nodes, %zu edges, "
+              "RPQ_EVAL_SHARDS to pin):\n",
+              name, r.nodes, r.edges);
+  const double base_binary = r.points.front().binary_seconds;
+  const double base_monadic = r.points.front().monadic_seconds;
+  for (const ShardPointResult& p : r.points) {
+    std::printf("  K=%u  binary %8.3fs (vs K=1 %.2fx)  monadic %8.4fs "
+                "(%.2fx)  boundary edges %zu, %llu supersteps, %llu "
+                "exchanged pairs\n",
+                p.shards, p.binary_seconds,
+                Speedup(base_binary, p.binary_seconds), p.monadic_seconds,
+                Speedup(base_monadic, p.monadic_seconds), p.boundary_edges,
+                static_cast<unsigned long long>(p.supersteps),
+                static_cast<unsigned long long>(p.cross_shard_pairs));
+  }
+}
+
+void PrintShardSweepJson(FILE* out, const char* name,
+                         const ShardSweepResult& r, bool last) {
+  std::fprintf(out,
+               "    \"%s\": {\n"
+               "      \"nodes\": %u,\n"
+               "      \"edges\": %zu,\n",
+               name, r.nodes, r.edges);
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    const ShardPointResult& p = r.points[i];
+    std::fprintf(out,
+                 "      \"k%u\": {\n"
+                 "        \"boundary_edges\": %zu,\n"
+                 "        \"binary_seconds\": %.6f,\n"
+                 "        \"monadic_seconds\": %.6f,\n"
+                 "        \"supersteps_per_call\": %llu,\n"
+                 "        \"cross_shard_pairs_per_call\": %llu\n"
+                 "      }%s\n",
+                 p.shards, p.boundary_edges, p.binary_seconds,
+                 p.monadic_seconds,
+                 static_cast<unsigned long long>(p.supersteps),
+                 static_cast<unsigned long long>(p.cross_shard_pairs),
+                 i + 1 < r.points.size() ? "," : "");
+  }
+  std::fprintf(out, "    }%s\n", last ? "" : ",");
+}
+
 void PrintDirectionJson(FILE* out, const char* name,
                         const DirectionFixtureResult& r, bool last) {
   std::fprintf(out,
@@ -415,6 +545,16 @@ int main() {
   PrintDirectionFixture("standard", dir_standard);
   PrintDirectionFixture("high-density", dir_high);
 
+  // --- sharded evaluation ----------------------------------------------
+  // Node-range shards (BSP supersteps + cross-shard outboxes) vs the
+  // monolithic engine, K ∈ {1, 2, 4, 8}, on the same standard and
+  // high-density fixtures; RPQ_EVAL_SHARDS pins a count for every other
+  // driver.
+  auto shard_standard = BenchShardSweep(eval_nodes, 3, trials);
+  auto shard_high = BenchShardSweep(eval_nodes, 10, trials);
+  PrintShardSweep("standard", shard_standard);
+  PrintShardSweep("high-density", shard_high);
+
   FILE* out = std::fopen("BENCH_hotpath.json", "w");
   RPQ_CHECK(out != nullptr) << "cannot write BENCH_hotpath.json";
   std::fprintf(out,
@@ -463,6 +603,11 @@ int main() {
                par_monadic_speedup);
   PrintDirectionJson(out, "standard", dir_standard, /*last=*/false);
   PrintDirectionJson(out, "high_density", dir_high, /*last=*/true);
+  std::fprintf(out,
+               "  },\n"
+               "  \"eval_sharded\": {\n");
+  PrintShardSweepJson(out, "standard", shard_standard, /*last=*/false);
+  PrintShardSweepJson(out, "high_density", shard_high, /*last=*/true);
   std::fprintf(out,
                "  }\n"
                "}\n");

@@ -28,9 +28,9 @@ struct StaticSweepOptions {
   int trials = 3;
   uint64_t seed = 1;
   LearnerOptions learner;
-  /// Evaluation knobs (thread count, direction-optimizing mode/threshold)
-  /// for scoring learned queries against the goal; invalid options abort
-  /// the sweep with the validation message.
+  /// Evaluation knobs (thread count, direction-optimizing mode/threshold,
+  /// node-range shard count) for scoring learned queries against the goal;
+  /// invalid options abort the sweep with the validation message.
   EvalOptions eval;
 };
 

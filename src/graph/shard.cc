@@ -1,0 +1,106 @@
+#include "graph/shard.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+/// Splits the per-node weight prefix sums into `num_shards` even spans:
+/// boundary s is the first node whose prefix weight reaches s/num_shards of
+/// the total. Contiguous, deterministic, and monotone in s; empty ranges
+/// appear only when a single node's weight exceeds a span (or the graph has
+/// fewer nodes than shards).
+std::vector<NodeId> WeightBalancedBoundaries(const Graph& graph,
+                                             uint32_t num_shards) {
+  const uint32_t n = graph.num_nodes();
+  // weight(v) = 1 + deg_out(v) + deg_in(v): balances the adjacency arrays a
+  // shard-local sweep touches, with the +1 keeping edge-free nodes spread.
+  std::vector<uint64_t> prefix(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint64_t weight = 1 + graph.OutEdges(v).size() + graph.InEdges(v).size();
+    prefix[v + 1] = prefix[v] + weight;
+  }
+  const uint64_t total = prefix[n];
+  std::vector<NodeId> boundaries(num_shards + 1, n);
+  boundaries[0] = 0;
+  for (uint32_t s = 1; s < num_shards; ++s) {
+    const uint64_t target = total * s / num_shards;
+    // First node whose prefix weight is >= target, clamped monotone.
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    NodeId cut = static_cast<NodeId>(it - prefix.begin());
+    boundaries[s] = std::max(boundaries[s - 1], std::min(cut, n));
+  }
+  return boundaries;
+}
+
+/// Fills one direction of one shard's CSRs: for each (local node, label)
+/// cell, splits the graph's neighbor run into the in-shard part (remapped to
+/// local ids) and the out-of-shard part (kept global). Neighbor runs are
+/// ascending, so the in-shard part is one contiguous slice and both outputs
+/// stay ascending.
+void BuildDirection(const Graph& graph, NodeId begin, NodeId end,
+                    std::span<const NodeId> (Graph::*neighbors)(NodeId, Symbol)
+                        const,
+                    std::vector<uint32_t>* internal_offsets,
+                    std::vector<NodeId>* internal,
+                    std::vector<uint32_t>* boundary_offsets,
+                    std::vector<NodeId>* boundary) {
+  const uint32_t sigma = graph.num_symbols();
+  const size_t cells = static_cast<size_t>(end - begin) * sigma;
+  internal_offsets->assign(cells + 1, 0);
+  boundary_offsets->assign(cells + 1, 0);
+  size_t cell = 0;
+  for (NodeId v = begin; v < end; ++v) {
+    for (Symbol a = 0; a < sigma; ++a, ++cell) {
+      for (NodeId u : (graph.*neighbors)(v, a)) {
+        if (u >= begin && u < end) {
+          internal->push_back(u - begin);
+        } else {
+          boundary->push_back(u);
+        }
+      }
+      (*internal_offsets)[cell + 1] = static_cast<uint32_t>(internal->size());
+      (*boundary_offsets)[cell + 1] = static_cast<uint32_t>(boundary->size());
+    }
+  }
+}
+
+}  // namespace
+
+ShardedGraph ShardedGraph::Partition(const Graph& graph, uint32_t num_shards) {
+  RPQ_CHECK_GE(num_shards, 1u);
+  ShardedGraph sharded;
+  sharded.num_nodes_ = graph.num_nodes();
+  sharded.boundaries_ = WeightBalancedBoundaries(graph, num_shards);
+  sharded.shards_.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    GraphShard& shard = sharded.shards_[s];
+    shard.node_begin_ = sharded.boundaries_[s];
+    shard.node_end_ = sharded.boundaries_[s + 1];
+    shard.num_symbols_ = graph.num_symbols();
+    BuildDirection(graph, shard.node_begin_, shard.node_end_,
+                   &Graph::OutNeighbors, &shard.out_internal_offsets_,
+                   &shard.out_internal_, &shard.out_boundary_offsets_,
+                   &shard.out_boundary_);
+    BuildDirection(graph, shard.node_begin_, shard.node_end_,
+                   &Graph::InNeighbors, &shard.in_internal_offsets_,
+                   &shard.in_internal_, &shard.in_boundary_offsets_,
+                   &shard.in_boundary_);
+    sharded.num_boundary_edges_ += shard.out_boundary_.size();
+  }
+  return sharded;
+}
+
+uint32_t ShardedGraph::ShardOf(NodeId v) const {
+  RPQ_DCHECK(v < num_nodes_);
+  // Last boundary ≤ v. Boundaries are ascending with possible repeats
+  // (empty shards); upper_bound lands past every shard starting at or
+  // before v, and stepping back one entry names the non-empty owner.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  return static_cast<uint32_t>(it - boundaries_.begin()) - 1;
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,139 @@
+#ifndef RPQLEARN_GRAPH_SHARD_H_
+#define RPQLEARN_GRAPH_SHARD_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpqlearn {
+
+/// One contiguous node-range shard of a ShardedGraph: the global nodes
+/// [node_begin(), node_end()), remapped to local ids 0 .. num_local_nodes()-1
+/// (local = global - node_begin()). Adjacency is split per (node, label)
+/// cell into an *internal* label-grouped CSR — edges whose other endpoint
+/// also lies in this shard, endpoints stored as local ids — and a *boundary*
+/// CSR — edges whose other endpoint lies in another shard, endpoints stored
+/// as global ids. Internal and boundary runs are each ascending and together
+/// hold exactly the cell's neighbors in the monolithic Graph.
+class GraphShard {
+ public:
+  NodeId node_begin() const { return node_begin_; }
+  NodeId node_end() const { return node_end_; }
+  uint32_t num_local_nodes() const { return node_end_ - node_begin_; }
+  uint32_t num_symbols() const { return num_symbols_; }
+
+  /// Local targets of internal `local_v --a-->` edges, ascending.
+  std::span<const NodeId> OutNeighborsLocal(NodeId local_v, Symbol a) const {
+    return Cell(out_internal_offsets_, out_internal_, local_v, a);
+  }
+  /// Local sources of internal `--a--> local_v` edges, ascending.
+  std::span<const NodeId> InNeighborsLocal(NodeId local_v, Symbol a) const {
+    return Cell(in_internal_offsets_, in_internal_, local_v, a);
+  }
+  /// Global targets of `local_v --a-->` edges leaving the shard, ascending.
+  std::span<const NodeId> OutBoundary(NodeId local_v, Symbol a) const {
+    return Cell(out_boundary_offsets_, out_boundary_, local_v, a);
+  }
+  /// Global sources of `--a--> local_v` edges entering the shard, ascending.
+  std::span<const NodeId> InBoundary(NodeId local_v, Symbol a) const {
+    return Cell(in_boundary_offsets_, in_boundary_, local_v, a);
+  }
+
+  /// True iff `local_v` has at least one out-edge leaving the shard (under
+  /// any label). The shard-aware evaluation uses this to track only the
+  /// product cells whose lane gains must be pushed to other shards.
+  bool HasOutBoundary(NodeId local_v) const {
+    const size_t row = static_cast<size_t>(local_v) * num_symbols_;
+    return out_boundary_offsets_[row + num_symbols_] >
+           out_boundary_offsets_[row];
+  }
+  /// True iff some in-edge of `local_v` originates in another shard.
+  bool HasInBoundary(NodeId local_v) const {
+    const size_t row = static_cast<size_t>(local_v) * num_symbols_;
+    return in_boundary_offsets_[row + num_symbols_] > in_boundary_offsets_[row];
+  }
+
+  /// Directed edges whose source lies here and target elsewhere.
+  size_t num_out_boundary_edges() const { return out_boundary_.size(); }
+  /// Directed edges whose target lies here and source elsewhere.
+  size_t num_in_boundary_edges() const { return in_boundary_.size(); }
+  /// Directed edges with both endpoints in this shard.
+  size_t num_internal_edges() const { return out_internal_.size(); }
+
+ private:
+  friend class ShardedGraph;
+
+  std::span<const NodeId> Cell(const std::vector<uint32_t>& offsets,
+                               const std::vector<NodeId>& endpoints,
+                               NodeId local_v, Symbol a) const {
+    const size_t cell = static_cast<size_t>(local_v) * num_symbols_ + a;
+    return {endpoints.data() + offsets[cell], offsets[cell + 1] - offsets[cell]};
+  }
+
+  NodeId node_begin_ = 0;
+  NodeId node_end_ = 0;
+  uint32_t num_symbols_ = 0;
+  // Label-grouped CSRs over local (node, label) cells; offsets are
+  // num_local_nodes × num_symbols + 1 each.
+  std::vector<uint32_t> out_internal_offsets_;
+  std::vector<NodeId> out_internal_;  // local targets
+  std::vector<uint32_t> in_internal_offsets_;
+  std::vector<NodeId> in_internal_;  // local sources
+  std::vector<uint32_t> out_boundary_offsets_;
+  std::vector<NodeId> out_boundary_;  // global targets in other shards
+  std::vector<uint32_t> in_boundary_offsets_;
+  std::vector<NodeId> in_boundary_;  // global sources in other shards
+};
+
+/// A partition view of one immutable Graph: K contiguous node-range shards,
+/// each with shard-local internal CSRs and a boundary-edge index. The view
+/// borrows nothing from the Graph (all arrays are copied into shard-local
+/// layouts), so a shard is self-contained — the layout a distributed
+/// deployment would ship per machine — while `ShardOf` maps any global node
+/// to its owner.
+///
+/// Partitioning is deterministic: shard boundaries are chosen by splitting
+/// the prefix sums of per-node weights (1 + out-degree + in-degree) into K
+/// even spans, so shards balance adjacency work, not just node counts.
+/// Requesting more shards than the weight can fill produces empty trailing
+/// ranges — legal, and exercised by the degenerate-shard tests. The shard
+/// count never changes evaluation results (see docs/ARCHITECTURE.md,
+/// "Sharded evaluation").
+class ShardedGraph {
+ public:
+  /// Builds the K-shard view of `graph`. `num_shards` must be ≥ 1.
+  static ShardedGraph Partition(const Graph& graph, uint32_t num_shards);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  uint32_t num_nodes() const { return num_nodes_; }
+  const GraphShard& shard(uint32_t s) const { return shards_[s]; }
+
+  /// The shard owning global node `v`.
+  uint32_t ShardOf(NodeId v) const;
+
+  /// Shard boundaries: num_shards + 1 ascending values with
+  /// boundaries()[s] = shard(s).node_begin() and boundaries().back() =
+  /// num_nodes().
+  const std::vector<NodeId>& boundaries() const { return boundaries_; }
+
+  /// Directed edges whose endpoints lie in different shards (each such edge
+  /// counted once; it appears in its source shard's out-boundary and its
+  /// target shard's in-boundary).
+  size_t num_boundary_edges() const { return num_boundary_edges_; }
+
+ private:
+  ShardedGraph() = default;
+
+  uint32_t num_nodes_ = 0;
+  size_t num_boundary_edges_ = 0;
+  std::vector<NodeId> boundaries_;
+  std::vector<GraphShard> shards_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_SHARD_H_

@@ -23,8 +23,8 @@ struct SessionOptions {
   size_t max_interactions = 100000;
   /// Learner configuration used after every label.
   LearnerOptions learner;
-  /// Evaluation knobs (thread count, direction mode) for the
-  /// per-interaction F1 scoring.
+  /// Evaluation knobs (thread count, direction mode, node-range shard
+  /// count) for the per-interaction F1 scoring.
   EvalOptions eval;
   /// Seed for the strategy's randomness.
   uint64_t seed = 1;

@@ -5,8 +5,10 @@
 #include <numeric>
 #include <span>
 #include <thread>
+#include <utility>
 
 #include "automata/dfa_csr.h"
+#include "graph/shard.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -41,156 +43,17 @@ uint32_t ResolveWorkers(const EvalOptions& validated, size_t num_pairs,
       std::min<size_t>(validated.threads, num_items));
 }
 
-// --------------------------------------------------------------- monadic
-
-/// Read-only state shared by all monadic sweeps of one call. Predecessor
-/// iteration reads the frozen DFA's per-target reverse entries directly
-/// (FrozenDfa::ReverseInto), which list exactly the non-empty (symbol,
-/// sources) cells — no per-call reverse table is built.
-struct MonadicContext {
-  const Graph& graph;
-  const FrozenDfa& frozen;
-};
-
-/// One backward product sweep seeded by the accepting pairs whose *node*
-/// lies in [node_lo, node_hi); returns the selected-node column (which nodes
-/// reach an accepting pair of the range from state q0). Backward
-/// reachability distributes over seed unions, so the union of the per-range
-/// sweeps equals the full sweep — that is the parallel decomposition.
-BitVector MonadicSweep(const MonadicContext& ctx, NodeId node_lo,
-                       NodeId node_hi) {
-  const uint32_t nq = ctx.frozen.num_states();
-  const uint32_t nv = ctx.graph.num_nodes();
-
-  // visited[(v, q)] = an accepting seed pair is reachable from (v, q).
-  // Worklist order does not affect the fixed point, so a LIFO vector
-  // replaces the deque.
-  BitVector visited(static_cast<size_t>(nv) * nq);
-  std::vector<std::pair<NodeId, StateId>> worklist;
-  for (StateId q = 0; q < nq; ++q) {
-    if (!ctx.frozen.IsAccepting(q)) continue;
-    for (NodeId v = node_lo; v < node_hi; ++v) {
-      visited.Set(static_cast<size_t>(v) * nq + q);
-      worklist.emplace_back(v, q);
-    }
+/// Runs `fn(worker, index)` over [0, count): inline when one worker is
+/// requested, on the shared pool otherwise. The sharded supersteps use this
+/// so a threads = 1 sharded evaluation never touches the pool.
+void RunIndexed(uint32_t workers, size_t count,
+                const std::function<void(uint32_t, size_t)>& fn) {
+  if (workers <= 1) {
+    for (size_t index = 0; index < count; ++index) fn(0, index);
+    return;
   }
-  while (!worklist.empty()) {
-    auto [v, q] = worklist.back();
-    worklist.pop_back();
-    // Predecessor pairs: (u, p) with edge (u, a, v) and delta(p, a) = q,
-    // iterated as (symbol run) × (reverse-CSR sources).
-    for (const auto& entry : ctx.frozen.ReverseInto(q)) {
-      for (NodeId u : ctx.graph.InNeighbors(v, entry.symbol)) {
-        for (StateId p : ctx.frozen.EntrySources(entry)) {
-          size_t idx = static_cast<size_t>(u) * nq + p;
-          if (!visited.Test(idx)) {
-            visited.Set(idx);
-            worklist.emplace_back(u, p);
-          }
-        }
-      }
-    }
-  }
-
-  BitVector result(nv);
-  const StateId q0 = ctx.frozen.initial_state();
-  for (NodeId v = 0; v < nv; ++v) {
-    if (visited.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
-  }
-  return result;
+  EvalPool().ParallelFor(workers, count, fn);
 }
-
-/// Level-synchronous variant of MonadicSweep stopping after `max_length`
-/// expansions. The BFS level of a pair from a seed union is the minimum over
-/// the union's members, so bounded reachability distributes over seed unions
-/// exactly like the unbounded sweep.
-BitVector MonadicSweepBounded(const MonadicContext& ctx, uint32_t max_length,
-                              NodeId node_lo, NodeId node_hi) {
-  const uint32_t nq = ctx.frozen.num_states();
-  const uint32_t nv = ctx.graph.num_nodes();
-
-  BitVector reached(static_cast<size_t>(nv) * nq);
-  std::vector<std::pair<NodeId, StateId>> frontier;
-  std::vector<std::pair<NodeId, StateId>> next;
-  for (StateId q = 0; q < nq; ++q) {
-    if (!ctx.frozen.IsAccepting(q)) continue;
-    for (NodeId v = node_lo; v < node_hi; ++v) {
-      reached.Set(static_cast<size_t>(v) * nq + q);
-      frontier.emplace_back(v, q);
-    }
-  }
-  for (uint32_t step = 0; step < max_length && !frontier.empty(); ++step) {
-    next.clear();
-    for (auto [v, q] : frontier) {
-      for (const auto& entry : ctx.frozen.ReverseInto(q)) {
-        for (NodeId u : ctx.graph.InNeighbors(v, entry.symbol)) {
-          for (StateId p : ctx.frozen.EntrySources(entry)) {
-            size_t idx = static_cast<size_t>(u) * nq + p;
-            if (!reached.Test(idx)) {
-              reached.Set(idx);
-              next.emplace_back(u, p);
-            }
-          }
-        }
-      }
-    }
-    std::swap(frontier, next);
-  }
-
-  BitVector result(nv);
-  const StateId q0 = ctx.frozen.initial_state();
-  for (NodeId v = 0; v < nv; ++v) {
-    if (reached.Test(static_cast<size_t>(v) * nq + q0)) result.Set(v);
-  }
-  return result;
-}
-
-/// Runs per-node-range monadic sweeps (bounded iff max_length != none) on
-/// `workers` contexts and unions the per-range selected sets.
-BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
-                          bool bounded, uint32_t max_length,
-                          const EvalOptions& validated) {
-  RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
-  const uint32_t nq = query.num_states();
-  const uint32_t nv = graph.num_nodes();
-  const FrozenDfa frozen(query);
-  const MonadicContext ctx{graph, frozen};
-
-  auto sweep = [&](NodeId lo, NodeId hi) {
-    return bounded ? MonadicSweepBounded(ctx, max_length, lo, hi)
-                   : MonadicSweep(ctx, lo, hi);
-  };
-
-  uint32_t workers =
-      ResolveWorkers(validated, static_cast<size_t>(nv) * nq, nv);
-  if (workers > 1) {
-    // Unlike binary batches, node-range sweeps can re-traverse each other's
-    // backward cones, so chunks beyond the executors actually available
-    // (pool + caller) would multiply duplicated work without adding
-    // concurrency. The cap is scheduling-only: the union is the same.
-    workers = std::min(workers, EvalPool().num_threads() + 1);
-  }
-  if (workers == 1) return sweep(0, nv);
-
-  // Contiguous balanced node ranges; each sweep owns its slot, the union is
-  // commutative, so the result is independent of scheduling.
-  std::vector<BitVector> partial(workers);
-  EvalPool().ParallelFor(
-      workers, workers, [&](uint32_t /*worker*/, size_t chunk) {
-        const NodeId lo =
-            static_cast<NodeId>(static_cast<size_t>(nv) * chunk / workers);
-        const NodeId hi = static_cast<NodeId>(static_cast<size_t>(nv) *
-                                              (chunk + 1) / workers);
-        partial[chunk] = sweep(lo, hi);
-      });
-  BitVector result = std::move(partial[0]);
-  for (uint32_t chunk = 1; chunk < workers; ++chunk) {
-    result.OrWith(partial[chunk]);
-  }
-  return result;
-}
-
-// ---------------------------------------------------------------- binary
 
 constexpr uint32_t kLaneBatch = 64;  // one source per bit of the lane mask
 
@@ -199,14 +62,22 @@ struct StateTransition {
   StateId target;
 };
 
-/// Read-only per-call tables for the batched binary BFS, shared by all
-/// workers: per-state lists of defined transitions on shared symbols (so
-/// the inner loop never probes undefined cells), the accepting set, and the
-/// frozen DFA whose reverse entries the dense bottom-up rounds pull through.
+/// Read-only per-call tables shared by all workers of one evaluation:
+/// per-state lists of defined transitions on shared symbols (so the inner
+/// loops never probe undefined cells), the accepting set, the frozen DFA
+/// whose reverse entries the dense bottom-up rounds pull through, and — for
+/// queries of ≤ 64 states — per-reverse-entry source-state bitmasks, the
+/// companion of BitVector::Window in the word-at-a-time frontier check.
 struct BinaryTables {
   std::vector<std::vector<StateTransition>> transitions;
   std::vector<StateId> accepting_states;
   std::vector<uint8_t> accepting_flag;
+  /// entry_source_masks[t][i] = bitmask over state ids of
+  /// EntrySources(ReverseInto(t)[i]); built only when nq ≤ 64
+  /// (use_state_windows), where a node's whole state window of the frontier
+  /// bitmap fits one word.
+  std::vector<std::vector<uint64_t>> entry_source_masks;
+  bool use_state_windows = false;
   const FrozenDfa* frozen = nullptr;
   Symbol num_shared = 0;
   StateId q0 = 0;
@@ -233,19 +104,34 @@ BinaryTables BuildBinaryTables(const Graph& graph, const FrozenDfa& frozen) {
       tables.accepting_flag[q] = 1;
     }
   }
+  tables.use_state_windows = tables.nq <= BitVector::kBitsPerWord;
+  if (tables.use_state_windows) {
+    tables.entry_source_masks.resize(tables.nq);
+    for (StateId t = 0; t < tables.nq; ++t) {
+      for (const auto& entry : frozen.ReverseInto(t)) {
+        uint64_t mask = 0;
+        for (StateId p : frozen.EntrySources(entry)) {
+          mask |= uint64_t{1} << p;
+        }
+        tables.entry_source_masks[t].push_back(mask);
+      }
+    }
+  }
   return tables;
 }
 
-/// Per-batch round counts, accumulated locally by one RunBatch call and
-/// added to EvalOptions.stats (if any) by the caller.
+/// Per-batch (or per-sweep) round counts, accumulated locally and folded
+/// into EvalOptions.stats by the caller.
 struct RoundCounters {
   uint64_t sparse = 0;
   uint64_t dense = 0;
 };
 
 /// Direction policy of one evaluation call, resolved from validated
-/// EvalOptions by EvalBinaryImpl: a batch round runs dense iff its frontier
-/// holds at least `dense_cutoff_pairs` product pairs.
+/// EvalOptions by the impl entry points: a round runs dense iff its
+/// frontier holds at least `dense_cutoff_pairs` product pairs. Sharded
+/// evaluations resolve one policy per shard against the shard-local pair
+/// space.
 struct DirectionPolicy {
   size_t dense_cutoff_pairs = 0;
 };
@@ -273,6 +159,559 @@ DirectionPolicy ResolveDirectionPolicy(const EvalOptions& validated,
   }
   return policy;
 }
+
+/// The pull of one dense-round cell (u, t): OR together `missing` lanes
+/// from the frontier predecessors of (u, t) — (v, p) with edge (v, a, u)
+/// and δ(p, a) = t — exiting early once every missing lane is gained.
+/// `in(u, a)` spans the per-label in-neighbors of the adjacency being swept
+/// (whole graph or one shard's internal edges). With ≤ 64 query states the
+/// frontier test is word-at-a-time: one BitVector::Window gather of node
+/// v's state window ANDed against the entry's precomputed source mask
+/// replaces the per-bit Test loop; larger queries keep the per-bit path.
+template <typename InNeighborsFn>
+uint64_t PullMissingLanes(const BinaryTables& tables,
+                          const BitVector& frontier_bits,
+                          const std::vector<uint64_t>& mask,
+                          InNeighborsFn&& in, NodeId u, StateId t,
+                          uint64_t missing) {
+  const uint32_t nq = tables.nq;
+  const FrozenDfa& frozen = *tables.frozen;
+  const auto entries = frozen.ReverseInto(t);
+  uint64_t gained = 0;
+  if (tables.use_state_windows) {
+    const std::vector<uint64_t>& entry_masks = tables.entry_source_masks[t];
+    for (size_t i = 0; i < entries.size(); ++i) {
+      // Entries are symbol-ascending; symbols the graph lacks have no
+      // edges and trail the shared range.
+      if (entries[i].symbol >= tables.num_shared) break;
+      const uint64_t source_mask = entry_masks[i];
+      for (NodeId v : in(u, entries[i].symbol)) {
+        const size_t base = static_cast<size_t>(v) * nq;
+        uint64_t hits = frontier_bits.Window(base, nq) & source_mask;
+        while (hits != 0) {
+          const StateId p = static_cast<StateId>(std::countr_zero(hits));
+          hits &= hits - 1;
+          gained |= mask[base + p] & missing;
+          if (gained == missing) return gained;
+        }
+      }
+    }
+    return gained;
+  }
+  for (const auto& entry : entries) {
+    if (entry.symbol >= tables.num_shared) break;
+    for (NodeId v : in(u, entry.symbol)) {
+      for (StateId p : frozen.EntrySources(entry)) {
+        const size_t vp = static_cast<size_t>(v) * nq + p;
+        if (!frontier_bits.Test(vp)) continue;
+        gained |= mask[vp] & missing;
+        if (gained == missing) return gained;
+      }
+    }
+  }
+  return gained;
+}
+
+// --------------------------------------------------------------- monadic
+
+/// Adjacency views the monadic sweeper is instantiated over: the monolithic
+/// graph, or one shard's internal edges (local ids; cross-shard edges are
+/// handled by the BSP exchange around the sweeper).
+struct GlobalGraphView {
+  const Graph* graph;
+  uint32_t num_nodes() const { return graph->num_nodes(); }
+  std::span<const NodeId> Out(NodeId v, Symbol a) const {
+    return graph->OutNeighbors(v, a);
+  }
+  std::span<const NodeId> In(NodeId v, Symbol a) const {
+    return graph->InNeighbors(v, a);
+  }
+};
+
+struct ShardGraphView {
+  const GraphShard* shard;
+  uint32_t num_nodes() const { return shard->num_local_nodes(); }
+  std::span<const NodeId> Out(NodeId v, Symbol a) const {
+    return shard->OutNeighborsLocal(v, a);
+  }
+  std::span<const NodeId> In(NodeId v, Symbol a) const {
+    return shard->InNeighborsLocal(v, a);
+  }
+};
+
+/// Direction-optimized backward product sweep over one adjacency view.
+/// Seeds and cross-shard deliveries are injected with Visit(); RunRound
+/// expands the whole pending frontier one level, choosing per round between
+/// a sparse push (pop each frontier pair, mark its predecessors over
+/// In-neighbors × the frozen DFA's reverse entries) and a dense bottom-up
+/// pull (sweep every unreached pair and probe its forward transitions over
+/// Out-neighbors against a frontier bitmap). Both round kinds compute the
+/// same monotone reachability closure and both are exactly level-
+/// synchronous, so the mode sequence changes neither the fixed point nor
+/// any level set — unbounded and bounded sweeps agree with the seed
+/// reference for every policy. `hook(v, q)` fires once per fresh pair; the
+/// sharded path uses it to collect discoveries whose predecessors lie in
+/// other shards.
+template <typename View>
+class MonadicSweeper {
+ public:
+  MonadicSweeper(View view, const BinaryTables& tables,
+                 DirectionPolicy policy)
+      : view_(view),
+        tables_(tables),
+        policy_(policy),
+        reached_(static_cast<size_t>(view_.num_nodes()) * tables.nq),
+        frontier_bits_(reached_.size()),
+        next_bits_(reached_.size()) {}
+
+  size_t frontier_pairs() const { return frontier_pairs_; }
+  const BitVector& reached() const { return reached_; }
+
+  /// Marks (v, q) reached and queues it in the pending frontier; no-op when
+  /// already reached. Callable between rounds only.
+  template <typename VisitHook>
+  void Visit(NodeId v, StateId q, VisitHook&& hook) {
+    const size_t cell = static_cast<size_t>(v) * tables_.nq + q;
+    if (reached_.Test(cell)) return;
+    reached_.Set(cell);
+    if (dense_) {
+      frontier_bits_.Set(cell);
+    } else {
+      frontier_.emplace_back(v, q);
+    }
+    ++frontier_pairs_;
+    hook(v, q);
+  }
+
+  /// Expands the pending frontier by exactly one level; fresh discoveries
+  /// form the next pending frontier and fire `hook` once each.
+  template <typename VisitHook>
+  void RunRound(VisitHook&& hook, RoundCounters* rounds) {
+    const bool want_dense = frontier_pairs_ >= policy_.dense_cutoff_pairs;
+    if (want_dense != dense_) {
+      if (want_dense) {
+        FrontierToBits();
+      } else {
+        BitsToFrontier();
+      }
+      dense_ = want_dense;
+    }
+    if (dense_) {
+      DenseRound(hook);
+      ++rounds->dense;
+    } else {
+      SparseRound(hook);
+      ++rounds->sparse;
+    }
+  }
+
+ private:
+  template <typename VisitHook>
+  void SparseRound(VisitHook&& hook) {
+    const uint32_t nq = tables_.nq;
+    next_.clear();
+    for (auto [v, q] : frontier_) {
+      // Predecessor pairs: (u, p) with edge (u, a, v) and δ(p, a) = q.
+      for (const auto& entry : tables_.frozen->ReverseInto(q)) {
+        if (entry.symbol >= tables_.num_shared) break;
+        for (NodeId u : view_.In(v, entry.symbol)) {
+          for (StateId p : tables_.frozen->EntrySources(entry)) {
+            const size_t cell = static_cast<size_t>(u) * nq + p;
+            if (!reached_.Test(cell)) {
+              reached_.Set(cell);
+              next_.emplace_back(u, p);
+              hook(u, p);
+            }
+          }
+        }
+      }
+    }
+    std::swap(frontier_, next_);
+    frontier_pairs_ = frontier_.size();
+  }
+
+  template <typename VisitHook>
+  void DenseRound(VisitHook&& hook) {
+    const uint32_t nq = tables_.nq;
+    next_bits_.Clear();
+    size_t next_pairs = 0;
+    const uint32_t nv = view_.num_nodes();
+    for (NodeId v = 0; v < nv; ++v) {
+      for (StateId q = 0; q < nq; ++q) {
+        const size_t cell = static_cast<size_t>(v) * nq + q;
+        if (reached_.Test(cell)) continue;
+        bool found = false;
+        for (const StateTransition& tr : tables_.transitions[q]) {
+          for (NodeId u : view_.Out(v, tr.symbol)) {
+            if (frontier_bits_.Test(static_cast<size_t>(u) * nq +
+                                    tr.target)) {
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+        if (!found) continue;
+        reached_.Set(cell);
+        next_bits_.Set(cell);
+        ++next_pairs;
+        hook(v, q);
+      }
+    }
+    std::swap(frontier_bits_, next_bits_);
+    frontier_pairs_ = next_pairs;
+  }
+
+  void FrontierToBits() {
+    for (auto [v, q] : frontier_) {
+      frontier_bits_.Set(static_cast<size_t>(v) * tables_.nq + q);
+    }
+    frontier_.clear();
+  }
+
+  void BitsToFrontier() {
+    frontier_.clear();
+    frontier_bits_.ForEachSetBit([&](size_t cell) {
+      frontier_.emplace_back(static_cast<NodeId>(cell / tables_.nq),
+                             static_cast<StateId>(cell % tables_.nq));
+    });
+    frontier_bits_.Clear();
+  }
+
+  View view_;
+  const BinaryTables& tables_;
+  DirectionPolicy policy_;
+  BitVector reached_;
+  BitVector frontier_bits_;
+  BitVector next_bits_;
+  std::vector<std::pair<NodeId, StateId>> frontier_;
+  std::vector<std::pair<NodeId, StateId>> next_;
+  size_t frontier_pairs_ = 0;
+  bool dense_ = false;
+};
+
+void AccumulateMonadicRounds(const EvalOptions& validated,
+                             std::span<const RoundCounters> per_sweep) {
+  if (validated.stats == nullptr) return;
+  uint64_t sparse = 0, dense = 0;
+  for (const RoundCounters& rounds : per_sweep) {
+    sparse += rounds.sparse;
+    dense += rounds.dense;
+  }
+  validated.stats->monadic_sparse_rounds.fetch_add(sparse,
+                                                   std::memory_order_relaxed);
+  validated.stats->monadic_dense_rounds.fetch_add(dense,
+                                                  std::memory_order_relaxed);
+}
+
+/// One backward product sweep over the whole graph, seeded by the accepting
+/// pairs whose *node* lies in [node_lo, node_hi); returns the selected-node
+/// column. Backward reachability (and, level-by-level, bounded backward
+/// reachability) distributes over seed unions, so the union of the
+/// per-range sweeps equals the full sweep — that is the parallel
+/// decomposition.
+BitVector MonadicSweepRange(const Graph& graph, const BinaryTables& tables,
+                            const DirectionPolicy& policy, bool bounded,
+                            uint32_t max_length, NodeId node_lo,
+                            NodeId node_hi, RoundCounters* rounds) {
+  const uint32_t nq = tables.nq;
+  const uint32_t nv = graph.num_nodes();
+  MonadicSweeper<GlobalGraphView> sweeper(GlobalGraphView{&graph}, tables,
+                                          policy);
+  auto no_hook = [](NodeId, StateId) {};
+  for (StateId q : tables.accepting_states) {
+    for (NodeId v = node_lo; v < node_hi; ++v) sweeper.Visit(v, q, no_hook);
+  }
+  uint32_t steps = 0;
+  while (sweeper.frontier_pairs() > 0 && (!bounded || steps < max_length)) {
+    sweeper.RunRound(no_hook, rounds);
+    ++steps;
+  }
+
+  BitVector result(nv);
+  const StateId q0 = tables.q0;
+  for (NodeId v = 0; v < nv; ++v) {
+    if (sweeper.reached().Test(static_cast<size_t>(v) * nq + q0)) {
+      result.Set(v);
+    }
+  }
+  return result;
+}
+
+/// One (local node, state) product cell delivered to a destination shard by
+/// the monadic BSP exchange.
+struct MonadicPush {
+  NodeId local;
+  StateId state;
+};
+
+/// Per-shard state of the sharded monadic sweep: a shard-local sweeper plus
+/// double-buffered outboxes (cur written this superstep, prev drained by
+/// receivers) and the border list — fresh discoveries whose in-boundary
+/// predecessors live in other shards.
+class ShardMonadicState {
+ public:
+  ShardMonadicState(const ShardedGraph& sharded, uint32_t self,
+                    const BinaryTables& tables, const EvalOptions& validated)
+      : sharded_(&sharded),
+        shard_(&sharded.shard(self)),
+        tables_(&tables),
+        sweeper_(ShardGraphView{shard_}, tables,
+                 ResolveDirectionPolicy(
+                     validated, static_cast<size_t>(
+                                    shard_->num_local_nodes()) *
+                                    tables.nq)),
+        outbox_cur_(sharded.num_shards()),
+        outbox_prev_(sharded.num_shards()) {}
+
+  size_t frontier_pairs() const { return sweeper_.frontier_pairs(); }
+  const BitVector& reached() const { return sweeper_.reached(); }
+  const GraphShard& shard() const { return *shard_; }
+  RoundCounters* rounds() { return &rounds_; }
+  const RoundCounters& rounds() const { return rounds_; }
+
+  /// The sweeper visit hook: discoveries with in-boundary predecessors are
+  /// queued for the next cross-shard exchange.
+  auto BorderHook() {
+    return [this](NodeId v, StateId q) {
+      if (shard_->HasInBoundary(v)) border_.emplace_back(v, q);
+    };
+  }
+
+  /// Seeds every (local node, accepting state) pair of this shard.
+  void Seed() {
+    for (StateId q : tables_->accepting_states) {
+      const uint32_t local_nodes = shard_->num_local_nodes();
+      for (NodeId v = 0; v < local_nodes; ++v) {
+        sweeper_.Visit(v, q, BorderHook());
+      }
+    }
+  }
+
+  /// One BSP superstep. Unbounded: drain deliveries, run local rounds to
+  /// exhaustion. Bounded: run exactly one level round, then drain — the
+  /// delivered cells are discoveries *of this level* (their senders found
+  /// them one superstep ago), so they join the level the round just
+  /// produced and expand next superstep, keeping every level globally
+  /// exact.
+  void RunSuperstep(std::span<ShardMonadicState> all, uint32_t self,
+                    bool single_round) {
+    if (single_round) {
+      if (sweeper_.frontier_pairs() > 0) {
+        sweeper_.RunRound(BorderHook(), &rounds_);
+      }
+      Drain(all, self);
+    } else {
+      Drain(all, self);
+      while (sweeper_.frontier_pairs() > 0) {
+        sweeper_.RunRound(BorderHook(), &rounds_);
+      }
+    }
+    EmitPushes();
+  }
+
+  /// Emits the cross-shard predecessors of every border discovery into the
+  /// current outboxes. Called once after seeding (so seed pushes are
+  /// drained in superstep 0) and at the end of every superstep.
+  void EmitPushes() {
+    for (auto [v, q] : border_) {
+      for (const auto& entry : tables_->frozen->ReverseInto(q)) {
+        if (entry.symbol >= tables_->num_shared) break;
+        for (NodeId u_global : shard_->InBoundary(v, entry.symbol)) {
+          const uint32_t dest = sharded_->ShardOf(u_global);
+          const NodeId local =
+              u_global - sharded_->shard(dest).node_begin();
+          for (StateId p : tables_->frozen->EntrySources(entry)) {
+            outbox_cur_[dest].push_back(MonadicPush{local, p});
+          }
+        }
+      }
+    }
+    border_.clear();
+  }
+
+  /// Swaps the outbox buffers (consumed prev ↔ freshly written cur) and
+  /// returns how many pushes the new prev holds. Driver-sequential, between
+  /// supersteps.
+  size_t FlipOutboxes() {
+    size_t pushes = 0;
+    for (size_t d = 0; d < outbox_cur_.size(); ++d) {
+      outbox_prev_[d].clear();
+      outbox_prev_[d].swap(outbox_cur_[d]);
+      pushes += outbox_prev_[d].size();
+    }
+    return pushes;
+  }
+
+ private:
+  /// Applies every delivery addressed to this shard, in sender order (a
+  /// deterministic merge; the closure is order-independent anyway).
+  void Drain(std::span<ShardMonadicState> all, uint32_t self) {
+    for (ShardMonadicState& sender : all) {
+      for (const MonadicPush& push : sender.outbox_prev_[self]) {
+        sweeper_.Visit(push.local, push.state, BorderHook());
+      }
+    }
+  }
+
+  const ShardedGraph* sharded_;
+  const GraphShard* shard_;
+  const BinaryTables* tables_;
+  MonadicSweeper<ShardGraphView> sweeper_;
+  std::vector<std::pair<NodeId, StateId>> border_;
+  std::vector<std::vector<MonadicPush>> outbox_cur_;
+  std::vector<std::vector<MonadicPush>> outbox_prev_;
+  RoundCounters rounds_;
+};
+
+/// Sharded monadic evaluation: every shard runs backward sweeps over its
+/// internal edges; discoveries on in-boundary nodes are exchanged through
+/// per-shard outboxes between supersteps. The visited table is the same
+/// monotone closure the monolithic sweep computes (bounded: the same level
+/// sets), so the result is bit-identical for every shard count.
+BitVector EvalMonadicShardedImpl(const Graph& graph,
+                                 const BinaryTables& tables,
+                                 const EvalOptions& validated, bool bounded,
+                                 uint32_t max_length, uint32_t num_shards) {
+  const uint32_t nv = graph.num_nodes();
+  const uint32_t nq = tables.nq;
+  const ShardedGraph sharded = ShardedGraph::Partition(graph, num_shards);
+
+  std::vector<ShardMonadicState> shards;
+  shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards.emplace_back(sharded, s, tables, validated);
+  }
+  for (ShardMonadicState& shard : shards) {
+    shard.Seed();
+    shard.EmitPushes();
+  }
+  size_t pending_pushes = 0;
+  for (ShardMonadicState& shard : shards) {
+    pending_pushes += shard.FlipOutboxes();
+  }
+
+  const uint32_t workers = ResolveWorkers(
+      validated, static_cast<size_t>(nv) * nq, num_shards);
+  uint64_t supersteps = 0;
+  uint64_t delivered = 0;
+  uint32_t step = 0;
+  for (;;) {
+    bool any_frontier = pending_pushes > 0;
+    for (const ShardMonadicState& shard : shards) {
+      any_frontier = any_frontier || shard.frontier_pairs() > 0;
+    }
+    if (!any_frontier || (bounded && step >= max_length)) break;
+    delivered += pending_pushes;
+    ++supersteps;
+    ++step;
+    RunIndexed(workers, num_shards, [&](uint32_t /*worker*/, size_t s) {
+      shards[s].RunSuperstep(shards, static_cast<uint32_t>(s), bounded);
+    });
+    pending_pushes = 0;
+    for (ShardMonadicState& shard : shards) {
+      pending_pushes += shard.FlipOutboxes();
+    }
+  }
+  // Bounded sweeps that hit the level bound drop their still-undelivered
+  // pushes: superstep k runs its round before its drain, so deliveries of
+  // superstep k mark cells of level k + 1 — after max_length supersteps
+  // every level ≤ max_length is marked and the pending pushes all name
+  // cells beyond the bound.
+
+  if (validated.stats != nullptr) {
+    std::vector<RoundCounters> per_sweep;
+    per_sweep.reserve(num_shards);
+    for (const ShardMonadicState& shard : shards) {
+      per_sweep.push_back(shard.rounds());
+    }
+    AccumulateMonadicRounds(validated, per_sweep);
+    validated.stats->supersteps.fetch_add(supersteps,
+                                          std::memory_order_relaxed);
+    validated.stats->cross_shard_pairs.fetch_add(delivered,
+                                                 std::memory_order_relaxed);
+  }
+
+  BitVector result(nv);
+  const StateId q0 = tables.q0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const GraphShard& shard = sharded.shard(s);
+    const uint32_t local_nodes = shard.num_local_nodes();
+    for (NodeId v = 0; v < local_nodes; ++v) {
+      if (shards[s].reached().Test(static_cast<size_t>(v) * nq + q0)) {
+        result.Set(shard.node_begin() + v);
+      }
+    }
+  }
+  return result;
+}
+
+/// Effective shard count of one evaluation: the validated knob, additionally
+/// clamped to the node count (surplus shards would only be empty ranges).
+/// 1 means the monolithic path.
+uint32_t ResolveShards(const EvalOptions& validated, uint32_t nv) {
+  return std::min(validated.shards, std::max<uint32_t>(nv, 1));
+}
+
+/// Runs per-node-range monadic sweeps (bounded iff max_length != none) on
+/// `workers` contexts and unions the per-range selected sets; with
+/// shards > 1, dispatches to the BSP sharded engine instead.
+BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
+                          bool bounded, uint32_t max_length,
+                          const EvalOptions& validated) {
+  RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
+  const uint32_t nq = query.num_states();
+  const uint32_t nv = graph.num_nodes();
+  const FrozenDfa frozen(query);
+  const BinaryTables tables = BuildBinaryTables(graph, frozen);
+  const size_t num_pairs = static_cast<size_t>(nv) * nq;
+  const DirectionPolicy policy = ResolveDirectionPolicy(validated, num_pairs);
+
+  const uint32_t num_shards = ResolveShards(validated, nv);
+  if (num_shards > 1) {
+    return EvalMonadicShardedImpl(graph, tables, validated, bounded,
+                                  max_length, num_shards);
+  }
+
+  uint32_t workers = ResolveWorkers(validated, num_pairs, nv);
+  if (workers > 1) {
+    // Unlike binary batches, node-range sweeps can re-traverse each other's
+    // backward cones, so chunks beyond the executors actually available
+    // (pool + caller) would multiply duplicated work without adding
+    // concurrency. The cap is scheduling-only: the union is the same.
+    workers = std::min(workers, EvalPool().num_threads() + 1);
+  }
+  if (workers == 1) {
+    RoundCounters rounds;
+    BitVector result = MonadicSweepRange(graph, tables, policy, bounded,
+                                         max_length, 0, nv, &rounds);
+    AccumulateMonadicRounds(validated, {&rounds, 1});
+    return result;
+  }
+
+  // Contiguous balanced node ranges; each sweep owns its slot, the union is
+  // commutative, so the result is independent of scheduling.
+  std::vector<BitVector> partial(workers);
+  std::vector<RoundCounters> per_sweep(workers);
+  EvalPool().ParallelFor(
+      workers, workers, [&](uint32_t /*worker*/, size_t chunk) {
+        const NodeId lo =
+            static_cast<NodeId>(static_cast<size_t>(nv) * chunk / workers);
+        const NodeId hi = static_cast<NodeId>(static_cast<size_t>(nv) *
+                                              (chunk + 1) / workers);
+        partial[chunk] = MonadicSweepRange(graph, tables, policy, bounded,
+                                           max_length, lo, hi,
+                                           &per_sweep[chunk]);
+      });
+  AccumulateMonadicRounds(validated, per_sweep);
+  BitVector result = std::move(partial[0]);
+  for (uint32_t chunk = 1; chunk < workers; ++chunk) {
+    result.OrWith(partial[chunk]);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------- binary
 
 /// Scratch of one batched multi-source product BFS, owned by exactly one
 /// worker and reused across its batches: `mask[(v, q)]` holds the lane set
@@ -440,8 +879,9 @@ class BinaryBatchScratch {
   /// One dense bottom-up round: for every product pair (u, t), pull the
   /// lanes of its predecessor pairs — (v, p) with edge (v, a, u) and
   /// δ(p, a) = t, iterated as the frozen DFA's reverse entries × per-label
-  /// InNeighbors runs — gated by the frontier bitmap. Cells whose mask
-  /// grows form the next frontier bitmap. Returns its population count.
+  /// InNeighbors runs — gated by the frontier bitmap (word-at-a-time via
+  /// PullMissingLanes). Cells whose mask grows form the next frontier
+  /// bitmap. Returns its population count.
   ///
   /// Two pull short-circuits exploit the saturated regime dense rounds run
   /// in: a cell already holding every batch lane is skipped outright, and a
@@ -453,16 +893,16 @@ class BinaryBatchScratch {
     const FrozenDfa& frozen = *tables.frozen;
     next_bits_.Clear();
     size_t next_pairs = 0;
+    auto in = [&graph](NodeId u, Symbol a) { return graph.InNeighbors(u, a); };
     for (StateId t = 0; t < nq; ++t) {
-      const auto entries = frozen.ReverseInto(t);
-      if (entries.empty()) continue;
+      if (frozen.ReverseInto(t).empty()) continue;
       const bool has_out = !tables.transitions[t].empty();
       for (NodeId u = 0; u < tables.nv; ++u) {
         const size_t cell = static_cast<size_t>(u) * nq + t;
         const uint64_t missing = batch_full_ & ~mask_[cell];
         if (missing == 0) continue;  // cell complete, nothing to gain
-        const uint64_t gained = PullMissing(graph, tables, u, entries,
-                                            missing);
+        const uint64_t gained = PullMissingLanes(tables, frontier_bits_,
+                                                 mask_, in, u, t, missing);
         if (gained == 0) continue;
         if (mask_[cell] == 0) touched_.push_back(cell);
         mask_[cell] |= gained;
@@ -474,32 +914,6 @@ class BinaryBatchScratch {
     }
     std::swap(frontier_bits_, next_bits_);
     return next_pairs;
-  }
-
-  /// The pull of one dense-round cell: OR together `missing` lanes from the
-  /// frontier predecessors of (u, t) — `entries` = ReverseInto(t) — exiting
-  /// early once every missing lane is gained.
-  uint64_t PullMissing(const Graph& graph, const BinaryTables& tables,
-                       NodeId u,
-                       std::span<const FrozenDfa::ReverseEntry> entries,
-                       uint64_t missing) {
-    const uint32_t nq = tables.nq;
-    const FrozenDfa& frozen = *tables.frozen;
-    uint64_t gained = 0;
-    for (const auto& entry : entries) {
-      // Entries are symbol-ascending; symbols the graph lacks have no
-      // edges and trail the shared range.
-      if (entry.symbol >= tables.num_shared) break;
-      for (NodeId v : graph.InNeighbors(u, entry.symbol)) {
-        for (StateId p : frozen.EntrySources(entry)) {
-          const size_t vp = static_cast<size_t>(v) * nq + p;
-          if (!frontier_bits_.Test(vp)) continue;
-          gained |= mask_[vp] & missing;
-          if (gained == missing) return gained;
-        }
-      }
-    }
-    return gained;
   }
 
   /// Sparse → dense switch: move the frontier list into the bitmap (which
@@ -555,10 +969,402 @@ void AccumulateStats(const EvalOptions& validated,
                                            std::memory_order_relaxed);
 }
 
+/// One (local node, state, lanes) delivery of the binary BSP exchange.
+struct BinaryPush {
+  NodeId local;
+  StateId state;
+  uint64_t lanes;
+};
+
+/// Per-shard state of the sharded batched binary BFS: the shard-local
+/// analogue of BinaryBatchScratch (masks, pending flags, frontiers and
+/// touched list over the *local* product space, rounds over the shard's
+/// internal CSRs) plus the BSP machinery — a changed-cell list tracking
+/// which masks gained lanes since the last exchange on nodes with boundary
+/// out-edges, and double-buffered per-destination outboxes.
+class ShardBinaryState {
+ public:
+  ShardBinaryState(const ShardedGraph& sharded, uint32_t self,
+                   const BinaryTables& tables, const EvalOptions& validated)
+      : sharded_(&sharded),
+        shard_(&sharded.shard(self)),
+        tables_(&tables),
+        policy_(ResolveDirectionPolicy(
+            validated,
+            static_cast<size_t>(sharded.shard(self).num_local_nodes()) *
+                tables.nq)),
+        outbox_cur_(sharded.num_shards()),
+        outbox_prev_(sharded.num_shards()) {
+    const size_t num_pairs =
+        static_cast<size_t>(shard_->num_local_nodes()) * tables.nq;
+    mask_.assign(num_pairs, 0);
+    pending_.assign(num_pairs, 0);
+    changed_flag_.assign(num_pairs, 0);
+    frontier_bits_ = BitVector(num_pairs);
+    next_bits_ = BitVector(num_pairs);
+  }
+
+  size_t frontier_pairs() const { return frontier_.size(); }
+  RoundCounters* rounds() { return &rounds_; }
+
+  /// Resets the per-batch state (masks via the touched list) for a batch
+  /// whose full-lane mask is `batch_full`.
+  void BeginBatch(uint64_t batch_full) {
+    batch_full_ = batch_full;
+    for (size_t cell : touched_) mask_[cell] = 0;
+    touched_.clear();
+    for (size_t cell : changed_) changed_flag_[cell] = 0;
+    changed_.clear();
+    frontier_.clear();
+    dense_ = false;
+  }
+
+  /// Seeds lane `lane` at global source `src` (which this shard owns).
+  void SeedLane(NodeId src, uint32_t lane) {
+    const NodeId v = src - shard_->node_begin();
+    Deliver(v, tables_->q0, uint64_t{1} << lane);
+  }
+
+  /// One BSP superstep: apply every delivery addressed to this shard (in
+  /// sender order — deterministic), run the local rounds to exhaustion,
+  /// then emit the current masks of every changed boundary cell to the
+  /// destination shards' inboxes.
+  void RunSuperstep(std::span<ShardBinaryState> all, uint32_t self) {
+    for (ShardBinaryState& sender : all) {
+      for (const BinaryPush& push : sender.outbox_prev_[self]) {
+        Deliver(push.local, push.state, push.lanes);
+      }
+    }
+    RunLocalRounds();
+    EmitPushes();
+  }
+
+  /// Runs the shard-local direction-optimized rounds until the local
+  /// frontier drains (the local fixed point given everything delivered so
+  /// far).
+  void RunLocalRounds() {
+    size_t frontier_pairs = frontier_.size();
+    while (frontier_pairs > 0) {
+      const bool want_dense = frontier_pairs >= policy_.dense_cutoff_pairs;
+      if (want_dense != dense_) {
+        if (want_dense) {
+          SparseFrontierToBits();
+        } else {
+          BitsToSparseFrontier();
+        }
+        dense_ = want_dense;
+      }
+      if (dense_) {
+        frontier_pairs = DenseRound();
+        ++rounds_.dense;
+      } else {
+        frontier_pairs = SparseRound();
+        ++rounds_.sparse;
+      }
+    }
+    dense_ = false;  // frontier is empty; both representations agree
+  }
+
+  /// Pushes the full current mask of every cell that gained lanes since the
+  /// last emission along its boundary out-edges. Monotone re-push: a
+  /// receiver merges only the fresh lanes, so repeated masks are no-ops.
+  void EmitPushes() {
+    const uint32_t nq = tables_->nq;
+    for (size_t cell : changed_) {
+      changed_flag_[cell] = 0;
+      const NodeId v = static_cast<NodeId>(cell / nq);
+      const StateId q = static_cast<StateId>(cell % nq);
+      const uint64_t lanes = mask_[cell];
+      for (const StateTransition& tr : tables_->transitions[q]) {
+        for (NodeId u_global : shard_->OutBoundary(v, tr.symbol)) {
+          const uint32_t dest = sharded_->ShardOf(u_global);
+          const NodeId local =
+              u_global - sharded_->shard(dest).node_begin();
+          outbox_cur_[dest].push_back(BinaryPush{local, tr.target, lanes});
+        }
+      }
+    }
+    changed_.clear();
+  }
+
+  /// Swaps the outbox buffers; returns the pushes the new prev holds.
+  size_t FlipOutboxes() {
+    size_t pushes = 0;
+    for (size_t d = 0; d < outbox_cur_.size(); ++d) {
+      outbox_prev_[d].clear();
+      outbox_prev_[d].swap(outbox_cur_[d]);
+      pushes += outbox_prev_[d].size();
+    }
+    return pushes;
+  }
+
+  /// Appends this shard's per-lane destinations (ascending, global ids) to
+  /// `per_lane`. Shards are drained in ascending order by the driver, so
+  /// concatenation keeps each lane's destination list ascending overall.
+  void CollectLanes(uint32_t lanes,
+                    std::vector<NodeId> (*per_lane)[kLaneBatch]) {
+    const uint32_t nq = tables_->nq;
+    const NodeId base = shard_->node_begin();
+    const size_t num_pairs = mask_.size();
+    std::vector<NodeId>* lanes_out = *per_lane;
+    if (num_pairs > 0 && touched_.size() >= num_pairs / 4) {
+      const uint32_t local_nodes = shard_->num_local_nodes();
+      for (NodeId u = 0; u < local_nodes; ++u) {
+        uint64_t h = 0;
+        for (StateId q : tables_->accepting_states) {
+          h |= mask_[static_cast<size_t>(u) * nq + q];
+        }
+        while (h != 0) {
+          const int lane = std::countr_zero(h);
+          lanes_out[lane].push_back(base + u);
+          h &= h - 1;
+        }
+      }
+      return;
+    }
+    for (uint32_t lane = 0; lane < lanes; ++lane) scratch_[lane].clear();
+    for (size_t cell : touched_) {
+      const StateId q = static_cast<StateId>(cell % nq);
+      if (!tables_->accepting_flag[q]) continue;
+      const NodeId u = static_cast<NodeId>(cell / nq);
+      uint64_t h = mask_[cell];
+      while (h != 0) {
+        const int lane = std::countr_zero(h);
+        scratch_[lane].push_back(base + u);
+        h &= h - 1;
+      }
+    }
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      std::vector<NodeId>& dsts = scratch_[lane];
+      std::sort(dsts.begin(), dsts.end());
+      dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+      lanes_out[lane].insert(lanes_out[lane].end(), dsts.begin(),
+                             dsts.end());
+    }
+  }
+
+ private:
+  /// Merges `lanes` into local cell (v, q): fresh lanes update the mask,
+  /// mark the cell changed (for boundary re-push) and enqueue it in the
+  /// sparse frontier. Callable between rounds only (seeding, inbox drain),
+  /// when the frontier representation is sparse.
+  void Deliver(NodeId v, StateId q, uint64_t lanes) {
+    const size_t cell = static_cast<size_t>(v) * tables_->nq + q;
+    const uint64_t fresh = lanes & ~mask_[cell];
+    if (fresh == 0) return;
+    if (mask_[cell] == 0) touched_.push_back(cell);
+    mask_[cell] |= fresh;
+    MarkChanged(cell, v);
+    if (!tables_->transitions[q].empty() && !pending_[cell]) {
+      pending_[cell] = 1;
+      frontier_.emplace_back(v, q);
+    }
+  }
+
+  void MarkChanged(size_t cell, NodeId v) {
+    if (!changed_flag_[cell] && shard_->HasOutBoundary(v)) {
+      changed_flag_[cell] = 1;
+      changed_.push_back(cell);
+    }
+  }
+
+  /// Sparse top-down round over the shard's internal out-edges; identical
+  /// to BinaryBatchScratch::SparseRound plus changed-cell tracking.
+  size_t SparseRound() {
+    const uint32_t nq = tables_->nq;
+    next_.clear();
+    for (auto [v, q] : frontier_) {
+      const size_t vq = static_cast<size_t>(v) * nq + q;
+      pending_[vq] = 0;
+      const uint64_t lanes_here = mask_[vq];
+      for (const StateTransition& tr : tables_->transitions[q]) {
+        for (NodeId u : shard_->OutNeighborsLocal(v, tr.symbol)) {
+          const size_t ut = static_cast<size_t>(u) * nq + tr.target;
+          const uint64_t fresh = lanes_here & ~mask_[ut];
+          if (fresh == 0) continue;
+          if (mask_[ut] == 0) touched_.push_back(ut);
+          mask_[ut] |= fresh;
+          MarkChanged(ut, u);
+          if (!tables_->transitions[tr.target].empty() && !pending_[ut]) {
+            pending_[ut] = 1;
+            next_.emplace_back(u, tr.target);
+          }
+        }
+      }
+    }
+    std::swap(frontier_, next_);
+    return frontier_.size();
+  }
+
+  /// Dense bottom-up round over the shard's internal in-edges; identical to
+  /// BinaryBatchScratch::DenseRound plus changed-cell tracking.
+  size_t DenseRound() {
+    const uint32_t nq = tables_->nq;
+    const FrozenDfa& frozen = *tables_->frozen;
+    next_bits_.Clear();
+    size_t next_pairs = 0;
+    const uint32_t local_nodes = shard_->num_local_nodes();
+    auto in = [this](NodeId u, Symbol a) {
+      return shard_->InNeighborsLocal(u, a);
+    };
+    for (StateId t = 0; t < nq; ++t) {
+      if (frozen.ReverseInto(t).empty()) continue;
+      const bool has_out = !tables_->transitions[t].empty();
+      for (NodeId u = 0; u < local_nodes; ++u) {
+        const size_t cell = static_cast<size_t>(u) * nq + t;
+        const uint64_t missing = batch_full_ & ~mask_[cell];
+        if (missing == 0) continue;
+        const uint64_t gained = PullMissingLanes(*tables_, frontier_bits_,
+                                                 mask_, in, u, t, missing);
+        if (gained == 0) continue;
+        if (mask_[cell] == 0) touched_.push_back(cell);
+        mask_[cell] |= gained;
+        MarkChanged(cell, u);
+        if (has_out) {
+          next_bits_.Set(cell);
+          ++next_pairs;
+        }
+      }
+    }
+    std::swap(frontier_bits_, next_bits_);
+    return next_pairs;
+  }
+
+  void SparseFrontierToBits() {
+    const uint32_t nq = tables_->nq;
+    for (auto [v, q] : frontier_) {
+      const size_t vq = static_cast<size_t>(v) * nq + q;
+      pending_[vq] = 0;
+      frontier_bits_.Set(vq);
+    }
+    frontier_.clear();
+  }
+
+  void BitsToSparseFrontier() {
+    const uint32_t nq = tables_->nq;
+    frontier_.clear();
+    frontier_bits_.ForEachSetBit([&](size_t cell) {
+      pending_[cell] = 1;
+      frontier_.emplace_back(static_cast<NodeId>(cell / nq),
+                             static_cast<StateId>(cell % nq));
+    });
+    frontier_bits_.Clear();
+  }
+
+  const ShardedGraph* sharded_;
+  const GraphShard* shard_;
+  const BinaryTables* tables_;
+  DirectionPolicy policy_;
+  std::vector<uint64_t> mask_;
+  std::vector<uint8_t> pending_;
+  std::vector<uint8_t> changed_flag_;
+  std::vector<size_t> touched_;
+  std::vector<size_t> changed_;
+  std::vector<std::pair<NodeId, StateId>> frontier_;
+  std::vector<std::pair<NodeId, StateId>> next_;
+  BitVector frontier_bits_;
+  BitVector next_bits_;
+  std::vector<std::vector<BinaryPush>> outbox_cur_;
+  std::vector<std::vector<BinaryPush>> outbox_prev_;
+  uint64_t batch_full_ = 0;
+  bool dense_ = false;
+  std::vector<NodeId> scratch_[kLaneBatch];
+  RoundCounters rounds_;
+};
+
+/// Sharded batched binary evaluation: every 64-lane batch runs the product
+/// BFS shard-locally with cross-shard lane masks exchanged through
+/// per-shard outboxes between supersteps, to the same monotone fixed point
+/// as the monolithic engine — so the recovered (src, dst) pairs are
+/// bit-identical for every shard count. Within a batch the shards run
+/// concurrently (one ThreadPool worker each, up to `threads`); batches run
+/// back to back, reusing the per-shard state.
+std::vector<std::pair<NodeId, NodeId>> EvalBinaryShardedImpl(
+    const Graph& graph, const BinaryTables& tables,
+    std::span<const NodeId> sources, const EvalOptions& validated,
+    uint32_t num_shards) {
+  const ShardedGraph sharded = ShardedGraph::Partition(graph, num_shards);
+  std::vector<ShardBinaryState> shards;
+  shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards.emplace_back(sharded, s, tables, validated);
+  }
+  const uint32_t workers = ResolveWorkers(
+      validated, static_cast<size_t>(tables.nv) * tables.nq, num_shards);
+
+  std::vector<std::pair<NodeId, NodeId>> result;
+  const size_t num_batches = (sources.size() + kLaneBatch - 1) / kLaneBatch;
+  uint64_t supersteps = 0;
+  uint64_t delivered = 0;
+  std::vector<NodeId> per_lane[kLaneBatch];
+  for (size_t batch = 0; batch < num_batches; ++batch) {
+    const size_t base = batch * kLaneBatch;
+    const auto batch_sources = sources.subspan(
+        base, std::min<size_t>(kLaneBatch, sources.size() - base));
+    const uint32_t lanes = static_cast<uint32_t>(batch_sources.size());
+    const uint64_t batch_full =
+        lanes == kLaneBatch ? ~uint64_t{0} : (uint64_t{1} << lanes) - 1;
+
+    for (ShardBinaryState& shard : shards) shard.BeginBatch(batch_full);
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      const NodeId src = batch_sources[lane];
+      shards[sharded.ShardOf(src)].SeedLane(src, lane);
+    }
+
+    // BSP loop: local rounds to exhaustion, then one exchange, until no
+    // shard received anything new. Seed lanes count as superstep-0 work.
+    size_t pending_pushes = 0;
+    for (;;) {
+      bool any_work = pending_pushes > 0;
+      for (const ShardBinaryState& shard : shards) {
+        any_work = any_work || shard.frontier_pairs() > 0;
+      }
+      if (!any_work) break;
+      delivered += pending_pushes;
+      ++supersteps;
+      RunIndexed(workers, num_shards, [&](uint32_t /*worker*/, size_t s) {
+        shards[s].RunSuperstep(shards, static_cast<uint32_t>(s));
+      });
+      pending_pushes = 0;
+      for (ShardBinaryState& shard : shards) {
+        pending_pushes += shard.FlipOutboxes();
+      }
+      if (pending_pushes == 0) break;
+    }
+
+    // Recover this batch's pairs: ascending shards append ascending global
+    // destinations, so each lane's list is ascending overall — the same
+    // order the monolithic recovery produces.
+    for (uint32_t lane = 0; lane < lanes; ++lane) per_lane[lane].clear();
+    for (ShardBinaryState& shard : shards) {
+      shard.CollectLanes(lanes, &per_lane);
+    }
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      const NodeId src = batch_sources[lane];
+      for (NodeId dst : per_lane[lane]) result.emplace_back(src, dst);
+    }
+  }
+
+  if (validated.stats != nullptr) {
+    std::vector<RoundCounters> per_shard;
+    per_shard.reserve(num_shards);
+    for (ShardBinaryState& shard : shards) {
+      per_shard.push_back(*shard.rounds());
+    }
+    AccumulateStats(validated, per_shard);
+    validated.stats->supersteps.fetch_add(supersteps,
+                                          std::memory_order_relaxed);
+    validated.stats->cross_shard_pairs.fetch_add(delivered,
+                                                 std::memory_order_relaxed);
+  }
+  return result;
+}
+
 /// Batched binary evaluation over an explicit source list. Batches are
 /// independent given private scratch, so with workers > 1 each batch writes
 /// its pairs into its own slot and the slots are concatenated in batch
 /// order — byte-identical to the sequential loop for every thread count.
+/// With shards > 1, dispatches to the BSP sharded engine instead.
 std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
     const Graph& graph, const Dfa& query, std::span<const NodeId> sources,
     const EvalOptions& validated) {
@@ -569,6 +1375,13 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
   const FrozenDfa frozen(query);
   const BinaryTables tables = BuildBinaryTables(graph, frozen);
   const size_t num_pairs = static_cast<size_t>(tables.nv) * nq;
+
+  const uint32_t num_shards = ResolveShards(validated, tables.nv);
+  if (num_shards > 1) {
+    return EvalBinaryShardedImpl(graph, tables, sources, validated,
+                                 num_shards);
+  }
+
   const DirectionPolicy policy = ResolveDirectionPolicy(validated, num_pairs);
   const size_t num_batches = (sources.size() + kLaneBatch - 1) / kLaneBatch;
   auto batch_sources = [&](size_t batch) {
@@ -634,6 +1447,12 @@ StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options) {
         "DefaultEvalThreads() for one worker per hardware thread");
   }
   options.threads = std::min(options.threads, kMaxEvalThreads);
+  if (options.shards == 0) {
+    return Status::InvalidArgument(
+        "EvalOptions.shards must be at least 1 (0 requests no graph "
+        "partition); use shards = 1 for the monolithic path");
+  }
+  options.shards = std::min(options.shards, kMaxEvalShards);
   // `!(x >= 0 && x <= 1)` rather than `x < 0 || x > 1` so NaN is rejected.
   if (!(options.dense_threshold >= 0.0 && options.dense_threshold <= 1.0)) {
     return Status::InvalidArgument(

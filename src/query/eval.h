@@ -21,6 +21,9 @@ uint32_t DefaultEvalThreads();
 /// Hard cap on EvalOptions.threads; ValidateEvalOptions clamps to it.
 inline constexpr uint32_t kMaxEvalThreads = 256;
 
+/// Hard cap on EvalOptions.shards; ValidateEvalOptions clamps to it.
+inline constexpr uint32_t kMaxEvalShards = 256;
+
 /// Traversal-direction policy of the batched product BFS (EvalBinary and
 /// EvalBinaryFromSources). The engine is direction-optimizing: each round it
 /// compares the frontier against EvalOptions.dense_threshold and runs either
@@ -44,11 +47,25 @@ struct EvalStats {
   std::atomic<uint64_t> dense_rounds{0};
   /// Batches in which at least one dense round ran.
   std::atomic<uint64_t> dense_batches{0};
+  /// Rounds of the direction-optimized monadic backward sweeps (counted
+  /// separately from the batched binary rounds above).
+  std::atomic<uint64_t> monadic_sparse_rounds{0};
+  std::atomic<uint64_t> monadic_dense_rounds{0};
+  /// BSP supersteps of sharded evaluations (shards > 1): one superstep =
+  /// every shard running its local rounds plus one cross-shard exchange.
+  std::atomic<uint64_t> supersteps{0};
+  /// Frontier pairs delivered through per-shard outboxes between
+  /// supersteps, summed over every shard. 0 whenever shards = 1.
+  std::atomic<uint64_t> cross_shard_pairs{0};
 
   void Reset() {
     sparse_rounds.store(0, std::memory_order_relaxed);
     dense_rounds.store(0, std::memory_order_relaxed);
     dense_batches.store(0, std::memory_order_relaxed);
+    monadic_sparse_rounds.store(0, std::memory_order_relaxed);
+    monadic_dense_rounds.store(0, std::memory_order_relaxed);
+    supersteps.store(0, std::memory_order_relaxed);
+    cross_shard_pairs.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -86,6 +103,15 @@ struct EvalOptions {
   /// density; kAuto applies the dense_threshold heuristic. For tests and
   /// benchmarks — results are identical in every mode.
   EvalMode force_mode = EvalMode::kAuto;
+  /// Node-range shards the graph is partitioned into for this evaluation
+  /// (ShardedGraph, src/graph/shard.h). 1 — the default — dispatches to the
+  /// exact monolithic code path; K > 1 runs the product-BFS rounds
+  /// shard-locally and exchanges cross-shard frontier pairs through
+  /// per-shard outboxes between BSP supersteps. 0 is InvalidArgument;
+  /// values above kMaxEvalShards (or the node count) are clamped. Pure
+  /// scheduling: the monotone fixed point is shard-count-independent, so
+  /// results are bit-identical for every value.
+  uint32_t shards = 1;
   /// Optional round counters; when non-null, every batched binary evaluation
   /// through these options adds its sparse/dense round counts. The pointee
   /// must outlive the evaluation call. Never read, only added to.
@@ -93,9 +119,10 @@ struct EvalOptions {
 };
 
 /// The single validation point for EvalOptions: rejects threads == 0,
-/// dense_threshold outside [0, 1] (or NaN), and unknown force_mode values
-/// with InvalidArgument, and clamps threads to kMaxEvalThreads. All
-/// options-taking evaluation entry points call this first.
+/// shards == 0, dense_threshold outside [0, 1] (or NaN), and unknown
+/// force_mode values with InvalidArgument, and clamps threads/shards to
+/// kMaxEvalThreads/kMaxEvalShards. All options-taking evaluation entry
+/// points call this first.
 StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options);
 
 /// Monadic evaluation q(G) = {ν | L(q) ∩ paths_G(ν) ≠ ∅} (Sec. 2).

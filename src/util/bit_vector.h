@@ -43,6 +43,26 @@ class BitVector {
     words_[wi] |= bits;
   }
 
+  /// The `width` bits starting at bit `base`, packed into the low bits of
+  /// one word (bit j of the result = bit base + j of the vector). Requires
+  /// width ≤ 64 and base + width ≤ size(). This is the word-at-a-time
+  /// gather the dense evaluation rounds use to test a whole per-node state
+  /// window of the frontier bitmap against a precomputed state mask,
+  /// replacing per-bit Test calls.
+  uint64_t Window(size_t base, size_t width) const {
+    RPQ_DCHECK(width <= kBitsPerWord);
+    RPQ_DCHECK(base + width <= size_);
+    if (width == 0) return 0;
+    const size_t wi = base >> 6;
+    const size_t off = base & 63;
+    uint64_t bits = words_[wi] >> off;
+    if (off != 0 && wi + 1 < words_.size()) {
+      bits |= words_[wi + 1] << (64 - off);
+    }
+    if (width < kBitsPerWord) bits &= (uint64_t{1} << width) - 1;
+    return bits;
+  }
+
   bool Test(size_t i) const {
     RPQ_DCHECK(i < size_);
     return (words_[i >> 6] >> (i & 63)) & 1;

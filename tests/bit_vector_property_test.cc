@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -170,6 +171,28 @@ TEST(BitVectorWordOpsTest, CountEqualsWordPopcountSum) {
       total += static_cast<size_t>(std::popcount(bv.Word(wi)));
     }
     EXPECT_EQ(bv.Count(), total) << "size " << size;
+  }
+}
+
+TEST(BitVectorWordOpsTest, WindowMatchesPerBitTest) {
+  // Window(base, width) must equal the bits gathered one Test at a time,
+  // for every alignment — including windows straddling a word boundary and
+  // windows ending exactly at size(). This is the gather the word-at-a-time
+  // dense-pull frontier check builds on.
+  Rng rng(105);
+  for (size_t size : kSizes) {
+    if (size == 0) continue;
+    const BitVector bv = FromModel(RandomModel(&rng, size, 0.4));
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t width = rng.NextBelow(std::min<size_t>(size, 64) + 1);
+      const size_t base = rng.NextBelow(size - width + 1);
+      uint64_t expected = 0;
+      for (size_t j = 0; j < width; ++j) {
+        if (bv.Test(base + j)) expected |= uint64_t{1} << j;
+      }
+      EXPECT_EQ(bv.Window(base, width), expected)
+          << "size " << size << " base " << base << " width " << width;
+    }
   }
 }
 

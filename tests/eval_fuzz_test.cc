@@ -27,10 +27,12 @@ namespace {
 // random queries (regex ASTs from src/regex/random_regex.* compiled through
 // the production Thompson → determinize → minimize pipeline, plus raw
 // random DFAs) drive the seed reference against every engine configuration —
-// sparse, dense, hybrid (auto crossover) — across thread counts {1, 2, 8}.
-// On a mismatch the failing case is shrunk (greedy edge and node removal
-// while the mismatch persists) and printed as a self-contained reproduction
-// block.
+// sparse, dense, hybrid (auto crossover) — across thread counts {1, 2, 8}
+// and shard counts (monolithic rows plus sharded rows whose shard count is
+// drawn per case, or pinned with RPQ_EVAL_SHARDS — the nightly job sweeps
+// {1, 4}). On a mismatch the failing case is shrunk (greedy edge and node
+// removal while the mismatch persists) and printed as a self-contained
+// reproduction block.
 //
 // The default run fuzzes 200 cases; set RPQ_FUZZ_ITERS for longer campaigns
 // (the nightly CI job runs 10×).
@@ -40,6 +42,15 @@ uint32_t FuzzIterations() {
   if (env == nullptr) return 200;
   const long parsed = std::strtol(env, nullptr, 10);
   return parsed >= 1 ? static_cast<uint32_t>(parsed) : 200;
+}
+
+/// Shard count for the sharded configuration rows: 0 (default) randomizes
+/// per fuzz case; RPQ_EVAL_SHARDS pins one value for targeted campaigns.
+uint32_t FuzzShardOverride() {
+  const char* env = std::getenv("RPQ_EVAL_SHARDS");
+  if (env == nullptr) return 0;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return parsed >= 1 ? static_cast<uint32_t>(parsed) : 0;
 }
 
 // ----------------------------------------------------------- fuzz inputs
@@ -168,16 +179,22 @@ FuzzQuery MakeQuery(Rng* rng, uint32_t query_symbols) {
 
 // ------------------------------------------------------- engine configs
 
+/// Sentinel shard count: use the per-case random draw (or the
+/// RPQ_EVAL_SHARDS override).
+constexpr uint32_t kCaseShards = 0;
+
 struct EngineConfig {
   const char* name;
   EvalMode mode;
   double dense_threshold;
   uint32_t threads;
+  uint32_t shards = 1;
 };
 
 /// The fuzzed configuration matrix: every force_mode plus the hybrid
 /// crossover (auto with a threshold low enough to engage dense rounds on
-/// these small graphs), each at thread counts 1, 2 and 8.
+/// these small graphs), each at thread counts 1, 2 and 8, plus sharded
+/// rows whose shard count is drawn per case (kCaseShards).
 const EngineConfig kEngineConfigs[] = {
     {"sparse/threads=1", EvalMode::kSparse, 0.05, 1},
     {"sparse/threads=2", EvalMode::kSparse, 0.05, 2},
@@ -190,14 +207,19 @@ const EngineConfig kEngineConfigs[] = {
     {"hybrid/threads=8", EvalMode::kAuto, 0.02, 8},
     {"auto-default/threads=1", EvalMode::kAuto,
      EvalOptions{}.dense_threshold, 1},
+    {"sharded/sparse/threads=1", EvalMode::kSparse, 0.05, 1, kCaseShards},
+    {"sharded/dense/threads=8", EvalMode::kDense, 0.05, 8, kCaseShards},
+    {"sharded/hybrid/threads=1", EvalMode::kAuto, 0.02, 1, kCaseShards},
+    {"sharded/hybrid/threads=8", EvalMode::kAuto, 0.02, 8, kCaseShards},
 };
 
-EvalOptions ToOptions(const EngineConfig& config) {
+EvalOptions ToOptions(const EngineConfig& config, uint32_t case_shards) {
   EvalOptions options;
   options.threads = config.threads;
   options.parallel_threshold_pairs = 0;  // force the parallel path
   options.force_mode = config.mode;
   options.dense_threshold = config.dense_threshold;
+  options.shards = config.shards == kCaseShards ? case_shards : config.shards;
   return options;
 }
 
@@ -235,10 +257,10 @@ std::vector<std::pair<NodeId, NodeId>> FromSourcesReference(
 /// True iff `config` disagrees with the seed reference on `check`. The
 /// shrinker re-runs this as its failure predicate.
 bool Mismatches(const Graph& graph, const Dfa& query, CheckKind check,
-                const EngineConfig& config, uint32_t bound,
-                const std::vector<NodeId>& source_template) {
+                const EngineConfig& config, uint32_t case_shards,
+                uint32_t bound, const std::vector<NodeId>& source_template) {
   if (graph.num_nodes() == 0) return false;
-  const EvalOptions options = ToOptions(config);
+  const EvalOptions options = ToOptions(config, case_shards);
   switch (check) {
     case CheckKind::kMonadic: {
       StatusOr<BitVector> actual = EvalMonadic(graph, query, options);
@@ -310,7 +332,8 @@ EdgeList ShrinkGraph(EdgeList current,
 }
 
 std::string ReproBlock(uint64_t case_seed, CheckKind check,
-                       const EngineConfig& config, const EdgeList& graph,
+                       const EngineConfig& config, uint32_t case_shards,
+                       const EdgeList& graph,
                        const std::string& query_description, uint32_t bound,
                        const std::vector<NodeId>& sources) {
   std::ostringstream out;
@@ -318,7 +341,9 @@ std::string ReproBlock(uint64_t case_seed, CheckKind check,
       << "case_seed: " << case_seed << "\n"
       << "check: " << CheckName(check) << "\n"
       << "engine: " << config.name
-      << " (dense_threshold=" << config.dense_threshold << ")\n"
+      << " (dense_threshold=" << config.dense_threshold << ", shards="
+      << (config.shards == kCaseShards ? case_shards : config.shards)
+      << ")\n"
       << "query: " << query_description << "\n"
       << "graph: nodes=" << graph.num_nodes
       << " labels=" << graph.num_labels << " edges=" << graph.edges.size()
@@ -343,11 +368,18 @@ std::string ReproBlock(uint64_t case_seed, CheckKind check,
 
 TEST(EvalFuzzTest, DifferentialAgainstSeedReference) {
   const uint32_t iterations = FuzzIterations();
+  const uint32_t shard_override = FuzzShardOverride();
   Rng master(0x5eedf00d);
   uint32_t mismatches = 0;
   for (uint32_t iteration = 0; iteration < iterations; ++iteration) {
     const uint64_t case_seed = master.Next();
     Rng rng(case_seed);
+    // Per-case shard count of the sharded configuration rows. The draw
+    // always happens so an RPQ_EVAL_SHARDS override never shifts the other
+    // case parameters — the corpus stays identical across sweeps.
+    uint32_t case_shards =
+        2 + static_cast<uint32_t>(rng.NextBelow(7));  // 2..8
+    if (shard_override != 0) case_shards = shard_override;
 
     const uint32_t num_labels = 1 + static_cast<uint32_t>(rng.NextBelow(4));
     const EdgeList edge_list = RandomEdgeList(&rng, num_labels);
@@ -380,17 +412,19 @@ TEST(EvalFuzzTest, DifferentialAgainstSeedReference) {
 
     for (CheckKind check : checks) {
       for (const EngineConfig& config : kEngineConfigs) {
-        if (!Mismatches(graph, query.dfa, check, config, bound, sources)) {
+        if (!Mismatches(graph, query.dfa, check, config, case_shards, bound,
+                        sources)) {
           continue;
         }
         ++mismatches;
         const EdgeList minimized =
             ShrinkGraph(edge_list, [&](const EdgeList& candidate) {
               return Mismatches(candidate.BuildGraph(), query.dfa, check,
-                                config, bound, sources);
+                                config, case_shards, bound, sources);
             });
-        ADD_FAILURE() << ReproBlock(case_seed, check, config, minimized,
-                                    query.description, bound, sources);
+        ADD_FAILURE() << ReproBlock(case_seed, check, config, case_shards,
+                                    minimized, query.description, bound,
+                                    sources);
         break;  // one repro per check is enough; move to the next check
       }
       if (mismatches >= 5) break;  // don't flood the log
@@ -429,6 +463,36 @@ TEST(EvalFuzzTest, HybridEngagesDenseRoundsSomewhere) {
   EXPECT_GT(stats.dense_rounds.load(), 0u)
       << "no fuzzed case engaged dense rounds under the hybrid config";
   EXPECT_GT(stats.sparse_rounds.load(), 0u);
+}
+
+TEST(EvalFuzzTest, ShardedRowsExchangePairsSomewhere) {
+  // Meta-check on the corpus: across a slice of the fuzzed cases the
+  // sharded configurations must actually carry pairs across shard cuts
+  // (supersteps and cross_shard_pairs both nonzero) — otherwise the matrix
+  // silently stops covering the BSP exchange (e.g. after a partitioner or
+  // threshold change).
+  Rng master(0x5eedf00d);
+  EvalStats stats;
+  for (uint32_t iteration = 0; iteration < 40; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    const uint32_t case_shards = 2 + static_cast<uint32_t>(rng.NextBelow(7));
+    const uint32_t num_labels = 1 + static_cast<uint32_t>(rng.NextBelow(4));
+    const EdgeList edge_list = RandomEdgeList(&rng, num_labels);
+    const Graph graph = edge_list.BuildGraph();
+    const FuzzQuery query = MakeQuery(&rng, num_labels);
+
+    EvalOptions options;
+    options.threads = 1;
+    options.shards = case_shards;
+    options.stats = &stats;
+    auto result = EvalBinary(graph, query.dfa, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_GT(stats.supersteps.load(), 0u)
+      << "no fuzzed case ran a sharded superstep";
+  EXPECT_GT(stats.cross_shard_pairs.load(), 0u)
+      << "no fuzzed case exchanged frontier pairs across shards";
 }
 
 }  // namespace

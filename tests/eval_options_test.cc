@@ -179,6 +179,55 @@ TEST(EvalOptionsTest, HybridSwitchesBothWaysOnSaturatingQuery) {
       << "hybrid never ran sparse rounds; threshold or fixture is off";
 }
 
+TEST(EvalOptionsTest, MonadicRoundCountersTrackForceMode) {
+  // The direction-optimized monadic sweep fills the dedicated monadic
+  // counters: a pinned mode runs only its round kind, and the result is
+  // unchanged (scheduling only).
+  ErdosRenyiOptions graph_options;
+  graph_options.num_nodes = 80;
+  graph_options.num_edges = 320;
+  graph_options.num_labels = 3;
+  graph_options.seed = 11;
+  Graph g = GenerateErdosRenyi(graph_options);
+  Dfa q = SaturatingQuery(g);
+  const BitVector expected = EvalMonadic(g, q);
+
+  EvalStats sparse_stats;
+  EvalOptions sparse;
+  sparse.threads = 1;
+  sparse.force_mode = EvalMode::kSparse;
+  sparse.stats = &sparse_stats;
+  StatusOr<BitVector> sparse_result = EvalMonadic(g, q, sparse);
+  ASSERT_TRUE(sparse_result.ok());
+  EXPECT_TRUE(*sparse_result == expected);
+  EXPECT_GT(sparse_stats.monadic_sparse_rounds.load(), 0u);
+  EXPECT_EQ(sparse_stats.monadic_dense_rounds.load(), 0u);
+
+  EvalStats dense_stats;
+  EvalOptions dense;
+  dense.threads = 1;
+  dense.force_mode = EvalMode::kDense;
+  dense.stats = &dense_stats;
+  StatusOr<BitVector> dense_result = EvalMonadic(g, q, dense);
+  ASSERT_TRUE(dense_result.ok());
+  EXPECT_TRUE(*dense_result == expected);
+  EXPECT_GT(dense_stats.monadic_dense_rounds.load(), 0u);
+  EXPECT_EQ(dense_stats.monadic_sparse_rounds.load(), 0u);
+
+  // The binary round counters stay monadic-free and vice versa.
+  EXPECT_EQ(dense_stats.sparse_rounds.load(), 0u);
+  EXPECT_EQ(dense_stats.dense_rounds.load(), 0u);
+}
+
+TEST(EvalOptionsTest, ShardsDefaultIsMonolithicAndValidated) {
+  EXPECT_EQ(EvalOptions{}.shards, 1u);
+  EvalOptions options;
+  options.shards = 3;
+  StatusOr<EvalOptions> validated = ValidateEvalOptions(options);
+  ASSERT_TRUE(validated.ok());
+  EXPECT_EQ(validated->shards, 3u);
+}
+
 TEST(EvalOptionsTest, DenseRegressionMatchesSeedReferenceAtPaperScale) {
   // Regression anchor for the dense engine: threads = 1, force_mode = dense
   // on the paper-scale fixture must reproduce the seed reference exactly.

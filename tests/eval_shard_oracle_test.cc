@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/random_automata.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "query/eval.h"
+#include "query/eval_reference.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+// Differential suite for the sharded evaluation path: every
+// (shards, threads, mode) combination must produce results bit-identical to
+// the sequential monolithic engine (shards = 1, threads = 1) and to the
+// retained seed references — on random graphs, on boundary-heavy graphs
+// where (almost) every edge crosses a shard cut, and on degenerate
+// partitions (more shards than nodes, single-node graphs).
+
+constexpr uint32_t kShardSweep[] = {1, 2, 3, 8};
+constexpr uint32_t kThreadSweep[] = {1, 8};
+constexpr EvalMode kModeSweep[] = {EvalMode::kSparse, EvalMode::kDense,
+                                   EvalMode::kAuto};
+
+const char* ModeName(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kSparse: return "sparse";
+    case EvalMode::kDense: return "dense";
+    case EvalMode::kAuto: return "auto";
+  }
+  return "?";
+}
+
+/// Options for one sweep point; the tiny parallel threshold and the low
+/// auto crossover force both the pool and dense rounds to engage at test
+/// sizes.
+EvalOptions SweepOptions(uint32_t shards, uint32_t threads, EvalMode mode) {
+  EvalOptions options;
+  options.shards = shards;
+  options.threads = threads;
+  options.parallel_threshold_pairs = 0;
+  options.force_mode = mode;
+  options.dense_threshold = 0.02;
+  return options;
+}
+
+Graph RandomGraph(Rng* rng, uint32_t max_nodes, uint32_t num_labels) {
+  ErdosRenyiOptions options;
+  options.num_nodes = 2 + static_cast<uint32_t>(rng->NextBelow(max_nodes - 1));
+  options.num_edges =
+      options.num_nodes + rng->NextBelow(3 * size_t{options.num_nodes});
+  options.num_labels = num_labels;
+  options.seed = rng->Next();
+  return GenerateErdosRenyi(options);
+}
+
+Dfa RandomQuery(Rng* rng, uint32_t num_symbols) {
+  RandomAutomatonOptions options;
+  options.num_states = 1 + static_cast<uint32_t>(rng->NextBelow(6));
+  options.num_symbols = num_symbols;
+  options.transition_density = 0.3 + 0.6 * rng->NextDouble();
+  options.accepting_probability = 0.4;
+  return RandomDfa(rng, options);
+}
+
+/// Asserts every sweep point against precomputed sequential expectations.
+void CheckAllSweepPoints(const Graph& g, const Dfa& q, uint32_t bound,
+                         const std::vector<NodeId>& sources,
+                         const std::string& context) {
+  const BitVector monadic_expected = EvalMonadic(g, q);
+  const BitVector bounded_expected = EvalMonadicBounded(g, q, bound);
+  const auto binary_expected = EvalBinary(g, q);
+  // Seed references agree with the sequential engine first.
+  ASSERT_TRUE(monadic_expected == EvalMonadicReference(g, q)) << context;
+  ASSERT_EQ(binary_expected, EvalBinaryReference(g, q)) << context;
+
+  std::vector<std::pair<NodeId, NodeId>> from_sources_expected;
+  for (NodeId src : sources) {
+    BitVector targets = EvalBinaryFromReference(g, q, src);
+    for (uint32_t dst : targets.ToIndices()) {
+      from_sources_expected.emplace_back(src, dst);
+    }
+  }
+
+  for (uint32_t shards : kShardSweep) {
+    for (uint32_t threads : kThreadSweep) {
+      for (EvalMode mode : kModeSweep) {
+        const EvalOptions options = SweepOptions(shards, threads, mode);
+        const std::string point = context + " shards=" +
+                                  std::to_string(shards) + " threads=" +
+                                  std::to_string(threads) + " mode=" +
+                                  ModeName(mode);
+        StatusOr<BitVector> monadic = EvalMonadic(g, q, options);
+        ASSERT_TRUE(monadic.ok()) << point << ": " << monadic.status().ToString();
+        EXPECT_TRUE(*monadic == monadic_expected) << point;
+
+        StatusOr<BitVector> bounded = EvalMonadicBounded(g, q, bound, options);
+        ASSERT_TRUE(bounded.ok()) << point;
+        EXPECT_TRUE(*bounded == bounded_expected)
+            << point << " bound=" << bound;
+
+        auto binary = EvalBinary(g, q, options);
+        ASSERT_TRUE(binary.ok()) << point;
+        EXPECT_EQ(*binary, binary_expected) << point;
+
+        auto from_sources = EvalBinaryFromSources(g, q, sources, options);
+        ASSERT_TRUE(from_sources.ok()) << point;
+        EXPECT_EQ(*from_sources, from_sources_expected) << point;
+      }
+    }
+  }
+}
+
+TEST(EvalShardOracleTest, RandomGraphsMatchSequentialAndReference) {
+  Rng rng(61);
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    const uint32_t num_labels = 2 + static_cast<uint32_t>(rng.NextBelow(3));
+    Graph g = RandomGraph(&rng, 70, num_labels);
+    Dfa q = RandomQuery(
+        &rng, 1 + static_cast<uint32_t>(rng.NextBelow(num_labels)));
+    const uint32_t bound = static_cast<uint32_t>(rng.NextBelow(7));
+    std::vector<NodeId> sources;
+    const size_t num_sources = 1 + rng.NextBelow(100);
+    for (size_t i = 0; i < num_sources; ++i) {
+      sources.push_back(static_cast<NodeId>(rng.NextBelow(g.num_nodes())));
+    }
+    CheckAllSweepPoints(g, q, bound, sources,
+                        "iteration " + std::to_string(iteration));
+  }
+}
+
+TEST(EvalShardOracleTest, BoundaryHeavyStrideGraph) {
+  // Every edge jumps half the node range, so any contiguous cut with
+  // K ≥ 2 makes (nearly) every edge a boundary edge — the worst case for
+  // the cross-shard exchange.
+  GraphBuilder builder;
+  const uint32_t n = 96;
+  builder.AddNodes(n);
+  const Symbol a = builder.InternLabel("a");
+  const Symbol b = builder.InternLabel("b");
+  for (NodeId v = 0; v < n; ++v) {
+    builder.AddEdge(v, a, (v + n / 2) % n);
+    builder.AddEdge(v, b, (v + n / 2 + 1) % n);
+  }
+  Graph g = builder.Build();
+  Rng rng(62);
+  for (int iteration = 0; iteration < 4; ++iteration) {
+    Dfa q = RandomQuery(&rng, 2);
+    std::vector<NodeId> sources;
+    for (size_t i = 0; i < 80; ++i) {
+      sources.push_back(static_cast<NodeId>(rng.NextBelow(n)));
+    }
+    CheckAllSweepPoints(g, q, 5, sources,
+                        "stride iteration " + std::to_string(iteration));
+  }
+}
+
+TEST(EvalShardOracleTest, ChainCrossesEveryShardCut) {
+  // A directed chain: a kleene-star query must propagate through every
+  // shard boundary in sequence, forcing one BSP superstep per crossing —
+  // the long-range propagation case.
+  GraphBuilder builder;
+  const uint32_t n = 70;
+  builder.AddNodes(n);
+  const Symbol a = builder.InternLabel("a");
+  for (NodeId v = 0; v + 1 < n; ++v) builder.AddEdge(v, a, v + 1);
+  Graph g = builder.Build();
+
+  Dfa star(1);  // L(star) = a*
+  star.AddState(/*accepting=*/true);
+  star.SetTransition(0, a, 0);
+
+  std::vector<NodeId> sources{0, 1, n / 2, n - 1};
+  CheckAllSweepPoints(g, star, 6, sources, "chain a*");
+
+  // shards=8 with threads=1: chain reachability needs ≥ 7 supersteps.
+  EvalStats stats;
+  EvalOptions options = SweepOptions(8, 1, EvalMode::kSparse);
+  options.stats = &stats;
+  auto pairs = EvalBinaryFromSources(g, star, sources, options);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_GE(stats.supersteps.load(), 7u);
+  EXPECT_GT(stats.cross_shard_pairs.load(), 0u);
+}
+
+TEST(EvalShardOracleTest, DegeneratePartitions) {
+  Rng rng(63);
+  // More shards than nodes, exactly as many shards as nodes, and a
+  // single-node graph: empty shard ranges must be inert.
+  for (uint32_t num_nodes : {1u, 3u, 8u}) {
+    ErdosRenyiOptions graph_options;
+    graph_options.num_nodes = num_nodes;
+    graph_options.num_edges = 3 * size_t{num_nodes};
+    graph_options.num_labels = 2;
+    graph_options.seed = rng.Next();
+    Graph g = GenerateErdosRenyi(graph_options);
+    Dfa q = RandomQuery(&rng, 2);
+    const BitVector monadic_expected = EvalMonadic(g, q);
+    const auto binary_expected = EvalBinary(g, q);
+    for (uint32_t shards : {num_nodes, num_nodes + 5, 64u}) {
+      EvalOptions options = SweepOptions(shards, 1, EvalMode::kAuto);
+      StatusOr<BitVector> monadic = EvalMonadic(g, q, options);
+      ASSERT_TRUE(monadic.ok());
+      EXPECT_TRUE(*monadic == monadic_expected)
+          << "nodes=" << num_nodes << " shards=" << shards;
+      auto binary = EvalBinary(g, q, options);
+      ASSERT_TRUE(binary.ok());
+      EXPECT_EQ(*binary, binary_expected)
+          << "nodes=" << num_nodes << " shards=" << shards;
+    }
+  }
+}
+
+TEST(EvalShardOracleTest, ShardedStatsEngageOnBoundaryHeavyGraphs) {
+  // On the stride graph with K > 1 the exchange must actually carry pairs,
+  // and with K = 1 the sharded counters must stay zero (monolithic path).
+  GraphBuilder builder;
+  const uint32_t n = 64;
+  builder.AddNodes(n);
+  const Symbol a = builder.InternLabel("a");
+  for (NodeId v = 0; v < n; ++v) builder.AddEdge(v, a, (v + n / 2) % n);
+  Graph g = builder.Build();
+  Dfa star(1);  // L(star) = a*
+  star.AddState(/*accepting=*/true);
+  star.SetTransition(0, a, 0);
+
+  EvalStats sharded_stats;
+  EvalOptions sharded = SweepOptions(4, 1, EvalMode::kAuto);
+  sharded.stats = &sharded_stats;
+  ASSERT_TRUE(EvalBinary(g, star, sharded).ok());
+  EXPECT_GT(sharded_stats.supersteps.load(), 0u);
+  EXPECT_GT(sharded_stats.cross_shard_pairs.load(), 0u);
+
+  EvalStats monolithic_stats;
+  EvalOptions monolithic = SweepOptions(1, 1, EvalMode::kAuto);
+  monolithic.stats = &monolithic_stats;
+  ASSERT_TRUE(EvalBinary(g, star, monolithic).ok());
+  EXPECT_EQ(monolithic_stats.supersteps.load(), 0u);
+  EXPECT_EQ(monolithic_stats.cross_shard_pairs.load(), 0u);
+
+  // Monadic sharded runs also count supersteps.
+  EvalStats monadic_stats;
+  EvalOptions monadic_options = SweepOptions(4, 1, EvalMode::kAuto);
+  monadic_options.stats = &monadic_stats;
+  ASSERT_TRUE(EvalMonadic(g, star, monadic_options).ok());
+  EXPECT_GT(monadic_stats.supersteps.load(), 0u);
+}
+
+TEST(EvalShardOracleTest, ShardCountIsPureSchedulingAcrossThreads) {
+  // One fixed workload: every (shards, threads) pair must agree exactly,
+  // including the stats counters (per-shard work is deterministic given the
+  // partition, so totals are scheduling-independent).
+  Rng rng(64);
+  Graph g = RandomGraph(&rng, 120, 3);
+  Dfa q = RandomQuery(&rng, 3);
+  const auto expected = EvalBinary(g, q);
+  for (uint32_t shards : kShardSweep) {
+    uint64_t supersteps_at_one_thread = 0;
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      EvalStats stats;
+      EvalOptions options = SweepOptions(shards, threads, EvalMode::kAuto);
+      options.stats = &stats;
+      auto result = EvalBinary(g, q, options);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(*result, expected) << "shards=" << shards
+                                   << " threads=" << threads;
+      if (threads == 1) {
+        supersteps_at_one_thread = stats.supersteps.load();
+      } else {
+        EXPECT_EQ(stats.supersteps.load(), supersteps_at_one_thread)
+            << "shards=" << shards << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(EvalShardOracleTest, ZeroShardsIsInvalidArgumentEverywhere) {
+  Rng rng(65);
+  Graph g = RandomGraph(&rng, 20, 2);
+  Dfa q = RandomQuery(&rng, 2);
+  EvalOptions zero;
+  zero.shards = 0;
+
+  StatusOr<BitVector> monadic = EvalMonadic(g, q, zero);
+  ASSERT_FALSE(monadic.ok());
+  EXPECT_EQ(monadic.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<BitVector> bounded = EvalMonadicBounded(g, q, 3, zero);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kInvalidArgument);
+
+  auto binary = EvalBinary(g, q, zero);
+  ASSERT_FALSE(binary.ok());
+  EXPECT_EQ(binary.status().code(), StatusCode::kInvalidArgument);
+
+  const std::vector<NodeId> sources{0};
+  auto from_sources = EvalBinaryFromSources(g, q, sources, zero);
+  ASSERT_FALSE(from_sources.ok());
+  EXPECT_EQ(from_sources.status().code(), StatusCode::kInvalidArgument);
+
+  // The validator clamps oversized shard counts instead of rejecting them.
+  EvalOptions huge;
+  huge.shards = kMaxEvalShards + 1000;
+  StatusOr<EvalOptions> clamped = ValidateEvalOptions(huge);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->shards, kMaxEvalShards);
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/shard.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+// Structural invariants of the ShardedGraph partition view: contiguous
+// covering boundaries, exact edge conservation between internal and
+// boundary CSRs, correct local-id remapping, and sane degenerate behavior
+// (one shard, more shards than nodes, empty graphs).
+
+Graph RandomGraph(uint64_t seed, uint32_t num_nodes, size_t num_edges,
+                  uint32_t num_labels) {
+  ErdosRenyiOptions options;
+  options.num_nodes = num_nodes;
+  options.num_edges = num_edges;
+  options.num_labels = num_labels;
+  options.seed = seed;
+  return GenerateErdosRenyi(options);
+}
+
+/// Merges one cell's internal (local, remapped back to global) and boundary
+/// (global) endpoint runs; both are ascending subsequences of the original
+/// neighbor run, so a std::merge reconstructs it exactly.
+std::vector<NodeId> MergedCell(const GraphShard& shard, NodeId local_v,
+                               Symbol a, bool out) {
+  std::vector<NodeId> internal;
+  for (NodeId u : out ? shard.OutNeighborsLocal(local_v, a)
+                      : shard.InNeighborsLocal(local_v, a)) {
+    internal.push_back(shard.node_begin() + u);
+  }
+  const auto boundary_span = out ? shard.OutBoundary(local_v, a)
+                                 : shard.InBoundary(local_v, a);
+  std::vector<NodeId> boundary(boundary_span.begin(), boundary_span.end());
+  std::vector<NodeId> merged;
+  std::merge(internal.begin(), internal.end(), boundary.begin(),
+             boundary.end(), std::back_inserter(merged));
+  return merged;
+}
+
+void CheckPartitionInvariants(const Graph& graph, uint32_t num_shards) {
+  const ShardedGraph sharded = ShardedGraph::Partition(graph, num_shards);
+  ASSERT_EQ(sharded.num_shards(), num_shards);
+  ASSERT_EQ(sharded.num_nodes(), graph.num_nodes());
+
+  // Boundaries: ascending, covering [0, num_nodes].
+  const std::vector<NodeId>& boundaries = sharded.boundaries();
+  ASSERT_EQ(boundaries.size(), num_shards + 1);
+  EXPECT_EQ(boundaries.front(), 0u);
+  EXPECT_EQ(boundaries.back(), graph.num_nodes());
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    EXPECT_LE(boundaries[s], boundaries[s + 1]);
+    EXPECT_EQ(sharded.shard(s).node_begin(), boundaries[s]);
+    EXPECT_EQ(sharded.shard(s).node_end(), boundaries[s + 1]);
+  }
+
+  // ShardOf agrees with the ranges.
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t s = sharded.ShardOf(v);
+    ASSERT_LT(s, num_shards);
+    EXPECT_GE(v, sharded.shard(s).node_begin());
+    EXPECT_LT(v, sharded.shard(s).node_end());
+  }
+
+  // Edge conservation + exact adjacency reconstruction, both directions.
+  size_t internal_total = 0, out_boundary_total = 0, in_boundary_total = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const GraphShard& shard = sharded.shard(s);
+    EXPECT_EQ(shard.num_symbols(), graph.num_symbols());
+    internal_total += shard.num_internal_edges();
+    out_boundary_total += shard.num_out_boundary_edges();
+    in_boundary_total += shard.num_in_boundary_edges();
+    for (NodeId local_v = 0; local_v < shard.num_local_nodes(); ++local_v) {
+      const NodeId v = shard.node_begin() + local_v;
+      bool has_out_boundary = false, has_in_boundary = false;
+      for (Symbol a = 0; a < graph.num_symbols(); ++a) {
+        const auto out_expected = graph.OutNeighbors(v, a);
+        const auto in_expected = graph.InNeighbors(v, a);
+        EXPECT_EQ(MergedCell(shard, local_v, a, /*out=*/true),
+                  std::vector<NodeId>(out_expected.begin(),
+                                      out_expected.end()))
+            << "out cell v=" << v << " a=" << a;
+        EXPECT_EQ(MergedCell(shard, local_v, a, /*out=*/false),
+                  std::vector<NodeId>(in_expected.begin(), in_expected.end()))
+            << "in cell v=" << v << " a=" << a;
+        // Internal endpoints are valid local ids; boundary endpoints lie
+        // outside the range.
+        for (NodeId u : shard.OutNeighborsLocal(local_v, a)) {
+          EXPECT_LT(u, shard.num_local_nodes());
+        }
+        for (NodeId u : shard.OutBoundary(local_v, a)) {
+          EXPECT_TRUE(u < shard.node_begin() || u >= shard.node_end());
+          has_out_boundary = true;
+        }
+        for (NodeId u : shard.InBoundary(local_v, a)) {
+          EXPECT_TRUE(u < shard.node_begin() || u >= shard.node_end());
+          has_in_boundary = true;
+        }
+      }
+      EXPECT_EQ(shard.HasOutBoundary(local_v), has_out_boundary);
+      EXPECT_EQ(shard.HasInBoundary(local_v), has_in_boundary);
+    }
+  }
+  // Every directed edge appears exactly once as internal-out (iff both
+  // endpoints share a shard) or boundary-out, and symmetrically for in.
+  EXPECT_EQ(internal_total + out_boundary_total, graph.num_edges());
+  EXPECT_EQ(out_boundary_total, in_boundary_total);
+  EXPECT_EQ(sharded.num_boundary_edges(), out_boundary_total);
+}
+
+TEST(ShardedGraphTest, PartitionInvariantsAcrossShardCounts) {
+  Rng rng(42);
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    const uint32_t num_nodes = 2 + static_cast<uint32_t>(rng.NextBelow(120));
+    Graph g = RandomGraph(rng.Next(), num_nodes,
+                          num_nodes + rng.NextBelow(4 * size_t{num_nodes}),
+                          2 + static_cast<uint32_t>(rng.NextBelow(3)));
+    for (uint32_t shards : {1u, 2u, 3u, 7u}) {
+      CheckPartitionInvariants(g, shards);
+    }
+  }
+}
+
+TEST(ShardedGraphTest, SingleShardHasNoBoundaryEdges) {
+  Graph g = RandomGraph(7, 50, 200, 3);
+  const ShardedGraph sharded = ShardedGraph::Partition(g, 1);
+  EXPECT_EQ(sharded.num_boundary_edges(), 0u);
+  EXPECT_EQ(sharded.shard(0).num_internal_edges(), g.num_edges());
+  EXPECT_EQ(sharded.shard(0).num_local_nodes(), g.num_nodes());
+  // With one shard, local ids equal global ids.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (Symbol a = 0; a < g.num_symbols(); ++a) {
+      const auto expected = g.OutNeighbors(v, a);
+      const auto local = sharded.shard(0).OutNeighborsLocal(v, a);
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(), local.begin(),
+                             local.end()));
+    }
+  }
+}
+
+TEST(ShardedGraphTest, MoreShardsThanNodesLeavesEmptyRanges) {
+  Graph g = RandomGraph(9, 3, 6, 2);
+  const uint32_t num_shards = 8;
+  CheckPartitionInvariants(g, num_shards);
+  const ShardedGraph sharded = ShardedGraph::Partition(g, num_shards);
+  uint32_t non_empty = 0, covered = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    covered += sharded.shard(s).num_local_nodes();
+    if (sharded.shard(s).num_local_nodes() > 0) ++non_empty;
+  }
+  EXPECT_EQ(covered, g.num_nodes());
+  EXPECT_LE(non_empty, g.num_nodes());
+}
+
+TEST(ShardedGraphTest, EmptyGraph) {
+  GraphBuilder builder;
+  Graph g = builder.Build();
+  const ShardedGraph sharded = ShardedGraph::Partition(g, 4);
+  EXPECT_EQ(sharded.num_nodes(), 0u);
+  EXPECT_EQ(sharded.num_boundary_edges(), 0u);
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(sharded.shard(s).num_local_nodes(), 0u);
+  }
+}
+
+TEST(ShardedGraphTest, WeightBalancedSplitTracksEdgeMass) {
+  // A graph where the first few nodes carry almost all edges: a pure
+  // node-count split would put all of them in shard 0; the weight-balanced
+  // split must cut the hub region apart.
+  GraphBuilder builder;
+  const NodeId hub_count = 4;
+  const NodeId total = 100;
+  builder.AddNodes(total);
+  Symbol a = builder.InternLabel("a");
+  for (NodeId hub = 0; hub < hub_count; ++hub) {
+    for (NodeId v = hub_count; v < total; ++v) {
+      builder.AddEdge(hub, a, v);
+    }
+  }
+  Graph g = builder.Build();
+  const ShardedGraph sharded = ShardedGraph::Partition(g, 4);
+  // The four hubs carry ~equal weight, so no shard should own all of them.
+  EXPECT_LT(sharded.shard(0).node_end(), hub_count + 1);
+  CheckPartitionInvariants(g, 4);
+}
+
+}  // namespace
+}  // namespace rpqlearn
