@@ -74,15 +74,30 @@ inline uint32_t EvalShards() {
   return parsed >= 1 ? static_cast<uint32_t>(parsed) : 1;
 }
 
+/// SCC-condensation policy of the kleene-star planner step, selected with
+/// RPQ_EVAL_CONDENSE (`auto` — the summary-gated default — or `on` / `off`
+/// to pin it). Unknown values fall back to auto; results are bit-identical
+/// for every mode (see "SCC condensation" in docs/ARCHITECTURE.md).
+inline CondenseMode EvalCondense() {
+  const char* env = std::getenv("RPQ_EVAL_CONDENSE");
+  if (env == nullptr) return CondenseMode::kAuto;
+  const std::string value(env);
+  if (value == "on") return CondenseMode::kOn;
+  if (value == "off") return CondenseMode::kOff;
+  return CondenseMode::kAuto;
+}
+
 /// EvalOptions for the current environment: RPQ_EVAL_THREADS workers, the
-/// RPQ_EVAL_DENSE_THRESHOLD / RPQ_EVAL_MODE direction knobs, and
-/// RPQ_EVAL_SHARDS node-range shards.
+/// RPQ_EVAL_DENSE_THRESHOLD / RPQ_EVAL_MODE direction knobs,
+/// RPQ_EVAL_SHARDS node-range shards, and the RPQ_EVAL_CONDENSE kleene-star
+/// condensation policy.
 inline EvalOptions EvalConfig() {
   EvalOptions options;
   options.threads = EvalThreads();
   options.dense_threshold = EvalDenseThreshold();
   options.force_mode = EvalForceMode();
   options.shards = EvalShards();
+  options.condense = EvalCondense();
   return options;
 }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for BENCH_hotpath.json.
+
+Compares the hot-path speedup ratios of a fresh bench run against the
+committed floors in bench/baseline.json and exits nonzero when any ratio
+regresses more than the configured tolerance below its floor.
+
+Usage: compare_bench.py <baseline.json> <BENCH_hotpath.json>
+
+baseline.json schema:
+  {
+    "tolerance": 0.15,            # fraction a ratio may fall below its floor
+    "ratios": { "<dotted.path>": <floor>, ... }
+  }
+
+Only *ratios* (speedup-vs-reference on the same machine and run) are gated:
+absolute seconds vary with runner hardware, but a fast path that is N x its
+reference locally stays in that neighborhood across machines. Floors are set
+conservatively below typically observed values, so the gate trips on real
+regressions (an engine falling back to a slow path) rather than runner noise.
+Refresh a floor deliberately by editing bench/baseline.json in the same PR
+that changes the trajectory (see bench/README.md).
+"""
+
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    return node
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        result = json.load(f)
+
+    tolerance = float(baseline.get("tolerance", 0.15))
+    failures = []
+    for path, floor in sorted(baseline["ratios"].items()):
+        try:
+            value = float(lookup(result, path))
+        except KeyError:
+            failures.append(f"{path}: missing from bench output")
+            print(f"  {path}: MISSING (floor {floor:.2f})")
+            continue
+        minimum = floor * (1.0 - tolerance)
+        ok = value >= minimum
+        print(f"  {path}: {value:.2f} (floor {floor:.2f}, "
+              f"min allowed {minimum:.2f}) {'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            failures.append(
+                f"{path}: {value:.2f} < {minimum:.2f} "
+                f"(floor {floor:.2f} - {tolerance:.0%} tolerance)")
+
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

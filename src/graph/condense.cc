@@ -1,0 +1,185 @@
+#include "graph/condense.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rpqlearn {
+namespace {
+
+constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+
+/// One DFS frame of the iterative Tarjan walk: the node and how many of its
+/// out-neighbors (under the current label) have been examined.
+struct TarjanFrame {
+  NodeId node;
+  uint32_t next_edge;
+};
+
+}  // namespace
+
+/// Tarjan's SCC algorithm over the `a`-labeled subgraph, with an explicit
+/// frame stack instead of recursion (graph diameters can exceed any safe
+/// call-stack depth). Component ids are assigned in completion order, which
+/// on the condensation DAG is reverse topological: every cross-component
+/// edge points from a higher id to a lower one.
+LabelCondensation CondensedGraph::CondenseLabel(const Graph& graph,
+                                                Symbol a) {
+  const uint32_t nv = graph.num_nodes();
+  LabelCondensation out;
+  out.comp_.assign(nv, kUnvisited);
+
+  std::vector<uint32_t> index(nv, kUnvisited);
+  std::vector<uint32_t> lowlink(nv, 0);
+  std::vector<uint8_t> on_stack(nv, 0);
+  std::vector<NodeId> scc_stack;
+  std::vector<TarjanFrame> frames;
+  uint32_t next_index = 0;
+  uint32_t next_comp = 0;
+
+  auto open_node = [&](NodeId v) {
+    index[v] = lowlink[v] = next_index++;
+    scc_stack.push_back(v);
+    on_stack[v] = 1;
+    frames.push_back(TarjanFrame{v, 0});
+  };
+
+  for (NodeId root = 0; root < nv; ++root) {
+    if (index[root] != kUnvisited) continue;
+    open_node(root);
+    while (!frames.empty()) {
+      TarjanFrame& frame = frames.back();
+      const NodeId v = frame.node;
+      const std::span<const NodeId> targets = graph.OutNeighbors(v, a);
+      if (frame.next_edge < targets.size()) {
+        const NodeId w = targets[frame.next_edge++];
+        if (index[w] == kUnvisited) {
+          open_node(w);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          // v is the root of a component: pop its members off the stack.
+          for (;;) {
+            const NodeId w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = 0;
+            out.comp_[w] = next_comp;
+            if (w == v) break;
+          }
+          ++next_comp;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[v]);
+        }
+      }
+    }
+  }
+  RPQ_DCHECK(scc_stack.empty());
+
+  // Component → member CSR: counting sort over comp ids keeps each member
+  // run ascending (nodes are scanned in id order).
+  out.member_offsets_.assign(next_comp + 1, 0);
+  for (NodeId v = 0; v < nv; ++v) ++out.member_offsets_[out.comp_[v] + 1];
+  for (uint32_t c = 0; c < next_comp; ++c) {
+    out.member_offsets_[c + 1] += out.member_offsets_[c];
+  }
+  out.members_.resize(nv);
+  {
+    std::vector<uint32_t> cursor(out.member_offsets_.begin(),
+                                 out.member_offsets_.end() - 1);
+    for (NodeId v = 0; v < nv; ++v) out.members_[cursor[out.comp_[v]]++] = v;
+  }
+
+  // Cross-component edges, deduped, as forward and transpose CSRs.
+  std::vector<std::pair<uint32_t, uint32_t>> dag_edges;
+  for (NodeId v = 0; v < nv; ++v) {
+    const uint32_t cv = out.comp_[v];
+    for (NodeId w : graph.OutNeighbors(v, a)) {
+      const uint32_t cw = out.comp_[w];
+      if (cw != cv) dag_edges.emplace_back(cv, cw);
+    }
+  }
+  std::sort(dag_edges.begin(), dag_edges.end());
+  dag_edges.erase(std::unique(dag_edges.begin(), dag_edges.end()),
+                  dag_edges.end());
+
+  out.dag_out_offsets_.assign(next_comp + 1, 0);
+  out.dag_in_offsets_.assign(next_comp + 1, 0);
+  for (const auto& [cv, cw] : dag_edges) {
+    ++out.dag_out_offsets_[cv + 1];
+    ++out.dag_in_offsets_[cw + 1];
+  }
+  for (uint32_t c = 0; c < next_comp; ++c) {
+    out.dag_out_offsets_[c + 1] += out.dag_out_offsets_[c];
+    out.dag_in_offsets_[c + 1] += out.dag_in_offsets_[c];
+  }
+  out.dag_out_.resize(dag_edges.size());
+  out.dag_in_.resize(dag_edges.size());
+  {
+    std::vector<uint32_t> out_cursor(out.dag_out_offsets_.begin(),
+                                     out.dag_out_offsets_.end() - 1);
+    std::vector<uint32_t> in_cursor(out.dag_in_offsets_.begin(),
+                                    out.dag_in_offsets_.end() - 1);
+    // dag_edges is (source asc, target asc), so both fills stay ascending
+    // per cell (the in-fill visits each target's sources in ascending
+    // source order because the pair sort is lexicographic).
+    for (const auto& [cv, cw] : dag_edges) {
+      out.dag_out_[out_cursor[cv]++] = cw;
+    }
+    std::stable_sort(dag_edges.begin(), dag_edges.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.second < y.second;
+                     });
+    for (const auto& [cv, cw] : dag_edges) {
+      out.dag_in_[in_cursor[cw]++] = cv;
+    }
+  }
+
+  CondensationSummary& summary = out.summary_;
+  summary.num_components = next_comp;
+  summary.largest_component = nv == 0 ? 0 : 1;
+  for (uint32_t c = 0; c < next_comp; ++c) {
+    const uint32_t size =
+        out.member_offsets_[c + 1] - out.member_offsets_[c];
+    summary.largest_component = std::max(summary.largest_component, size);
+    if (size >= 2) {
+      ++summary.nontrivial_components;
+      summary.collapsed_nodes += size;
+    }
+  }
+  summary.collapse_ratio =
+      nv == 0 ? 0.0 : static_cast<double>(summary.collapsed_nodes) / nv;
+  return out;
+}
+
+CondensedGraph CondensedGraph::Build(const Graph& graph) {
+  std::vector<Symbol> labels(graph.num_symbols());
+  for (Symbol a = 0; a < graph.num_symbols(); ++a) labels[a] = a;
+  return Build(graph, labels);
+}
+
+CondensedGraph CondensedGraph::Build(const Graph& graph,
+                                     std::span<const Symbol> labels) {
+  CondensedGraph out;
+  out.num_nodes_ = graph.num_nodes();
+  out.num_graph_edges_ = graph.num_edges();
+  out.built_.assign(graph.num_symbols(), 0);
+  out.labels_.resize(graph.num_symbols());
+  for (Symbol a : labels) {
+    RPQ_CHECK(a < graph.num_symbols())
+        << "condensation label " << a << " out of range (graph has "
+        << graph.num_symbols() << " symbols)";
+    if (out.built_[a]) continue;
+    out.labels_[a] = CondenseLabel(graph, a);
+    out.built_[a] = 1;
+  }
+  return out;
+}
+
+}  // namespace rpqlearn

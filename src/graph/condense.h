@@ -1,0 +1,128 @@
+#ifndef RPQLEARN_GRAPH_CONDENSE_H_
+#define RPQLEARN_GRAPH_CONDENSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rpqlearn {
+
+/// Planner-facing digest of one label's condensation. All counts are over
+/// the full node set: every node owns a component id, including nodes with
+/// no edge under the label (they form singleton components).
+struct CondensationSummary {
+  /// Strongly connected components of the single-label subgraph.
+  uint32_t num_components = 0;
+  /// Member count of the largest component (1 on an acyclic subgraph).
+  uint32_t largest_component = 0;
+  /// Components with at least two members — the ones whose internal
+  /// kleene-star reachability a product BFS would rediscover pair by pair.
+  uint32_t nontrivial_components = 0;
+  /// Nodes living inside nontrivial components.
+  uint32_t collapsed_nodes = 0;
+  /// collapsed_nodes / num_nodes ∈ [0, 1): 0 when the subgraph is acyclic,
+  /// approaching 1 when one giant component swallows the graph.
+  double collapse_ratio = 0.0;
+};
+
+/// The SCC condensation of one label's subgraph: a component-id map, a
+/// component→member CSR, and the condensation DAG as component-level CSRs in
+/// both directions. Component ids are assigned in Tarjan completion order,
+/// which is reverse topological — every DAG edge goes from a higher id to a
+/// strictly lower one, so `DagOut(c)` targets are all < c and `DagIn(c)`
+/// sources are all > c.
+class LabelCondensation {
+ public:
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(comp_.size());
+  }
+  uint32_t num_components() const { return summary_.num_components; }
+  const CondensationSummary& summary() const { return summary_; }
+
+  /// Component id of node `v` under this label.
+  uint32_t ComponentOf(NodeId v) const { return comp_[v]; }
+
+  /// Member nodes of component `c`, ascending.
+  std::span<const NodeId> Members(uint32_t c) const {
+    return {members_.data() + member_offsets_[c],
+            member_offsets_[c + 1] - member_offsets_[c]};
+  }
+
+  /// Successor components of `c` in the condensation DAG (there is an edge
+  /// u --a--> v with u ∈ c, v ∈ target, target ≠ c), ascending and deduped.
+  std::span<const uint32_t> DagOut(uint32_t c) const {
+    return {dag_out_.data() + dag_out_offsets_[c],
+            dag_out_offsets_[c + 1] - dag_out_offsets_[c]};
+  }
+  /// Predecessor components of `c` (transpose of DagOut), ascending.
+  std::span<const uint32_t> DagIn(uint32_t c) const {
+    return {dag_in_.data() + dag_in_offsets_[c],
+            dag_in_offsets_[c + 1] - dag_in_offsets_[c]};
+  }
+
+  /// Directed component-level edges of the condensation DAG.
+  size_t num_dag_edges() const { return dag_out_.size(); }
+
+ private:
+  friend class CondensedGraph;
+
+  std::vector<uint32_t> comp_;            // num_nodes
+  std::vector<uint32_t> member_offsets_;  // num_components + 1
+  std::vector<NodeId> members_;
+  std::vector<uint32_t> dag_out_offsets_;  // num_components + 1
+  std::vector<uint32_t> dag_out_;
+  std::vector<uint32_t> dag_in_offsets_;  // num_components + 1
+  std::vector<uint32_t> dag_in_;
+  CondensationSummary summary_;
+};
+
+/// Per-label SCC condensations of one immutable Graph, built by an
+/// iterative (explicit-stack) Tarjan pass over the label-grouped CSR.
+/// Deterministic: the same graph always produces the same component ids and
+/// CSR layouts. The structure is evaluation-side read-only — the query
+/// planner consults the summaries and the kleene-star rounds expand
+/// frontiers component-at-a-time through the DAG CSRs (see
+/// docs/ARCHITECTURE.md, "SCC condensation").
+class CondensedGraph {
+ public:
+  /// An empty condensation (0 nodes, no labels); assign a built one over it.
+  CondensedGraph() = default;
+
+  /// Condenses every label of `graph`.
+  static CondensedGraph Build(const Graph& graph);
+
+  /// Condenses only `labels` (each must be < graph.num_symbols(); duplicates
+  /// are allowed and collapsed). The planner uses this to condense exactly
+  /// the labels that appear in kleene-star self-loops of the query.
+  static CondensedGraph Build(const Graph& graph,
+                              std::span<const Symbol> labels);
+
+  uint32_t num_nodes() const { return num_nodes_; }
+  /// Edge count of the graph this condensation was built from; cache
+  /// consumers compare it (with num_nodes) to reject stale caches.
+  size_t num_graph_edges() const { return num_graph_edges_; }
+  uint32_t num_symbols() const {
+    return static_cast<uint32_t>(built_.size());
+  }
+
+  /// True iff `Label(a)` was built (Build-all builds every label; the
+  /// subset overload only the requested ones).
+  bool HasLabel(Symbol a) const {
+    return a < built_.size() && built_[a] != 0;
+  }
+  const LabelCondensation& Label(Symbol a) const { return labels_[a]; }
+
+ private:
+  static LabelCondensation CondenseLabel(const Graph& graph, Symbol a);
+
+  uint32_t num_nodes_ = 0;
+  size_t num_graph_edges_ = 0;
+  std::vector<uint8_t> built_;            // per symbol
+  std::vector<LabelCondensation> labels_;  // per symbol; empty when !built_
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_CONDENSE_H_

@@ -73,6 +73,7 @@ ShardedGraph ShardedGraph::Partition(const Graph& graph, uint32_t num_shards) {
   RPQ_CHECK_GE(num_shards, 1u);
   ShardedGraph sharded;
   sharded.num_nodes_ = graph.num_nodes();
+  sharded.num_graph_edges_ = graph.num_edges();
   sharded.boundaries_ = WeightBalancedBoundaries(graph, num_shards);
   sharded.shards_.resize(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {

@@ -110,6 +110,9 @@ class ShardedGraph {
     return static_cast<uint32_t>(shards_.size());
   }
   uint32_t num_nodes() const { return num_nodes_; }
+  /// Edge count of the graph this view partitions; cache consumers compare
+  /// it (with num_nodes) to reject stale caches.
+  size_t num_graph_edges() const { return num_graph_edges_; }
   const GraphShard& shard(uint32_t s) const { return shards_[s]; }
 
   /// The shard owning global node `v`.
@@ -129,6 +132,7 @@ class ShardedGraph {
   ShardedGraph() = default;
 
   uint32_t num_nodes_ = 0;
+  size_t num_graph_edges_ = 0;
   size_t num_boundary_edges_ = 0;
   std::vector<NodeId> boundaries_;
   std::vector<GraphShard> shards_;

@@ -1,5 +1,9 @@
 #include "interact/session.h"
 
+#include <optional>
+
+#include "graph/condense.h"
+#include "graph/shard.h"
 #include "learn/incremental.h"
 #include "query/eval.h"
 #include "query/metrics.h"
@@ -15,6 +19,29 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
   uint32_t k = options.k_start;
   bool have_query = false;
 
+  // The session's graph never changes, but the interactive loop evaluates
+  // once per interaction — so the graph-only evaluation structures are
+  // built once here and handed to every call through the cache pointers of
+  // EvalOptions, instead of being re-derived per call: the node-range
+  // partition (when sharded evaluation is configured) and the per-label SCC
+  // condensation (when the kleene-star planner step may engage). Both are
+  // deterministic, so caching never changes results.
+  EvalOptions eval = options.eval;
+  std::optional<ShardedGraph> shard_cache;
+  if (eval.sharded_cache == nullptr && eval.shards > 1) {
+    const uint32_t effective = EffectiveShardCount(eval, graph.num_nodes());
+    if (effective > 1) {
+      shard_cache.emplace(ShardedGraph::Partition(graph, effective));
+      eval.sharded_cache = &*shard_cache;
+    }
+  }
+  std::optional<CondensedGraph> condense_cache;
+  if (eval.condensed_cache == nullptr &&
+      eval.condense != CondenseMode::kOff) {
+    condense_cache.emplace(CondensedGraph::Build(graph));
+    eval.condensed_cache = &*condense_cache;
+  }
+
   // Incremental learner: SCPs and coverage automata are cached across
   // interactions and only revalidated when negatives arrive.
   LearnerOptions learner_options = options.learner;
@@ -29,7 +56,7 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
     result.final_query = outcome.query;
     have_query = true;
     StatusOr<BitVector> selected =
-        EvalMonadic(graph, result.final_query, options.eval);
+        EvalMonadic(graph, result.final_query, eval);
     RPQ_CHECK(selected.ok()) << selected.status().ToString();
     return ComputeMetrics(*selected, oracle.goal()).f1;
   };

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <thread>
 #include <utility>
 
 #include "automata/dfa_csr.h"
+#include "graph/condense.h"
 #include "graph/shard.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -125,7 +127,171 @@ BinaryTables BuildBinaryTables(const Graph& graph, const FrozenDfa& frozen) {
 struct RoundCounters {
   uint64_t sparse = 0;
   uint64_t dense = 0;
+  uint64_t condensed_expansions = 0;
+  uint64_t components_collapsed = 0;
 };
+
+// ----------------------------------------------------------- condensation
+
+/// One engaged kleene-star self-loop (state q, label a with δ(q, a) = q):
+/// the per-label condensation the rounds expand through, plus a dense index
+/// into the per-evaluation expanded-lane tables. The LabelCondensation
+/// pointer targets an element of a CondensedGraph's internal vector, so it
+/// stays valid when the owning CondensedGraph object moves.
+struct CondenseLoop {
+  Symbol symbol;
+  const LabelCondensation* label;
+  StateId state;
+  uint32_t index;
+};
+
+/// The kleene-star planner step of one evaluation call, resolved once from
+/// (graph, frozen DFA, validated options): which (state, label) self-loops
+/// expand component-at-a-time, over which condensation. Inactive — an empty
+/// plan every engine treats as "condense nothing" — when the mode is kOff,
+/// the sweep is bounded (levels must stay exact), the query has no star
+/// state, or the kAuto gates decline. `propagates` additionally replaces
+/// the engines' "has outgoing transitions" frontier-enqueue test: a state
+/// whose every transition is an engaged self-loop never propagates through
+/// per-edge rounds (the closure owns those hops).
+struct CondensePlan {
+  bool active = false;
+  std::vector<std::vector<CondenseLoop>> loops;  // per state; engaged only
+  std::vector<CondenseLoop> by_index;            // the same loops, flat
+  std::vector<uint8_t> engaged_any;              // per state
+  std::vector<uint8_t> propagates;               // per state
+  std::vector<uint32_t> comp_counts;             // per engaged-loop index
+  uint32_t num_loops = 0;
+  CondensedGraph owned;  // backing store when no matching cache was passed
+
+  bool Engaged(StateId q, Symbol a) const {
+    if (!active) return false;
+    for (const CondenseLoop& loop : loops[q]) {
+      if (loop.symbol == a) return true;
+    }
+    return false;
+  }
+};
+
+/// Below this many graph edges CondenseMode::kAuto skips condensation
+/// entirely: the learner's inner loops evaluate on toy graphs where a
+/// Tarjan pass costs as much as the BFS it would accelerate. kOn ignores
+/// the gate (tests and benchmarks pin it).
+constexpr size_t kAutoCondenseMinEdges = 64;
+
+/// Resolves the condensation planner step. Fills `plan->propagates` for
+/// every configuration (the engines consult it unconditionally); the rest
+/// only when condensation engages. `auto_needs_cache` is the monadic
+/// planner rule: a monadic sweep is one linear pass over the product space,
+/// so a per-call Tarjan build costs more than the sweep it would
+/// accelerate — under kAuto it engages only when the caller supplies a
+/// matching EvalOptions.condensed_cache (the interactive session does).
+/// The batched binary engines amortize the build across their 64-lane
+/// source batches, so they build per call when no cache matches. kOn
+/// always builds and engages.
+void BuildCondensePlan(const Graph& graph, const BinaryTables& tables,
+                       const EvalOptions& validated, bool bounded,
+                       bool auto_needs_cache, CondensePlan* plan) {
+  plan->propagates.resize(tables.nq);
+  for (StateId q = 0; q < tables.nq; ++q) {
+    plan->propagates[q] = tables.transitions[q].empty() ? 0 : 1;
+  }
+  if (bounded || validated.condense == CondenseMode::kOff) return;
+
+  // Star states: q with δ(q, a) = q for a graph label a.
+  std::vector<std::vector<Symbol>> star_labels(tables.nq);
+  std::vector<Symbol> needed;
+  for (StateId q = 0; q < tables.nq; ++q) {
+    for (const StateTransition& tr : tables.transitions[q]) {
+      if (tr.target != q) continue;
+      star_labels[q].push_back(tr.symbol);
+      if (std::find(needed.begin(), needed.end(), tr.symbol) ==
+          needed.end()) {
+        needed.push_back(tr.symbol);
+      }
+    }
+  }
+  if (needed.empty()) return;
+  if (validated.condense == CondenseMode::kAuto &&
+      graph.num_edges() < kAutoCondenseMinEdges) {
+    return;
+  }
+
+  const CondensedGraph* cond = validated.condensed_cache;
+  if (cond != nullptr && cond->num_nodes() == graph.num_nodes() &&
+      cond->num_graph_edges() == graph.num_edges()) {
+    for (Symbol a : needed) {
+      if (!cond->HasLabel(a)) {
+        cond = nullptr;
+        break;
+      }
+    }
+  } else {
+    cond = nullptr;
+  }
+  if (cond == nullptr) {
+    if (validated.condense == CondenseMode::kAuto && auto_needs_cache) {
+      return;  // a per-call build would cost more than this sweep
+    }
+    plan->owned = CondensedGraph::Build(graph, needed);
+    cond = &plan->owned;
+  }
+
+  plan->loops.resize(tables.nq);
+  plan->engaged_any.assign(tables.nq, 0);
+  for (StateId q = 0; q < tables.nq; ++q) {
+    for (Symbol a : star_labels[q]) {
+      const LabelCondensation& label = cond->Label(a);
+      // kAuto engages a loop only when its label actually has a nontrivial
+      // component to collapse; kOn engages every star loop (the expansion
+      // degenerates to the per-edge push on an acyclic label, still exact).
+      if (validated.condense == CondenseMode::kAuto &&
+          label.summary().largest_component < 2) {
+        continue;
+      }
+      const CondenseLoop loop{a, &label, q, plan->num_loops};
+      plan->loops[q].push_back(loop);
+      plan->by_index.push_back(loop);
+      plan->comp_counts.push_back(label.num_components());
+      ++plan->num_loops;
+      plan->engaged_any[q] = 1;
+    }
+  }
+  if (plan->num_loops == 0) return;
+  plan->active = true;
+
+  // A state propagates through per-edge rounds only if it has a transition
+  // the closure does not own.
+  for (StateId q = 0; q < tables.nq; ++q) {
+    if (!plan->engaged_any[q]) continue;
+    bool per_edge = false;
+    for (const StateTransition& tr : tables.transitions[q]) {
+      if (!(tr.target == q && plan->Engaged(q, tr.symbol))) {
+        per_edge = true;
+        break;
+      }
+    }
+    plan->propagates[q] = per_edge ? 1 : 0;
+  }
+}
+
+/// Strips engaged self-loop sources from the dense-pull source masks: the
+/// closure owns those hops, so the word-at-a-time frontier test must not
+/// pull (u, t) from (v, t) over an engaged label. The per-bit fallback path
+/// skips the same sources explicitly (see PullMissingLanes).
+void ApplyCondensePlanToTables(const CondensePlan& plan,
+                               BinaryTables* tables) {
+  if (!plan.active || !tables->use_state_windows) return;
+  for (StateId t = 0; t < tables->nq; ++t) {
+    if (!plan.engaged_any[t]) continue;
+    const auto entries = tables->frozen->ReverseInto(t);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (plan.Engaged(t, entries[i].symbol)) {
+        tables->entry_source_masks[t][i] &= ~(uint64_t{1} << t);
+      }
+    }
+  }
+}
 
 /// Direction policy of one evaluation call, resolved from validated
 /// EvalOptions by the impl entry points: a round runs dense iff its
@@ -170,6 +336,7 @@ DirectionPolicy ResolveDirectionPolicy(const EvalOptions& validated,
 /// replaces the per-bit Test loop; larger queries keep the per-bit path.
 template <typename InNeighborsFn>
 uint64_t PullMissingLanes(const BinaryTables& tables,
+                          const CondensePlan& plan,
                           const BitVector& frontier_bits,
                           const std::vector<uint64_t>& mask,
                           InNeighborsFn&& in, NodeId u, StateId t,
@@ -179,12 +346,15 @@ uint64_t PullMissingLanes(const BinaryTables& tables,
   const auto entries = frozen.ReverseInto(t);
   uint64_t gained = 0;
   if (tables.use_state_windows) {
+    // Engaged self-loop sources were already stripped from the masks
+    // (ApplyCondensePlanToTables) — the closure owns those hops.
     const std::vector<uint64_t>& entry_masks = tables.entry_source_masks[t];
     for (size_t i = 0; i < entries.size(); ++i) {
       // Entries are symbol-ascending; symbols the graph lacks have no
       // edges and trail the shared range.
       if (entries[i].symbol >= tables.num_shared) break;
       const uint64_t source_mask = entry_masks[i];
+      if (source_mask == 0) continue;
       for (NodeId v : in(u, entries[i].symbol)) {
         const size_t base = static_cast<size_t>(v) * nq;
         uint64_t hits = frontier_bits.Window(base, nq) & source_mask;
@@ -200,8 +370,10 @@ uint64_t PullMissingLanes(const BinaryTables& tables,
   }
   for (const auto& entry : entries) {
     if (entry.symbol >= tables.num_shared) break;
+    const bool skip_self = plan.Engaged(t, entry.symbol);
     for (NodeId v : in(u, entry.symbol)) {
       for (StateId p : frozen.EntrySources(entry)) {
+        if (skip_self && p == t) continue;  // closure owns the star hop
         const size_t vp = static_cast<size_t>(v) * nq + p;
         if (!frontier_bits.Test(vp)) continue;
         gained |= mask[vp] & missing;
@@ -226,6 +398,11 @@ struct GlobalGraphView {
   std::span<const NodeId> In(NodeId v, Symbol a) const {
     return graph->InNeighbors(v, a);
   }
+  // Condensations are built on the global graph; the global view's id
+  // spaces coincide.
+  bool OwnsGlobal(NodeId) const { return true; }
+  NodeId ToLocal(NodeId global) const { return global; }
+  NodeId ToGlobal(NodeId local) const { return local; }
 };
 
 struct ShardGraphView {
@@ -237,6 +414,14 @@ struct ShardGraphView {
   std::span<const NodeId> In(NodeId v, Symbol a) const {
     return shard->InNeighborsLocal(v, a);
   }
+  // Shard-local sweeps consult the global condensation for owned nodes
+  // only; components spanning shard cuts propagate through the BSP
+  // boundary exchange like any other cross-shard edge.
+  bool OwnsGlobal(NodeId global) const {
+    return global >= shard->node_begin() && global < shard->node_end();
+  }
+  NodeId ToLocal(NodeId global) const { return global - shard->node_begin(); }
+  NodeId ToGlobal(NodeId local) const { return local + shard->node_begin(); }
 };
 
 /// Direction-optimized backward product sweep over one adjacency view.
@@ -256,13 +441,21 @@ template <typename View>
 class MonadicSweeper {
  public:
   MonadicSweeper(View view, const BinaryTables& tables,
-                 DirectionPolicy policy)
+                 const CondensePlan& plan, DirectionPolicy policy)
       : view_(view),
         tables_(tables),
+        plan_(&plan),
         policy_(policy),
         reached_(static_cast<size_t>(view_.num_nodes()) * tables.nq),
         frontier_bits_(reached_.size()),
-        next_bits_(reached_.size()) {}
+        next_bits_(reached_.size()) {
+    if (plan_->active) {
+      cond_expanded_.resize(plan_->num_loops);
+      for (uint32_t i = 0; i < plan_->num_loops; ++i) {
+        cond_expanded_[i].assign(plan_->comp_counts[i], 0);
+      }
+    }
+  }
 
   size_t frontier_pairs() const { return frontier_pairs_; }
   const BitVector& reached() const { return reached_; }
@@ -280,7 +473,42 @@ class MonadicSweeper {
       frontier_.emplace_back(v, q);
     }
     ++frontier_pairs_;
+    MaybeQueueCondense(v, q);
     hook(v, q);
+  }
+
+  /// Expands every pending star-state discovery component-at-a-time:
+  /// backward over an engaged self-loop, a discovery (v, q) reaches every
+  /// node of v's component and of the component's DAG predecessors, so the
+  /// closure saturates them in one hop (owned members only — a component
+  /// spanning shard cuts propagates through the boundary exchange like any
+  /// other cross-shard edge) and the scatter chains through the worklist
+  /// until the backward a*-cone is exhausted. Every visited cell lies in
+  /// the monotone fixed point, so the closure never changes the result —
+  /// only how many rounds reach it. Callable between rounds only, like
+  /// Visit; a no-op when the plan is inactive (bounded sweeps: collapsing
+  /// an SCC would merge BFS levels).
+  template <typename VisitHook>
+  void RunCondenseClosure(VisitHook&& hook, RoundCounters* rounds) {
+    while (!cond_worklist_.empty()) {
+      const auto [v, q] = cond_worklist_.back();
+      cond_worklist_.pop_back();
+      const NodeId global = view_.ToGlobal(v);
+      for (const CondenseLoop& loop : plan_->loops[q]) {
+        const uint32_t c = loop.label->ComponentOf(global);
+        uint8_t& expanded = cond_expanded_[loop.index][c];
+        if (expanded) continue;
+        expanded = 1;
+        ++rounds->condensed_expansions;
+        if (loop.label->Members(c).size() >= 2) {
+          ++rounds->components_collapsed;
+        }
+        ScatterComponent(loop, c, q, hook);
+        for (uint32_t pred : loop.label->DagIn(c)) {
+          ScatterComponent(loop, pred, q, hook);
+        }
+      }
+    }
   }
 
   /// Expands the pending frontier by exactly one level; fresh discoveries
@@ -306,6 +534,23 @@ class MonadicSweeper {
   }
 
  private:
+  /// Queues (v, q) for the condensation closure when q is a star state the
+  /// plan engages.
+  void MaybeQueueCondense(NodeId v, StateId q) {
+    if (plan_->active && plan_->engaged_any[q]) {
+      cond_worklist_.emplace_back(v, q);
+    }
+  }
+
+  template <typename VisitHook>
+  void ScatterComponent(const CondenseLoop& loop, uint32_t c, StateId q,
+                        VisitHook&& hook) {
+    for (NodeId member : loop.label->Members(c)) {
+      if (!view_.OwnsGlobal(member)) continue;
+      Visit(view_.ToLocal(member), q, hook);
+    }
+  }
+
   template <typename VisitHook>
   void SparseRound(VisitHook&& hook) {
     const uint32_t nq = tables_.nq;
@@ -314,12 +559,17 @@ class MonadicSweeper {
       // Predecessor pairs: (u, p) with edge (u, a, v) and δ(p, a) = q.
       for (const auto& entry : tables_.frozen->ReverseInto(q)) {
         if (entry.symbol >= tables_.num_shared) break;
+        // The closure owns engaged self-loop hops (p == q over a star
+        // label); per-edge work handles every other source.
+        const bool skip_self = plan_->Engaged(q, entry.symbol);
         for (NodeId u : view_.In(v, entry.symbol)) {
           for (StateId p : tables_.frozen->EntrySources(entry)) {
+            if (skip_self && p == q) continue;
             const size_t cell = static_cast<size_t>(u) * nq + p;
             if (!reached_.Test(cell)) {
               reached_.Set(cell);
               next_.emplace_back(u, p);
+              MaybeQueueCondense(u, p);
               hook(u, p);
             }
           }
@@ -340,8 +590,13 @@ class MonadicSweeper {
       for (StateId q = 0; q < nq; ++q) {
         const size_t cell = static_cast<size_t>(v) * nq + q;
         if (reached_.Test(cell)) continue;
+        const bool check_engaged = plan_->active && plan_->engaged_any[q];
         bool found = false;
         for (const StateTransition& tr : tables_.transitions[q]) {
+          if (check_engaged && tr.target == q &&
+              plan_->Engaged(q, tr.symbol)) {
+            continue;  // the closure owns the star hop
+          }
           for (NodeId u : view_.Out(v, tr.symbol)) {
             if (frontier_bits_.Test(static_cast<size_t>(u) * nq +
                                     tr.target)) {
@@ -355,6 +610,7 @@ class MonadicSweeper {
         reached_.Set(cell);
         next_bits_.Set(cell);
         ++next_pairs;
+        MaybeQueueCondense(v, q);
         hook(v, q);
       }
     }
@@ -380,12 +636,15 @@ class MonadicSweeper {
 
   View view_;
   const BinaryTables& tables_;
+  const CondensePlan* plan_;
   DirectionPolicy policy_;
   BitVector reached_;
   BitVector frontier_bits_;
   BitVector next_bits_;
   std::vector<std::pair<NodeId, StateId>> frontier_;
   std::vector<std::pair<NodeId, StateId>> next_;
+  std::vector<std::pair<NodeId, StateId>> cond_worklist_;
+  std::vector<std::vector<uint8_t>> cond_expanded_;  // per loop × component
   size_t frontier_pairs_ = 0;
   bool dense_ = false;
 };
@@ -393,14 +652,20 @@ class MonadicSweeper {
 void AccumulateMonadicRounds(const EvalOptions& validated,
                              std::span<const RoundCounters> per_sweep) {
   if (validated.stats == nullptr) return;
-  uint64_t sparse = 0, dense = 0;
+  uint64_t sparse = 0, dense = 0, condensed = 0, collapsed = 0;
   for (const RoundCounters& rounds : per_sweep) {
     sparse += rounds.sparse;
     dense += rounds.dense;
+    condensed += rounds.condensed_expansions;
+    collapsed += rounds.components_collapsed;
   }
   validated.stats->monadic_sparse_rounds.fetch_add(sparse,
                                                    std::memory_order_relaxed);
   validated.stats->monadic_dense_rounds.fetch_add(dense,
+                                                  std::memory_order_relaxed);
+  validated.stats->condensed_expansions.fetch_add(condensed,
+                                                  std::memory_order_relaxed);
+  validated.stats->components_collapsed.fetch_add(collapsed,
                                                   std::memory_order_relaxed);
 }
 
@@ -411,20 +676,23 @@ void AccumulateMonadicRounds(const EvalOptions& validated,
 /// per-range sweeps equals the full sweep — that is the parallel
 /// decomposition.
 BitVector MonadicSweepRange(const Graph& graph, const BinaryTables& tables,
+                            const CondensePlan& plan,
                             const DirectionPolicy& policy, bool bounded,
                             uint32_t max_length, NodeId node_lo,
                             NodeId node_hi, RoundCounters* rounds) {
   const uint32_t nq = tables.nq;
   const uint32_t nv = graph.num_nodes();
   MonadicSweeper<GlobalGraphView> sweeper(GlobalGraphView{&graph}, tables,
-                                          policy);
+                                          plan, policy);
   auto no_hook = [](NodeId, StateId) {};
   for (StateId q : tables.accepting_states) {
     for (NodeId v = node_lo; v < node_hi; ++v) sweeper.Visit(v, q, no_hook);
   }
+  sweeper.RunCondenseClosure(no_hook, rounds);
   uint32_t steps = 0;
   while (sweeper.frontier_pairs() > 0 && (!bounded || steps < max_length)) {
     sweeper.RunRound(no_hook, rounds);
+    sweeper.RunCondenseClosure(no_hook, rounds);
     ++steps;
   }
 
@@ -452,11 +720,12 @@ struct MonadicPush {
 class ShardMonadicState {
  public:
   ShardMonadicState(const ShardedGraph& sharded, uint32_t self,
-                    const BinaryTables& tables, const EvalOptions& validated)
+                    const BinaryTables& tables, const CondensePlan& plan,
+                    const EvalOptions& validated)
       : sharded_(&sharded),
         shard_(&sharded.shard(self)),
         tables_(&tables),
-        sweeper_(ShardGraphView{shard_}, tables,
+        sweeper_(ShardGraphView{shard_}, tables, plan,
                  ResolveDirectionPolicy(
                      validated, static_cast<size_t>(
                                     shard_->num_local_nodes()) *
@@ -478,7 +747,10 @@ class ShardMonadicState {
     };
   }
 
-  /// Seeds every (local node, accepting state) pair of this shard.
+  /// Seeds every (local node, accepting state) pair of this shard, then
+  /// closes the seeds over the condensation (a no-op for bounded sweeps,
+  /// whose plan is inactive), so seed-round border discoveries include the
+  /// condensed cones.
   void Seed() {
     for (StateId q : tables_->accepting_states) {
       const uint32_t local_nodes = shard_->num_local_nodes();
@@ -486,6 +758,7 @@ class ShardMonadicState {
         sweeper_.Visit(v, q, BorderHook());
       }
     }
+    sweeper_.RunCondenseClosure(BorderHook(), &rounds_);
   }
 
   /// One BSP superstep. Unbounded: drain deliveries, run local rounds to
@@ -497,14 +770,18 @@ class ShardMonadicState {
   void RunSuperstep(std::span<ShardMonadicState> all, uint32_t self,
                     bool single_round) {
     if (single_round) {
+      // Bounded sweeps: the plan is inactive, so the closure calls below
+      // are no-ops and every level round is exactly one edge hop.
       if (sweeper_.frontier_pairs() > 0) {
         sweeper_.RunRound(BorderHook(), &rounds_);
       }
       Drain(all, self);
     } else {
       Drain(all, self);
+      sweeper_.RunCondenseClosure(BorderHook(), &rounds_);
       while (sweeper_.frontier_pairs() > 0) {
         sweeper_.RunRound(BorderHook(), &rounds_);
+        sweeper_.RunCondenseClosure(BorderHook(), &rounds_);
       }
     }
     EmitPushes();
@@ -569,18 +846,39 @@ class ShardMonadicState {
 /// per-shard outboxes between supersteps. The visited table is the same
 /// monotone closure the monolithic sweep computes (bounded: the same level
 /// sets), so the result is bit-identical for every shard count.
+/// The partition a sharded evaluation runs over: the caller's
+/// EvalOptions.sharded_cache when it matches (same node and shard count),
+/// else a fresh partition placed in `owned`. Partitioning is deterministic,
+/// so the two are identical layouts.
+const ShardedGraph& ResolveShardedGraph(const Graph& graph,
+                                        const EvalOptions& validated,
+                                        uint32_t num_shards,
+                                        std::optional<ShardedGraph>* owned) {
+  const ShardedGraph* cache = validated.sharded_cache;
+  if (cache != nullptr && cache->num_nodes() == graph.num_nodes() &&
+      cache->num_graph_edges() == graph.num_edges() &&
+      cache->num_shards() == num_shards) {
+    return *cache;
+  }
+  owned->emplace(ShardedGraph::Partition(graph, num_shards));
+  return **owned;
+}
+
 BitVector EvalMonadicShardedImpl(const Graph& graph,
                                  const BinaryTables& tables,
+                                 const CondensePlan& plan,
                                  const EvalOptions& validated, bool bounded,
                                  uint32_t max_length, uint32_t num_shards) {
   const uint32_t nv = graph.num_nodes();
   const uint32_t nq = tables.nq;
-  const ShardedGraph sharded = ShardedGraph::Partition(graph, num_shards);
+  std::optional<ShardedGraph> owned_partition;
+  const ShardedGraph& sharded =
+      ResolveShardedGraph(graph, validated, num_shards, &owned_partition);
 
   std::vector<ShardMonadicState> shards;
   shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    shards.emplace_back(sharded, s, tables, validated);
+    shards.emplace_back(sharded, s, tables, plan, validated);
   }
   for (ShardMonadicState& shard : shards) {
     shard.Seed();
@@ -646,11 +944,12 @@ BitVector EvalMonadicShardedImpl(const Graph& graph,
   return result;
 }
 
-/// Effective shard count of one evaluation: the validated knob, additionally
-/// clamped to the node count (surplus shards would only be empty ranges).
-/// 1 means the monolithic path.
+/// Effective shard count of one evaluation; 1 means the monolithic path.
+/// Shares the exported clamping rule so EvalOptions.sharded_cache holders
+/// (the interactive session) always partition at the count the engines
+/// resolve.
 uint32_t ResolveShards(const EvalOptions& validated, uint32_t nv) {
-  return std::min(validated.shards, std::max<uint32_t>(nv, 1));
+  return EffectiveShardCount(validated, nv);
 }
 
 /// Runs per-node-range monadic sweeps (bounded iff max_length != none) on
@@ -663,13 +962,17 @@ BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
   const uint32_t nq = query.num_states();
   const uint32_t nv = graph.num_nodes();
   const FrozenDfa frozen(query);
-  const BinaryTables tables = BuildBinaryTables(graph, frozen);
+  BinaryTables tables = BuildBinaryTables(graph, frozen);
+  CondensePlan plan;
+  BuildCondensePlan(graph, tables, validated, bounded,
+                    /*auto_needs_cache=*/true, &plan);
+  ApplyCondensePlanToTables(plan, &tables);
   const size_t num_pairs = static_cast<size_t>(nv) * nq;
   const DirectionPolicy policy = ResolveDirectionPolicy(validated, num_pairs);
 
   const uint32_t num_shards = ResolveShards(validated, nv);
   if (num_shards > 1) {
-    return EvalMonadicShardedImpl(graph, tables, validated, bounded,
+    return EvalMonadicShardedImpl(graph, tables, plan, validated, bounded,
                                   max_length, num_shards);
   }
 
@@ -683,8 +986,8 @@ BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
   }
   if (workers == 1) {
     RoundCounters rounds;
-    BitVector result = MonadicSweepRange(graph, tables, policy, bounded,
-                                         max_length, 0, nv, &rounds);
+    BitVector result = MonadicSweepRange(graph, tables, plan, policy,
+                                         bounded, max_length, 0, nv, &rounds);
     AccumulateMonadicRounds(validated, {&rounds, 1});
     return result;
   }
@@ -699,8 +1002,8 @@ BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
             static_cast<NodeId>(static_cast<size_t>(nv) * chunk / workers);
         const NodeId hi = static_cast<NodeId>(static_cast<size_t>(nv) *
                                               (chunk + 1) / workers);
-        partial[chunk] = MonadicSweepRange(graph, tables, policy, bounded,
-                                           max_length, lo, hi,
+        partial[chunk] = MonadicSweepRange(graph, tables, plan, policy,
+                                           bounded, max_length, lo, hi,
                                            &per_sweep[chunk]);
       });
   AccumulateMonadicRounds(validated, per_sweep);
@@ -735,24 +1038,35 @@ BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
 /// point (and hence the output) is identical for every mode sequence.
 class BinaryBatchScratch {
  public:
-  /// Sizes the arrays for an nv × nq product space; idempotent, so workers
-  /// call it lazily on their first batch.
-  void Prepare(size_t num_pairs) {
+  /// Sizes the arrays for an nv × nq product space (and the plan's
+  /// per-component expanded-lane tables); idempotent, so workers call it
+  /// lazily on their first batch.
+  void Prepare(size_t num_pairs, const CondensePlan& plan) {
     if (mask_.size() != num_pairs) {
       mask_.assign(num_pairs, 0);
       pending_.assign(num_pairs, 0);
       frontier_bits_ = BitVector(num_pairs);
       next_bits_ = BitVector(num_pairs);
     }
+    if (plan.active && cond_expanded_.size() != plan.num_loops) {
+      cond_expanded_.resize(plan.num_loops);
+      cond_pending_.resize(plan.num_loops);
+      cond_touched_.resize(plan.num_loops);
+      for (uint32_t i = 0; i < plan.num_loops; ++i) {
+        cond_expanded_[i].assign(plan.comp_counts[i], 0);
+        cond_pending_[i].assign(plan.comp_counts[i], 0);
+      }
+    }
   }
 
   /// Evaluates one batch of ≤ 64 sources (lane i = sources[i]) and appends
   /// its (src, dst) pairs to `out`, grouped by lane in input order with
   /// destinations ascending, adding its round counts to `rounds`. Pure
-  /// function of (graph, tables, sources): scratch reuse, worker assignment
-  /// and the direction policy never change the output.
+  /// function of (graph, tables, plan, sources): scratch reuse, worker
+  /// assignment, the direction policy and the condensation plan never
+  /// change the output.
   void RunBatch(const Graph& graph, const BinaryTables& tables,
-                const DirectionPolicy& policy,
+                const CondensePlan& plan, const DirectionPolicy& policy,
                 std::span<const NodeId> sources,
                 std::vector<std::pair<NodeId, NodeId>>* out,
                 RoundCounters* rounds) {
@@ -768,7 +1082,10 @@ class BinaryBatchScratch {
       const size_t idx = static_cast<size_t>(src) * nq + tables.q0;
       if (mask_[idx] == 0) touched_.push_back(idx);
       mask_[idx] |= uint64_t{1} << lane;
-      if (!tables.transitions[tables.q0].empty() && !pending_[idx]) {
+      if (plan.active && plan.engaged_any[tables.q0]) {
+        TriggerCondense(plan, src, tables.q0, uint64_t{1} << lane);
+      }
+      if (plan.propagates[tables.q0] && !pending_[idx]) {
         pending_[idx] = 1;
         frontier_.emplace_back(src, tables.q0);
       }
@@ -778,8 +1095,12 @@ class BinaryBatchScratch {
     // choosing the round direction per round. The frontier lives in exactly
     // one representation at a time (list + pending flags when sparse,
     // bitmap when dense); switches convert it without changing its set.
+    // The condensation closure runs between rounds over every cell that
+    // gained lanes, so star cones saturate component-at-a-time regardless
+    // of the round kind.
     bool dense = false;
     size_t frontier_pairs = frontier_.size();
+    frontier_pairs += RunCondenseClosure(tables, plan, dense, rounds);
     while (frontier_pairs > 0) {
       const bool want_dense = frontier_pairs >= policy.dense_cutoff_pairs;
       if (want_dense != dense) {
@@ -791,12 +1112,13 @@ class BinaryBatchScratch {
         dense = want_dense;
       }
       if (dense) {
-        frontier_pairs = DenseRound(graph, tables);
+        frontier_pairs = DenseRound(graph, tables, plan);
         ++rounds->dense;
       } else {
-        frontier_pairs = SparseRound(graph, tables);
+        frontier_pairs = SparseRound(graph, tables, plan);
         ++rounds->sparse;
       }
+      frontier_pairs += RunCondenseClosure(tables, plan, dense, rounds);
     }
 
     // Recover the result lanes: a visited (u, q_accepting) pair is exactly
@@ -844,28 +1166,135 @@ class BinaryBatchScratch {
 
     for (size_t cell : touched_) mask_[cell] = 0;
     touched_.clear();
+    for (uint32_t i = 0; i < static_cast<uint32_t>(cond_touched_.size());
+         ++i) {
+      for (uint32_t c : cond_touched_[i]) cond_expanded_[i][c] = 0;
+      cond_touched_[i].clear();
+    }
   }
 
  private:
+  /// Queues the star components of (v, q) for the condensation closure:
+  /// lanes not yet expanded into a component accumulate in its pending set
+  /// (one heap entry per component with pending lanes), so one closure wave
+  /// scatters a component once with every lane that reached it, keeping the
+  /// 64-lane batching intact instead of expanding per gain.
+  /// Pushes one (component, loop) entry keeping cond_heap_ a max-heap on
+  /// (component id, loop index) — the pop order that makes closure waves
+  /// reverse-topological per label.
+  void HeapPush(uint32_t c, uint32_t loop_index) {
+    cond_heap_.emplace_back(c, loop_index);
+    std::push_heap(cond_heap_.begin(), cond_heap_.end());
+  }
+
+  void TriggerCondense(const CondensePlan& plan, NodeId v, StateId q,
+                       uint64_t lanes) {
+    for (const CondenseLoop& loop : plan.loops[q]) {
+      const uint32_t c = loop.label->ComponentOf(v);
+      uint64_t& pending = cond_pending_[loop.index][c];
+      const uint64_t add = lanes & ~cond_expanded_[loop.index][c] & ~pending;
+      if (add == 0) continue;
+      if (pending == 0) HeapPush(c, loop.index);
+      pending |= add;
+    }
+  }
+
+  /// Runs the condensation closure over every component that accumulated
+  /// pending lanes since the last call (seeding or the preceding round):
+  /// components pop in descending id order — reverse-topological, since
+  /// Tarjan numbers every DAG successor below its predecessors — so within
+  /// one label each component is scattered at most once per wave, with DAG
+  /// successors receiving component-level pending lanes rather than member
+  /// scatters. Newly propagating cells join the current frontier
+  /// representation; returns how many were added. Every scattered cell lies
+  /// in the monotone fixed point (members of an SCC are mutually a*-
+  /// reachable; a DAG successor's members are reachable through one a-edge
+  /// plus intra-SCC a-paths), so the closure never changes the output.
+  size_t RunCondenseClosure(const BinaryTables& tables,
+                            const CondensePlan& plan, bool dense_repr,
+                            RoundCounters* rounds) {
+    size_t added = 0;
+    const uint32_t nq = tables.nq;
+    while (!cond_heap_.empty()) {
+      std::pop_heap(cond_heap_.begin(), cond_heap_.end());
+      const auto [c, loop_index] = cond_heap_.back();
+      cond_heap_.pop_back();
+      uint64_t& pending = cond_pending_[loop_index][c];
+      uint64_t lanes = pending & ~cond_expanded_[loop_index][c];
+      pending = 0;
+      if (lanes == 0) continue;
+      const CondenseLoop& loop = plan.by_index[loop_index];
+      uint64_t& expanded = cond_expanded_[loop_index][c];
+      if (expanded == 0) cond_touched_[loop_index].push_back(c);
+      expanded |= lanes;
+      ++rounds->condensed_expansions;
+      const auto members = loop.label->Members(c);
+      if (members.size() >= 2) ++rounds->components_collapsed;
+
+      const StateId q = loop.state;
+      const bool propagates = plan.propagates[q] != 0;
+      for (NodeId u : members) {
+        const size_t cell = static_cast<size_t>(u) * nq + q;
+        const uint64_t fresh = lanes & ~mask_[cell];
+        if (fresh == 0) continue;
+        if (mask_[cell] == 0) touched_.push_back(cell);
+        mask_[cell] |= fresh;
+        // Same-loop re-triggers die on the expanded check; this feeds the
+        // state's other star labels (e.g. the (a+b)* alternation).
+        TriggerCondense(plan, u, q, fresh);
+        if (!propagates) continue;
+        if (dense_repr) {
+          if (!frontier_bits_.Test(cell)) {
+            frontier_bits_.Set(cell);
+            ++added;
+          }
+        } else if (!pending_[cell]) {
+          pending_[cell] = 1;
+          frontier_.emplace_back(u, q);
+          ++added;
+        }
+      }
+      for (uint32_t succ : loop.label->DagOut(c)) {
+        uint64_t& succ_pending = cond_pending_[loop_index][succ];
+        const uint64_t add =
+            lanes & ~cond_expanded_[loop_index][succ] & ~succ_pending;
+        if (add == 0) continue;
+        if (succ_pending == 0) HeapPush(succ, loop_index);
+        succ_pending |= add;
+      }
+    }
+    return added;
+  }
+
   /// One sparse top-down round: expand every frontier pair over
   /// OutNeighbors, pushing fresh lanes into successors. Returns the next
-  /// frontier's size. Pairs whose target state has no outgoing transitions
-  /// are never enqueued (reaching them only updates the mask).
-  size_t SparseRound(const Graph& graph, const BinaryTables& tables) {
+  /// frontier's size. Pairs whose target state never propagates per edge
+  /// are not enqueued (reaching them only updates the mask — or, for star
+  /// states, feeds the closure).
+  size_t SparseRound(const Graph& graph, const BinaryTables& tables,
+                     const CondensePlan& plan) {
     const uint32_t nq = tables.nq;
     next_.clear();
     for (auto [v, q] : frontier_) {
       const size_t vq = static_cast<size_t>(v) * nq + q;
       pending_[vq] = 0;
       const uint64_t lanes_here = mask_[vq];
+      const bool check_engaged = plan.active && plan.engaged_any[q];
       for (const StateTransition& tr : tables.transitions[q]) {
+        if (check_engaged && tr.target == q &&
+            plan.Engaged(q, tr.symbol)) {
+          continue;  // the closure owns the star hop
+        }
         for (NodeId u : graph.OutNeighbors(v, tr.symbol)) {
           const size_t ut = static_cast<size_t>(u) * nq + tr.target;
           const uint64_t fresh = lanes_here & ~mask_[ut];
           if (fresh == 0) continue;
           if (mask_[ut] == 0) touched_.push_back(ut);
           mask_[ut] |= fresh;
-          if (!tables.transitions[tr.target].empty() && !pending_[ut]) {
+          if (plan.active && plan.engaged_any[tr.target]) {
+            TriggerCondense(plan, u, tr.target, fresh);
+          }
+          if (plan.propagates[tr.target] && !pending_[ut]) {
             pending_[ut] = 1;
             next_.emplace_back(u, tr.target);
           }
@@ -888,7 +1317,8 @@ class BinaryBatchScratch {
   /// pull stops as soon as it has gained all the cell's missing lanes —
   /// both are no-ops on the fixed point (a full cell gains nothing; gained
   /// lanes beyond `missing` were already present).
-  size_t DenseRound(const Graph& graph, const BinaryTables& tables) {
+  size_t DenseRound(const Graph& graph, const BinaryTables& tables,
+                    const CondensePlan& plan) {
     const uint32_t nq = tables.nq;
     const FrozenDfa& frozen = *tables.frozen;
     next_bits_.Clear();
@@ -896,16 +1326,19 @@ class BinaryBatchScratch {
     auto in = [&graph](NodeId u, Symbol a) { return graph.InNeighbors(u, a); };
     for (StateId t = 0; t < nq; ++t) {
       if (frozen.ReverseInto(t).empty()) continue;
-      const bool has_out = !tables.transitions[t].empty();
+      const bool has_out = plan.propagates[t] != 0;
+      const bool engaged = plan.active && plan.engaged_any[t];
       for (NodeId u = 0; u < tables.nv; ++u) {
         const size_t cell = static_cast<size_t>(u) * nq + t;
         const uint64_t missing = batch_full_ & ~mask_[cell];
         if (missing == 0) continue;  // cell complete, nothing to gain
-        const uint64_t gained = PullMissingLanes(tables, frontier_bits_,
-                                                 mask_, in, u, t, missing);
+        const uint64_t gained =
+            PullMissingLanes(tables, plan, frontier_bits_, mask_, in, u, t,
+                             missing);
         if (gained == 0) continue;
         if (mask_[cell] == 0) touched_.push_back(cell);
         mask_[cell] |= gained;
+        if (engaged) TriggerCondense(plan, u, t, gained);
         if (has_out) {
           next_bits_.Set(cell);
           ++next_pairs;
@@ -945,6 +1378,12 @@ class BinaryBatchScratch {
   std::vector<size_t> touched_;
   std::vector<std::pair<NodeId, StateId>> frontier_;
   std::vector<std::pair<NodeId, StateId>> next_;
+  /// Max-heap of (component id, loop index) with nonzero pending lanes;
+  /// drained (together with cond_pending_) by every RunCondenseClosure.
+  std::vector<std::pair<uint32_t, uint32_t>> cond_heap_;
+  std::vector<std::vector<uint64_t>> cond_expanded_;  // per loop × component
+  std::vector<std::vector<uint64_t>> cond_pending_;   // per loop × component
+  std::vector<std::vector<uint32_t>> cond_touched_;
   BitVector frontier_bits_;
   BitVector next_bits_;
   uint64_t batch_full_ = 0;  // all lanes of the current batch
@@ -958,15 +1397,22 @@ void AccumulateStats(const EvalOptions& validated,
                      std::span<const RoundCounters> per_batch) {
   if (validated.stats == nullptr) return;
   uint64_t sparse = 0, dense = 0, dense_batches = 0;
+  uint64_t condensed = 0, collapsed = 0;
   for (const RoundCounters& rounds : per_batch) {
     sparse += rounds.sparse;
     dense += rounds.dense;
+    condensed += rounds.condensed_expansions;
+    collapsed += rounds.components_collapsed;
     if (rounds.dense > 0) ++dense_batches;
   }
   validated.stats->sparse_rounds.fetch_add(sparse, std::memory_order_relaxed);
   validated.stats->dense_rounds.fetch_add(dense, std::memory_order_relaxed);
   validated.stats->dense_batches.fetch_add(dense_batches,
                                            std::memory_order_relaxed);
+  validated.stats->condensed_expansions.fetch_add(condensed,
+                                                  std::memory_order_relaxed);
+  validated.stats->components_collapsed.fetch_add(collapsed,
+                                                  std::memory_order_relaxed);
 }
 
 /// One (local node, state, lanes) delivery of the binary BSP exchange.
@@ -985,10 +1431,12 @@ struct BinaryPush {
 class ShardBinaryState {
  public:
   ShardBinaryState(const ShardedGraph& sharded, uint32_t self,
-                   const BinaryTables& tables, const EvalOptions& validated)
+                   const BinaryTables& tables, const CondensePlan& plan,
+                   const EvalOptions& validated)
       : sharded_(&sharded),
         shard_(&sharded.shard(self)),
         tables_(&tables),
+        plan_(&plan),
         policy_(ResolveDirectionPolicy(
             validated,
             static_cast<size_t>(sharded.shard(self).num_local_nodes()) *
@@ -1002,9 +1450,23 @@ class ShardBinaryState {
     changed_flag_.assign(num_pairs, 0);
     frontier_bits_ = BitVector(num_pairs);
     next_bits_ = BitVector(num_pairs);
+    if (plan_->active) {
+      cond_expanded_.resize(plan_->num_loops);
+      cond_pending_.resize(plan_->num_loops);
+      cond_touched_.resize(plan_->num_loops);
+      for (uint32_t i = 0; i < plan_->num_loops; ++i) {
+        cond_expanded_[i].assign(plan_->comp_counts[i], 0);
+        cond_pending_[i].assign(plan_->comp_counts[i], 0);
+      }
+    }
   }
 
-  size_t frontier_pairs() const { return frontier_.size(); }
+  /// True iff this shard still has local work: frontier pairs to expand or
+  /// star components awaiting the condensation closure (a pure-star query
+  /// seeds no per-edge frontier at all — the closure is its only engine).
+  bool has_local_work() const {
+    return !frontier_.empty() || !cond_heap_.empty();
+  }
   RoundCounters* rounds() { return &rounds_; }
 
   /// Resets the per-batch state (masks via the touched list) for a batch
@@ -1015,6 +1477,11 @@ class ShardBinaryState {
     touched_.clear();
     for (size_t cell : changed_) changed_flag_[cell] = 0;
     changed_.clear();
+    for (uint32_t i = 0; i < static_cast<uint32_t>(cond_touched_.size());
+         ++i) {
+      for (uint32_t c : cond_touched_[i]) cond_expanded_[i][c] = 0;
+      cond_touched_[i].clear();
+    }
     frontier_.clear();
     dense_ = false;
   }
@@ -1041,9 +1508,11 @@ class ShardBinaryState {
 
   /// Runs the shard-local direction-optimized rounds until the local
   /// frontier drains (the local fixed point given everything delivered so
-  /// far).
+  /// far). The condensation closure runs before the first round (seed and
+  /// inbox gains) and after every round, exactly like the monolithic batch.
   void RunLocalRounds() {
     size_t frontier_pairs = frontier_.size();
+    frontier_pairs += RunCondenseClosure();
     while (frontier_pairs > 0) {
       const bool want_dense = frontier_pairs >= policy_.dense_cutoff_pairs;
       if (want_dense != dense_) {
@@ -1061,6 +1530,7 @@ class ShardBinaryState {
         frontier_pairs = SparseRound();
         ++rounds_.sparse;
       }
+      frontier_pairs += RunCondenseClosure();
     }
     dense_ = false;  // frontier is empty; both representations agree
   }
@@ -1145,9 +1615,10 @@ class ShardBinaryState {
 
  private:
   /// Merges `lanes` into local cell (v, q): fresh lanes update the mask,
-  /// mark the cell changed (for boundary re-push) and enqueue it in the
-  /// sparse frontier. Callable between rounds only (seeding, inbox drain),
-  /// when the frontier representation is sparse.
+  /// mark the cell changed (for boundary re-push), queue the condensation
+  /// closure when q is a star state, and enqueue it in the sparse frontier.
+  /// Callable between rounds only (seeding, inbox drain), when the frontier
+  /// representation is sparse.
   void Deliver(NodeId v, StateId q, uint64_t lanes) {
     const size_t cell = static_cast<size_t>(v) * tables_->nq + q;
     const uint64_t fresh = lanes & ~mask_[cell];
@@ -1155,10 +1626,98 @@ class ShardBinaryState {
     if (mask_[cell] == 0) touched_.push_back(cell);
     mask_[cell] |= fresh;
     MarkChanged(cell, v);
-    if (!tables_->transitions[q].empty() && !pending_[cell]) {
+    if (plan_->active && plan_->engaged_any[q]) {
+      TriggerCondense(v, q, fresh);
+    }
+    if (plan_->propagates[q] && !pending_[cell]) {
       pending_[cell] = 1;
       frontier_.emplace_back(v, q);
     }
+  }
+
+  /// Pushes one (component, loop) heap entry (max-heap on component id —
+  /// reverse-topological pop order per label).
+  void HeapPush(uint32_t c, uint32_t loop_index) {
+    cond_heap_.emplace_back(c, loop_index);
+    std::push_heap(cond_heap_.begin(), cond_heap_.end());
+  }
+
+  /// Queues the star components of local cell (v, q) for the closure;
+  /// pending lanes accumulate component-level exactly like the monolithic
+  /// batch's TriggerCondense.
+  void TriggerCondense(NodeId v, StateId q, uint64_t lanes) {
+    const NodeId global = shard_->node_begin() + v;
+    for (const CondenseLoop& loop : plan_->loops[q]) {
+      const uint32_t c = loop.label->ComponentOf(global);
+      uint64_t& pending = cond_pending_[loop.index][c];
+      const uint64_t add =
+          lanes & ~cond_expanded_[loop.index][c] & ~pending;
+      if (add == 0) continue;
+      if (pending == 0) HeapPush(c, loop.index);
+      pending |= add;
+    }
+  }
+
+  /// The shard-local condensation closure: like the monolithic batch's, but
+  /// scattering only to members this shard owns (the condensation is built
+  /// on the global graph). Components spanning shard cuts propagate through
+  /// the boundary exchange: scattered cells are marked changed, so their
+  /// masks re-push along boundary out-edges at the next EmitPushes.
+  size_t RunCondenseClosure() {
+    size_t added = 0;
+    const uint32_t nq = tables_->nq;
+    const NodeId begin = shard_->node_begin();
+    const NodeId end = shard_->node_end();
+    while (!cond_heap_.empty()) {
+      std::pop_heap(cond_heap_.begin(), cond_heap_.end());
+      const auto [c, loop_index] = cond_heap_.back();
+      cond_heap_.pop_back();
+      uint64_t& pending = cond_pending_[loop_index][c];
+      const uint64_t lanes = pending & ~cond_expanded_[loop_index][c];
+      pending = 0;
+      if (lanes == 0) continue;
+      const CondenseLoop& loop = plan_->by_index[loop_index];
+      uint64_t& expanded = cond_expanded_[loop_index][c];
+      if (expanded == 0) cond_touched_[loop_index].push_back(c);
+      expanded |= lanes;
+      ++rounds_.condensed_expansions;
+      const auto members = loop.label->Members(c);
+      if (members.size() >= 2) ++rounds_.components_collapsed;
+
+      const StateId q = loop.state;
+      const bool propagates = plan_->propagates[q] != 0;
+      for (NodeId global : members) {
+        if (global < begin || global >= end) continue;  // not owned here
+        const NodeId u = global - begin;
+        const size_t cell = static_cast<size_t>(u) * nq + q;
+        const uint64_t fresh = lanes & ~mask_[cell];
+        if (fresh == 0) continue;
+        if (mask_[cell] == 0) touched_.push_back(cell);
+        mask_[cell] |= fresh;
+        MarkChanged(cell, u);
+        TriggerCondense(u, q, fresh);  // feeds the state's other star labels
+        if (!propagates) continue;
+        if (dense_) {
+          if (!frontier_bits_.Test(cell)) {
+            frontier_bits_.Set(cell);
+            ++added;
+          }
+        } else if (!pending_[cell]) {
+          pending_[cell] = 1;
+          frontier_.emplace_back(u, q);
+          ++added;
+        }
+      }
+      for (uint32_t succ : loop.label->DagOut(c)) {
+        uint64_t& succ_pending = cond_pending_[loop_index][succ];
+        const uint64_t add =
+            lanes & ~cond_expanded_[loop_index][succ] & ~succ_pending;
+        if (add == 0) continue;
+        if (succ_pending == 0) HeapPush(succ, loop_index);
+        succ_pending |= add;
+      }
+    }
+    return added;
   }
 
   void MarkChanged(size_t cell, NodeId v) {
@@ -1177,7 +1736,12 @@ class ShardBinaryState {
       const size_t vq = static_cast<size_t>(v) * nq + q;
       pending_[vq] = 0;
       const uint64_t lanes_here = mask_[vq];
+      const bool check_engaged = plan_->active && plan_->engaged_any[q];
       for (const StateTransition& tr : tables_->transitions[q]) {
+        if (check_engaged && tr.target == q &&
+            plan_->Engaged(q, tr.symbol)) {
+          continue;  // the closure owns the star hop
+        }
         for (NodeId u : shard_->OutNeighborsLocal(v, tr.symbol)) {
           const size_t ut = static_cast<size_t>(u) * nq + tr.target;
           const uint64_t fresh = lanes_here & ~mask_[ut];
@@ -1185,7 +1749,10 @@ class ShardBinaryState {
           if (mask_[ut] == 0) touched_.push_back(ut);
           mask_[ut] |= fresh;
           MarkChanged(ut, u);
-          if (!tables_->transitions[tr.target].empty() && !pending_[ut]) {
+          if (plan_->active && plan_->engaged_any[tr.target]) {
+            TriggerCondense(u, tr.target, fresh);
+          }
+          if (plan_->propagates[tr.target] && !pending_[ut]) {
             pending_[ut] = 1;
             next_.emplace_back(u, tr.target);
           }
@@ -1209,17 +1776,20 @@ class ShardBinaryState {
     };
     for (StateId t = 0; t < nq; ++t) {
       if (frozen.ReverseInto(t).empty()) continue;
-      const bool has_out = !tables_->transitions[t].empty();
+      const bool has_out = plan_->propagates[t] != 0;
+      const bool engaged = plan_->active && plan_->engaged_any[t];
       for (NodeId u = 0; u < local_nodes; ++u) {
         const size_t cell = static_cast<size_t>(u) * nq + t;
         const uint64_t missing = batch_full_ & ~mask_[cell];
         if (missing == 0) continue;
-        const uint64_t gained = PullMissingLanes(*tables_, frontier_bits_,
-                                                 mask_, in, u, t, missing);
+        const uint64_t gained =
+            PullMissingLanes(*tables_, *plan_, frontier_bits_, mask_, in, u,
+                             t, missing);
         if (gained == 0) continue;
         if (mask_[cell] == 0) touched_.push_back(cell);
         mask_[cell] |= gained;
         MarkChanged(cell, u);
+        if (engaged) TriggerCondense(u, t, gained);
         if (has_out) {
           next_bits_.Set(cell);
           ++next_pairs;
@@ -1254,6 +1824,7 @@ class ShardBinaryState {
   const ShardedGraph* sharded_;
   const GraphShard* shard_;
   const BinaryTables* tables_;
+  const CondensePlan* plan_;
   DirectionPolicy policy_;
   std::vector<uint64_t> mask_;
   std::vector<uint8_t> pending_;
@@ -1262,6 +1833,10 @@ class ShardBinaryState {
   std::vector<size_t> changed_;
   std::vector<std::pair<NodeId, StateId>> frontier_;
   std::vector<std::pair<NodeId, StateId>> next_;
+  std::vector<std::pair<uint32_t, uint32_t>> cond_heap_;
+  std::vector<std::vector<uint64_t>> cond_expanded_;  // per loop × component
+  std::vector<std::vector<uint64_t>> cond_pending_;   // per loop × component
+  std::vector<std::vector<uint32_t>> cond_touched_;
   BitVector frontier_bits_;
   BitVector next_bits_;
   std::vector<std::vector<BinaryPush>> outbox_cur_;
@@ -1281,13 +1856,15 @@ class ShardBinaryState {
 /// back to back, reusing the per-shard state.
 std::vector<std::pair<NodeId, NodeId>> EvalBinaryShardedImpl(
     const Graph& graph, const BinaryTables& tables,
-    std::span<const NodeId> sources, const EvalOptions& validated,
-    uint32_t num_shards) {
-  const ShardedGraph sharded = ShardedGraph::Partition(graph, num_shards);
+    const CondensePlan& plan, std::span<const NodeId> sources,
+    const EvalOptions& validated, uint32_t num_shards) {
+  std::optional<ShardedGraph> owned_partition;
+  const ShardedGraph& sharded =
+      ResolveShardedGraph(graph, validated, num_shards, &owned_partition);
   std::vector<ShardBinaryState> shards;
   shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    shards.emplace_back(sharded, s, tables, validated);
+    shards.emplace_back(sharded, s, tables, plan, validated);
   }
   const uint32_t workers = ResolveWorkers(
       validated, static_cast<size_t>(tables.nv) * tables.nq, num_shards);
@@ -1317,7 +1894,7 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryShardedImpl(
     for (;;) {
       bool any_work = pending_pushes > 0;
       for (const ShardBinaryState& shard : shards) {
-        any_work = any_work || shard.frontier_pairs() > 0;
+        any_work = any_work || shard.has_local_work();
       }
       if (!any_work) break;
       delivered += pending_pushes;
@@ -1373,12 +1950,16 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
   const uint32_t nq = query.num_states();
   RPQ_DCHECK(nq > 0);
   const FrozenDfa frozen(query);
-  const BinaryTables tables = BuildBinaryTables(graph, frozen);
+  BinaryTables tables = BuildBinaryTables(graph, frozen);
+  CondensePlan plan;
+  BuildCondensePlan(graph, tables, validated, /*bounded=*/false,
+                    /*auto_needs_cache=*/false, &plan);
+  ApplyCondensePlanToTables(plan, &tables);
   const size_t num_pairs = static_cast<size_t>(tables.nv) * nq;
 
   const uint32_t num_shards = ResolveShards(validated, tables.nv);
   if (num_shards > 1) {
-    return EvalBinaryShardedImpl(graph, tables, sources, validated,
+    return EvalBinaryShardedImpl(graph, tables, plan, sources, validated,
                                  num_shards);
   }
 
@@ -1394,10 +1975,10 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
   const uint32_t workers = ResolveWorkers(validated, num_pairs, num_batches);
   if (workers == 1) {
     BinaryBatchScratch scratch;
-    scratch.Prepare(num_pairs);
+    scratch.Prepare(num_pairs, plan);
     for (size_t batch = 0; batch < num_batches; ++batch) {
-      scratch.RunBatch(graph, tables, policy, batch_sources(batch), &result,
-                       &per_batch_rounds[batch]);
+      scratch.RunBatch(graph, tables, plan, policy, batch_sources(batch),
+                       &result, &per_batch_rounds[batch]);
     }
     AccumulateStats(validated, per_batch_rounds);
     return result;
@@ -1407,9 +1988,10 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
   std::vector<std::vector<std::pair<NodeId, NodeId>>> per_batch(num_batches);
   EvalPool().ParallelFor(
       workers, num_batches, [&](uint32_t worker, size_t batch) {
-        scratch[worker].Prepare(num_pairs);
-        scratch[worker].RunBatch(graph, tables, policy, batch_sources(batch),
-                                 &per_batch[batch], &per_batch_rounds[batch]);
+        scratch[worker].Prepare(num_pairs, plan);
+        scratch[worker].RunBatch(graph, tables, plan, policy,
+                                 batch_sources(batch), &per_batch[batch],
+                                 &per_batch_rounds[batch]);
       });
   AccumulateStats(validated, per_batch_rounds);
   size_t total = 0;
@@ -1472,7 +2054,24 @@ StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options) {
           "kDense (got " +
           std::to_string(static_cast<int>(options.force_mode)) + ")");
   }
+  switch (options.condense) {
+    case CondenseMode::kAuto:
+    case CondenseMode::kOn:
+    case CondenseMode::kOff:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "EvalOptions.condense must be CondenseMode::kAuto, kOn or kOff "
+          "(got " +
+          std::to_string(static_cast<int>(options.condense)) + ")");
+  }
   return options;
+}
+
+uint32_t EffectiveShardCount(const EvalOptions& options, uint32_t num_nodes) {
+  const uint32_t shards =
+      std::min(std::max<uint32_t>(options.shards, 1), kMaxEvalShards);
+  return std::min(shards, std::max<uint32_t>(num_nodes, 1));
 }
 
 BitVector EvalMonadic(const Graph& graph, const Dfa& query) {

@@ -14,6 +14,9 @@
 
 namespace rpqlearn {
 
+class CondensedGraph;
+class ShardedGraph;
+
 /// Worker count used by default-constructed EvalOptions: every hardware
 /// thread (at least 1, capped at kMaxEvalThreads).
 uint32_t DefaultEvalThreads();
@@ -38,6 +41,29 @@ enum class EvalMode : uint8_t {
   kDense = 2,  ///< always bottom-up pull
 };
 
+/// SCC-condensation policy of the kleene-star planner step. When a DFA
+/// state carries a single-label self-loop (an `a*`-shaped state), the
+/// per-label condensation (src/graph/condense.h) lets the rounds expand
+/// such frontiers component-at-a-time — saturate the frontier node's SCC,
+/// hop the condensation DAG, scatter to members — instead of rediscovering
+/// intra-SCC reachability edge by edge, round after round. Pure scheduling:
+/// every cell the condensed expansion marks lies in the same monotone fixed
+/// point the per-edge rounds compute, so results are bit-identical for
+/// every mode (see docs/ARCHITECTURE.md, "SCC condensation"). Bounded
+/// monadic sweeps never condense — collapsing an SCC would merge BFS
+/// levels, and the length bound is exact per level.
+enum class CondenseMode : uint8_t {
+  kAuto = 0,  ///< condense when the query has star states and the per-label
+              ///< summary shows a nontrivial component (production).
+              ///< Monadic sweeps additionally require a matching
+              ///< EvalOptions.condensed_cache: one backward sweep is a
+              ///< single linear pass, so a per-call Tarjan build would cost
+              ///< more than it saves, while the batched binary engines
+              ///< amortize a per-call build across their source batches.
+  kOn = 1,    ///< condense every star state regardless of the summary
+  kOff = 2,   ///< never condense (pre-condensation behavior)
+};
+
 /// Round counters of one or more evaluation calls, filled when
 /// EvalOptions.stats points here. Atomic so parallel batch workers can
 /// accumulate without synchronization; totals are deterministic (each batch
@@ -57,6 +83,14 @@ struct EvalStats {
   /// Frontier pairs delivered through per-shard outboxes between
   /// supersteps, summed over every shard. 0 whenever shards = 1.
   std::atomic<uint64_t> cross_shard_pairs{0};
+  /// Component expansions performed by the SCC-condensation planner step:
+  /// each count is one (star state, component) whose fresh lanes were
+  /// scattered to the component's members and DAG successors in one hop.
+  /// 0 whenever condensation never engaged.
+  std::atomic<uint64_t> condensed_expansions{0};
+  /// The subset of condensed_expansions whose component held ≥ 2 members —
+  /// expansions that actually collapsed intra-SCC BFS rounds.
+  std::atomic<uint64_t> components_collapsed{0};
 
   void Reset() {
     sparse_rounds.store(0, std::memory_order_relaxed);
@@ -66,6 +100,8 @@ struct EvalStats {
     monadic_dense_rounds.store(0, std::memory_order_relaxed);
     supersteps.store(0, std::memory_order_relaxed);
     cross_shard_pairs.store(0, std::memory_order_relaxed);
+    condensed_expansions.store(0, std::memory_order_relaxed);
+    components_collapsed.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -112,6 +148,29 @@ struct EvalOptions {
   /// scheduling: the monotone fixed point is shard-count-independent, so
   /// results are bit-identical for every value.
   uint32_t shards = 1;
+  /// SCC-condensation policy of the kleene-star planner step (see
+  /// CondenseMode). Pure scheduling — results are bit-identical for every
+  /// value; kOff restores the exact pre-condensation code path.
+  CondenseMode condense = CondenseMode::kAuto;
+  /// Optional pre-built condensation of the evaluated graph. When non-null
+  /// and matching (same node and edge counts, covering the star labels the
+  /// planner needs), the evaluation consults it instead of condensing per
+  /// call — the interactive loop caches one per session. Mismatching
+  /// caches are ignored (a fresh per-call condensation is built); the
+  /// pointee must outlive the evaluation call. The match test is the
+  /// node/edge counts only — passing a cache built from a *different*
+  /// graph that happens to share both counts is a caller contract
+  /// violation the engine cannot detect.
+  const CondensedGraph* condensed_cache = nullptr;
+  /// Optional pre-built node-range partition of the evaluated graph. When
+  /// non-null and matching (same node and edge counts and the effective
+  /// shard count of this call, see EffectiveShardCount), sharded
+  /// evaluations reuse it instead of re-partitioning per call.
+  /// Mismatching caches are ignored; the same caller contract as
+  /// condensed_cache applies. The pointee must outlive the evaluation
+  /// call. Partitioning is deterministic, so caching never changes
+  /// results.
+  const ShardedGraph* sharded_cache = nullptr;
   /// Optional round counters; when non-null, every batched binary evaluation
   /// through these options adds its sparse/dense round counts. The pointee
   /// must outlive the evaluation call. Never read, only added to.
@@ -120,10 +179,17 @@ struct EvalOptions {
 
 /// The single validation point for EvalOptions: rejects threads == 0,
 /// shards == 0, dense_threshold outside [0, 1] (or NaN), and unknown
-/// force_mode values with InvalidArgument, and clamps threads/shards to
-/// kMaxEvalThreads/kMaxEvalShards. All options-taking evaluation entry
-/// points call this first.
+/// force_mode / condense values with InvalidArgument, and clamps
+/// threads/shards to kMaxEvalThreads/kMaxEvalShards. All options-taking
+/// evaluation entry points call this first.
 StatusOr<EvalOptions> ValidateEvalOptions(EvalOptions options);
+
+/// The shard count an evaluation over a `num_nodes`-node graph actually
+/// runs with: options.shards clamped to kMaxEvalShards and to the node
+/// count (surplus shards would only be empty ranges). Callers that keep a
+/// ShardedGraph partition cache (EvalOptions.sharded_cache) partition at
+/// this count so the cache matches.
+uint32_t EffectiveShardCount(const EvalOptions& options, uint32_t num_nodes);
 
 /// Monadic evaluation q(G) = {ν | L(q) ∩ paths_G(ν) ≠ ∅} (Sec. 2).
 /// Backward reachability on the product G × DFA from all accepting pairs;

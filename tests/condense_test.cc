@@ -1,0 +1,438 @@
+#include "graph/condense.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/shard.h"
+#include "query/eval.h"
+#include "query/eval_reference.h"
+#include "query/path_query.h"
+#include "util/bit_vector.h"
+
+namespace rpqlearn {
+namespace {
+
+// Structural invariants of the per-label SCC condensation (components vs a
+// brute-force mutual-reachability model, member/DAG conservation, summary
+// consistency) plus the evaluation-level differential: star-heavy queries
+// across condense × shards × threads × force modes against the seed
+// reference, with engagement counters proving the component path ran.
+
+Graph RandomGraph(uint64_t seed, uint32_t num_nodes, size_t num_edges,
+                  uint32_t num_labels) {
+  ErdosRenyiOptions options;
+  options.num_nodes = num_nodes;
+  options.num_edges = num_edges;
+  options.num_labels = num_labels;
+  options.seed = seed;
+  return GenerateErdosRenyi(options);
+}
+
+/// Nodes reachable from `src` over edges labeled `a` (including src).
+BitVector LabelReachable(const Graph& graph, Symbol a, NodeId src) {
+  BitVector reached(graph.num_nodes());
+  std::vector<NodeId> stack{src};
+  reached.Set(src);
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId u : graph.OutNeighbors(v, a)) {
+      if (!reached.Test(u)) {
+        reached.Set(u);
+        stack.push_back(u);
+      }
+    }
+  }
+  return reached;
+}
+
+void CheckLabelCondensation(const Graph& graph, Symbol a,
+                            const LabelCondensation& label) {
+  const uint32_t nv = graph.num_nodes();
+  ASSERT_EQ(label.num_nodes(), nv);
+  const uint32_t num_comps = label.num_components();
+
+  // Components match mutual reachability (the SCC definition), checked
+  // against a brute-force per-node BFS model.
+  std::vector<BitVector> reach;
+  reach.reserve(nv);
+  for (NodeId v = 0; v < nv; ++v) {
+    reach.push_back(LabelReachable(graph, a, v));
+  }
+  for (NodeId u = 0; u < nv; ++u) {
+    ASSERT_LT(label.ComponentOf(u), num_comps);
+    for (NodeId v = 0; v < nv; ++v) {
+      const bool mutual = reach[u].Test(v) && reach[v].Test(u);
+      EXPECT_EQ(label.ComponentOf(u) == label.ComponentOf(v), mutual)
+          << "label " << a << " nodes " << u << "," << v;
+    }
+  }
+
+  // Members partition the node set, ascending per component, consistent
+  // with the component map.
+  size_t total_members = 0;
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    const auto members = label.Members(c);
+    ASSERT_FALSE(members.empty()) << "empty component " << c;
+    total_members += members.size();
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+    for (NodeId v : members) EXPECT_EQ(label.ComponentOf(v), c);
+  }
+  EXPECT_EQ(total_members, nv);
+
+  // DAG conservation: every graph edge is intra-component or a DAG edge;
+  // every DAG edge has a witness graph edge; DagIn is the exact transpose;
+  // component ids are reverse topological (every DagOut target is lower).
+  std::vector<std::pair<uint32_t, uint32_t>> expected_dag;
+  for (NodeId v = 0; v < nv; ++v) {
+    for (NodeId u : graph.OutNeighbors(v, a)) {
+      const uint32_t cv = label.ComponentOf(v);
+      const uint32_t cu = label.ComponentOf(u);
+      if (cv != cu) expected_dag.emplace_back(cv, cu);
+    }
+  }
+  std::sort(expected_dag.begin(), expected_dag.end());
+  expected_dag.erase(std::unique(expected_dag.begin(), expected_dag.end()),
+                     expected_dag.end());
+
+  std::vector<std::pair<uint32_t, uint32_t>> actual_dag;
+  std::vector<std::pair<uint32_t, uint32_t>> transposed;
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    const auto out = label.DagOut(c);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    for (uint32_t succ : out) {
+      EXPECT_LT(succ, c) << "DAG edge not reverse-topological";
+      actual_dag.emplace_back(c, succ);
+    }
+    const auto in = label.DagIn(c);
+    EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+    for (uint32_t pred : in) {
+      EXPECT_GT(pred, c);
+      transposed.emplace_back(pred, c);
+    }
+  }
+  std::sort(actual_dag.begin(), actual_dag.end());
+  std::sort(transposed.begin(), transposed.end());
+  EXPECT_EQ(actual_dag, expected_dag);
+  EXPECT_EQ(transposed, expected_dag);
+  EXPECT_EQ(label.num_dag_edges(), expected_dag.size());
+
+  // Summary recomputation from the member CSR.
+  const CondensationSummary& summary = label.summary();
+  EXPECT_EQ(summary.num_components, num_comps);
+  uint32_t largest = nv == 0 ? 0 : 1;
+  uint32_t nontrivial = 0, collapsed = 0;
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    const uint32_t size = static_cast<uint32_t>(label.Members(c).size());
+    largest = std::max(largest, size);
+    if (size >= 2) {
+      ++nontrivial;
+      collapsed += size;
+    }
+  }
+  EXPECT_EQ(summary.largest_component, largest);
+  EXPECT_EQ(summary.nontrivial_components, nontrivial);
+  EXPECT_EQ(summary.collapsed_nodes, collapsed);
+  EXPECT_DOUBLE_EQ(summary.collapse_ratio,
+                   nv == 0 ? 0.0 : static_cast<double>(collapsed) / nv);
+}
+
+TEST(CondenseTest, MatchesBruteForceSccOnRandomGraphs) {
+  for (uint64_t seed : {1u, 7u, 23u, 91u}) {
+    for (uint32_t nodes : {2u, 9u, 30u, 48u}) {
+      const Graph graph =
+          RandomGraph(seed * 1000 + nodes, nodes, 4 * nodes, 3);
+      const CondensedGraph cond = CondensedGraph::Build(graph);
+      ASSERT_EQ(cond.num_nodes(), graph.num_nodes());
+      for (Symbol a = 0; a < graph.num_symbols(); ++a) {
+        ASSERT_TRUE(cond.HasLabel(a));
+        CheckLabelCondensation(graph, a, cond.Label(a));
+      }
+    }
+  }
+}
+
+TEST(CondenseTest, HandcraftedCycleAndDag) {
+  // 0 →a 1 →a 2 →a 0 is one component; 3 →a 0 hangs off it; 4 is isolated
+  // under a (it only has a b-self-loop, which makes it cyclic under b).
+  GraphBuilder builder;
+  builder.InternLabels({"a", "b"});
+  builder.AddNodes(5);
+  builder.AddEdge(0, "a", 1);
+  builder.AddEdge(1, "a", 2);
+  builder.AddEdge(2, "a", 0);
+  builder.AddEdge(3, "a", 0);
+  builder.AddEdge(4, "b", 4);
+  const Graph graph = builder.Build();
+  const CondensedGraph cond = CondensedGraph::Build(graph);
+
+  const LabelCondensation& a = cond.Label(0);
+  EXPECT_EQ(a.num_components(), 3u);
+  EXPECT_EQ(a.ComponentOf(0), a.ComponentOf(1));
+  EXPECT_EQ(a.ComponentOf(0), a.ComponentOf(2));
+  EXPECT_NE(a.ComponentOf(0), a.ComponentOf(3));
+  EXPECT_NE(a.ComponentOf(0), a.ComponentOf(4));
+  EXPECT_EQ(a.summary().largest_component, 3u);
+  EXPECT_EQ(a.summary().nontrivial_components, 1u);
+  EXPECT_EQ(a.summary().collapsed_nodes, 3u);
+  // 3's component points at the cycle's component in the DAG.
+  const uint32_t c3 = a.ComponentOf(3);
+  ASSERT_EQ(a.DagOut(c3).size(), 1u);
+  EXPECT_EQ(a.DagOut(c3)[0], a.ComponentOf(0));
+  CheckLabelCondensation(graph, 0, a);
+
+  // Under b, everything is a singleton; 4's self-loop stays intra-component
+  // (no DAG self-edges).
+  const LabelCondensation& b = cond.Label(1);
+  EXPECT_EQ(b.num_components(), 5u);
+  EXPECT_EQ(b.num_dag_edges(), 0u);
+  EXPECT_EQ(b.summary().nontrivial_components, 0u);
+  CheckLabelCondensation(graph, 1, b);
+}
+
+TEST(CondenseTest, EmptyAndLabelSubsetBuilds) {
+  const Graph empty;
+  const CondensedGraph cond_empty = CondensedGraph::Build(empty);
+  EXPECT_EQ(cond_empty.num_nodes(), 0u);
+  EXPECT_EQ(cond_empty.num_symbols(), 0u);
+  EXPECT_FALSE(cond_empty.HasLabel(0));
+
+  const Graph graph = RandomGraph(5, 20, 60, 3);
+  const Symbol only = 1;
+  const CondensedGraph cond = CondensedGraph::Build(graph, {&only, 1});
+  EXPECT_FALSE(cond.HasLabel(0));
+  ASSERT_TRUE(cond.HasLabel(1));
+  EXPECT_FALSE(cond.HasLabel(2));
+  CheckLabelCondensation(graph, 1, cond.Label(1));
+
+  // The subset build's condensation is identical to the full build's.
+  const CondensedGraph full = CondensedGraph::Build(graph);
+  const LabelCondensation& subset_label = cond.Label(1);
+  const LabelCondensation& full_label = full.Label(1);
+  ASSERT_EQ(subset_label.num_components(), full_label.num_components());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_EQ(subset_label.ComponentOf(v), full_label.ComponentOf(v));
+  }
+}
+
+// ------------------------------------------------------- eval differential
+
+Dfa StarQuery(const Graph& graph, const std::string& pattern) {
+  Alphabet alphabet = graph.alphabet();
+  auto q = PathQuery::Parse(pattern, &alphabet, graph.num_symbols());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return q->dfa();
+}
+
+/// A cyclic fixture with large per-label SCCs: a ring of l0-cliques bridged
+/// by l0 edges (one giant l0 SCC), an l1 ring over half the nodes, and l2
+/// chords that a star-concat query must traverse per edge.
+Graph RingOfCliques() {
+  GraphBuilder builder;
+  builder.InternLabels({"l0", "l1", "l2"});
+  constexpr uint32_t kCliques = 6;
+  constexpr uint32_t kCliqueSize = 5;
+  builder.AddNodes(kCliques * kCliqueSize);
+  for (uint32_t c = 0; c < kCliques; ++c) {
+    const NodeId base = c * kCliqueSize;
+    for (uint32_t i = 0; i < kCliqueSize; ++i) {
+      for (uint32_t j = 0; j < kCliqueSize; ++j) {
+        if (i != j) builder.AddEdge(base + i, "l0", base + j);
+      }
+    }
+    const NodeId next_base = ((c + 1) % kCliques) * kCliqueSize;
+    builder.AddEdge(base, "l0", next_base);
+    builder.AddEdge(next_base + 1, "l0", base + 1);
+  }
+  const uint32_t nv = kCliques * kCliqueSize;
+  for (NodeId v = 0; v < nv / 2; ++v) {
+    builder.AddEdge(v, "l1", (v + 1) % (nv / 2));
+  }
+  for (NodeId v = 0; v < nv; v += 3) {
+    builder.AddEdge(v, "l2", (v * 7 + 11) % nv);
+  }
+  return builder.Build();
+}
+
+std::vector<std::pair<NodeId, NodeId>> ReferenceBinary(const Graph& graph,
+                                                       const Dfa& query) {
+  return EvalBinaryReference(graph, query);
+}
+
+TEST(EvalCondenseTest, StarQueriesMatchReferenceAcrossTheKnobCube) {
+  const Graph fixtures[] = {RingOfCliques(), RandomGraph(17, 40, 200, 3)};
+  const char* patterns[] = {"l0*", "(l0+l1)*", "(l0+l1)*.l2", "l2.l0*"};
+  for (const Graph& graph : fixtures) {
+    for (const char* pattern : patterns) {
+      const Dfa query = StarQuery(graph, pattern);
+      const auto expected_pairs = ReferenceBinary(graph, query);
+      const BitVector expected_monadic = EvalMonadicReference(graph, query);
+      for (CondenseMode condense :
+           {CondenseMode::kOff, CondenseMode::kOn, CondenseMode::kAuto}) {
+        for (uint32_t shards : {1u, 3u}) {
+          for (uint32_t threads : {1u, 8u}) {
+            for (EvalMode mode :
+                 {EvalMode::kAuto, EvalMode::kSparse, EvalMode::kDense}) {
+              EvalOptions options;
+              options.condense = condense;
+              options.shards = shards;
+              options.threads = threads;
+              options.force_mode = mode;
+              options.dense_threshold = 0.05;
+              options.parallel_threshold_pairs = 0;
+              const auto config = [&] {
+                return std::string(pattern) + " condense=" +
+                       std::to_string(static_cast<int>(condense)) +
+                       " shards=" + std::to_string(shards) +
+                       " threads=" + std::to_string(threads) +
+                       " mode=" + std::to_string(static_cast<int>(mode));
+              };
+              auto pairs = EvalBinary(graph, query, options);
+              ASSERT_TRUE(pairs.ok()) << config();
+              EXPECT_EQ(*pairs, expected_pairs) << config();
+              auto monadic = EvalMonadic(graph, query, options);
+              ASSERT_TRUE(monadic.ok()) << config();
+              EXPECT_TRUE(*monadic == expected_monadic) << config();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalCondenseTest, EngagementCountersProveTheComponentPathRan) {
+  const Graph graph = RingOfCliques();
+  const Dfa query = StarQuery(graph, "(l0+l1)*.l2");
+
+  EvalStats on_stats;
+  EvalOptions on;
+  on.threads = 1;
+  on.condense = CondenseMode::kOn;
+  on.stats = &on_stats;
+  ASSERT_TRUE(EvalBinary(graph, query, on).ok());
+  EXPECT_GT(on_stats.condensed_expansions.load(), 0u);
+  EXPECT_GT(on_stats.components_collapsed.load(), 0u);
+
+  // The fixture's giant l0 SCC satisfies the kAuto summary gate too (the
+  // fixture holds ≥ kAutoCondenseMinEdges edges).
+  ASSERT_GE(graph.num_edges(), 64u);
+  EvalStats auto_stats;
+  EvalOptions auto_mode;
+  auto_mode.threads = 1;
+  auto_mode.condense = CondenseMode::kAuto;
+  auto_mode.stats = &auto_stats;
+  ASSERT_TRUE(EvalBinary(graph, query, auto_mode).ok());
+  EXPECT_GT(auto_stats.condensed_expansions.load(), 0u);
+
+  EvalStats off_stats;
+  EvalOptions off;
+  off.threads = 1;
+  off.condense = CondenseMode::kOff;
+  off.stats = &off_stats;
+  ASSERT_TRUE(EvalBinary(graph, query, off).ok());
+  EXPECT_EQ(off_stats.condensed_expansions.load(), 0u);
+  EXPECT_EQ(off_stats.components_collapsed.load(), 0u);
+
+  // Monadic sweeps engage through the same plan.
+  EvalStats monadic_stats;
+  EvalOptions monadic_on = on;
+  monadic_on.stats = &monadic_stats;
+  ASSERT_TRUE(EvalMonadic(graph, query, monadic_on).ok());
+  EXPECT_GT(monadic_stats.condensed_expansions.load(), 0u);
+}
+
+TEST(EvalCondenseTest, BoundedMonadicNeverCondensesAndStaysLevelExact) {
+  // Collapsing an SCC would merge BFS levels, so the bounded sweep must
+  // ignore the condense knob entirely: counters stay zero and every bound
+  // matches the seed reference even with condense pinned on.
+  const Graph graph = RingOfCliques();
+  const Dfa query = StarQuery(graph, "(l0+l1)*.l2");
+  for (uint32_t bound : {0u, 1u, 2u, 5u, 9u}) {
+    EvalStats stats;
+    EvalOptions on;
+    on.threads = 1;
+    on.condense = CondenseMode::kOn;
+    on.stats = &stats;
+    StatusOr<BitVector> bounded =
+        EvalMonadicBounded(graph, query, bound, on);
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_TRUE(*bounded == EvalMonadicBoundedReference(graph, query, bound))
+        << "bound " << bound;
+    EXPECT_EQ(stats.condensed_expansions.load(), 0u) << "bound " << bound;
+
+    // Sharded bounded sweeps run one level per superstep; the plan must
+    // stay inactive there too.
+    EvalStats sharded_stats;
+    EvalOptions sharded = on;
+    sharded.shards = 3;
+    sharded.stats = &sharded_stats;
+    StatusOr<BitVector> sharded_bounded =
+        EvalMonadicBounded(graph, query, bound, sharded);
+    ASSERT_TRUE(sharded_bounded.ok());
+    EXPECT_TRUE(*sharded_bounded == *bounded) << "bound " << bound;
+    EXPECT_EQ(sharded_stats.condensed_expansions.load(), 0u);
+  }
+}
+
+TEST(EvalCondenseTest, CachesAreConsultedAndMismatchesIgnored) {
+  const Graph graph = RingOfCliques();
+  const Dfa query = StarQuery(graph, "(l0+l1)*.l2");
+  const auto expected = ReferenceBinary(graph, query);
+
+  // Matching caches: same results, and the condensation cache actually
+  // engages (counters prove the component path ran without a per-call
+  // build).
+  const CondensedGraph condensed = CondensedGraph::Build(graph);
+  const ShardedGraph sharded =
+      ShardedGraph::Partition(graph, EffectiveShardCount(
+                                         [] {
+                                           EvalOptions o;
+                                           o.shards = 3;
+                                           return o;
+                                         }(),
+                                         graph.num_nodes()));
+  EvalStats stats;
+  EvalOptions options;
+  options.threads = 1;
+  options.shards = 3;
+  options.condense = CondenseMode::kOn;
+  options.condensed_cache = &condensed;
+  options.sharded_cache = &sharded;
+  options.stats = &stats;
+  auto cached = EvalBinary(graph, query, options);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cached, expected);
+  EXPECT_GT(stats.condensed_expansions.load(), 0u);
+
+  // Mismatching caches (built for a different graph) are ignored, not
+  // trusted: results still match the reference.
+  const Graph other = RandomGraph(3, 11, 30, 3);
+  const CondensedGraph other_condensed = CondensedGraph::Build(other);
+  const ShardedGraph other_sharded = ShardedGraph::Partition(other, 3);
+  EvalOptions mismatched = options;
+  mismatched.condensed_cache = &other_condensed;
+  mismatched.sharded_cache = &other_sharded;
+  mismatched.stats = nullptr;
+  auto fresh = EvalBinary(graph, query, mismatched);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*fresh, expected);
+}
+
+TEST(EvalCondenseTest, EffectiveShardCountClampsLikeTheEngine) {
+  EvalOptions options;
+  options.shards = 5;
+  EXPECT_EQ(EffectiveShardCount(options, 100), 5u);
+  EXPECT_EQ(EffectiveShardCount(options, 3), 3u);
+  EXPECT_EQ(EffectiveShardCount(options, 0), 1u);
+  options.shards = 100000;
+  EXPECT_EQ(EffectiveShardCount(options, 1u << 20), kMaxEvalShards);
+}
+
+}  // namespace
+}  // namespace rpqlearn

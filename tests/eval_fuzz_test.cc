@@ -53,6 +53,34 @@ uint32_t FuzzShardOverride() {
   return parsed >= 1 ? static_cast<uint32_t>(parsed) : 0;
 }
 
+/// SCC-condensation mode of every configuration row: randomized per fuzz
+/// case by default; RPQ_EVAL_CONDENSE ∈ {auto, on, off} pins one value for
+/// targeted campaigns (the nightly job sweeps {auto, off}).
+bool FuzzCondenseOverride(CondenseMode* mode) {
+  const char* env = std::getenv("RPQ_EVAL_CONDENSE");
+  if (env == nullptr) return false;
+  const std::string value(env);
+  if (value == "auto") {
+    *mode = CondenseMode::kAuto;
+  } else if (value == "on") {
+    *mode = CondenseMode::kOn;
+  } else if (value == "off") {
+    *mode = CondenseMode::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* CondenseName(CondenseMode mode) {
+  switch (mode) {
+    case CondenseMode::kAuto: return "auto";
+    case CondenseMode::kOn: return "on";
+    case CondenseMode::kOff: return "off";
+  }
+  return "?";
+}
+
 // ----------------------------------------------------------- fuzz inputs
 
 /// A graph in shrinkable form: plain edge list plus fixed node/label counts.
@@ -177,6 +205,42 @@ FuzzQuery MakeQuery(Rng* rng, uint32_t query_symbols) {
   return FuzzQuery{std::move(dfa), std::move(description)};
 }
 
+/// The case-defining draws of one fuzz iteration, in their fixed order.
+/// The fuzzer and every corpus meta-check below replay this exact prefix
+/// from the case seed, so a meta-check always inspects the same graphs and
+/// queries the differential matrix actually runs; overrides
+/// (RPQ_EVAL_SHARDS / RPQ_EVAL_CONDENSE) are applied by the caller *after*
+/// the draw, keeping the corpus identical across sweeps.
+struct FuzzCase {
+  uint32_t case_shards;
+  CondenseMode case_condense;
+  uint32_t num_labels;
+  EdgeList edge_list;
+  bool oversized_alphabet;
+  FuzzQuery query;
+};
+
+FuzzCase DrawCase(Rng* rng) {
+  const uint32_t case_shards =
+      2 + static_cast<uint32_t>(rng->NextBelow(7));  // 2..8
+  constexpr CondenseMode kCondenseDraws[] = {
+      CondenseMode::kAuto, CondenseMode::kOn, CondenseMode::kOff};
+  const CondenseMode case_condense = kCondenseDraws[rng->NextBelow(3)];
+  const uint32_t num_labels = 1 + static_cast<uint32_t>(rng->NextBelow(4));
+  EdgeList edge_list = RandomEdgeList(rng, num_labels);
+  // Mostly queries over the graph's alphabet; occasionally a strictly
+  // larger query alphabet, which binary semantics must handle (symbols
+  // the graph lacks never fire) but monadic rejects by contract.
+  const bool oversized_alphabet = rng->NextBernoulli(0.15);
+  const uint32_t query_symbols =
+      oversized_alphabet
+          ? num_labels + 1 + static_cast<uint32_t>(rng->NextBelow(2))
+          : num_labels;
+  return FuzzCase{case_shards,   case_condense,
+                  num_labels,    std::move(edge_list),
+                  oversized_alphabet, MakeQuery(rng, query_symbols)};
+}
+
 // ------------------------------------------------------- engine configs
 
 /// Sentinel shard count: use the per-case random draw (or the
@@ -213,13 +277,15 @@ const EngineConfig kEngineConfigs[] = {
     {"sharded/hybrid/threads=8", EvalMode::kAuto, 0.02, 8, kCaseShards},
 };
 
-EvalOptions ToOptions(const EngineConfig& config, uint32_t case_shards) {
+EvalOptions ToOptions(const EngineConfig& config, uint32_t case_shards,
+                      CondenseMode case_condense) {
   EvalOptions options;
   options.threads = config.threads;
   options.parallel_threshold_pairs = 0;  // force the parallel path
   options.force_mode = config.mode;
   options.dense_threshold = config.dense_threshold;
   options.shards = config.shards == kCaseShards ? case_shards : config.shards;
+  options.condense = case_condense;
   return options;
 }
 
@@ -258,9 +324,10 @@ std::vector<std::pair<NodeId, NodeId>> FromSourcesReference(
 /// shrinker re-runs this as its failure predicate.
 bool Mismatches(const Graph& graph, const Dfa& query, CheckKind check,
                 const EngineConfig& config, uint32_t case_shards,
-                uint32_t bound, const std::vector<NodeId>& source_template) {
+                CondenseMode case_condense, uint32_t bound,
+                const std::vector<NodeId>& source_template) {
   if (graph.num_nodes() == 0) return false;
-  const EvalOptions options = ToOptions(config, case_shards);
+  const EvalOptions options = ToOptions(config, case_shards, case_condense);
   switch (check) {
     case CheckKind::kMonadic: {
       StatusOr<BitVector> actual = EvalMonadic(graph, query, options);
@@ -333,7 +400,7 @@ EdgeList ShrinkGraph(EdgeList current,
 
 std::string ReproBlock(uint64_t case_seed, CheckKind check,
                        const EngineConfig& config, uint32_t case_shards,
-                       const EdgeList& graph,
+                       CondenseMode case_condense, const EdgeList& graph,
                        const std::string& query_description, uint32_t bound,
                        const std::vector<NodeId>& sources) {
   std::ostringstream out;
@@ -343,7 +410,7 @@ std::string ReproBlock(uint64_t case_seed, CheckKind check,
       << "engine: " << config.name
       << " (dense_threshold=" << config.dense_threshold << ", shards="
       << (config.shards == kCaseShards ? case_shards : config.shards)
-      << ")\n"
+      << ", condense=" << CondenseName(case_condense) << ")\n"
       << "query: " << query_description << "\n"
       << "graph: nodes=" << graph.num_nodes
       << " labels=" << graph.num_labels << " edges=" << graph.edges.size()
@@ -369,31 +436,26 @@ std::string ReproBlock(uint64_t case_seed, CheckKind check,
 TEST(EvalFuzzTest, DifferentialAgainstSeedReference) {
   const uint32_t iterations = FuzzIterations();
   const uint32_t shard_override = FuzzShardOverride();
+  CondenseMode condense_override = CondenseMode::kAuto;
+  const bool condense_pinned = FuzzCondenseOverride(&condense_override);
   Rng master(0x5eedf00d);
   uint32_t mismatches = 0;
   for (uint32_t iteration = 0; iteration < iterations; ++iteration) {
     const uint64_t case_seed = master.Next();
     Rng rng(case_seed);
-    // Per-case shard count of the sharded configuration rows. The draw
-    // always happens so an RPQ_EVAL_SHARDS override never shifts the other
-    // case parameters — the corpus stays identical across sweeps.
-    uint32_t case_shards =
-        2 + static_cast<uint32_t>(rng.NextBelow(7));  // 2..8
+    // The case-defining draws (shards, condense, labels, graph, query) are
+    // shared with the corpus meta-checks via DrawCase; overrides replace
+    // values only after the full draw, so the corpus stays identical
+    // across sweeps.
+    FuzzCase fuzz_case = DrawCase(&rng);
+    uint32_t case_shards = fuzz_case.case_shards;
     if (shard_override != 0) case_shards = shard_override;
-
-    const uint32_t num_labels = 1 + static_cast<uint32_t>(rng.NextBelow(4));
-    const EdgeList edge_list = RandomEdgeList(&rng, num_labels);
+    CondenseMode case_condense = fuzz_case.case_condense;
+    if (condense_pinned) case_condense = condense_override;
+    const EdgeList& edge_list = fuzz_case.edge_list;
     const Graph graph = edge_list.BuildGraph();
-
-    // Mostly queries over the graph's alphabet; occasionally a strictly
-    // larger query alphabet, which binary semantics must handle (symbols
-    // the graph lacks never fire) but monadic rejects by contract.
-    const bool oversized_alphabet = rng.NextBernoulli(0.15);
-    const uint32_t query_symbols =
-        oversized_alphabet
-            ? num_labels + 1 + static_cast<uint32_t>(rng.NextBelow(2))
-            : num_labels;
-    const FuzzQuery query = MakeQuery(&rng, query_symbols);
+    const bool oversized_alphabet = fuzz_case.oversized_alphabet;
+    const FuzzQuery& query = fuzz_case.query;
 
     const uint32_t bound = static_cast<uint32_t>(rng.NextBelow(8));
     std::vector<NodeId> sources;
@@ -412,19 +474,20 @@ TEST(EvalFuzzTest, DifferentialAgainstSeedReference) {
 
     for (CheckKind check : checks) {
       for (const EngineConfig& config : kEngineConfigs) {
-        if (!Mismatches(graph, query.dfa, check, config, case_shards, bound,
-                        sources)) {
+        if (!Mismatches(graph, query.dfa, check, config, case_shards,
+                        case_condense, bound, sources)) {
           continue;
         }
         ++mismatches;
         const EdgeList minimized =
             ShrinkGraph(edge_list, [&](const EdgeList& candidate) {
               return Mismatches(candidate.BuildGraph(), query.dfa, check,
-                                config, case_shards, bound, sources);
+                                config, case_shards, case_condense, bound,
+                                sources);
             });
         ADD_FAILURE() << ReproBlock(case_seed, check, config, case_shards,
-                                    minimized, query.description, bound,
-                                    sources);
+                                    case_condense, minimized,
+                                    query.description, bound, sources);
         break;  // one repro per check is enough; move to the next check
       }
       if (mismatches >= 5) break;  // don't flood the log
@@ -448,21 +511,46 @@ TEST(EvalFuzzTest, HybridEngagesDenseRoundsSomewhere) {
   for (uint32_t iteration = 0; iteration < 40; ++iteration) {
     const uint64_t case_seed = master.Next();
     Rng rng(case_seed);
-    const uint32_t num_labels = 1 + static_cast<uint32_t>(rng.NextBelow(4));
-    const EdgeList edge_list = RandomEdgeList(&rng, num_labels);
-    const Graph graph = edge_list.BuildGraph();
-    const FuzzQuery query = MakeQuery(&rng, num_labels);
+    const FuzzCase fuzz_case = DrawCase(&rng);
+    const Graph graph = fuzz_case.edge_list.BuildGraph();
 
     EvalOptions hybrid;
     hybrid.threads = 1;
     hybrid.dense_threshold = 0.02;
     hybrid.stats = &stats;
-    auto result = EvalBinary(graph, query.dfa, hybrid);
+    auto result = EvalBinary(graph, fuzz_case.query.dfa, hybrid);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
   }
   EXPECT_GT(stats.dense_rounds.load(), 0u)
       << "no fuzzed case engaged dense rounds under the hybrid config";
   EXPECT_GT(stats.sparse_rounds.load(), 0u);
+}
+
+TEST(EvalFuzzTest, CondenseEngagesComponentsSomewhere) {
+  // Meta-check on the corpus: across a slice of the fuzzed cases, the
+  // condense=on configuration must actually expand components (the random
+  // regex corpus is star-heavy and the random graphs are cyclic often
+  // enough) — otherwise the per-case condense draw above silently stops
+  // covering the condensation closure (e.g. after a planner-gate change).
+  Rng master(0x5eedf00d);
+  EvalStats stats;
+  for (uint32_t iteration = 0; iteration < 40; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    const FuzzCase fuzz_case = DrawCase(&rng);
+    const Graph graph = fuzz_case.edge_list.BuildGraph();
+
+    EvalOptions options;
+    options.threads = 1;
+    options.condense = CondenseMode::kOn;
+    options.stats = &stats;
+    auto result = EvalBinary(graph, fuzz_case.query.dfa, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  EXPECT_GT(stats.condensed_expansions.load(), 0u)
+      << "no fuzzed case expanded a component under condense=on";
+  EXPECT_GT(stats.components_collapsed.load(), 0u)
+      << "no fuzzed case collapsed a nontrivial SCC under condense=on";
 }
 
 TEST(EvalFuzzTest, ShardedRowsExchangePairsSomewhere) {
@@ -476,17 +564,14 @@ TEST(EvalFuzzTest, ShardedRowsExchangePairsSomewhere) {
   for (uint32_t iteration = 0; iteration < 40; ++iteration) {
     const uint64_t case_seed = master.Next();
     Rng rng(case_seed);
-    const uint32_t case_shards = 2 + static_cast<uint32_t>(rng.NextBelow(7));
-    const uint32_t num_labels = 1 + static_cast<uint32_t>(rng.NextBelow(4));
-    const EdgeList edge_list = RandomEdgeList(&rng, num_labels);
-    const Graph graph = edge_list.BuildGraph();
-    const FuzzQuery query = MakeQuery(&rng, num_labels);
+    const FuzzCase fuzz_case = DrawCase(&rng);
+    const Graph graph = fuzz_case.edge_list.BuildGraph();
 
     EvalOptions options;
     options.threads = 1;
-    options.shards = case_shards;
+    options.shards = fuzz_case.case_shards;
     options.stats = &stats;
-    auto result = EvalBinary(graph, query.dfa, options);
+    auto result = EvalBinary(graph, fuzz_case.query.dfa, options);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
   }
   EXPECT_GT(stats.supersteps.load(), 0u)

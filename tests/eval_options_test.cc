@@ -102,6 +102,36 @@ TEST(EvalOptionsTest, UnknownForceModeIsInvalidArgument) {
   }
 }
 
+TEST(EvalOptionsTest, UnknownCondenseModeIsInvalidArgument) {
+  EvalOptions options;
+  options.condense = static_cast<CondenseMode>(9);
+  StatusOr<EvalOptions> validated = ValidateEvalOptions(options);
+  ASSERT_FALSE(validated.ok());
+  EXPECT_EQ(validated.status().code(), StatusCode::kInvalidArgument);
+
+  for (CondenseMode mode :
+       {CondenseMode::kAuto, CondenseMode::kOn, CondenseMode::kOff}) {
+    EvalOptions good;
+    good.condense = mode;
+    EXPECT_TRUE(ValidateEvalOptions(good).ok());
+  }
+
+  // The invalid knob surfaces from the evaluation entry points too.
+  ErdosRenyiOptions graph_options;
+  graph_options.num_nodes = 12;
+  graph_options.num_edges = 30;
+  graph_options.num_labels = 3;
+  graph_options.seed = 5;
+  Graph g = GenerateErdosRenyi(graph_options);
+  Dfa q = SaturatingQuery(g);
+  auto binary = EvalBinary(g, q, options);
+  ASSERT_FALSE(binary.ok());
+  EXPECT_EQ(binary.status().code(), StatusCode::kInvalidArgument);
+  StatusOr<BitVector> monadic = EvalMonadic(g, q, options);
+  ASSERT_FALSE(monadic.ok());
+  EXPECT_EQ(monadic.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(EvalOptionsTest, ForceModeIsHonored) {
   // force_mode must actually pin the round kind: all-sparse runs zero dense
   // rounds, all-dense runs zero sparse rounds, and auto with threshold 0
@@ -162,6 +192,10 @@ TEST(EvalOptionsTest, HybridSwitchesBothWaysOnSaturatingQuery) {
   EvalOptions sparse_only;
   sparse_only.threads = 1;
   sparse_only.force_mode = EvalMode::kSparse;
+  // Condensation would collapse the saturating star frontier before it ever
+  // crosses the dense threshold; pin it off so this test keeps exercising
+  // the sparse↔dense crossover itself.
+  sparse_only.condense = CondenseMode::kOff;
   auto expected = EvalBinary(g, q, sparse_only);
   ASSERT_TRUE(expected.ok());
 
@@ -169,6 +203,7 @@ TEST(EvalOptionsTest, HybridSwitchesBothWaysOnSaturatingQuery) {
   EvalOptions hybrid;
   hybrid.threads = 1;
   hybrid.dense_threshold = 0.02;
+  hybrid.condense = CondenseMode::kOff;
   hybrid.stats = &stats;
   auto result = EvalBinary(g, q, hybrid);
   ASSERT_TRUE(result.ok());
