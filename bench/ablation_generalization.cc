@@ -24,10 +24,13 @@ void RunDataset(const Dataset& dataset, double fraction) {
   options.trials = bench::Trials();
   options.seed = 27;
   for (const Workload& w : dataset.queries) {
-    auto with = RunStaticSweep(dataset.graph, w.query, options);
+    auto with = bench::UnwrapOrExit(
+        RunStaticSweep(dataset.graph, w.query, options), w.name.c_str());
     StaticSweepOptions without_options = options;
     without_options.learner.generalize = false;
-    auto without = RunStaticSweep(dataset.graph, w.query, without_options);
+    auto without = bench::UnwrapOrExit(
+        RunStaticSweep(dataset.graph, w.query, without_options),
+        w.name.c_str());
     table.AddRow({w.name, TableReport::Num(with[0].f1_mean, 4),
                   TableReport::Num(without[0].f1_mean, 4),
                   TableReport::Num(with[0].f1_mean - without[0].f1_mean, 4)});

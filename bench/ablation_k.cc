@@ -26,7 +26,8 @@ void RunDataset(const Dataset& dataset, double fraction) {
       options.seed = 31;
       options.learner.k = k;
       options.learner.auto_k = false;
-      auto points = RunStaticSweep(dataset.graph, w.query, options);
+      auto points = bench::UnwrapOrExit(
+          RunStaticSweep(dataset.graph, w.query, options), w.name.c_str());
       table.AddRow({w.name, std::to_string(k),
                     TableReport::Num(points[0].f1_mean, 3),
                     TableReport::Num(points[0].abstain_rate, 2),
@@ -37,7 +38,8 @@ void RunDataset(const Dataset& dataset, double fraction) {
     dynamic.fractions = {fraction};
     dynamic.trials = bench::Trials();
     dynamic.seed = 31;
-    auto points = RunStaticSweep(dataset.graph, w.query, dynamic);
+    auto points = bench::UnwrapOrExit(
+        RunStaticSweep(dataset.graph, w.query, dynamic), w.name.c_str());
     table.AddRow({w.name, "dynamic", TableReport::Num(points[0].f1_mean, 3),
                   TableReport::Num(points[0].abstain_rate, 2),
                   std::to_string(points[0].max_k_used)});

@@ -1,13 +1,51 @@
 #ifndef RPQLEARN_BENCH_BENCH_COMMON_H_
 #define RPQLEARN_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "query/eval.h"
+#include "util/exec_context.h"
 
 namespace rpqlearn::bench {
+
+/// A malformed knob value aborts the driver immediately with the offending
+/// value and the accepted forms on stderr. Silent fallback to a default is
+/// exactly wrong for benchmark configuration: a typoed RPQ_EVAL_SHARDS=fuor
+/// would otherwise publish monolithic numbers labeled as sharded ones.
+[[noreturn]] inline void DieBadKnob(const char* knob, const char* value,
+                                    const char* expected) {
+  std::fprintf(stderr, "%s: malformed value \"%s\" (expected %s)\n", knob,
+               value, expected);
+  std::exit(2);
+}
+
+/// Unwraps a StatusOr from an experiment or evaluation call, exiting
+/// nonzero with the Status (which for ExecContext trips carries the
+/// progress counters reached) instead of asserting. Keeps driver main
+/// bodies readable while still failing loudly.
+template <typename T>
+inline T UnwrapOrExit(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(value);
+}
+
+/// Parses a whole-string integer ≥ 1, dying loudly on anything else.
+inline uint32_t ParsePositiveKnob(const char* knob, const char* value) {
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) {
+    DieBadKnob(knob, value, "an integer >= 1");
+  }
+  return static_cast<uint32_t>(parsed);
+}
 
 /// Benchmark scale, selected with RPQ_BENCH_SCALE:
 ///  * "small" (default): reduced graph sizes / trials so the whole bench
@@ -17,7 +55,11 @@ namespace rpqlearn::bench {
 ///    numbers.
 inline bool PaperScale() {
   const char* env = std::getenv("RPQ_BENCH_SCALE");
-  return env != nullptr && std::string(env) == "paper";
+  if (env == nullptr) return false;
+  const std::string value(env);
+  if (value == "paper") return true;
+  if (value == "small") return false;
+  DieBadKnob("RPQ_BENCH_SCALE", env, "\"small\" or \"paper\"");
 }
 
 /// Synthetic graph sizes for the current scale.
@@ -30,67 +72,111 @@ inline std::vector<uint32_t> SyntheticSizes() {
 inline int Trials() { return PaperScale() ? 3 : 2; }
 
 /// Evaluation worker threads, selected with RPQ_EVAL_THREADS (default: all
-/// hardware threads). Values below 1 fall back to the default — the benches
-/// are not the place to exercise the InvalidArgument path.
+/// hardware threads).
 inline uint32_t EvalThreads() {
   const char* env = std::getenv("RPQ_EVAL_THREADS");
   if (env == nullptr) return DefaultEvalThreads();
-  const long parsed = std::strtol(env, nullptr, 10);
-  return parsed >= 1 ? static_cast<uint32_t>(parsed) : DefaultEvalThreads();
+  return ParsePositiveKnob("RPQ_EVAL_THREADS", env);
 }
 
 /// Direction-optimizing crossover, selected with RPQ_EVAL_DENSE_THRESHOLD
 /// (fraction of the product-pair space a round's frontier must reach to run
-/// dense). Values outside [0, 1] fall back to the engine default.
+/// dense; must lie in [0, 1]).
 inline double EvalDenseThreshold() {
   const char* env = std::getenv("RPQ_EVAL_DENSE_THRESHOLD");
-  const double fallback = EvalOptions{}.dense_threshold;
-  if (env == nullptr) return fallback;
+  if (env == nullptr) return EvalOptions{}.dense_threshold;
   char* end = nullptr;
   const double parsed = std::strtod(env, &end);
-  return (end != env && parsed >= 0.0 && parsed <= 1.0) ? parsed : fallback;
+  if (end == env || *end != '\0' || !(parsed >= 0.0 && parsed <= 1.0)) {
+    DieBadKnob("RPQ_EVAL_DENSE_THRESHOLD", env, "a number in [0, 1]");
+  }
+  return parsed;
 }
 
 /// Traversal-direction pin, selected with RPQ_EVAL_MODE (`auto` — the
 /// per-round heuristic, default — or `sparse` / `dense` to pin one round
-/// kind). Unknown values fall back to auto.
+/// kind).
 inline EvalMode EvalForceMode() {
   const char* env = std::getenv("RPQ_EVAL_MODE");
   if (env == nullptr) return EvalMode::kAuto;
   const std::string value(env);
+  if (value == "auto") return EvalMode::kAuto;
   if (value == "sparse") return EvalMode::kSparse;
   if (value == "dense") return EvalMode::kDense;
-  return EvalMode::kAuto;
+  DieBadKnob("RPQ_EVAL_MODE", env, "\"auto\", \"sparse\" or \"dense\"");
 }
 
 /// Node-range shard count, selected with RPQ_EVAL_SHARDS (default 1, the
-/// monolithic path). Values below 1 fall back to the default; results are
-/// bit-identical for every count (see "Sharded evaluation" in
-/// docs/ARCHITECTURE.md).
+/// monolithic path). Results are bit-identical for every count (see
+/// "Sharded evaluation" in docs/ARCHITECTURE.md).
 inline uint32_t EvalShards() {
   const char* env = std::getenv("RPQ_EVAL_SHARDS");
   if (env == nullptr) return 1;
-  const long parsed = std::strtol(env, nullptr, 10);
-  return parsed >= 1 ? static_cast<uint32_t>(parsed) : 1;
+  return ParsePositiveKnob("RPQ_EVAL_SHARDS", env);
 }
 
 /// SCC-condensation policy of the kleene-star planner step, selected with
 /// RPQ_EVAL_CONDENSE (`auto` — the summary-gated default — or `on` / `off`
-/// to pin it). Unknown values fall back to auto; results are bit-identical
-/// for every mode (see "SCC condensation" in docs/ARCHITECTURE.md).
+/// to pin it). Results are bit-identical for every mode (see "SCC
+/// condensation" in docs/ARCHITECTURE.md).
 inline CondenseMode EvalCondense() {
   const char* env = std::getenv("RPQ_EVAL_CONDENSE");
   if (env == nullptr) return CondenseMode::kAuto;
   const std::string value(env);
+  if (value == "auto") return CondenseMode::kAuto;
   if (value == "on") return CondenseMode::kOn;
   if (value == "off") return CondenseMode::kOff;
-  return CondenseMode::kAuto;
+  DieBadKnob("RPQ_EVAL_CONDENSE", env, "\"auto\", \"on\" or \"off\"");
+}
+
+/// Wall-clock deadline in milliseconds for the whole driver run, selected
+/// with RPQ_EVAL_DEADLINE_MS (unset = no deadline). The clock starts at the
+/// first EvalConfig()/EnvExecContext() call; once it elapses every
+/// evaluation returns DeadlineExceeded and the driver exits nonzero with
+/// the progress counters reached.
+inline uint32_t EvalDeadlineMs() {
+  const char* env = std::getenv("RPQ_EVAL_DEADLINE_MS");
+  if (env == nullptr) return 0;
+  return ParsePositiveKnob("RPQ_EVAL_DEADLINE_MS", env);
+}
+
+/// Evaluation scratch budget in MiB, selected with RPQ_EVAL_MEM_BUDGET_MB
+/// (unset = unlimited). Covers the byte-accounted product-space scratch of
+/// the round engines — bitmaps, lane masks, outboxes, condensation heaps —
+/// not the graph or index structures themselves.
+inline uint32_t EvalMemBudgetMb() {
+  const char* env = std::getenv("RPQ_EVAL_MEM_BUDGET_MB");
+  if (env == nullptr) return 0;
+  return ParsePositiveKnob("RPQ_EVAL_MEM_BUDGET_MB", env);
+}
+
+/// Process-wide ExecContext configured from RPQ_EVAL_DEADLINE_MS and
+/// RPQ_EVAL_MEM_BUDGET_MB, or nullptr when neither is set (the common case:
+/// a null context keeps every engine on its uninstrumented fast path). The
+/// deadline is armed once, at the first call, so it bounds the whole driver
+/// run rather than each individual evaluation.
+inline ExecContext* EnvExecContext() {
+  static ExecContext* context = []() -> ExecContext* {
+    const uint32_t deadline_ms = EvalDeadlineMs();
+    const uint32_t budget_mb = EvalMemBudgetMb();
+    if (deadline_ms == 0 && budget_mb == 0) return nullptr;
+    static ExecContext exec;
+    if (deadline_ms != 0) {
+      exec.set_deadline_after(std::chrono::milliseconds(deadline_ms));
+    }
+    if (budget_mb != 0) {
+      exec.set_memory_budget_bytes(static_cast<size_t>(budget_mb) << 20);
+    }
+    return &exec;
+  }();
+  return context;
 }
 
 /// EvalOptions for the current environment: RPQ_EVAL_THREADS workers, the
 /// RPQ_EVAL_DENSE_THRESHOLD / RPQ_EVAL_MODE direction knobs,
-/// RPQ_EVAL_SHARDS node-range shards, and the RPQ_EVAL_CONDENSE kleene-star
-/// condensation policy.
+/// RPQ_EVAL_SHARDS node-range shards, the RPQ_EVAL_CONDENSE kleene-star
+/// condensation policy, and the RPQ_EVAL_DEADLINE_MS /
+/// RPQ_EVAL_MEM_BUDGET_MB execution-control limits.
 inline EvalOptions EvalConfig() {
   EvalOptions options;
   options.threads = EvalThreads();
@@ -98,6 +184,7 @@ inline EvalOptions EvalConfig() {
   options.force_mode = EvalForceMode();
   options.shards = EvalShards();
   options.condense = EvalCondense();
+  options.exec = EnvExecContext();
   return options;
 }
 

@@ -194,9 +194,9 @@ ParallelEvalResult BenchParallelEval(uint32_t num_nodes, int trials) {
   result.threads = parallel.threads;
 
   auto sequential_pairs = EvalBinary(graph, query, one_thread);
-  RPQ_CHECK(sequential_pairs.ok());
+  RPQ_CHECK(sequential_pairs.ok()) << sequential_pairs.status().ToString();
   auto parallel_pairs = EvalBinary(graph, query, parallel);
-  RPQ_CHECK(parallel_pairs.ok());
+  RPQ_CHECK(parallel_pairs.ok()) << parallel_pairs.status().ToString();
   RPQ_CHECK(*parallel_pairs == *sequential_pairs)
       << "parallel EvalBinary diverged from threads=1";
 
@@ -214,9 +214,9 @@ ParallelEvalResult BenchParallelEval(uint32_t num_nodes, int trials) {
   result.binary_parallel_seconds = timer.ElapsedSeconds() / trials;
 
   auto sequential_monadic = EvalMonadic(graph, query, one_thread);
-  RPQ_CHECK(sequential_monadic.ok());
+  RPQ_CHECK(sequential_monadic.ok()) << sequential_monadic.status().ToString();
   auto parallel_monadic = EvalMonadic(graph, query, parallel);
-  RPQ_CHECK(parallel_monadic.ok());
+  RPQ_CHECK(parallel_monadic.ok()) << parallel_monadic.status().ToString();
   RPQ_CHECK(*parallel_monadic == *sequential_monadic)
       << "parallel EvalMonadic diverged from threads=1";
   const int monadic_trials = trials * 5;

@@ -28,7 +28,8 @@ void RunPanel(const Dataset& dataset) {
 
   std::vector<std::vector<StaticPoint>> curves;
   for (const Workload& w : dataset.queries) {
-    curves.push_back(RunStaticSweep(dataset.graph, w.query, options));
+    curves.push_back(bench::UnwrapOrExit(
+        RunStaticSweep(dataset.graph, w.query, options), w.name.c_str()));
   }
   for (size_t row = 0; row < options.fractions.size(); ++row) {
     std::vector<std::string> cells{

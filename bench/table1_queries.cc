@@ -23,10 +23,9 @@ void ReportDataset(const Dataset& dataset) {
   TableReport table({"query", "size", "paper selectivity",
                      "measured selectivity", "selected nodes"});
   for (const Workload& w : dataset.queries) {
-    StatusOr<BitVector> selected =
-        EvalMonadic(dataset.graph, w.query, bench::EvalConfig());
-    RPQ_CHECK(selected.ok()) << selected.status().ToString();
-    BitVector result = *std::move(selected);
+    BitVector result = bench::UnwrapOrExit(
+        EvalMonadic(dataset.graph, w.query, bench::EvalConfig()),
+        w.name.c_str());
     double selectivity =
         static_cast<double>(result.Count()) / dataset.graph.num_nodes();
     table.AddRow({w.name, std::to_string(w.query.num_states()),

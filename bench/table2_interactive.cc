@@ -29,9 +29,10 @@ void RunDataset(const Dataset& dataset) {
     learner.coverage_state_cap = bench::PaperScale() ? 50000 : 20000;
     const double step = bench::PaperScale() ? 0.02 : 0.05;
     const double max_fraction = bench::PaperScale() ? 0.9 : 0.25;
-    double static_fraction = LabelsNeededForPerfectF1(
-        dataset.graph, w.query, step, max_fraction, /*seed=*/13, learner,
-        bench::EvalConfig());
+    double static_fraction = bench::UnwrapOrExit(
+        LabelsNeededForPerfectF1(dataset.graph, w.query, step, max_fraction,
+                                 /*seed=*/13, learner, bench::EvalConfig()),
+        w.name.c_str());
     std::string static_cell =
         static_fraction >= max_fraction - 1e-9
             ? "> " + TableReport::Percent(max_fraction, 0)
@@ -39,9 +40,10 @@ void RunDataset(const Dataset& dataset) {
     const size_t max_interactions = bench::PaperScale() ? 5000 : 800;
     for (StrategyKind kind :
          {StrategyKind::kRandom, StrategyKind::kSmallestPaths}) {
-      InteractiveSummary summary = RunInteractiveExperiment(
-          dataset.graph, w.query, kind, /*seed=*/13, max_interactions,
-          bench::EvalConfig());
+      InteractiveSummary summary = bench::UnwrapOrExit(
+          RunInteractiveExperiment(dataset.graph, w.query, kind, /*seed=*/13,
+                                   max_interactions, bench::EvalConfig()),
+          w.name.c_str());
       table.AddRow({w.name, static_cell, summary.strategy,
                     TableReport::Percent(summary.label_percent / 100.0, 2),
                     summary.reached_goal ? "yes" : "no",

@@ -3,6 +3,7 @@
 // a compressed tour of the paper's full experimental pipeline.
 
 #include <cstdio>
+#include <utility>
 
 #include "experiments/interactive_experiment.h"
 #include "experiments/static_experiment.h"
@@ -51,8 +52,14 @@ int main() {
   }
 
   // Interactive learning of the same goal.
-  InteractiveSummary summary = RunInteractiveExperiment(
+  StatusOr<InteractiveSummary> summary_or = RunInteractiveExperiment(
       dataset.graph, goal.query, StrategyKind::kRandom, /*seed=*/7);
+  if (!summary_or.ok()) {
+    std::fprintf(stderr, "interactive experiment failed: %s\n",
+                 summary_or.status().ToString().c_str());
+    return 1;
+  }
+  const InteractiveSummary summary = *std::move(summary_or);
   std::printf(
       "interactive learning of %s: %zu labels (%.2f%% of nodes), "
       "%.3fs/interaction, F1=1 reached: %s\n",

@@ -19,7 +19,13 @@ int main() {
   std::printf("graph: %u nodes; goal query: %s\n",
               dataset.graph.num_nodes(), goal.regex.c_str());
 
-  Oracle oracle = Oracle::FromQuery(dataset.graph, goal.query);
+  StatusOr<Oracle> oracle_or = Oracle::TryFromQuery(dataset.graph, goal.query);
+  if (!oracle_or.ok()) {
+    std::fprintf(stderr, "goal evaluation failed: %s\n",
+                 oracle_or.status().ToString().c_str());
+    return 1;
+  }
+  const Oracle& oracle = *oracle_or;
   std::printf("goal selects %zu nodes\n\n", oracle.goal().Count());
 
   for (StrategyKind kind :
@@ -29,6 +35,11 @@ int main() {
     options.seed = 11;
     SessionResult result =
         RunInteractiveSession(dataset.graph, oracle, options);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "session halted early: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
 
     std::printf("strategy %s:\n",
                 kind == StrategyKind::kRandom ? "kR" : "kS");

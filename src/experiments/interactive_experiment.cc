@@ -4,20 +4,19 @@
 
 namespace rpqlearn {
 
-InteractiveSummary RunInteractiveExperiment(const Graph& graph,
-                                            const Dfa& goal,
-                                            StrategyKind strategy,
-                                            uint64_t seed,
-                                            size_t max_interactions,
-                                            const EvalOptions& eval) {
-  Oracle oracle = Oracle::FromQuery(graph, goal, eval);
+StatusOr<InteractiveSummary> RunInteractiveExperiment(
+    const Graph& graph, const Dfa& goal, StrategyKind strategy, uint64_t seed,
+    size_t max_interactions, const EvalOptions& eval) {
+  StatusOr<Oracle> oracle = Oracle::TryFromQuery(graph, goal, eval);
+  if (!oracle.ok()) return oracle.status();
   SessionOptions options;
   options.strategy = strategy;
   options.seed = seed;
   options.max_interactions = max_interactions;
   options.eval = eval;
 
-  SessionResult session = RunInteractiveSession(graph, oracle, options);
+  SessionResult session = RunInteractiveSession(graph, *oracle, options);
+  if (!session.status.ok()) return session.status;
 
   InteractiveSummary summary;
   summary.strategy =

@@ -6,6 +6,7 @@
 #include "automata/dfa.h"
 #include "graph/graph.h"
 #include "interact/session.h"
+#include "util/status.h"
 
 namespace rpqlearn {
 
@@ -23,13 +24,12 @@ struct InteractiveSummary {
 /// Runs one interactive session against `goal` and summarizes it. `eval`
 /// carries the evaluation knobs (thread count, direction-optimizing
 /// mode/threshold) for the oracle's goal set and every per-interaction F1
-/// scoring pass.
-InteractiveSummary RunInteractiveExperiment(const Graph& graph,
-                                            const Dfa& goal,
-                                            StrategyKind strategy,
-                                            uint64_t seed,
-                                            size_t max_interactions = 5000,
-                                            const EvalOptions& eval = {});
+/// scoring pass. An ExecContext in `eval.exec` bounds the whole run; its
+/// trip Status (and any other evaluation failure) propagates instead of
+/// aborting the process.
+StatusOr<InteractiveSummary> RunInteractiveExperiment(
+    const Graph& graph, const Dfa& goal, StrategyKind strategy, uint64_t seed,
+    size_t max_interactions = 5000, const EvalOptions& eval = {});
 
 }  // namespace rpqlearn
 

@@ -13,13 +13,12 @@
 namespace rpqlearn {
 namespace {
 
-/// Monadic evaluation with the experiment's EvalOptions; a bad configuration
-/// is a driver bug, so the validation Status aborts loudly.
-BitVector EvalGoalSet(const Graph& graph, const Dfa& query,
-                      const EvalOptions& eval) {
-  StatusOr<BitVector> selected = EvalMonadic(graph, query, eval);
-  RPQ_CHECK(selected.ok()) << selected.status().ToString();
-  return *std::move(selected);
+/// Monadic evaluation with the experiment's EvalOptions. Failures —
+/// misconfiguration or an ExecContext trip — propagate to the caller, which
+/// reports them with a nonzero exit rather than aborting the process.
+StatusOr<BitVector> EvalGoalSet(const Graph& graph, const Dfa& query,
+                                const EvalOptions& eval) {
+  return EvalMonadic(graph, query, eval);
 }
 
 /// The paper's static sampling protocol (Sec. 5.2): positives are random
@@ -53,9 +52,15 @@ Sample RandomSample(const Graph& graph, const BitVector& goal,
 
 }  // namespace
 
-std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
-                                        const StaticSweepOptions& options) {
-  BitVector goal_set = EvalGoalSet(graph, goal, options.eval);
+StatusOr<std::vector<StaticPoint>> RunStaticSweep(
+    const Graph& graph, const Dfa& goal, const StaticSweepOptions& options) {
+  StatusOr<BitVector> goal_or = EvalGoalSet(graph, goal, options.eval);
+  if (!goal_or.ok()) return goal_or.status();
+  const BitVector& goal_set = *goal_or;
+  LearnerOptions learner_options = options.learner;
+  if (learner_options.exec == nullptr) {
+    learner_options.exec = options.eval.exec;
+  }
   Rng rng(options.seed);
   std::vector<StaticPoint> points;
   for (double fraction : options.fractions) {
@@ -65,15 +70,18 @@ std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
     for (int trial = 0; trial < options.trials; ++trial) {
       Sample sample = RandomSample(graph, goal_set, fraction, &rng);
       WallTimer timer;
-      LearnOutcome outcome = LearnPathQuery(graph, sample, options.learner);
+      LearnOutcome outcome = LearnPathQuery(graph, sample, learner_options);
       point.time_mean_seconds += timer.ElapsedSeconds();
+      if (!outcome.status.ok()) return outcome.status;
       if (outcome.is_null) {
         ++abstains;
         continue;
       }
       point.max_k_used = std::max(point.max_k_used, outcome.stats.k_used);
-      BitVector selected = EvalGoalSet(graph, outcome.query, options.eval);
-      point.f1_mean += ComputeMetrics(selected, goal_set).f1;
+      StatusOr<BitVector> selected =
+          EvalGoalSet(graph, outcome.query, options.eval);
+      if (!selected.ok()) return selected.status();
+      point.f1_mean += ComputeMetrics(*selected, goal_set).f1;
     }
     int successes = options.trials - abstains;
     point.f1_mean = successes > 0 ? point.f1_mean / successes : 0.0;
@@ -84,12 +92,16 @@ std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
   return points;
 }
 
-double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
-                                double step, double max_fraction,
-                                uint64_t seed,
-                                const LearnerOptions& learner,
-                                const EvalOptions& eval) {
-  BitVector goal_set = EvalGoalSet(graph, goal, eval);
+StatusOr<double> LabelsNeededForPerfectF1(const Graph& graph,
+                                          const Dfa& goal, double step,
+                                          double max_fraction, uint64_t seed,
+                                          const LearnerOptions& learner,
+                                          const EvalOptions& eval) {
+  StatusOr<BitVector> goal_or = EvalGoalSet(graph, goal, eval);
+  if (!goal_or.ok()) return goal_or.status();
+  const BitVector& goal_set = *goal_or;
+  LearnerOptions learner_options = learner;
+  if (learner_options.exec == nullptr) learner_options.exec = eval.exec;
   Rng rng(seed);
   // Incrementally extend fixed orderings of both pools so successive
   // fractions nest (same stratified protocol as RandomSample).
@@ -103,7 +115,7 @@ double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
 
   // Successive fractions nest, so the incremental learner's SCP and
   // coverage caches carry over between steps.
-  IncrementalLearner incremental(graph, learner);
+  IncrementalLearner incremental(graph, learner_options);
   size_t added_pos = 0;
   size_t added_neg = 0;
 
@@ -123,9 +135,11 @@ double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
       incremental.AddNegative(rejected_pool[added_neg++]);
     }
     LearnOutcome outcome = incremental.Learn();
+    if (!outcome.status.ok()) return outcome.status;
     if (outcome.is_null) continue;
-    BitVector selected = EvalGoalSet(graph, outcome.query, eval);
-    if (ComputeMetrics(selected, goal_set).f1 == 1.0) return fraction;
+    StatusOr<BitVector> selected = EvalGoalSet(graph, outcome.query, eval);
+    if (!selected.ok()) return selected.status();
+    if (ComputeMetrics(*selected, goal_set).f1 == 1.0) return fraction;
   }
   return max_fraction;
 }

@@ -7,6 +7,7 @@
 #include "graph/graph.h"
 #include "learn/learner.h"
 #include "query/eval.h"
+#include "util/status.h"
 
 namespace rpqlearn {
 
@@ -29,22 +30,28 @@ struct StaticSweepOptions {
   uint64_t seed = 1;
   LearnerOptions learner;
   /// Evaluation knobs (thread count, direction-optimizing mode/threshold,
-  /// node-range shard count) for scoring learned queries against the goal;
-  /// invalid options abort the sweep with the validation message.
+  /// node-range shard count) for scoring learned queries against the goal.
+  /// An ExecContext in `eval.exec` governs the whole sweep (it is also
+  /// handed to the learner when `learner.exec` is unset); its trip Status —
+  /// like any evaluation failure — propagates out of the sweep instead of
+  /// aborting the process.
   EvalOptions eval;
 };
 
-/// Runs the Sec. 5.2 static experiment for one goal query.
-std::vector<StaticPoint> RunStaticSweep(const Graph& graph, const Dfa& goal,
-                                        const StaticSweepOptions& options);
+/// Runs the Sec. 5.2 static experiment for one goal query. Returns the trip
+/// or validation Status when an evaluation or learner run fails mid-sweep.
+StatusOr<std::vector<StaticPoint>> RunStaticSweep(
+    const Graph& graph, const Dfa& goal, const StaticSweepOptions& options);
 
 /// The "labels needed for F1 = 1 without interactions" column of Table 2:
 /// grows the random labeled fraction by `step` until the learned query
 /// reaches F1 = 1; returns the fraction (or max_fraction if never reached).
-double LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
-                                double step, double max_fraction,
-                                uint64_t seed, const LearnerOptions& learner,
-                                const EvalOptions& eval = {});
+/// Shares RunStaticSweep's failure contract.
+StatusOr<double> LabelsNeededForPerfectF1(const Graph& graph, const Dfa& goal,
+                                          double step, double max_fraction,
+                                          uint64_t seed,
+                                          const LearnerOptions& learner,
+                                          const EvalOptions& eval = {});
 
 }  // namespace rpqlearn
 

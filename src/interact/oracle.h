@@ -26,8 +26,19 @@ class Oracle {
   /// API).
   static Oracle FromQuery(const Graph& graph, const Dfa& goal_query,
                           const EvalOptions& eval = {}) {
+    StatusOr<Oracle> oracle = TryFromQuery(graph, goal_query, eval);
+    RPQ_CHECK(oracle.ok()) << oracle.status().ToString();
+    return *std::move(oracle);
+  }
+
+  /// Fallible variant of FromQuery for callers that carry an ExecContext in
+  /// `eval` (or otherwise expect evaluation to fail): the goal evaluation's
+  /// trip Status propagates instead of aborting the process.
+  static StatusOr<Oracle> TryFromQuery(const Graph& graph,
+                                       const Dfa& goal_query,
+                                       const EvalOptions& eval = {}) {
     StatusOr<BitVector> goal = EvalMonadic(graph, goal_query, eval);
-    RPQ_CHECK(goal.ok()) << goal.status().ToString();
+    if (!goal.ok()) return goal.status();
     return Oracle(*std::move(goal));
   }
 

@@ -7,6 +7,7 @@
 #include "learn/incremental.h"
 #include "query/eval.h"
 #include "query/metrics.h"
+#include "util/exec_context.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -27,6 +28,7 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
   // condensation (when the kleene-star planner step may engage). Both are
   // deterministic, so caching never changes results.
   EvalOptions eval = options.eval;
+  ExecContext* exec = eval.exec;
   std::optional<ShardedGraph> shard_cache;
   if (eval.sharded_cache == nullptr && eval.shards > 1) {
     const uint32_t effective = EffectiveShardCount(eval, graph.num_nodes());
@@ -46,22 +48,38 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
   // interactions and only revalidated when negatives arrive.
   LearnerOptions learner_options = options.learner;
   learner_options.auto_k = false;  // the session drives k itself (Sec. 5.1)
+  learner_options.exec = exec;  // one context governs the whole session
   IncrementalLearner learner(graph, learner_options);
 
   // Reruns the learner at the current k; returns the F1 against the goal,
-  // or -1 when the learner abstained.
+  // or -1 when the learner abstained. A trip anywhere inside (merge trials,
+  // hypothesis evaluation, F1 scoring) lands in result.status, which the
+  // interaction loop tests after every call.
   auto relearn = [&](uint32_t current_k) -> double {
     LearnOutcome outcome = learner.LearnAtK(current_k);
+    if (!outcome.status.ok()) {
+      result.status = outcome.status;
+      return -1.0;
+    }
     if (outcome.is_null) return -1.0;
     result.final_query = outcome.query;
     have_query = true;
     StatusOr<BitVector> selected =
         EvalMonadic(graph, result.final_query, eval);
-    RPQ_CHECK(selected.ok()) << selected.status().ToString();
+    if (!selected.ok()) {
+      result.status = selected.status();
+      return -1.0;
+    }
     return ComputeMetrics(*selected, oracle.goal()).f1;
   };
 
   while (result.interactions.size() < options.max_interactions) {
+    // One checkpoint per interaction, on top of the finer-grained ones the
+    // learner and evaluator run themselves.
+    if (exec != nullptr && !exec->Checkpoint()) {
+      result.status = exec->TripStatus();
+      break;
+    }
     WallTimer timer;
 
     // The coverage automaton at the session's k, shared between the
@@ -79,7 +97,9 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
       // available) without any further label.
       if (k < options.k_max) {
         ++k;
-        if (relearn(k) == 1.0) {
+        const double f1 = relearn(k);
+        if (!result.status.ok()) break;
+        if (f1 == 1.0) {
           result.reached_goal = true;
           break;
         }
@@ -105,6 +125,7 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
     record.seconds = timer.ElapsedSeconds();
     result.interactions.push_back(record);
 
+    if (!result.status.ok()) break;  // tripped during this relearn
     if (record.f1 == 1.0) {
       result.reached_goal = true;
       break;

@@ -9,6 +9,7 @@
 #include "interact/strategy.h"
 #include "learn/learner.h"
 #include "learn/sample.h"
+#include "util/status.h"
 
 namespace rpqlearn {
 
@@ -24,7 +25,11 @@ struct SessionOptions {
   /// Learner configuration used after every label.
   LearnerOptions learner;
   /// Evaluation knobs (thread count, direction mode, node-range shard
-  /// count) for the per-interaction F1 scoring.
+  /// count) for the per-interaction F1 scoring. When `eval.exec` is set,
+  /// the same ExecContext governs the whole session: one checkpoint per
+  /// interaction, plus the finer-grained checkpoints inside every learner
+  /// rerun and evaluation. A trip halts the session cleanly with the typed
+  /// Status in SessionResult.status and whatever query was learned so far.
   EvalOptions eval;
   /// Seed for the strategy's randomness.
   uint64_t seed = 1;
@@ -56,6 +61,11 @@ struct SessionResult {
   uint32_t final_k = 0;
   /// Fraction of graph nodes labeled.
   double label_fraction = 0.0;
+  /// Ok for a normal halt (goal reached, no informative node, or the
+  /// interaction budget). Carries the typed trip Status when
+  /// SessionOptions.eval.exec tripped mid-session; interactions recorded
+  /// before the trip are kept.
+  Status status = Status::Ok();
 };
 
 /// Runs the interactive scenario: starting from an empty sample, repeatedly

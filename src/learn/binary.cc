@@ -10,6 +10,7 @@
 #include "learn/rpni.h"
 #include "learn/scp.h"
 #include "query/eval.h"
+#include "util/exec_context.h"
 
 namespace rpqlearn {
 namespace {
@@ -51,9 +52,13 @@ LearnOutcome LearnBinaryWithFixedK(const Graph& graph,
     RpniStats rpni_stats;
     NfaDisjointnessOracle consistent(&negative_nfa);
     hypothesis = RpniGeneralizeOnPartition(pta, std::ref(consistent),
-                                           &rpni_stats);
+                                           &rpni_stats, options.exec);
     outcome.stats.merges_attempted = rpni_stats.merges_attempted;
     outcome.stats.merges_accepted = rpni_stats.merges_accepted;
+    if (options.exec != nullptr && options.exec->tripped()) {
+      outcome.status = options.exec->TripStatus();
+      return outcome;
+    }
   }
 
   for (const auto& [from, to] : sample.positive) {
@@ -83,7 +88,7 @@ LearnOutcome LearnBinaryPathQuery(const Graph& graph,
   LearnOutcome last;
   for (uint32_t k = options.k; k <= final_k; ++k) {
     last = LearnBinaryWithFixedK(graph, sample, options, k, negative_nfa);
-    if (!last.is_null) return last;
+    if (!last.is_null || !last.status.ok()) return last;
   }
   return last;
 }

@@ -9,6 +9,7 @@
 #include "learn/rpni.h"
 #include "learn/scp.h"
 #include "query/eval.h"
+#include "util/exec_context.h"
 
 namespace rpqlearn {
 
@@ -105,12 +106,23 @@ LearnOutcome IncrementalLearner::LearnAtK(uint32_t k) {
     RpniStats rpni_stats;
     NfaDisjointnessOracle consistent(&negative_nfa_);
     hypothesis = RpniGeneralizeOnPartition(pta, std::ref(consistent),
-                                           &rpni_stats);
+                                           &rpni_stats, options_.exec);
     outcome.stats.merges_attempted = rpni_stats.merges_attempted;
     outcome.stats.merges_accepted = rpni_stats.merges_accepted;
+    if (options_.exec != nullptr && options_.exec->tripped()) {
+      outcome.status = options_.exec->TripStatus();
+      return outcome;
+    }
   }
 
-  BitVector selected = EvalMonadic(graph_, hypothesis);
+  EvalOptions eval;
+  eval.exec = options_.exec;
+  StatusOr<BitVector> selected_or = EvalMonadic(graph_, hypothesis, eval);
+  if (!selected_or.ok()) {
+    outcome.status = selected_or.status();
+    return outcome;
+  }
+  const BitVector& selected = *selected_or;
   for (NodeId v : sample_.positive) {
     if (!selected.Test(v)) return outcome;
   }
@@ -129,7 +141,7 @@ LearnOutcome IncrementalLearner::Learn() {
   LearnOutcome last;
   for (uint32_t k = options_.k; k <= final_k; ++k) {
     last = LearnAtK(k);
-    if (!last.is_null) return last;
+    if (!last.is_null || !last.status.ok()) return last;
   }
   return last;
 }

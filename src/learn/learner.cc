@@ -11,6 +11,7 @@
 #include "learn/rpni.h"
 #include "learn/scp.h"
 #include "query/eval.h"
+#include "util/exec_context.h"
 
 namespace rpqlearn {
 namespace {
@@ -58,14 +59,27 @@ LearnOutcome LearnWithFixedK(const Graph& graph, const Sample& sample,
     RpniStats rpni_stats;
     NfaDisjointnessOracle consistent(&negative_nfa);
     hypothesis = RpniGeneralizeOnPartition(pta, std::ref(consistent),
-                                           &rpni_stats);
+                                           &rpni_stats, options.exec);
     outcome.stats.merges_attempted = rpni_stats.merges_attempted;
     outcome.stats.merges_accepted = rpni_stats.merges_accepted;
+    if (options.exec != nullptr && options.exec->tripped()) {
+      // Discard the partially generalized hypothesis: a half-merged query
+      // is consistent but not the canonical result.
+      outcome.status = options.exec->TripStatus();
+      return outcome;
+    }
   }
 
   // Lines 6-7: the query must select every positive node (not only those
   // whose SCPs built the PTA).
-  BitVector selected = EvalMonadic(graph, hypothesis);
+  EvalOptions eval;
+  eval.exec = options.exec;
+  StatusOr<BitVector> selected_or = EvalMonadic(graph, hypothesis, eval);
+  if (!selected_or.ok()) {
+    outcome.status = selected_or.status();
+    return outcome;
+  }
+  const BitVector& selected = *selected_or;
   for (NodeId v : sample.positive) {
     if (!selected.Test(v)) return outcome;  // abstain
   }
@@ -93,7 +107,7 @@ LearnOutcome LearnPathQuery(const Graph& graph, const Sample& sample,
   for (uint32_t k = options.k; k <= final_k; ++k) {
     last = LearnWithFixedK(graph, sample, options, k, graph_nfa_all,
                            negative_nfa);
-    if (!last.is_null) return last;
+    if (!last.is_null || !last.status.ok()) return last;
   }
   return last;
 }

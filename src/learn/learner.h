@@ -10,6 +10,8 @@
 
 namespace rpqlearn {
 
+class ExecContext;
+
 /// Knobs of the paper's Algorithm 1 plus the dynamic-k policy of Sec. 5.1.
 struct LearnerOptions {
   /// Initial maximal SCP length (the paper starts at 2 in experiments).
@@ -27,6 +29,12 @@ struct LearnerOptions {
   /// Resource caps; hitting them makes the learner abstain.
   size_t coverage_state_cap = 1 << 20;
   size_t scp_expansion_cap = 4000000;
+  /// Optional cooperative execution control: checkpointed once per RPNI
+  /// merge trial and threaded into the hypothesis evaluation. A trip makes
+  /// the learner abstain with `LearnOutcome.status` carrying the typed trip
+  /// Status; null (the default) keeps the learner uninterruptible. Must
+  /// outlive the learner call; not owned.
+  ExecContext* exec = nullptr;
 };
 
 /// Diagnostics of one learner invocation.
@@ -48,6 +56,11 @@ struct LearnOutcome {
   /// !is_null. Guaranteed consistent with the input sample.
   Dfa query{0};
   LearnerStats stats;
+  /// Ok for a normal outcome (learned or organic abstain). A non-Ok status
+  /// means LearnerOptions.exec tripped mid-learn (deadline, cancellation,
+  /// memory budget, or injected fault): is_null is true and the partial
+  /// hypothesis was discarded.
+  Status status = Status::Ok();
 };
 
 /// The paper's Algorithm 1 (monadic semantics): select the smallest

@@ -5,18 +5,19 @@
 
 #include "automata/fold.h"
 #include "automata/pta.h"
+#include "util/exec_context.h"
 #include "util/logging.h"
 
 namespace rpqlearn {
 
 Dfa RpniGeneralize(const Dfa& pta,
                    const std::function<bool(const Dfa&)>& is_consistent,
-                   RpniStats* stats) {
+                   RpniStats* stats, ExecContext* exec) {
   RpniStats local_stats;
   Dfa current = pta;
   std::set<StateId> red{current.initial_state()};
 
-  while (true) {
+  while (exec == nullptr || !exec->tripped()) {
     // Blue states: successors of red states that are not themselves red.
     // State ids follow canonical access-word order (PTA numbering is
     // preserved by FoldMerge's BFS renumbering), so min = canonical least.
@@ -32,6 +33,9 @@ Dfa RpniGeneralize(const Dfa& pta,
 
     bool merged = false;
     for (StateId r : red) {
+      // One checkpoint per merge trial: a trial folds and tests a whole
+      // candidate automaton, so this is the loop's natural unit of work.
+      if (exec != nullptr && !exec->Checkpoint()) break;
       ++local_stats.merges_attempted;
       FoldResult candidate = FoldMerge(current, r, b);
       if (is_consistent(candidate.dfa)) {
@@ -60,13 +64,13 @@ Dfa RpniGeneralize(const Dfa& pta,
 
 Dfa RpniGeneralizeOnPartition(const Dfa& pta,
                               const PartitionConsistency& is_consistent,
-                              RpniStats* stats) {
+                              RpniStats* stats, ExecContext* exec) {
   RpniStats local_stats;
   Dfa current = pta;
   MergePartition partition(current);
   std::set<StateId> red{current.initial_state()};
 
-  while (true) {
+  while (exec == nullptr || !exec->tripped()) {
     // Identical red–blue schedule to RpniGeneralize: the partition is reset
     // to the renumbered quotient after every accepted merge, so blue
     // selection still happens over canonical state ids.
@@ -82,6 +86,7 @@ Dfa RpniGeneralizeOnPartition(const Dfa& pta,
 
     bool merged = false;
     for (StateId r : red) {
+      if (exec != nullptr && !exec->Checkpoint()) break;
       ++local_stats.merges_attempted;
       partition.Fold(r, b);
       if (is_consistent(partition)) {

@@ -15,6 +15,8 @@
 
 namespace rpqlearn {
 
+class ExecContext;
+
 /// Counters reported by the generalization loop.
 struct RpniStats {
   size_t merges_attempted = 0;
@@ -30,9 +32,14 @@ struct RpniStats {
 /// callback encodes the negative information: for word samples it is "no
 /// negative word accepted", for the graph learner it is
 /// "L(A) ∩ paths_G(S−) = ∅".
+///
+/// When `exec` is non-null, one ExecContext checkpoint fires per attempted
+/// merge (the loop's unit of work). On a trip the loop stops immediately and
+/// returns the hypothesis generalized so far; callers that need all-or-
+/// nothing semantics must test `exec->tripped()` afterwards and discard.
 Dfa RpniGeneralize(const Dfa& pta,
                    const std::function<bool(const Dfa&)>& is_consistent,
-                   RpniStats* stats = nullptr);
+                   RpniStats* stats = nullptr, ExecContext* exec = nullptr);
 
 /// Consistency oracle over a trial merge, evaluated directly on the
 /// MergePartition quotient view — no candidate automaton is materialized.
@@ -45,9 +52,12 @@ using PartitionConsistency = std::function<bool(const MergePartition&)>;
 /// quotient's language — which all of the learner's consistency checks do —
 /// the result and stats are identical to RpniGeneralize's, at a fraction of
 /// the cost: the reference path copies the whole automaton per attempt.
+/// Shares RpniGeneralize's `exec` contract: one checkpoint per merge trial,
+/// early return of the partial hypothesis on a trip.
 Dfa RpniGeneralizeOnPartition(const Dfa& pta,
                               const PartitionConsistency& is_consistent,
-                              RpniStats* stats = nullptr);
+                              RpniStats* stats = nullptr,
+                              ExecContext* exec = nullptr);
 
 /// PartitionConsistency for classic RPNI on words: the quotient must reject
 /// every negative word. Runs each word on the partition view.

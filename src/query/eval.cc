@@ -11,6 +11,7 @@
 #include "automata/dfa_csr.h"
 #include "graph/condense.h"
 #include "graph/shard.h"
+#include "util/exec_context.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -47,14 +48,20 @@ uint32_t ResolveWorkers(const EvalOptions& validated, size_t num_pairs,
 
 /// Runs `fn(worker, index)` over [0, count): inline when one worker is
 /// requested, on the shared pool otherwise. The sharded supersteps use this
-/// so a threads = 1 sharded evaluation never touches the pool.
+/// so a threads = 1 sharded evaluation never touches the pool. A tripped
+/// `exec` stops fresh indices from being issued (units already running bail
+/// at their own checkpoints).
 void RunIndexed(uint32_t workers, size_t count,
-                const std::function<void(uint32_t, size_t)>& fn) {
+                const std::function<void(uint32_t, size_t)>& fn,
+                const ExecContext* exec = nullptr) {
   if (workers <= 1) {
-    for (size_t index = 0; index < count; ++index) fn(0, index);
+    for (size_t index = 0; index < count; ++index) {
+      if (exec != nullptr && exec->tripped()) return;
+      fn(0, index);
+    }
     return;
   }
-  EvalPool().ParallelFor(workers, count, fn);
+  EvalPool().ParallelFor(workers, count, fn, exec);
 }
 
 constexpr uint32_t kLaneBatch = 64;  // one source per bit of the lane mask
@@ -129,6 +136,52 @@ struct RoundCounters {
   uint64_t dense = 0;
   uint64_t condensed_expansions = 0;
   uint64_t components_collapsed = 0;
+  uint64_t pairs = 0;  // frontier pairs expanded, summed over rounds
+};
+
+/// The typed Status an engine surfaces after an ExecContext trip: the
+/// context's latched code and message, annotated with the progress the
+/// evaluation banked before unwinding (the same counts folded into
+/// EvalOptions.stats, so callers can also read them programmatically).
+Status TripStatusWithProgress(const ExecContext& exec,
+                              const RoundCounters& totals,
+                              uint64_t supersteps) {
+  const Status trip = exec.TripStatus();
+  return Status(trip.code(),
+                trip.message() + "; progress: rounds=" +
+                    std::to_string(totals.sparse + totals.dense) +
+                    ", supersteps=" + std::to_string(supersteps) +
+                    ", pairs_settled=" + std::to_string(totals.pairs));
+}
+
+/// Tracks the transient bytes of the BSP outboxes between supersteps:
+/// Update charges only the growth over the previous superstep (and releases
+/// shrinkage), so the context sees the outboxes' high-water mark rather than
+/// a sum over supersteps; the destructor releases whatever is still charged.
+/// An overflowing Update trips the context — the driver unwinds at its next
+/// superstep checkpoint.
+class TransientCharge {
+ public:
+  explicit TransientCharge(ExecContext* exec) : exec_(exec) {}
+  ~TransientCharge() {
+    if (exec_ != nullptr) exec_->Release(charged_);
+  }
+  TransientCharge(const TransientCharge&) = delete;
+  TransientCharge& operator=(const TransientCharge&) = delete;
+
+  void Update(size_t bytes) {
+    if (exec_ == nullptr) return;
+    if (bytes > charged_) {
+      if (exec_->Charge(bytes - charged_).ok()) charged_ = bytes;
+    } else {
+      exec_->Release(charged_ - bytes);
+      charged_ = bytes;
+    }
+  }
+
+ private:
+  ExecContext* exec_;
+  size_t charged_ = 0;
 };
 
 // ----------------------------------------------------------- condensation
@@ -293,6 +346,38 @@ void ApplyCondensePlanToTables(const CondensePlan& plan,
   }
 }
 
+/// Budget estimates of the dominant per-sweep / per-worker / per-shard
+/// scratch arrays, charged against the ExecContext before the arrays are
+/// allocated. Estimates cover the product-space-proportional allocations
+/// (masks, pending flags, bitmap frontiers, condensation expanded/pending
+/// tables); frontier lists and outboxes are workload-dependent and
+/// accounted where they materialize.
+size_t CondenseScratchBytes(const CondensePlan& plan, size_t per_component) {
+  if (!plan.active) return 0;
+  size_t cells = 0;
+  for (uint32_t count : plan.comp_counts) cells += count;
+  return cells * per_component;
+}
+
+/// MonadicSweeper: three product-space BitVectors (reached + two frontier
+/// bitmaps) plus the per-component expanded flags.
+size_t MonadicSweepScratchBytes(size_t num_pairs, const CondensePlan& plan) {
+  return 3 * ((num_pairs + 7) / 8) + CondenseScratchBytes(plan, 1);
+}
+
+/// BinaryBatchScratch: 8-byte lane mask + pending flag per product cell,
+/// two bitmap frontiers, and 8-byte expanded + pending lane sets per
+/// condensation component.
+size_t BinaryScratchBytes(size_t num_pairs, const CondensePlan& plan) {
+  return num_pairs * (sizeof(uint64_t) + 1) + 2 * ((num_pairs + 7) / 8) +
+         CondenseScratchBytes(plan, 2 * sizeof(uint64_t));
+}
+
+/// ShardBinaryState: the monolithic scratch plus the changed-cell flag.
+size_t BinaryShardScratchBytes(size_t num_pairs, const CondensePlan& plan) {
+  return BinaryScratchBytes(num_pairs, plan) + num_pairs;
+}
+
 /// Direction policy of one evaluation call, resolved from validated
 /// EvalOptions by the impl entry points: a round runs dense iff its
 /// frontier holds at least `dense_cutoff_pairs` product pairs. Sharded
@@ -441,11 +526,13 @@ template <typename View>
 class MonadicSweeper {
  public:
   MonadicSweeper(View view, const BinaryTables& tables,
-                 const CondensePlan& plan, DirectionPolicy policy)
+                 const CondensePlan& plan, DirectionPolicy policy,
+                 ExecContext* exec)
       : view_(view),
         tables_(tables),
         plan_(&plan),
         policy_(policy),
+        exec_(exec),
         reached_(static_cast<size_t>(view_.num_nodes()) * tables.nq),
         frontier_bits_(reached_.size()),
         next_bits_(reached_.size()) {
@@ -491,6 +578,11 @@ class MonadicSweeper {
   template <typename VisitHook>
   void RunCondenseClosure(VisitHook&& hook, RoundCounters* rounds) {
     while (!cond_worklist_.empty()) {
+      // One checkpoint per worklist pop: a pop can scatter a whole SCC and
+      // its DAG cone, so this is the closure's coarse-grained trip point. On
+      // a trip the remaining worklist is abandoned — the owning sweep's next
+      // round checkpoint unwinds the whole evaluation.
+      if (exec_ != nullptr && !exec_->Checkpoint()) return;
       const auto [v, q] = cond_worklist_.back();
       cond_worklist_.pop_back();
       const NodeId global = view_.ToGlobal(v);
@@ -515,6 +607,7 @@ class MonadicSweeper {
   /// form the next pending frontier and fire `hook` once each.
   template <typename VisitHook>
   void RunRound(VisitHook&& hook, RoundCounters* rounds) {
+    rounds->pairs += frontier_pairs_;
     const bool want_dense = frontier_pairs_ >= policy_.dense_cutoff_pairs;
     if (want_dense != dense_) {
       if (want_dense) {
@@ -638,6 +731,7 @@ class MonadicSweeper {
   const BinaryTables& tables_;
   const CondensePlan* plan_;
   DirectionPolicy policy_;
+  ExecContext* exec_;
   BitVector reached_;
   BitVector frontier_bits_;
   BitVector next_bits_;
@@ -649,24 +743,30 @@ class MonadicSweeper {
   bool dense_ = false;
 };
 
-void AccumulateMonadicRounds(const EvalOptions& validated,
-                             std::span<const RoundCounters> per_sweep) {
-  if (validated.stats == nullptr) return;
-  uint64_t sparse = 0, dense = 0, condensed = 0, collapsed = 0;
+/// Folds per-sweep counters into EvalOptions.stats (when present) and
+/// returns the summed totals — the progress a trip status reports.
+RoundCounters AccumulateMonadicRounds(
+    const EvalOptions& validated, std::span<const RoundCounters> per_sweep) {
+  RoundCounters totals;
   for (const RoundCounters& rounds : per_sweep) {
-    sparse += rounds.sparse;
-    dense += rounds.dense;
-    condensed += rounds.condensed_expansions;
-    collapsed += rounds.components_collapsed;
+    totals.sparse += rounds.sparse;
+    totals.dense += rounds.dense;
+    totals.condensed_expansions += rounds.condensed_expansions;
+    totals.components_collapsed += rounds.components_collapsed;
+    totals.pairs += rounds.pairs;
   }
-  validated.stats->monadic_sparse_rounds.fetch_add(sparse,
+  if (validated.stats == nullptr) return totals;
+  validated.stats->monadic_sparse_rounds.fetch_add(totals.sparse,
                                                    std::memory_order_relaxed);
-  validated.stats->monadic_dense_rounds.fetch_add(dense,
+  validated.stats->monadic_dense_rounds.fetch_add(totals.dense,
                                                   std::memory_order_relaxed);
-  validated.stats->condensed_expansions.fetch_add(condensed,
+  validated.stats->condensed_expansions.fetch_add(totals.condensed_expansions,
                                                   std::memory_order_relaxed);
-  validated.stats->components_collapsed.fetch_add(collapsed,
+  validated.stats->components_collapsed.fetch_add(totals.components_collapsed,
                                                   std::memory_order_relaxed);
+  validated.stats->pairs_settled.fetch_add(totals.pairs,
+                                           std::memory_order_relaxed);
+  return totals;
 }
 
 /// One backward product sweep over the whole graph, seeded by the accepting
@@ -679,11 +779,19 @@ BitVector MonadicSweepRange(const Graph& graph, const BinaryTables& tables,
                             const CondensePlan& plan,
                             const DirectionPolicy& policy, bool bounded,
                             uint32_t max_length, NodeId node_lo,
-                            NodeId node_hi, RoundCounters* rounds) {
+                            NodeId node_hi, ExecContext* exec,
+                            RoundCounters* rounds) {
   const uint32_t nq = tables.nq;
   const uint32_t nv = graph.num_nodes();
+  BitVector result(nv);
+  // Charge the sweep's product-space scratch before allocating it; an
+  // overflow latches kResourceExhausted and the empty partial is discarded
+  // by the caller's tripped() exit.
+  ScopedExecCharge charge(
+      exec, MonadicSweepScratchBytes(static_cast<size_t>(nv) * nq, plan));
+  if (!charge.ok()) return result;
   MonadicSweeper<GlobalGraphView> sweeper(GlobalGraphView{&graph}, tables,
-                                          plan, policy);
+                                          plan, policy, exec);
   auto no_hook = [](NodeId, StateId) {};
   for (StateId q : tables.accepting_states) {
     for (NodeId v = node_lo; v < node_hi; ++v) sweeper.Visit(v, q, no_hook);
@@ -691,12 +799,13 @@ BitVector MonadicSweepRange(const Graph& graph, const BinaryTables& tables,
   sweeper.RunCondenseClosure(no_hook, rounds);
   uint32_t steps = 0;
   while (sweeper.frontier_pairs() > 0 && (!bounded || steps < max_length)) {
+    if (exec != nullptr && !exec->Checkpoint()) break;
     sweeper.RunRound(no_hook, rounds);
     sweeper.RunCondenseClosure(no_hook, rounds);
     ++steps;
   }
+  if (exec != nullptr && exec->tripped()) return result;
 
-  BitVector result(nv);
   const StateId q0 = tables.q0;
   for (NodeId v = 0; v < nv; ++v) {
     if (sweeper.reached().Test(static_cast<size_t>(v) * nq + q0)) {
@@ -725,11 +834,13 @@ class ShardMonadicState {
       : sharded_(&sharded),
         shard_(&sharded.shard(self)),
         tables_(&tables),
+        exec_(validated.exec),
         sweeper_(ShardGraphView{shard_}, tables, plan,
                  ResolveDirectionPolicy(
                      validated, static_cast<size_t>(
                                     shard_->num_local_nodes()) *
-                                    tables.nq)),
+                                    tables.nq),
+                 validated.exec),
         outbox_cur_(sharded.num_shards()),
         outbox_prev_(sharded.num_shards()) {}
 
@@ -769,21 +880,27 @@ class ShardMonadicState {
   /// exact.
   void RunSuperstep(std::span<ShardMonadicState> all, uint32_t self,
                     bool single_round) {
+    // Checkpoints gate each shard-local round (the superstep's work units);
+    // a trip abandons the rest of the superstep — the driver observes it at
+    // its own checkpoint and discards the partial sweep.
     if (single_round) {
       // Bounded sweeps: the plan is inactive, so the closure calls below
       // are no-ops and every level round is exactly one edge hop.
-      if (sweeper_.frontier_pairs() > 0) {
+      if (sweeper_.frontier_pairs() > 0 &&
+          (exec_ == nullptr || exec_->Checkpoint())) {
         sweeper_.RunRound(BorderHook(), &rounds_);
       }
       Drain(all, self);
     } else {
       Drain(all, self);
       sweeper_.RunCondenseClosure(BorderHook(), &rounds_);
-      while (sweeper_.frontier_pairs() > 0) {
+      while (sweeper_.frontier_pairs() > 0 &&
+             (exec_ == nullptr || exec_->Checkpoint())) {
         sweeper_.RunRound(BorderHook(), &rounds_);
         sweeper_.RunCondenseClosure(BorderHook(), &rounds_);
       }
     }
+    if (exec_ != nullptr && exec_->tripped()) return;
     EmitPushes();
   }
 
@@ -834,6 +951,7 @@ class ShardMonadicState {
   const ShardedGraph* sharded_;
   const GraphShard* shard_;
   const BinaryTables* tables_;
+  ExecContext* exec_;
   MonadicSweeper<ShardGraphView> sweeper_;
   std::vector<std::pair<NodeId, StateId>> border_;
   std::vector<std::vector<MonadicPush>> outbox_cur_;
@@ -864,70 +982,92 @@ const ShardedGraph& ResolveShardedGraph(const Graph& graph,
   return **owned;
 }
 
-BitVector EvalMonadicShardedImpl(const Graph& graph,
-                                 const BinaryTables& tables,
-                                 const CondensePlan& plan,
-                                 const EvalOptions& validated, bool bounded,
-                                 uint32_t max_length, uint32_t num_shards) {
+StatusOr<BitVector> EvalMonadicShardedImpl(
+    const Graph& graph, const BinaryTables& tables, const CondensePlan& plan,
+    const EvalOptions& validated, bool bounded, uint32_t max_length,
+    uint32_t num_shards) {
   const uint32_t nv = graph.num_nodes();
   const uint32_t nq = tables.nq;
+  ExecContext* exec = validated.exec;
   std::optional<ShardedGraph> owned_partition;
   const ShardedGraph& sharded =
       ResolveShardedGraph(graph, validated, num_shards, &owned_partition);
 
-  std::vector<ShardMonadicState> shards;
-  shards.reserve(num_shards);
+  // Charge every shard's sweeper scratch up front — the shards coexist for
+  // the whole call. On overflow the sweep is skipped entirely and the trip
+  // surfaces through the shared exit below.
+  size_t scratch_bytes = 0;
   for (uint32_t s = 0; s < num_shards; ++s) {
-    shards.emplace_back(sharded, s, tables, plan, validated);
+    scratch_bytes += MonadicSweepScratchBytes(
+        static_cast<size_t>(sharded.shard(s).num_local_nodes()) * nq, plan);
   }
-  for (ShardMonadicState& shard : shards) {
-    shard.Seed();
-    shard.EmitPushes();
-  }
-  size_t pending_pushes = 0;
-  for (ShardMonadicState& shard : shards) {
-    pending_pushes += shard.FlipOutboxes();
-  }
+  ScopedExecCharge charge(exec, scratch_bytes);
 
-  const uint32_t workers = ResolveWorkers(
-      validated, static_cast<size_t>(nv) * nq, num_shards);
+  std::vector<ShardMonadicState> shards;
   uint64_t supersteps = 0;
   uint64_t delivered = 0;
-  uint32_t step = 0;
-  for (;;) {
-    bool any_frontier = pending_pushes > 0;
-    for (const ShardMonadicState& shard : shards) {
-      any_frontier = any_frontier || shard.frontier_pairs() > 0;
+  if (charge.ok()) {
+    shards.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      shards.emplace_back(sharded, s, tables, plan, validated);
     }
-    if (!any_frontier || (bounded && step >= max_length)) break;
-    delivered += pending_pushes;
-    ++supersteps;
-    ++step;
-    RunIndexed(workers, num_shards, [&](uint32_t /*worker*/, size_t s) {
-      shards[s].RunSuperstep(shards, static_cast<uint32_t>(s), bounded);
-    });
-    pending_pushes = 0;
+    for (ShardMonadicState& shard : shards) {
+      shard.Seed();
+      shard.EmitPushes();
+    }
+    TransientCharge outbox_charge(exec);
+    size_t pending_pushes = 0;
     for (ShardMonadicState& shard : shards) {
       pending_pushes += shard.FlipOutboxes();
     }
-  }
-  // Bounded sweeps that hit the level bound drop their still-undelivered
-  // pushes: superstep k runs its round before its drain, so deliveries of
-  // superstep k mark cells of level k + 1 — after max_length supersteps
-  // every level ≤ max_length is marked and the pending pushes all name
-  // cells beyond the bound.
+    outbox_charge.Update(pending_pushes * sizeof(MonadicPush));
 
-  if (validated.stats != nullptr) {
-    std::vector<RoundCounters> per_sweep;
-    per_sweep.reserve(num_shards);
-    for (const ShardMonadicState& shard : shards) {
-      per_sweep.push_back(shard.rounds());
+    const uint32_t workers = ResolveWorkers(
+        validated, static_cast<size_t>(nv) * nq, num_shards);
+    uint32_t step = 0;
+    for (;;) {
+      bool any_frontier = pending_pushes > 0;
+      for (const ShardMonadicState& shard : shards) {
+        any_frontier = any_frontier || shard.frontier_pairs() > 0;
+      }
+      if (!any_frontier || (bounded && step >= max_length)) break;
+      if (exec != nullptr && !exec->Checkpoint()) break;
+      delivered += pending_pushes;
+      ++supersteps;
+      ++step;
+      RunIndexed(
+          workers, num_shards,
+          [&](uint32_t /*worker*/, size_t s) {
+            shards[s].RunSuperstep(shards, static_cast<uint32_t>(s), bounded);
+          },
+          exec);
+      pending_pushes = 0;
+      for (ShardMonadicState& shard : shards) {
+        pending_pushes += shard.FlipOutboxes();
+      }
+      outbox_charge.Update(pending_pushes * sizeof(MonadicPush));
     }
-    AccumulateMonadicRounds(validated, per_sweep);
+    // Bounded sweeps that hit the level bound drop their still-undelivered
+    // pushes: superstep k runs its round before its drain, so deliveries of
+    // superstep k mark cells of level k + 1 — after max_length supersteps
+    // every level ≤ max_length is marked and the pending pushes all name
+    // cells beyond the bound.
+  }
+
+  std::vector<RoundCounters> per_sweep;
+  per_sweep.reserve(shards.size());
+  for (const ShardMonadicState& shard : shards) {
+    per_sweep.push_back(shard.rounds());
+  }
+  const RoundCounters totals = AccumulateMonadicRounds(validated, per_sweep);
+  if (validated.stats != nullptr) {
     validated.stats->supersteps.fetch_add(supersteps,
                                           std::memory_order_relaxed);
     validated.stats->cross_shard_pairs.fetch_add(delivered,
                                                  std::memory_order_relaxed);
+  }
+  if (exec != nullptr && exec->tripped()) {
+    return TripStatusWithProgress(*exec, totals, supersteps);
   }
 
   BitVector result(nv);
@@ -955,12 +1095,13 @@ uint32_t ResolveShards(const EvalOptions& validated, uint32_t nv) {
 /// Runs per-node-range monadic sweeps (bounded iff max_length != none) on
 /// `workers` contexts and unions the per-range selected sets; with
 /// shards > 1, dispatches to the BSP sharded engine instead.
-BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
-                          bool bounded, uint32_t max_length,
-                          const EvalOptions& validated) {
+StatusOr<BitVector> EvalMonadicImpl(const Graph& graph, const Dfa& query,
+                                    bool bounded, uint32_t max_length,
+                                    const EvalOptions& validated) {
   RPQ_CHECK_LE(query.num_symbols(), graph.num_symbols());
   const uint32_t nq = query.num_states();
   const uint32_t nv = graph.num_nodes();
+  ExecContext* exec = validated.exec;
   const FrozenDfa frozen(query);
   BinaryTables tables = BuildBinaryTables(graph, frozen);
   CondensePlan plan;
@@ -986,9 +1127,14 @@ BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
   }
   if (workers == 1) {
     RoundCounters rounds;
-    BitVector result = MonadicSweepRange(graph, tables, plan, policy,
-                                         bounded, max_length, 0, nv, &rounds);
-    AccumulateMonadicRounds(validated, {&rounds, 1});
+    BitVector result =
+        MonadicSweepRange(graph, tables, plan, policy, bounded, max_length, 0,
+                          nv, exec, &rounds);
+    const RoundCounters totals =
+        AccumulateMonadicRounds(validated, {&rounds, 1});
+    if (exec != nullptr && exec->tripped()) {
+      return TripStatusWithProgress(*exec, totals, /*supersteps=*/0);
+    }
     return result;
   }
 
@@ -997,16 +1143,21 @@ BitVector EvalMonadicImpl(const Graph& graph, const Dfa& query,
   std::vector<BitVector> partial(workers);
   std::vector<RoundCounters> per_sweep(workers);
   EvalPool().ParallelFor(
-      workers, workers, [&](uint32_t /*worker*/, size_t chunk) {
+      workers, workers,
+      [&](uint32_t /*worker*/, size_t chunk) {
         const NodeId lo =
             static_cast<NodeId>(static_cast<size_t>(nv) * chunk / workers);
         const NodeId hi = static_cast<NodeId>(static_cast<size_t>(nv) *
                                               (chunk + 1) / workers);
         partial[chunk] = MonadicSweepRange(graph, tables, plan, policy,
-                                           bounded, max_length, lo, hi,
+                                           bounded, max_length, lo, hi, exec,
                                            &per_sweep[chunk]);
-      });
-  AccumulateMonadicRounds(validated, per_sweep);
+      },
+      exec);
+  const RoundCounters totals = AccumulateMonadicRounds(validated, per_sweep);
+  if (exec != nullptr && exec->tripped()) {
+    return TripStatusWithProgress(*exec, totals, /*supersteps=*/0);
+  }
   BitVector result = std::move(partial[0]);
   for (uint32_t chunk = 1; chunk < workers; ++chunk) {
     result.OrWith(partial[chunk]);
@@ -1067,10 +1218,11 @@ class BinaryBatchScratch {
   /// change the output.
   void RunBatch(const Graph& graph, const BinaryTables& tables,
                 const CondensePlan& plan, const DirectionPolicy& policy,
-                std::span<const NodeId> sources,
+                std::span<const NodeId> sources, ExecContext* exec,
                 std::vector<std::pair<NodeId, NodeId>>* out,
                 RoundCounters* rounds) {
     RPQ_DCHECK(sources.size() <= kLaneBatch);
+    exec_ = exec;
     const uint32_t nq = tables.nq;
     const uint32_t lanes = static_cast<uint32_t>(sources.size());
     const size_t num_pairs = mask_.size();
@@ -1102,6 +1254,12 @@ class BinaryBatchScratch {
     size_t frontier_pairs = frontier_.size();
     frontier_pairs += RunCondenseClosure(tables, plan, dense, rounds);
     while (frontier_pairs > 0) {
+      // Per-round trip point. An early return leaves the scratch torn
+      // (masks uncleared, frontier mid-representation) — safe because a
+      // tripped evaluation discards every scratch and unwinds; ParallelFor
+      // stops issuing batches to this worker once the context trips.
+      if (exec != nullptr && !exec->Checkpoint()) return;
+      rounds->pairs += frontier_pairs;
       const bool want_dense = frontier_pairs >= policy.dense_cutoff_pairs;
       if (want_dense != dense) {
         if (want_dense) {
@@ -1120,6 +1278,7 @@ class BinaryBatchScratch {
       }
       frontier_pairs += RunCondenseClosure(tables, plan, dense, rounds);
     }
+    if (exec != nullptr && exec->tripped()) return;  // closure tripped
 
     // Recover the result lanes: a visited (u, q_accepting) pair is exactly
     // a selected (source, u) edge of the batch. When the BFS saturated the
@@ -1216,6 +1375,9 @@ class BinaryBatchScratch {
     size_t added = 0;
     const uint32_t nq = tables.nq;
     while (!cond_heap_.empty()) {
+      // Per-wave trip point (one pop can scatter a whole SCC cone); the
+      // abandoned heap is torn scratch RunBatch's post-loop guard discards.
+      if (exec_ != nullptr && !exec_->Checkpoint()) return added;
       std::pop_heap(cond_heap_.begin(), cond_heap_.end());
       const auto [c, loop_index] = cond_heap_.back();
       cond_heap_.pop_back();
@@ -1387,32 +1549,39 @@ class BinaryBatchScratch {
   BitVector frontier_bits_;
   BitVector next_bits_;
   uint64_t batch_full_ = 0;  // all lanes of the current batch
+  ExecContext* exec_ = nullptr;  // rebound by every RunBatch
   std::vector<NodeId> per_lane_[kLaneBatch];
 };
 
 /// Sums per-batch round counters into EvalOptions.stats, if present. The
 /// totals are deterministic: each batch's counts are a pure function of
 /// (graph, query, batch sources, policy), independent of scheduling.
-void AccumulateStats(const EvalOptions& validated,
-                     std::span<const RoundCounters> per_batch) {
-  if (validated.stats == nullptr) return;
-  uint64_t sparse = 0, dense = 0, dense_batches = 0;
-  uint64_t condensed = 0, collapsed = 0;
+RoundCounters AccumulateStats(const EvalOptions& validated,
+                              std::span<const RoundCounters> per_batch) {
+  RoundCounters totals;
+  uint64_t dense_batches = 0;
   for (const RoundCounters& rounds : per_batch) {
-    sparse += rounds.sparse;
-    dense += rounds.dense;
-    condensed += rounds.condensed_expansions;
-    collapsed += rounds.components_collapsed;
+    totals.sparse += rounds.sparse;
+    totals.dense += rounds.dense;
+    totals.condensed_expansions += rounds.condensed_expansions;
+    totals.components_collapsed += rounds.components_collapsed;
+    totals.pairs += rounds.pairs;
     if (rounds.dense > 0) ++dense_batches;
   }
-  validated.stats->sparse_rounds.fetch_add(sparse, std::memory_order_relaxed);
-  validated.stats->dense_rounds.fetch_add(dense, std::memory_order_relaxed);
+  if (validated.stats == nullptr) return totals;
+  validated.stats->sparse_rounds.fetch_add(totals.sparse,
+                                           std::memory_order_relaxed);
+  validated.stats->dense_rounds.fetch_add(totals.dense,
+                                          std::memory_order_relaxed);
   validated.stats->dense_batches.fetch_add(dense_batches,
                                            std::memory_order_relaxed);
-  validated.stats->condensed_expansions.fetch_add(condensed,
+  validated.stats->condensed_expansions.fetch_add(totals.condensed_expansions,
                                                   std::memory_order_relaxed);
-  validated.stats->components_collapsed.fetch_add(collapsed,
+  validated.stats->components_collapsed.fetch_add(totals.components_collapsed,
                                                   std::memory_order_relaxed);
+  validated.stats->pairs_settled.fetch_add(totals.pairs,
+                                           std::memory_order_relaxed);
+  return totals;
 }
 
 /// One (local node, state, lanes) delivery of the binary BSP exchange.
@@ -1437,6 +1606,7 @@ class ShardBinaryState {
         shard_(&sharded.shard(self)),
         tables_(&tables),
         plan_(&plan),
+        exec_(validated.exec),
         policy_(ResolveDirectionPolicy(
             validated,
             static_cast<size_t>(sharded.shard(self).num_local_nodes()) *
@@ -1503,6 +1673,7 @@ class ShardBinaryState {
       }
     }
     RunLocalRounds();
+    if (exec_ != nullptr && exec_->tripped()) return;
     EmitPushes();
   }
 
@@ -1514,6 +1685,10 @@ class ShardBinaryState {
     size_t frontier_pairs = frontier_.size();
     frontier_pairs += RunCondenseClosure();
     while (frontier_pairs > 0) {
+      // Per-local-round trip point; torn state is discarded by the driver's
+      // tripped() guard before any recovery.
+      if (exec_ != nullptr && !exec_->Checkpoint()) return;
+      rounds_.pairs += frontier_pairs;
       const bool want_dense = frontier_pairs >= policy_.dense_cutoff_pairs;
       if (want_dense != dense_) {
         if (want_dense) {
@@ -1669,6 +1844,8 @@ class ShardBinaryState {
     const NodeId begin = shard_->node_begin();
     const NodeId end = shard_->node_end();
     while (!cond_heap_.empty()) {
+      // Per-wave trip point, mirroring the monolithic batch closure.
+      if (exec_ != nullptr && !exec_->Checkpoint()) return added;
       std::pop_heap(cond_heap_.begin(), cond_heap_.end());
       const auto [c, loop_index] = cond_heap_.back();
       cond_heap_.pop_back();
@@ -1825,6 +2002,7 @@ class ShardBinaryState {
   const GraphShard* shard_;
   const BinaryTables* tables_;
   const CondensePlan* plan_;
+  ExecContext* exec_;
   DirectionPolicy policy_;
   std::vector<uint64_t> mask_;
   std::vector<uint8_t> pending_;
@@ -1854,85 +2032,110 @@ class ShardBinaryState {
 /// bit-identical for every shard count. Within a batch the shards run
 /// concurrently (one ThreadPool worker each, up to `threads`); batches run
 /// back to back, reusing the per-shard state.
-std::vector<std::pair<NodeId, NodeId>> EvalBinaryShardedImpl(
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryShardedImpl(
     const Graph& graph, const BinaryTables& tables,
     const CondensePlan& plan, std::span<const NodeId> sources,
     const EvalOptions& validated, uint32_t num_shards) {
+  ExecContext* exec = validated.exec;
   std::optional<ShardedGraph> owned_partition;
   const ShardedGraph& sharded =
       ResolveShardedGraph(graph, validated, num_shards, &owned_partition);
-  std::vector<ShardBinaryState> shards;
-  shards.reserve(num_shards);
-  for (uint32_t s = 0; s < num_shards; ++s) {
-    shards.emplace_back(sharded, s, tables, plan, validated);
-  }
-  const uint32_t workers = ResolveWorkers(
-      validated, static_cast<size_t>(tables.nv) * tables.nq, num_shards);
 
+  // Per-shard product-space scratch is live for the whole call; charge the
+  // sum before building any of it.
+  size_t scratch_bytes = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    scratch_bytes += BinaryShardScratchBytes(
+        static_cast<size_t>(sharded.shard(s).num_local_nodes()) * tables.nq,
+        plan);
+  }
+  ScopedExecCharge charge(exec, scratch_bytes);
+
+  std::vector<ShardBinaryState> shards;
   std::vector<std::pair<NodeId, NodeId>> result;
-  const size_t num_batches = (sources.size() + kLaneBatch - 1) / kLaneBatch;
   uint64_t supersteps = 0;
   uint64_t delivered = 0;
-  std::vector<NodeId> per_lane[kLaneBatch];
-  for (size_t batch = 0; batch < num_batches; ++batch) {
-    const size_t base = batch * kLaneBatch;
-    const auto batch_sources = sources.subspan(
-        base, std::min<size_t>(kLaneBatch, sources.size() - base));
-    const uint32_t lanes = static_cast<uint32_t>(batch_sources.size());
-    const uint64_t batch_full =
-        lanes == kLaneBatch ? ~uint64_t{0} : (uint64_t{1} << lanes) - 1;
-
-    for (ShardBinaryState& shard : shards) shard.BeginBatch(batch_full);
-    for (uint32_t lane = 0; lane < lanes; ++lane) {
-      const NodeId src = batch_sources[lane];
-      shards[sharded.ShardOf(src)].SeedLane(src, lane);
+  if (charge.ok()) {
+    shards.reserve(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      shards.emplace_back(sharded, s, tables, plan, validated);
     }
+    const uint32_t workers = ResolveWorkers(
+        validated, static_cast<size_t>(tables.nv) * tables.nq, num_shards);
 
-    // BSP loop: local rounds to exhaustion, then one exchange, until no
-    // shard received anything new. Seed lanes count as superstep-0 work.
-    size_t pending_pushes = 0;
-    for (;;) {
-      bool any_work = pending_pushes > 0;
-      for (const ShardBinaryState& shard : shards) {
-        any_work = any_work || shard.has_local_work();
+    TransientCharge outbox_charge(exec);
+    const size_t num_batches = (sources.size() + kLaneBatch - 1) / kLaneBatch;
+    std::vector<NodeId> per_lane[kLaneBatch];
+    for (size_t batch = 0; batch < num_batches; ++batch) {
+      if (exec != nullptr && exec->tripped()) break;
+      const size_t base = batch * kLaneBatch;
+      const auto batch_sources = sources.subspan(
+          base, std::min<size_t>(kLaneBatch, sources.size() - base));
+      const uint32_t lanes = static_cast<uint32_t>(batch_sources.size());
+      const uint64_t batch_full =
+          lanes == kLaneBatch ? ~uint64_t{0} : (uint64_t{1} << lanes) - 1;
+
+      for (ShardBinaryState& shard : shards) shard.BeginBatch(batch_full);
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        const NodeId src = batch_sources[lane];
+        shards[sharded.ShardOf(src)].SeedLane(src, lane);
       }
-      if (!any_work) break;
-      delivered += pending_pushes;
-      ++supersteps;
-      RunIndexed(workers, num_shards, [&](uint32_t /*worker*/, size_t s) {
-        shards[s].RunSuperstep(shards, static_cast<uint32_t>(s));
-      });
-      pending_pushes = 0;
+
+      // BSP loop: local rounds to exhaustion, then one exchange, until no
+      // shard received anything new. Seed lanes count as superstep-0 work.
+      size_t pending_pushes = 0;
+      for (;;) {
+        bool any_work = pending_pushes > 0;
+        for (const ShardBinaryState& shard : shards) {
+          any_work = any_work || shard.has_local_work();
+        }
+        if (!any_work) break;
+        if (exec != nullptr && !exec->Checkpoint()) break;
+        delivered += pending_pushes;
+        ++supersteps;
+        RunIndexed(
+            workers, num_shards,
+            [&](uint32_t /*worker*/, size_t s) {
+              shards[s].RunSuperstep(shards, static_cast<uint32_t>(s));
+            },
+            exec);
+        pending_pushes = 0;
+        for (ShardBinaryState& shard : shards) {
+          pending_pushes += shard.FlipOutboxes();
+        }
+        outbox_charge.Update(pending_pushes * sizeof(BinaryPush));
+        if (pending_pushes == 0) break;
+      }
+      if (exec != nullptr && exec->tripped()) break;  // torn batch: discard
+
+      // Recover this batch's pairs: ascending shards append ascending
+      // global destinations, so each lane's list is ascending overall — the
+      // same order the monolithic recovery produces.
+      for (uint32_t lane = 0; lane < lanes; ++lane) per_lane[lane].clear();
       for (ShardBinaryState& shard : shards) {
-        pending_pushes += shard.FlipOutboxes();
+        shard.CollectLanes(lanes, &per_lane);
       }
-      if (pending_pushes == 0) break;
-    }
-
-    // Recover this batch's pairs: ascending shards append ascending global
-    // destinations, so each lane's list is ascending overall — the same
-    // order the monolithic recovery produces.
-    for (uint32_t lane = 0; lane < lanes; ++lane) per_lane[lane].clear();
-    for (ShardBinaryState& shard : shards) {
-      shard.CollectLanes(lanes, &per_lane);
-    }
-    for (uint32_t lane = 0; lane < lanes; ++lane) {
-      const NodeId src = batch_sources[lane];
-      for (NodeId dst : per_lane[lane]) result.emplace_back(src, dst);
+      for (uint32_t lane = 0; lane < lanes; ++lane) {
+        const NodeId src = batch_sources[lane];
+        for (NodeId dst : per_lane[lane]) result.emplace_back(src, dst);
+      }
     }
   }
 
+  std::vector<RoundCounters> per_shard;
+  per_shard.reserve(shards.size());
+  for (ShardBinaryState& shard : shards) {
+    per_shard.push_back(*shard.rounds());
+  }
+  const RoundCounters totals = AccumulateStats(validated, per_shard);
   if (validated.stats != nullptr) {
-    std::vector<RoundCounters> per_shard;
-    per_shard.reserve(num_shards);
-    for (ShardBinaryState& shard : shards) {
-      per_shard.push_back(*shard.rounds());
-    }
-    AccumulateStats(validated, per_shard);
     validated.stats->supersteps.fetch_add(supersteps,
                                           std::memory_order_relaxed);
     validated.stats->cross_shard_pairs.fetch_add(delivered,
                                                  std::memory_order_relaxed);
+  }
+  if (exec != nullptr && exec->tripped()) {
+    return TripStatusWithProgress(*exec, totals, supersteps);
   }
   return result;
 }
@@ -1942,11 +2145,12 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryShardedImpl(
 /// its pairs into its own slot and the slots are concatenated in batch
 /// order — byte-identical to the sequential loop for every thread count.
 /// With shards > 1, dispatches to the BSP sharded engine instead.
-std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryImpl(
     const Graph& graph, const Dfa& query, std::span<const NodeId> sources,
     const EvalOptions& validated) {
   std::vector<std::pair<NodeId, NodeId>> result;
   if (sources.empty()) return result;
+  ExecContext* exec = validated.exec;
   const uint32_t nq = query.num_states();
   RPQ_DCHECK(nq > 0);
   const FrozenDfa frozen(query);
@@ -1974,26 +2178,45 @@ std::vector<std::pair<NodeId, NodeId>> EvalBinaryImpl(
   std::vector<RoundCounters> per_batch_rounds(num_batches);
   const uint32_t workers = ResolveWorkers(validated, num_pairs, num_batches);
   if (workers == 1) {
-    BinaryBatchScratch scratch;
-    scratch.Prepare(num_pairs, plan);
-    for (size_t batch = 0; batch < num_batches; ++batch) {
-      scratch.RunBatch(graph, tables, plan, policy, batch_sources(batch),
-                       &result, &per_batch_rounds[batch]);
+    ScopedExecCharge charge(exec, BinaryScratchBytes(num_pairs, plan));
+    if (charge.ok()) {
+      BinaryBatchScratch scratch;
+      scratch.Prepare(num_pairs, plan);
+      for (size_t batch = 0; batch < num_batches; ++batch) {
+        if (exec != nullptr && exec->tripped()) break;
+        scratch.RunBatch(graph, tables, plan, policy, batch_sources(batch),
+                         exec, &result, &per_batch_rounds[batch]);
+      }
     }
-    AccumulateStats(validated, per_batch_rounds);
+    const RoundCounters totals = AccumulateStats(validated, per_batch_rounds);
+    if (exec != nullptr && exec->tripped()) {
+      return TripStatusWithProgress(*exec, totals, /*supersteps=*/0);
+    }
     return result;
   }
 
-  std::vector<BinaryBatchScratch> scratch(workers);
+  // Each worker owns one product-space scratch; charge them all before the
+  // fan-out so a budget trip happens up front rather than mid-flight.
+  ScopedExecCharge charge(
+      exec, static_cast<size_t>(workers) * BinaryScratchBytes(num_pairs, plan));
   std::vector<std::vector<std::pair<NodeId, NodeId>>> per_batch(num_batches);
-  EvalPool().ParallelFor(
-      workers, num_batches, [&](uint32_t worker, size_t batch) {
-        scratch[worker].Prepare(num_pairs, plan);
-        scratch[worker].RunBatch(graph, tables, plan, policy,
-                                 batch_sources(batch), &per_batch[batch],
-                                 &per_batch_rounds[batch]);
-      });
-  AccumulateStats(validated, per_batch_rounds);
+  if (charge.ok()) {
+    std::vector<BinaryBatchScratch> scratch(workers);
+    EvalPool().ParallelFor(
+        workers, num_batches,
+        [&](uint32_t worker, size_t batch) {
+          scratch[worker].Prepare(num_pairs, plan);
+          scratch[worker].RunBatch(graph, tables, plan, policy,
+                                   batch_sources(batch), exec,
+                                   &per_batch[batch],
+                                   &per_batch_rounds[batch]);
+        },
+        exec);
+  }
+  const RoundCounters totals = AccumulateStats(validated, per_batch_rounds);
+  if (exec != nullptr && exec->tripped()) {
+    return TripStatusWithProgress(*exec, totals, /*supersteps=*/0);
+  }
   size_t total = 0;
   for (const auto& pairs : per_batch) total += pairs.size();
   result.reserve(total);
@@ -2075,7 +2298,11 @@ uint32_t EffectiveShardCount(const EvalOptions& options, uint32_t num_nodes) {
 }
 
 BitVector EvalMonadic(const Graph& graph, const Dfa& query) {
-  return EvalMonadicImpl(graph, query, /*bounded=*/false, 0, EvalOptions{});
+  // Default options carry no ExecContext, so the impl cannot trip.
+  StatusOr<BitVector> result =
+      EvalMonadicImpl(graph, query, /*bounded=*/false, 0, EvalOptions{});
+  RPQ_CHECK(result.ok()) << result.status().message();
+  return *std::move(result);
 }
 
 StatusOr<BitVector> EvalMonadic(const Graph& graph, const Dfa& query,
@@ -2087,8 +2314,11 @@ StatusOr<BitVector> EvalMonadic(const Graph& graph, const Dfa& query,
 
 BitVector EvalMonadicBounded(const Graph& graph, const Dfa& query,
                              uint32_t max_length) {
-  return EvalMonadicImpl(graph, query, /*bounded=*/true, max_length,
-                         EvalOptions{});
+  StatusOr<BitVector> result =
+      EvalMonadicImpl(graph, query, /*bounded=*/true, max_length,
+                      EvalOptions{});
+  RPQ_CHECK(result.ok()) << result.status().message();
+  return *std::move(result);
 }
 
 StatusOr<BitVector> EvalMonadicBounded(const Graph& graph, const Dfa& query,
@@ -2170,7 +2400,10 @@ bool SelectsPair(const Graph& graph, const Dfa& query, NodeId src,
 std::vector<std::pair<NodeId, NodeId>> EvalBinary(const Graph& graph,
                                                   const Dfa& query) {
   const std::vector<NodeId> sources = AllSources(graph.num_nodes());
-  return EvalBinaryImpl(graph, query, sources, EvalOptions{});
+  StatusOr<std::vector<std::pair<NodeId, NodeId>>> result =
+      EvalBinaryImpl(graph, query, sources, EvalOptions{});
+  RPQ_CHECK(result.ok()) << result.status().message();
+  return *std::move(result);
 }
 
 StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinary(

@@ -15,6 +15,7 @@
 namespace rpqlearn {
 
 class CondensedGraph;
+class ExecContext;
 class ShardedGraph;
 
 /// Worker count used by default-constructed EvalOptions: every hardware
@@ -91,6 +92,12 @@ struct EvalStats {
   /// The subset of condensed_expansions whose component held ≥ 2 members —
   /// expansions that actually collapsed intra-SCC BFS rounds.
   std::atomic<uint64_t> components_collapsed{0};
+  /// Product (node, state) pairs expanded from round frontiers, summed over
+  /// every round of every engine — the progress measure an ExecContext trip
+  /// status reports alongside rounds and supersteps. A pair counts once per
+  /// round it is expanded in, so the counter is monotone within one
+  /// evaluation and scheduling-independent in total.
+  std::atomic<uint64_t> pairs_settled{0};
 
   void Reset() {
     sparse_rounds.store(0, std::memory_order_relaxed);
@@ -102,6 +109,7 @@ struct EvalStats {
     cross_shard_pairs.store(0, std::memory_order_relaxed);
     condensed_expansions.store(0, std::memory_order_relaxed);
     components_collapsed.store(0, std::memory_order_relaxed);
+    pairs_settled.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -175,6 +183,22 @@ struct EvalOptions {
   /// through these options adds its sparse/dense round counts. The pointee
   /// must outlive the evaluation call. Never read, only added to.
   EvalStats* stats = nullptr;
+  /// Optional cooperative execution control: a wall-clock deadline, an
+  /// externally-triggerable cancellation token, and a byte-accounted memory
+  /// budget (src/util/exec_context.h). When non-null, every engine polls
+  /// ExecContext::Checkpoint at round / superstep / closure-wave granularity
+  /// — never per edge — and charges its product-space scratch (sweep
+  /// bitmaps, per-worker BinaryBatchScratch, per-shard state, condensation
+  /// pending heaps, BSP outboxes) against the budget before allocating. A
+  /// trip discards the partial result, folds the progress made into `stats`,
+  /// and unwinds to the context's typed Status (kDeadlineExceeded /
+  /// kCancelled / kResourceExhausted) annotated with rounds, supersteps, and
+  /// pairs settled, so callers can degrade gracefully. Null — the default —
+  /// keeps every code path behaviorally identical to the uncontrolled
+  /// engine; the plain (options-free) entry points never trip. The pointee
+  /// must outlive the evaluation call and may be shared across calls
+  /// (checkpoint ordinals then span all of them; a trip stops them all).
+  ExecContext* exec = nullptr;
 };
 
 /// The single validation point for EvalOptions: rejects threads == 0,

@@ -1,0 +1,73 @@
+#include "util/exec_context.h"
+
+#include <string>
+
+#include "util/fault.h"
+
+namespace rpqlearn {
+
+bool ExecContext::Checkpoint() {
+  const uint64_t ordinal =
+      checkpoints_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (tripped_.load(std::memory_order_acquire)) return false;
+  if (injector_ != nullptr) {
+    const StatusCode injected = injector_->Fire(ordinal);
+    if (injected != StatusCode::kOk) {
+      Trip(injected, "fault injected at checkpoint " + std::to_string(ordinal));
+      return false;
+    }
+  }
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    Trip(StatusCode::kCancelled,
+         "cancelled at checkpoint " + std::to_string(ordinal));
+    return false;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    Trip(StatusCode::kDeadlineExceeded,
+         "deadline exceeded at checkpoint " + std::to_string(ordinal));
+    return false;
+  }
+  return true;
+}
+
+Status ExecContext::Charge(size_t bytes) {
+  const size_t previous =
+      charged_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (budget_bytes_ != 0 && previous + bytes > budget_bytes_) {
+    charged_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    Trip(StatusCode::kResourceExhausted,
+         "memory budget exhausted: charge of " + std::to_string(bytes) +
+             " bytes over budget " + std::to_string(budget_bytes_) + " with " +
+             std::to_string(previous) + " already charged");
+    return TripStatus();
+  }
+  return Status::Ok();
+}
+
+Status ExecContext::TripStatus() const {
+  std::lock_guard<std::mutex> lock(trip_mutex_);
+  if (trip_code_ == StatusCode::kOk) return Status::Ok();
+  return Status(trip_code_, trip_message_);
+}
+
+void ExecContext::Reset() {
+  checkpoints_.store(0, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  charged_bytes_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(trip_mutex_);
+    trip_code_ = StatusCode::kOk;
+    trip_message_.clear();
+  }
+  tripped_.store(false, std::memory_order_release);
+}
+
+void ExecContext::Trip(StatusCode code, std::string message) {
+  std::lock_guard<std::mutex> lock(trip_mutex_);
+  if (trip_code_ != StatusCode::kOk) return;  // first trip wins
+  trip_code_ = code;
+  trip_message_ = std::move(message);
+  tripped_.store(true, std::memory_order_release);
+}
+
+}  // namespace rpqlearn

@@ -1,0 +1,85 @@
+#ifndef RPQLEARN_UTIL_FAULT_H_
+#define RPQLEARN_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+
+/// Which ExecContext limit a synthetic trip impersonates. Each kind latches
+/// the same typed Status a real trip of that limit would, so unwinding paths
+/// cannot tell an injected failure from an organic one — exactly what the
+/// fault-injection tests rely on.
+enum class FaultKind : uint8_t {
+  kNone = 0,   ///< never fires
+  kCancel,     ///< trips kCancelled, like an external Cancel()
+  kDeadline,   ///< trips kDeadlineExceeded, like an elapsed deadline
+  kBudget,     ///< trips kResourceExhausted, like an overflowed Charge
+};
+
+/// A deterministic injection plan: fire `kind` at exactly the
+/// `trigger_checkpoint`-th checkpoint (1-based). A trigger beyond the run's
+/// total checkpoint count simply never fires, which the sweep tests use to
+/// detect that they have walked past the end of the run.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  uint64_t trigger_checkpoint = 0;
+};
+
+/// Deterministic fault injector observed by ExecContext::Checkpoint. Because
+/// the context's checkpoint counter is a single shared atomic, exactly one
+/// checkpoint call sees each ordinal, so the plan fires at most once even
+/// with many workers polling concurrently.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  /// Maps a fault kind to the StatusCode its trip latches.
+  static StatusCode CodeFor(FaultKind kind) {
+    switch (kind) {
+      case FaultKind::kCancel:
+        return StatusCode::kCancelled;
+      case FaultKind::kDeadline:
+        return StatusCode::kDeadlineExceeded;
+      case FaultKind::kBudget:
+        return StatusCode::kResourceExhausted;
+      case FaultKind::kNone:
+        break;
+    }
+    return StatusCode::kOk;
+  }
+
+  /// Called by ExecContext::Checkpoint with the dense checkpoint ordinal.
+  /// Returns the StatusCode to trip with, or kOk to let execution continue.
+  StatusCode Fire(uint64_t checkpoint) {
+    if (plan_.kind == FaultKind::kNone ||
+        checkpoint != plan_.trigger_checkpoint) {
+      return StatusCode::kOk;
+    }
+    fired_.store(true, std::memory_order_relaxed);
+    return CodeFor(plan_.kind);
+  }
+
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<bool> fired_{false};
+};
+
+/// Draws a random plan with a trigger in [1, max_trigger] and a uniformly
+/// chosen non-none kind — the fuzzer's per-case injection draw.
+inline FaultPlan DrawFaultPlan(Rng* rng, uint64_t max_trigger) {
+  FaultPlan plan;
+  plan.kind = static_cast<FaultKind>(1 + rng->NextBelow(3));
+  plan.trigger_checkpoint = 1 + rng->NextBelow(max_trigger);
+  return plan;
+}
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_UTIL_FAULT_H_

@@ -14,10 +14,12 @@ enum class StatusCode {
   kInvalidArgument,
   kNotFound,
   kOutOfRange,
-  kResourceExhausted,  ///< a configured state/size cap was hit
+  kResourceExhausted,  ///< a configured state/size/memory cap was hit
   kFailedPrecondition,
   kAbstain,  ///< the learner abstained (the paper's `null` answer)
   kInternal,
+  kDeadlineExceeded,  ///< an ExecContext wall-clock deadline elapsed
+  kCancelled,         ///< an ExecContext was cancelled by its owner
 };
 
 /// A lightweight success-or-error result, used instead of exceptions for all
@@ -50,6 +52,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

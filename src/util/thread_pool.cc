@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "util/exec_context.h"
 #include "util/logging.h"
 
 namespace rpqlearn {
@@ -51,13 +52,17 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(
     uint32_t num_workers, size_t count,
-    const std::function<void(uint32_t worker, size_t index)>& fn) {
+    const std::function<void(uint32_t worker, size_t index)>& fn,
+    const ExecContext* exec) {
   RPQ_CHECK(num_workers >= 1) << "ParallelFor needs at least one worker";
   if (count == 0) return;
   if (current_pool == this) {
     // Re-entrant call from one of this pool's own tasks: helpers would
     // queue behind the blocked worker, so run the loop inline instead.
-    for (size_t index = 0; index < count; ++index) fn(0, index);
+    for (size_t index = 0; index < count; ++index) {
+      if (exec != nullptr && exec->tripped()) return;
+      fn(0, index);
+    }
     return;
   }
 
@@ -72,8 +77,9 @@ void ThreadPool::ParallelFor(
   };
   auto state = std::make_shared<LoopState>();
 
-  auto run_worker = [state, count, &fn](uint32_t worker) {
+  auto run_worker = [state, count, &fn, exec](uint32_t worker) {
     while (!state->failed.load(std::memory_order_relaxed)) {
+      if (exec != nullptr && exec->tripped()) return;
       const size_t index =
           state->cursor.fetch_add(1, std::memory_order_relaxed);
       if (index >= count) return;

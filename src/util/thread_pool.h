@@ -16,6 +16,8 @@
 
 namespace rpqlearn {
 
+class ExecContext;
+
 /// Fixed-size thread pool: a single locked FIFO queue drained by `num_threads`
 /// workers — deliberately work-stealing-free, so scheduling is easy to reason
 /// about and the pool stays small enough to audit under TSan. Used by the
@@ -73,8 +75,14 @@ class ThreadPool {
   /// Re-entrant calls — a task running on this pool starting a nested
   /// ParallelFor on the same pool — execute the whole loop inline on the
   /// calling worker (helpers would queue behind it and deadlock).
+  ///
+  /// When `exec` is non-null, executors stop drawing fresh indices as soon as
+  /// the context trips: indices already being processed finish (or bail at
+  /// their own checkpoints), remaining ones are abandoned. The caller is
+  /// responsible for discarding the partial result when `exec->tripped()`.
   void ParallelFor(uint32_t num_workers, size_t count,
-                   const std::function<void(uint32_t worker, size_t index)>& fn);
+                   const std::function<void(uint32_t worker, size_t index)>& fn,
+                   const ExecContext* exec = nullptr);
 
  private:
   void WorkerLoop();

@@ -17,6 +17,8 @@
 #include "regex/printer.h"
 #include "regex/random_regex.h"
 #include "regex/to_nfa.h"
+#include "util/exec_context.h"
+#include "util/fault.h"
 #include "util/random.h"
 
 namespace rpqlearn {
@@ -42,6 +44,20 @@ uint32_t FuzzIterations() {
   if (env == nullptr) return 200;
   const long parsed = std::strtol(env, nullptr, 10);
   return parsed >= 1 ? static_cast<uint32_t>(parsed) : 200;
+}
+
+/// Whether the fault-injection campaign runs: RPQ_FUZZ_FAULTS ∈ {on, off},
+/// default off (the nightly matrix sweeps both). Any other value is a typo
+/// and fails the campaign loudly rather than silently fuzzing nothing.
+enum class FuzzFaults { kOff, kOn, kInvalid };
+
+FuzzFaults FuzzFaultsMode() {
+  const char* env = std::getenv("RPQ_FUZZ_FAULTS");
+  if (env == nullptr) return FuzzFaults::kOff;
+  const std::string value(env);
+  if (value == "on" || value == "1") return FuzzFaults::kOn;
+  if (value == "off" || value == "0") return FuzzFaults::kOff;
+  return FuzzFaults::kInvalid;
 }
 
 /// Shard count for the sharded configuration rows: 0 (default) randomizes
@@ -578,6 +594,164 @@ TEST(EvalFuzzTest, ShardedRowsExchangePairsSomewhere) {
       << "no fuzzed case ran a sharded superstep";
   EXPECT_GT(stats.cross_shard_pairs.load(), 0u)
       << "no fuzzed case exchanged frontier pairs across shards";
+}
+
+// ------------------------------------------------- fault-injection fuzzing
+
+/// One evaluation of `check` under `options`, serialized to a comparable
+/// string. Unlike Mismatches, a non-ok result is surfaced to the caller —
+/// the fault campaign needs to distinguish a legitimate trip from a wrong
+/// answer.
+StatusOr<std::string> RunCheckSerialized(const Graph& graph, const Dfa& query,
+                                         CheckKind check,
+                                         const EvalOptions& options,
+                                         uint32_t bound,
+                                         const std::vector<NodeId>& sources) {
+  std::string rendered;
+  switch (check) {
+    case CheckKind::kMonadic: {
+      StatusOr<BitVector> actual = EvalMonadic(graph, query, options);
+      if (!actual.ok()) return actual.status();
+      for (uint32_t v : actual->ToIndices()) {
+        rendered += std::to_string(v) + ";";
+      }
+      return rendered;
+    }
+    case CheckKind::kMonadicBounded: {
+      StatusOr<BitVector> actual =
+          EvalMonadicBounded(graph, query, bound, options);
+      if (!actual.ok()) return actual.status();
+      for (uint32_t v : actual->ToIndices()) {
+        rendered += std::to_string(v) + ";";
+      }
+      return rendered;
+    }
+    case CheckKind::kBinaryAllPairs: {
+      auto actual = EvalBinary(graph, query, options);
+      if (!actual.ok()) return actual.status();
+      for (const auto& [src, dst] : *actual) {
+        rendered += std::to_string(src) + ">" + std::to_string(dst) + ";";
+      }
+      return rendered;
+    }
+    case CheckKind::kBinaryFromSources: {
+      auto actual = EvalBinaryFromSources(graph, query, sources, options);
+      if (!actual.ok()) return actual.status();
+      for (const auto& [src, dst] : *actual) {
+        rendered += std::to_string(src) + ">" + std::to_string(dst) + ";";
+      }
+      return rendered;
+    }
+  }
+  return rendered;
+}
+
+TEST(EvalFuzzTest, FaultInjectionCampaign) {
+  // Seeded fault-injection campaign over the shared fuzz corpus: each case
+  // replays the exact DrawCase prefix of the differential fuzzer, picks one
+  // engine configuration and check kind, measures the uninterrupted run's
+  // checkpoint count, then re-runs with a randomly drawn FaultPlan. A plan
+  // that fires must unwind to the matching typed Status with progress
+  // attached, and a fresh retry must reproduce the reference result
+  // bit-identically; a plan whose trigger lies beyond the run must change
+  // nothing. Off by default (RPQ_FUZZ_FAULTS=on enables; the nightly job
+  // sweeps {off, on}).
+  const FuzzFaults faults_mode = FuzzFaultsMode();
+  ASSERT_NE(faults_mode, FuzzFaults::kInvalid)
+      << "invalid RPQ_FUZZ_FAULTS value \"" << std::getenv("RPQ_FUZZ_FAULTS")
+      << "\"; expected \"on\" or \"off\"";
+  if (faults_mode == FuzzFaults::kOff) {
+    GTEST_SKIP() << "fault-injection campaign disabled; set "
+                    "RPQ_FUZZ_FAULTS=on to run it";
+  }
+
+  const uint32_t iterations = FuzzIterations();
+  constexpr size_t kNumConfigs =
+      sizeof(kEngineConfigs) / sizeof(kEngineConfigs[0]);
+  Rng master(0x5eedf00d);
+  uint64_t fired_cases = 0;
+  for (uint32_t iteration = 0; iteration < iterations; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    FuzzCase fuzz_case = DrawCase(&rng);
+    const Graph graph = fuzz_case.edge_list.BuildGraph();
+    const uint32_t bound = static_cast<uint32_t>(rng.NextBelow(8));
+    std::vector<NodeId> sources;
+    const size_t num_sources = 1 + rng.NextBelow(120);
+    for (size_t i = 0; i < num_sources; ++i) {
+      sources.push_back(
+          static_cast<NodeId>(rng.NextBelow(graph.num_nodes())));
+    }
+
+    std::vector<CheckKind> checks = {CheckKind::kBinaryAllPairs,
+                                     CheckKind::kBinaryFromSources};
+    if (!fuzz_case.oversized_alphabet) {
+      checks.push_back(CheckKind::kMonadic);
+      checks.push_back(CheckKind::kMonadicBounded);
+    }
+    const CheckKind check = checks[rng.NextBelow(checks.size())];
+    const EngineConfig& config = kEngineConfigs[rng.NextBelow(kNumConfigs)];
+    SCOPED_TRACE("case_seed=" + std::to_string(case_seed) + " check=" +
+                 CheckName(check) + " engine=" + config.name);
+
+    // Uninterrupted run: reference result + total checkpoint count.
+    EvalOptions options =
+        ToOptions(config, fuzz_case.case_shards, fuzz_case.case_condense);
+    ExecContext baseline;
+    EvalStats baseline_stats;
+    options.exec = &baseline;
+    options.stats = &baseline_stats;
+    StatusOr<std::string> reference =
+        RunCheckSerialized(graph, fuzz_case.query.dfa, check, options, bound,
+                           sources);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    const uint64_t total_checkpoints = baseline.checkpoints();
+    if (total_checkpoints == 0) continue;  // empty case: nowhere to inject
+
+    // Injected run. The trigger range deliberately overshoots by ~25% so a
+    // slice of the plans never fires — those must be perfect no-ops.
+    const FaultPlan plan =
+        DrawFaultPlan(&rng, total_checkpoints + total_checkpoints / 4 + 1);
+    FaultInjector injector(plan);
+    ExecContext exec;
+    exec.set_fault_injector(&injector);
+    EvalStats stats;
+    options.exec = &exec;
+    options.stats = &stats;
+    StatusOr<std::string> injected = RunCheckSerialized(
+        graph, fuzz_case.query.dfa, check, options, bound, sources);
+
+    if (injector.fired()) {
+      ++fired_cases;
+      ASSERT_FALSE(injected.ok())
+          << "plan fired at checkpoint " << plan.trigger_checkpoint
+          << " but the engine returned a result";
+      EXPECT_EQ(injected.status().code(), FaultInjector::CodeFor(plan.kind))
+          << injected.status().ToString();
+      EXPECT_NE(injected.status().message().find("progress:"),
+                std::string::npos)
+          << injected.status().ToString();
+
+      ExecContext retry_exec;
+      EvalStats retry_stats;
+      options.exec = &retry_exec;
+      options.stats = &retry_stats;
+      StatusOr<std::string> retry = RunCheckSerialized(
+          graph, fuzz_case.query.dfa, check, options, bound, sources);
+      ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+      EXPECT_EQ(*retry, *reference)
+          << "retry after an injected trip diverged from the reference";
+    } else {
+      ASSERT_TRUE(injected.ok()) << injected.status().ToString();
+      EXPECT_EQ(*injected, *reference)
+          << "an unfired injector perturbed the result";
+    }
+    if (HasFailure()) return;  // one repro is enough; stop the campaign
+  }
+  // The overshoot keeps ~80% of plans inside the run; a campaign where
+  // (almost) nothing fired is fuzzing nothing and must fail loudly.
+  EXPECT_GT(fired_cases, iterations / 4)
+      << "too few injected faults actually fired";
 }
 
 }  // namespace

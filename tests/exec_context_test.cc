@@ -1,0 +1,208 @@
+#include "util/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace rpqlearn {
+namespace {
+
+TEST(ExecContextTest, FreshContextPassesCheckpoints) {
+  ExecContext exec;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(exec.Checkpoint());
+  EXPECT_FALSE(exec.tripped());
+  EXPECT_TRUE(exec.TripStatus().ok());
+  EXPECT_EQ(exec.checkpoints(), 10u);
+}
+
+TEST(ExecContextTest, CancelTripsAtNextCheckpoint) {
+  ExecContext exec;
+  EXPECT_TRUE(exec.Checkpoint());
+  exec.Cancel();
+  // Cancellation is cooperative: tripped() flips only once a checkpoint
+  // observes the request.
+  EXPECT_FALSE(exec.Checkpoint());
+  EXPECT_TRUE(exec.tripped());
+  EXPECT_EQ(exec.TripStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, DeadlineTripIsMonotone) {
+  // Once a deadline trips, every later checkpoint keeps failing with the
+  // same latched status — the trip never un-trips even though the clock
+  // keeps moving.
+  ExecContext exec;
+  exec.set_deadline_after(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(exec.Checkpoint());
+  EXPECT_TRUE(exec.tripped());
+  const Status first = exec.TripStatus();
+  EXPECT_EQ(first.code(), StatusCode::kDeadlineExceeded);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(exec.Checkpoint());
+    EXPECT_EQ(exec.TripStatus().message(), first.message());
+  }
+}
+
+TEST(ExecContextTest, FarDeadlineDoesNotTrip) {
+  ExecContext exec;
+  exec.set_deadline_after(std::chrono::hours(1));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(exec.Checkpoint());
+  EXPECT_FALSE(exec.tripped());
+}
+
+TEST(ExecContextTest, ChargeAndReleaseBalance) {
+  ExecContext exec;
+  exec.set_memory_budget_bytes(1000);
+  EXPECT_TRUE(exec.Charge(400).ok());
+  EXPECT_EQ(exec.charged_bytes(), 400u);
+  EXPECT_TRUE(exec.Charge(600).ok());
+  EXPECT_EQ(exec.charged_bytes(), 1000u);
+  exec.Release(600);
+  EXPECT_EQ(exec.charged_bytes(), 400u);
+  exec.Release(400);
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+  EXPECT_FALSE(exec.tripped());
+}
+
+TEST(ExecContextTest, OverBudgetChargeTripsAndRollsBack) {
+  ExecContext exec;
+  exec.set_memory_budget_bytes(1000);
+  EXPECT_TRUE(exec.Charge(900).ok());
+  const Status status = exec.Charge(200);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // The failed charge rolled back: accounting still balances, so release
+  // of the successful charge returns to zero.
+  EXPECT_EQ(exec.charged_bytes(), 900u);
+  exec.Release(900);
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+  EXPECT_TRUE(exec.tripped());
+  EXPECT_EQ(exec.TripStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextTest, UnlimitedBudgetStillTracksBytes) {
+  ExecContext exec;  // budget 0 = unlimited
+  EXPECT_TRUE(exec.Charge(size_t{1} << 40).ok());
+  EXPECT_EQ(exec.charged_bytes(), size_t{1} << 40);
+  exec.Release(size_t{1} << 40);
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+}
+
+TEST(ExecContextTest, ScopedChargeReleasesOnDestruction) {
+  ExecContext exec;
+  exec.set_memory_budget_bytes(1000);
+  {
+    ScopedExecCharge charge(&exec, 700);
+    EXPECT_TRUE(charge.ok());
+    EXPECT_EQ(exec.charged_bytes(), 700u);
+  }
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+}
+
+TEST(ExecContextTest, FailedScopedChargeReleasesNothing) {
+  ExecContext exec;
+  exec.set_memory_budget_bytes(100);
+  {
+    ScopedExecCharge charge(&exec, 700);
+    EXPECT_FALSE(charge.ok());
+    EXPECT_EQ(exec.charged_bytes(), 0u);
+  }
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+  EXPECT_TRUE(exec.tripped());
+}
+
+TEST(ExecContextTest, NullScopedChargeIsNoOp) {
+  ScopedExecCharge charge(nullptr, 1 << 20);
+  EXPECT_TRUE(charge.ok());
+}
+
+TEST(ExecContextTest, InjectorFiresAtExactCheckpoint) {
+  for (FaultKind kind :
+       {FaultKind::kCancel, FaultKind::kDeadline, FaultKind::kBudget}) {
+    FaultInjector injector(FaultPlan{kind, 3});
+    ExecContext exec;
+    exec.set_fault_injector(&injector);
+    EXPECT_TRUE(exec.Checkpoint());   // ordinal 1
+    EXPECT_TRUE(exec.Checkpoint());   // ordinal 2
+    EXPECT_FALSE(exec.Checkpoint());  // ordinal 3: fires
+    EXPECT_TRUE(injector.fired());
+    EXPECT_EQ(exec.TripStatus().code(), FaultInjector::CodeFor(kind));
+  }
+}
+
+TEST(ExecContextTest, InjectorBeyondRunNeverFires) {
+  FaultInjector injector(FaultPlan{FaultKind::kCancel, 100});
+  ExecContext exec;
+  exec.set_fault_injector(&injector);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(exec.Checkpoint());
+  EXPECT_FALSE(injector.fired());
+  EXPECT_FALSE(exec.tripped());
+}
+
+TEST(ExecContextTest, ResetClearsTripAndAccounting) {
+  ExecContext exec;
+  exec.set_memory_budget_bytes(10);
+  EXPECT_EQ(exec.Charge(100).code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(exec.tripped());
+  exec.Reset();
+  EXPECT_FALSE(exec.tripped());
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+  EXPECT_EQ(exec.checkpoints(), 0u);
+  EXPECT_TRUE(exec.Checkpoint());
+}
+
+TEST(ExecContextTest, ConcurrentCancelAndCheckpointsAreClean) {
+  // Exercised under TSan in CI: many threads hammer Checkpoint/Charge while
+  // another cancels. The first trip must latch exactly one status and every
+  // thread must observe the same one.
+  ExecContext exec;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  std::atomic<uint64_t> passed{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&exec, &passed] {
+      for (int i = 0; i < 2000; ++i) {
+        if (exec.Checkpoint()) passed.fetch_add(1);
+        if (exec.Charge(16).ok()) exec.Release(16);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+  exec.Cancel();
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(exec.checkpoints(), uint64_t{kThreads} * 2000);
+  // After joining, the trip (if any checkpoint ran post-cancel) is stable.
+  if (exec.tripped()) {
+    EXPECT_EQ(exec.TripStatus().code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+}
+
+TEST(ExecContextTest, ConcurrentChargesRespectBudget) {
+  ExecContext exec;
+  exec.set_memory_budget_bytes(1 << 20);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&exec] {
+      for (int i = 0; i < 1000; ++i) {
+        if (exec.Charge(512).ok()) exec.Release(512);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(exec.charged_bytes(), 0u);
+}
+
+TEST(ExecContextTest, StatusCodeNamesCoverNewCodes) {
+  EXPECT_EQ(Status::DeadlineExceeded("x").ToString().find("DeadlineExceeded"),
+            0u);
+  EXPECT_EQ(Status::Cancelled("x").ToString().find("Cancelled"), 0u);
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -20,8 +20,10 @@ TEST(IntegrationTest, StaticSweepF1Improves) {
   options.fractions = {0.02, 0.10, 0.30};
   options.trials = 2;
   options.seed = 9;
-  auto points =
+  auto points_or =
       RunStaticSweep(dataset.graph, dataset.queries[2].query, options);
+  ASSERT_TRUE(points_or.ok()) << points_or.status().ToString();
+  const auto& points = *points_or;
   ASSERT_EQ(points.size(), 3u);
   EXPECT_GE(points.back().f1_mean, points.front().f1_mean - 0.05);
   EXPECT_GE(points.back().f1_mean, 0.8);
@@ -32,18 +34,21 @@ TEST(IntegrationTest, StaticSweepRecordsTime) {
   StaticSweepOptions options;
   options.fractions = {0.05};
   options.trials = 1;
-  auto points =
+  auto points_or =
       RunStaticSweep(dataset.graph, dataset.queries[1].query, options);
+  ASSERT_TRUE(points_or.ok()) << points_or.status().ToString();
+  const auto& points = *points_or;
   ASSERT_EQ(points.size(), 1u);
   EXPECT_GE(points[0].time_mean_seconds, 0.0);
 }
 
 TEST(IntegrationTest, InteractiveReachesF1One) {
   Dataset dataset = SmallDataset();
-  InteractiveSummary summary = RunInteractiveExperiment(
+  StatusOr<InteractiveSummary> summary = RunInteractiveExperiment(
       dataset.graph, dataset.queries[1].query, StrategyKind::kRandom, 21);
-  EXPECT_TRUE(summary.reached_goal);
-  EXPECT_GT(summary.interactions, 0u);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_TRUE(summary->reached_goal);
+  EXPECT_GT(summary->interactions, 0u);
 }
 
 TEST(IntegrationTest, InteractiveBeatsStaticOnLabels) {
@@ -52,21 +57,24 @@ TEST(IntegrationTest, InteractiveBeatsStaticOnLabels) {
   Dataset dataset = SmallDataset();
   const Dfa& goal = dataset.queries[1].query;
   LearnerOptions learner;
-  double static_fraction = LabelsNeededForPerfectF1(
+  StatusOr<double> static_fraction = LabelsNeededForPerfectF1(
       dataset.graph, goal, /*step=*/0.05, /*max_fraction=*/1.0, 33, learner);
-  InteractiveSummary interactive = RunInteractiveExperiment(
+  ASSERT_TRUE(static_fraction.ok()) << static_fraction.status().ToString();
+  StatusOr<InteractiveSummary> interactive = RunInteractiveExperiment(
       dataset.graph, goal, StrategyKind::kRandom, 33);
-  ASSERT_TRUE(interactive.reached_goal);
-  EXPECT_LT(interactive.label_percent / 100.0, static_fraction);
+  ASSERT_TRUE(interactive.ok()) << interactive.status().ToString();
+  ASSERT_TRUE(interactive->reached_goal);
+  EXPECT_LT(interactive->label_percent / 100.0, *static_fraction);
 }
 
 TEST(IntegrationTest, BothStrategiesConvergeOnSmallSynthetic) {
   Dataset dataset = SmallDataset();
   for (StrategyKind kind :
        {StrategyKind::kRandom, StrategyKind::kSmallestPaths}) {
-    InteractiveSummary summary = RunInteractiveExperiment(
+    StatusOr<InteractiveSummary> summary = RunInteractiveExperiment(
         dataset.graph, dataset.queries[2].query, kind, 17);
-    EXPECT_TRUE(summary.reached_goal)
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_TRUE(summary->reached_goal)
         << "strategy " << static_cast<int>(kind);
   }
 }
