@@ -6,6 +6,7 @@
 // configuration checks the fast path's output against the reference before
 // reporting, so a reported speedup is also a correctness witness.
 
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -526,6 +527,145 @@ CondensedFixtureResult BenchCondensed(uint32_t num_nodes,
   return result;
 }
 
+struct DynamicPointResult {
+  uint32_t updates = 0;
+  double overlay_seconds = 0;
+  double rebuild_seconds = 0;
+};
+
+struct DynamicBenchResult {
+  uint32_t nodes = 0;
+  size_t edges = 0;
+  uint32_t crossover_k = 0;  // smallest k where rebuild wins; 0: never
+  std::vector<DynamicPointResult> points;
+};
+
+/// Evaluate-after-k-updates: the delta-edge overlay (apply k updates as
+/// insert/delete buffers, evaluate through the patched cells) versus
+/// rebuild-from-scratch (apply the same k updates, Compact() into a fresh
+/// CSR, evaluate the clean graph). Both sides start from the same pristine
+/// fixture and the same update list per trial, and outputs are checked
+/// bit-identical before timing. The sweep locates the crossover: below it
+/// the overlay's O(k) patching wins, above it the rebuild's clean-CSR
+/// evaluation amortizes the O(E) reconstruction.
+DynamicBenchResult BenchDynamic(uint32_t num_nodes, int trials) {
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = num_nodes;
+  graph_options.num_edges = 3 * static_cast<size_t>(num_nodes);
+  graph_options.num_labels = 8;
+  graph_options.seed = 7;
+  const Graph base = GenerateScaleFree(graph_options);
+  const Dfa query = CompileQuery("(l0+l1)*.l2", base);
+
+  DynamicBenchResult result;
+  result.nodes = base.num_nodes();
+  result.edges = base.num_edges();
+
+  // One deterministic update stream, shared by every k (a k-point uses the
+  // first k entries) and by both sides of the comparison. Roughly half the
+  // draws hit a live edge (delete), half miss (insert).
+  Rng rng(0xd9a);
+  std::vector<std::array<uint32_t, 3>> updates;
+  for (uint32_t i = 0; i < 256; ++i) {
+    updates.push_back({static_cast<uint32_t>(rng.NextBelow(base.num_nodes())),
+                       static_cast<uint32_t>(rng.NextBelow(2)),
+                       static_cast<uint32_t>(rng.NextBelow(base.num_nodes()))});
+  }
+  const auto apply = [&updates](Graph* g, uint32_t k) {
+    for (uint32_t i = 0; i < k; ++i) {
+      const auto& u = updates[i];
+      const Symbol a = static_cast<Symbol>(u[1]);
+      if (g->HasEdge(u[0], a, u[2])) {
+        g->DeleteEdge(u[0], a, u[2]);
+      } else {
+        g->InsertEdge(u[0], a, u[2]);
+      }
+    }
+  };
+
+  EvalOptions options;
+  options.threads = 1;
+  for (uint32_t k : {1u, 8u, 64u, 256u}) {
+    DynamicPointResult point;
+    point.updates = k;
+
+    Graph overlay = base;
+    apply(&overlay, k);
+    Graph rebuilt = base;
+    apply(&rebuilt, k);
+    rebuilt.Compact();
+    auto overlay_pairs = EvalBinary(overlay, query, options);
+    auto rebuilt_pairs = EvalBinary(rebuilt, query, options);
+    RPQ_CHECK(overlay_pairs.ok() && rebuilt_pairs.ok());
+    RPQ_CHECK(*overlay_pairs == *rebuilt_pairs)
+        << "overlay eval diverged from rebuild-from-scratch at k=" << k;
+
+    WallTimer timer;
+    for (int t = 0; t < trials; ++t) {
+      Graph g = base;
+      apply(&g, k);
+      auto pairs = EvalBinary(g, query, options);
+      RPQ_CHECK_EQ(pairs->size(), overlay_pairs->size());
+    }
+    point.overlay_seconds = timer.ElapsedSeconds() / trials;
+
+    timer.Restart();
+    for (int t = 0; t < trials; ++t) {
+      Graph g = base;
+      apply(&g, k);
+      g.Compact();
+      auto pairs = EvalBinary(g, query, options);
+      RPQ_CHECK_EQ(pairs->size(), overlay_pairs->size());
+    }
+    point.rebuild_seconds = timer.ElapsedSeconds() / trials;
+
+    if (result.crossover_k == 0 &&
+        point.rebuild_seconds < point.overlay_seconds) {
+      result.crossover_k = k;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+void PrintDynamic(const DynamicBenchResult& r) {
+  std::printf("dynamic eval (overlay vs rebuild after k updates, %u nodes, "
+              "%zu edges, 1 thread):\n",
+              r.nodes, r.edges);
+  for (const DynamicPointResult& p : r.points) {
+    std::printf("  k=%-4u overlay %8.4fs  rebuild %8.4fs  (overlay %.2fx)\n",
+                p.updates, p.overlay_seconds, p.rebuild_seconds,
+                Speedup(p.rebuild_seconds, p.overlay_seconds));
+  }
+  if (r.crossover_k > 0) {
+    std::printf("  rebuild first wins at k=%u\n", r.crossover_k);
+  } else {
+    std::printf("  overlay wins across the whole sweep\n");
+  }
+}
+
+void PrintDynamicJson(FILE* out, const DynamicBenchResult& r) {
+  std::fprintf(out,
+               "  \"eval_dynamic\": {\n"
+               "    \"nodes\": %u,\n"
+               "    \"edges\": %zu,\n"
+               "    \"crossover_k\": %u,\n",
+               r.nodes, r.edges, r.crossover_k);
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    const DynamicPointResult& p = r.points[i];
+    std::fprintf(out,
+                 "    \"k%u\": {\n"
+                 "      \"overlay_seconds\": %.6f,\n"
+                 "      \"rebuild_seconds\": %.6f,\n"
+                 "      \"overlay_vs_rebuild_speedup\": %.2f\n"
+                 "    }%s\n",
+                 p.updates, p.overlay_seconds, p.rebuild_seconds,
+                 Speedup(p.rebuild_seconds, p.overlay_seconds),
+                 i + 1 < r.points.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n");
+}
+
 /// Full configuration-cube identity check on a reduced high-density
 /// fixture: condense {off, on, auto} × shards {1, 4} × threads {1, 8} ×
 /// force modes {auto, sparse, dense}, binary vs the seed reference and
@@ -621,7 +761,7 @@ void PrintCondensedJson(FILE* out, const CondensedFixtureResult& r) {
                  static_cast<unsigned long long>(q.components_collapsed),
                  i + 1 < r.queries.size() ? "," : "");
   }
-  std::fprintf(out, "  }\n");
+  std::fprintf(out, "  },\n");
 }
 
 void PrintShardSweep(const char* name, const ShardSweepResult& r) {
@@ -775,6 +915,13 @@ int main() {
   auto condensed = BenchCondensed(eval_nodes, 10, trials);
   PrintCondensed("high-density", condensed);
 
+  // --- dynamic graphs: overlay vs rebuild-from-scratch ------------------
+  // Evaluate-after-k-updates on the standard fixture: the delta-edge
+  // overlay against Compact()-then-evaluate, sweeping k to locate the
+  // crossover where rebuilding starts to pay off.
+  auto dynamic = BenchDynamic(eval_nodes, trials);
+  PrintDynamic(dynamic);
+
   FILE* out = std::fopen("BENCH_hotpath.json", "w");
   RPQ_CHECK(out != nullptr) << "cannot write BENCH_hotpath.json";
   std::fprintf(out,
@@ -830,6 +977,7 @@ int main() {
   PrintShardSweepJson(out, "high_density", shard_high, /*last=*/true);
   std::fprintf(out, "  },\n");
   PrintCondensedJson(out, condensed);
+  PrintDynamicJson(out, dynamic);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote BENCH_hotpath.json\n");

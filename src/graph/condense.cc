@@ -96,50 +96,7 @@ LabelCondensation CondensedGraph::CondenseLabel(const Graph& graph,
     for (NodeId v = 0; v < nv; ++v) out.members_[cursor[out.comp_[v]]++] = v;
   }
 
-  // Cross-component edges, deduped, as forward and transpose CSRs.
-  std::vector<std::pair<uint32_t, uint32_t>> dag_edges;
-  for (NodeId v = 0; v < nv; ++v) {
-    const uint32_t cv = out.comp_[v];
-    for (NodeId w : graph.OutNeighbors(v, a)) {
-      const uint32_t cw = out.comp_[w];
-      if (cw != cv) dag_edges.emplace_back(cv, cw);
-    }
-  }
-  std::sort(dag_edges.begin(), dag_edges.end());
-  dag_edges.erase(std::unique(dag_edges.begin(), dag_edges.end()),
-                  dag_edges.end());
-
-  out.dag_out_offsets_.assign(next_comp + 1, 0);
-  out.dag_in_offsets_.assign(next_comp + 1, 0);
-  for (const auto& [cv, cw] : dag_edges) {
-    ++out.dag_out_offsets_[cv + 1];
-    ++out.dag_in_offsets_[cw + 1];
-  }
-  for (uint32_t c = 0; c < next_comp; ++c) {
-    out.dag_out_offsets_[c + 1] += out.dag_out_offsets_[c];
-    out.dag_in_offsets_[c + 1] += out.dag_in_offsets_[c];
-  }
-  out.dag_out_.resize(dag_edges.size());
-  out.dag_in_.resize(dag_edges.size());
-  {
-    std::vector<uint32_t> out_cursor(out.dag_out_offsets_.begin(),
-                                     out.dag_out_offsets_.end() - 1);
-    std::vector<uint32_t> in_cursor(out.dag_in_offsets_.begin(),
-                                    out.dag_in_offsets_.end() - 1);
-    // dag_edges is (source asc, target asc), so both fills stay ascending
-    // per cell (the in-fill visits each target's sources in ascending
-    // source order because the pair sort is lexicographic).
-    for (const auto& [cv, cw] : dag_edges) {
-      out.dag_out_[out_cursor[cv]++] = cw;
-    }
-    std::stable_sort(dag_edges.begin(), dag_edges.end(),
-                     [](const auto& x, const auto& y) {
-                       return x.second < y.second;
-                     });
-    for (const auto& [cv, cw] : dag_edges) {
-      out.dag_in_[in_cursor[cw]++] = cv;
-    }
-  }
+  BuildDagCsrs(graph, a, &out);
 
   CondensationSummary& summary = out.summary_;
   summary.num_components = next_comp;
@@ -158,6 +115,63 @@ LabelCondensation CondensedGraph::CondenseLabel(const Graph& graph,
   return out;
 }
 
+/// Rebuilds out->dag_out_*/dag_in_* from out->comp_ by scanning every
+/// `a`-labeled edge of `graph`. Requires comp_ and member_offsets_ to be
+/// current; leaves components, members, and summary untouched, so it serves
+/// both fresh condensation and the kDagRebuilt incremental-repair path
+/// (cross-component update on a frozen component map).
+void CondensedGraph::BuildDagCsrs(const Graph& graph, Symbol a,
+                                  LabelCondensation* out) {
+  const uint32_t nv = graph.num_nodes();
+  const uint32_t num_comps =
+      static_cast<uint32_t>(out->member_offsets_.size()) - 1;
+
+  // Cross-component edges, deduped, as forward and transpose CSRs.
+  std::vector<std::pair<uint32_t, uint32_t>> dag_edges;
+  for (NodeId v = 0; v < nv; ++v) {
+    const uint32_t cv = out->comp_[v];
+    for (NodeId w : graph.OutNeighbors(v, a)) {
+      const uint32_t cw = out->comp_[w];
+      if (cw != cv) dag_edges.emplace_back(cv, cw);
+    }
+  }
+  std::sort(dag_edges.begin(), dag_edges.end());
+  dag_edges.erase(std::unique(dag_edges.begin(), dag_edges.end()),
+                  dag_edges.end());
+
+  out->dag_out_offsets_.assign(num_comps + 1, 0);
+  out->dag_in_offsets_.assign(num_comps + 1, 0);
+  for (const auto& [cv, cw] : dag_edges) {
+    ++out->dag_out_offsets_[cv + 1];
+    ++out->dag_in_offsets_[cw + 1];
+  }
+  for (uint32_t c = 0; c < num_comps; ++c) {
+    out->dag_out_offsets_[c + 1] += out->dag_out_offsets_[c];
+    out->dag_in_offsets_[c + 1] += out->dag_in_offsets_[c];
+  }
+  out->dag_out_.resize(dag_edges.size());
+  out->dag_in_.resize(dag_edges.size());
+  {
+    std::vector<uint32_t> out_cursor(out->dag_out_offsets_.begin(),
+                                     out->dag_out_offsets_.end() - 1);
+    std::vector<uint32_t> in_cursor(out->dag_in_offsets_.begin(),
+                                    out->dag_in_offsets_.end() - 1);
+    // dag_edges is (source asc, target asc), so both fills stay ascending
+    // per cell (the in-fill visits each target's sources in ascending
+    // source order because the pair sort is lexicographic).
+    for (const auto& [cv, cw] : dag_edges) {
+      out->dag_out_[out_cursor[cv]++] = cw;
+    }
+    std::stable_sort(dag_edges.begin(), dag_edges.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.second < y.second;
+                     });
+    for (const auto& [cv, cw] : dag_edges) {
+      out->dag_in_[in_cursor[cw]++] = cv;
+    }
+  }
+}
+
 CondensedGraph CondensedGraph::Build(const Graph& graph) {
   std::vector<Symbol> labels(graph.num_symbols());
   for (Symbol a = 0; a < graph.num_symbols(); ++a) labels[a] = a;
@@ -169,6 +183,7 @@ CondensedGraph CondensedGraph::Build(const Graph& graph,
   CondensedGraph out;
   out.num_nodes_ = graph.num_nodes();
   out.num_graph_edges_ = graph.num_edges();
+  out.graph_version_ = graph.version();
   out.built_.assign(graph.num_symbols(), 0);
   out.labels_.resize(graph.num_symbols());
   for (Symbol a : labels) {
@@ -180,6 +195,60 @@ CondensedGraph CondensedGraph::Build(const Graph& graph,
     out.built_[a] = 1;
   }
   return out;
+}
+
+CondenseRepair CondensedGraph::ApplyEdgeUpdate(const Graph& graph, Symbol a,
+                                               NodeId src, NodeId dst,
+                                               bool inserted) {
+  RPQ_CHECK(graph.num_nodes() == num_nodes_)
+      << "condensation maintained against a different graph ("
+      << graph.num_nodes() << " nodes vs " << num_nodes_ << ")";
+  num_graph_edges_ = graph.num_edges();
+  graph_version_ = graph.version();
+  if (!HasLabel(a)) return CondenseRepair::kUntouchedLabel;
+
+  LabelCondensation& lc = labels_[a];
+  const uint32_t cs = lc.comp_[src];
+  const uint32_t cd = lc.comp_[dst];
+
+  if (inserted) {
+    if (cs == cd) {
+      // Both endpoints already share an SCC: the new edge is absorbed by
+      // the component and no DAG edge appears.
+      return CondenseRepair::kNoStructuralChange;
+    }
+    if (cs > cd) {
+      // Component ids are reverse topological (every DAG edge points from
+      // a higher id to a lower one), so an edge cs --> cd with cs > cd
+      // cannot close a cycle — if cd could already reach cs, some existing
+      // DAG edge on that path would point low --> high, contradicting the
+      // invariant. Components are therefore frozen, the id order still
+      // witnesses reverse-topological, and only the DAG CSRs change.
+      BuildDagCsrs(graph, a, &lc);
+      return CondenseRepair::kDagRebuilt;
+    }
+    // cs < cd: the insert may have merged a chain of components (dst could
+    // reach src). Re-run Tarjan for this label only.
+    lc = CondenseLabel(graph, a);
+    return CondenseRepair::kLabelRetarjaned;
+  }
+
+  // Deletion.
+  if (cs != cd) {
+    // A cross-component edge never participates in any SCC; removing it can
+    // only thin the DAG (possibly dropping a deduped DAG edge if this was
+    // the last parallel graph edge between the two components).
+    BuildDagCsrs(graph, a, &lc);
+    return CondenseRepair::kDagRebuilt;
+  }
+  if (src == dst) {
+    // A self-loop is internal to its (singleton or larger) component and
+    // carries no connectivity: removing it changes nothing structural.
+    return CondenseRepair::kNoStructuralChange;
+  }
+  // Intra-component deletion may split the SCC. Re-run Tarjan per label.
+  lc = CondenseLabel(graph, a);
+  return CondenseRepair::kLabelRetarjaned;
 }
 
 }  // namespace rpqlearn

@@ -78,13 +78,34 @@ class LabelCondensation {
   CondensationSummary summary_;
 };
 
-/// Per-label SCC condensations of one immutable Graph, built by an
-/// iterative (explicit-stack) Tarjan pass over the label-grouped CSR.
+/// How one ApplyEdgeUpdate call repaired the condensation (surfaced for
+/// tests and maintenance telemetry; callers needing only correctness can
+/// ignore it).
+enum class CondenseRepair : uint8_t {
+  /// The touched label was never condensed: bookkeeping only.
+  kUntouchedLabel = 0,
+  /// Component structure and DAG are provably unchanged (intra-component
+  /// or self-loop update): O(1) beyond bookkeeping.
+  kNoStructuralChange = 1,
+  /// Components unchanged, condensation-DAG CSRs rebuilt from the existing
+  /// component map (cross-component update that cannot merge or split an
+  /// SCC, with the reverse-topological id invariant preserved).
+  kDagRebuilt = 2,
+  /// The delta touched a (potentially) nontrivial component: the label fell
+  /// back to a fresh per-label Tarjan pass. Other labels stay untouched.
+  kLabelRetarjaned = 3,
+};
+
+/// Per-label SCC condensations of one Graph, built by an iterative
+/// (explicit-stack) Tarjan pass over the label-grouped CSR.
 /// Deterministic: the same graph always produces the same component ids and
 /// CSR layouts. The structure is evaluation-side read-only — the query
 /// planner consults the summaries and the kleene-star rounds expand
 /// frontiers component-at-a-time through the DAG CSRs (see
-/// docs/ARCHITECTURE.md, "SCC condensation").
+/// docs/ARCHITECTURE.md, "SCC condensation"). Under edge updates the
+/// condensation is maintained incrementally per label via ApplyEdgeUpdate;
+/// labels the update does not carry keep their frozen LabelCondensation
+/// untouched.
 class CondensedGraph {
  public:
   /// An empty condensation (0 nodes, no labels); assign a built one over it.
@@ -103,9 +124,25 @@ class CondensedGraph {
   /// Edge count of the graph this condensation was built from; cache
   /// consumers compare it (with num_nodes) to reject stale caches.
   size_t num_graph_edges() const { return num_graph_edges_; }
+  /// Graph::version() at build time, advanced by every ApplyEdgeUpdate.
+  /// The evaluation cache match requires equality with the live graph's
+  /// version, so a condensation that missed an update (even one returning
+  /// the edge count to a previously seen value) can never be read stale.
+  uint64_t graph_version() const { return graph_version_; }
   uint32_t num_symbols() const {
     return static_cast<uint32_t>(built_.size());
   }
+
+  /// Maintains the condensation across one successful
+  /// Graph::InsertEdge/DeleteEdge of `src --a--> dst`, called *after* the
+  /// graph mutated (one call per successful update, in order). Repairs are
+  /// keyed by the affected label: intra-component and self-loop updates are
+  /// O(1) no-ops, a cross-component update rebuilds only the label's DAG
+  /// CSRs on the frozen component map, and only an update that may merge or
+  /// split an SCC re-runs Tarjan for that single label. Every other label's
+  /// LabelCondensation (including its storage) is left untouched.
+  CondenseRepair ApplyEdgeUpdate(const Graph& graph, Symbol a, NodeId src,
+                                 NodeId dst, bool inserted);
 
   /// True iff `Label(a)` was built (Build-all builds every label; the
   /// subset overload only the requested ones).
@@ -116,9 +153,12 @@ class CondensedGraph {
 
  private:
   static LabelCondensation CondenseLabel(const Graph& graph, Symbol a);
+  static void BuildDagCsrs(const Graph& graph, Symbol a,
+                           LabelCondensation* out);
 
   uint32_t num_nodes_ = 0;
   size_t num_graph_edges_ = 0;
+  uint64_t graph_version_ = 0;
   std::vector<uint8_t> built_;            // per symbol
   std::vector<LabelCondensation> labels_;  // per symbol; empty when !built_
 };

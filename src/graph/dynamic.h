@@ -1,0 +1,102 @@
+#ifndef RPQLEARN_GRAPH_DYNAMIC_H_
+#define RPQLEARN_GRAPH_DYNAMIC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "graph/condense.h"
+#include "graph/graph.h"
+#include "graph/shard.h"
+#include "query/eval.h"
+
+namespace rpqlearn {
+
+/// Telemetry of incremental structure maintenance: how often each repair
+/// path fired. The condense_* counters sum over every maintained update
+/// (one per update when condensation maintenance is on); see CondenseRepair
+/// for what each path does.
+struct MaintenanceStats {
+  /// Successful InsertEdge / DeleteEdge calls (graph mutated).
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  /// No-op calls: inserting a live edge or deleting an absent one.
+  uint64_t rejected_updates = 0;
+  uint64_t compactions = 0;
+  /// Updates routed into the maintained ShardedGraph (internal cells for
+  /// same-shard edges, boundary cells of both owners for cross-shard).
+  uint64_t shard_same_shard_updates = 0;
+  uint64_t shard_cross_shard_updates = 0;
+  /// CondenseRepair outcome tallies.
+  uint64_t condense_untouched_labels = 0;
+  uint64_t condense_no_structural_change = 0;
+  uint64_t condense_dag_rebuilds = 0;
+  uint64_t condense_retarjans = 0;
+};
+
+/// Owns a Graph plus optional *maintained* derived-structure snapshots — a
+/// ShardedGraph partition view and a per-label CondensedGraph — kept
+/// consistent with the live edge set across InsertEdge / DeleteEdge by
+/// incremental repair instead of rebuild-from-scratch. This is the serving
+/// shape for a mutating graph: the interactive loop (and any evaluation
+/// call) borrows the snapshots through WithCaches(), and the version keying
+/// (Graph::version ↔ graph_version of each snapshot) guarantees the
+/// evaluation engines can never read a snapshot that missed an update.
+///
+/// Mutations must be externally synchronized against readers, exactly like
+/// Graph itself. All maintenance is deterministic: a DynamicGraph that
+/// replayed the same updates holds bit-identical snapshots.
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(Graph graph) : graph_(std::move(graph)) {}
+
+  const Graph& graph() const { return graph_; }
+
+  /// Builds (or re-builds at a new shard count) the maintained partition
+  /// view; subsequent updates patch it in place.
+  void MaintainSharding(uint32_t num_shards);
+  /// Builds the maintained condensation over every label / over `labels`;
+  /// subsequent updates repair it per affected label.
+  void MaintainCondensation();
+  void MaintainCondensation(std::span<const Symbol> labels);
+
+  /// Graph::InsertEdge / DeleteEdge plus incremental repair of every
+  /// maintained snapshot. Returns whether the graph mutated.
+  bool InsertEdge(NodeId src, Symbol a, NodeId dst);
+  bool DeleteEdge(NodeId src, Symbol a, NodeId dst);
+
+  /// Graph::Compact(), then folds the maintained partition view's cell
+  /// patches by re-partitioning over the fresh CSR (same shard count;
+  /// boundaries re-balance to the compacted weights). The condensation is
+  /// exact at all times and carries no patch state, so it is left untouched.
+  /// Versions are preserved throughout — snapshots stay valid.
+  void Compact();
+
+  /// Maintained snapshots; null until the matching Maintain* call.
+  const ShardedGraph* sharded() const {
+    return sharded_ ? &*sharded_ : nullptr;
+  }
+  const CondensedGraph* condensed() const {
+    return condensed_ ? &*condensed_ : nullptr;
+  }
+
+  /// Returns `options` with the cache pointers of every maintained snapshot
+  /// filled in (caller-supplied cache pointers win). The evaluation engines
+  /// still re-validate by version, so handing these out is always safe.
+  EvalOptions WithCaches(EvalOptions options) const;
+
+  const MaintenanceStats& stats() const { return stats_; }
+
+ private:
+  void ApplyToSnapshots(Symbol a, NodeId src, NodeId dst, bool inserted);
+
+  Graph graph_;
+  std::optional<ShardedGraph> sharded_;
+  std::optional<CondensedGraph> condensed_;
+  MaintenanceStats stats_;
+};
+
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_GRAPH_DYNAMIC_H_

@@ -165,8 +165,179 @@ Graph GraphBuilder::Build() {
   build_label_csr(graph.in_offsets_, graph.in_edges_,
                   &graph.in_label_offsets_, &graph.in_sources_);
 
+  graph.num_edges_ = graph.out_edges_.size();
+  graph.label_versions_.assign(sigma, 0);
+  graph.label_deltas_.resize(sigma);
+
   edges_.clear();
   return graph;
+}
+
+// ----------------------------------------------------- delta-edge overlay
+
+namespace {
+
+/// Sorted-vector insert/erase for the per-label delta buffers.
+void InsertPair(std::vector<std::pair<NodeId, NodeId>>* buffer,
+                std::pair<NodeId, NodeId> entry) {
+  buffer->insert(std::lower_bound(buffer->begin(), buffer->end(), entry),
+                 entry);
+}
+
+/// Erases `entry` when present; returns whether it was.
+bool ErasePair(std::vector<std::pair<NodeId, NodeId>>* buffer,
+               std::pair<NodeId, NodeId> entry) {
+  const auto it = std::lower_bound(buffer->begin(), buffer->end(), entry);
+  if (it == buffer->end() || *it != entry) return false;
+  buffer->erase(it);
+  return true;
+}
+
+}  // namespace
+
+bool Graph::HasEdge(NodeId src, Symbol label, NodeId dst) const {
+  const std::span<const NodeId> targets = OutNeighbors(src, label);
+  return std::binary_search(targets.begin(), targets.end(), dst);
+}
+
+bool Graph::HasBaseEdge(NodeId src, Symbol label, NodeId dst) const {
+  const size_t cell = static_cast<size_t>(src) * num_symbols() + label;
+  const NodeId* begin = out_targets_.data() + out_label_offsets_[cell];
+  const NodeId* end = out_targets_.data() + out_label_offsets_[cell + 1];
+  return std::binary_search(begin, end, dst);
+}
+
+void Graph::PatchAdjacency(NodeId src, Symbol label, NodeId dst,
+                           bool insert) {
+  const uint32_t sigma = num_symbols();
+  // A cell (or node edge list) is materialized from the *base* arrays on
+  // its first patch — correct because a cell absent from a map has, by
+  // construction, no pending delta yet.
+  const auto patch_cell =
+      [&](std::unordered_map<uint64_t, std::vector<NodeId>>* cells,
+          const std::vector<uint32_t>& offsets,
+          const std::vector<NodeId>& endpoints, NodeId node,
+          NodeId endpoint) {
+        const uint64_t cell = static_cast<uint64_t>(node) * sigma + label;
+        auto [it, fresh] = cells->try_emplace(cell);
+        if (fresh) {
+          it->second.assign(endpoints.begin() + offsets[cell],
+                            endpoints.begin() + offsets[cell + 1]);
+        }
+        std::vector<NodeId>& run = it->second;
+        const auto pos = std::lower_bound(run.begin(), run.end(), endpoint);
+        if (insert) {
+          run.insert(pos, endpoint);
+        } else {
+          RPQ_DCHECK(pos != run.end() && *pos == endpoint);
+          run.erase(pos);
+        }
+      };
+  const auto patch_edges =
+      [&](std::unordered_map<NodeId, std::vector<LabeledEdge>>* lists,
+          const std::vector<size_t>& offsets,
+          const std::vector<LabeledEdge>& edges, NodeId node,
+          NodeId endpoint) {
+        auto [it, fresh] = lists->try_emplace(node);
+        if (fresh) {
+          it->second.assign(edges.begin() + offsets[node],
+                            edges.begin() + offsets[node + 1]);
+        }
+        std::vector<LabeledEdge>& list = it->second;
+        const LabeledEdge entry{label, endpoint};
+        const auto pos = std::lower_bound(list.begin(), list.end(), entry);
+        if (insert) {
+          list.insert(pos, entry);
+        } else {
+          RPQ_DCHECK(pos != list.end() && *pos == entry);
+          list.erase(pos);
+        }
+      };
+  patch_cell(&patched_out_cells_, out_label_offsets_, out_targets_, src, dst);
+  patch_cell(&patched_in_cells_, in_label_offsets_, in_sources_, dst, src);
+  patch_edges(&patched_out_edges_, out_offsets_, out_edges_, src, dst);
+  patch_edges(&patched_in_edges_, in_offsets_, in_edges_, dst, src);
+}
+
+void Graph::DropDeltaStateIfClean() {
+  if (num_pending_deltas() != 0) return;
+  // Every pending delta has been cancelled, so each patched run equals its
+  // base run again — drop the overlay and return reads to the fast path.
+  patched_out_cells_.clear();
+  patched_in_cells_.clear();
+  patched_out_edges_.clear();
+  patched_in_edges_.clear();
+  has_deltas_ = false;
+}
+
+size_t Graph::num_pending_deltas() const {
+  size_t pending = 0;
+  for (const LabelDelta& delta : label_deltas_) {
+    pending += delta.inserts.size() + delta.deletes.size();
+  }
+  return pending;
+}
+
+bool Graph::InsertEdge(NodeId src, Symbol label, NodeId dst) {
+  RPQ_CHECK_LT(src, num_nodes());
+  RPQ_CHECK_LT(dst, num_nodes());
+  RPQ_CHECK_LT(label, num_symbols());
+  if (HasEdge(src, label, dst)) return false;
+  LabelDelta& delta = label_deltas_[label];
+  const std::pair<NodeId, NodeId> entry{src, dst};
+  if (!ErasePair(&delta.deletes, entry)) {
+    // Not a re-insert of a deleted base edge: a genuinely new delta edge.
+    InsertPair(&delta.inserts, entry);
+  }
+  has_deltas_ = true;
+  PatchAdjacency(src, label, dst, /*insert=*/true);
+  ++num_edges_;
+  ++version_;
+  ++label_versions_[label];
+  DropDeltaStateIfClean();
+  return true;
+}
+
+bool Graph::DeleteEdge(NodeId src, Symbol label, NodeId dst) {
+  RPQ_CHECK_LT(src, num_nodes());
+  RPQ_CHECK_LT(dst, num_nodes());
+  RPQ_CHECK_LT(label, num_symbols());
+  if (!HasEdge(src, label, dst)) return false;
+  LabelDelta& delta = label_deltas_[label];
+  const std::pair<NodeId, NodeId> entry{src, dst};
+  if (!ErasePair(&delta.inserts, entry)) {
+    // A live base edge: record its removal.
+    RPQ_DCHECK(HasBaseEdge(src, label, dst));
+    InsertPair(&delta.deletes, entry);
+  }
+  has_deltas_ = true;
+  PatchAdjacency(src, label, dst, /*insert=*/false);
+  --num_edges_;
+  ++version_;
+  ++label_versions_[label];
+  DropDeltaStateIfClean();
+  return true;
+}
+
+void Graph::Compact() {
+  if (!has_deltas_) return;
+  GraphBuilder builder;
+  for (Symbol a = 0; a < num_symbols(); ++a) {
+    builder.InternLabel(alphabet_.Name(a));
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) builder.AddNode(names_[v]);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (const LabeledEdge& e : OutEdges(v)) {
+      builder.AddEdge(v, e.label, e.node);
+    }
+  }
+  Graph rebuilt = builder.Build();
+  // Compaction changes the storage layout, never the live edge set, so the
+  // mutation counters carry over: caches maintained up to this version stay
+  // valid across the fold.
+  rebuilt.version_ = version_;
+  rebuilt.label_versions_ = std::move(label_versions_);
+  *this = std::move(rebuilt);
 }
 
 }  // namespace rpqlearn

@@ -74,6 +74,7 @@ ShardedGraph ShardedGraph::Partition(const Graph& graph, uint32_t num_shards) {
   ShardedGraph sharded;
   sharded.num_nodes_ = graph.num_nodes();
   sharded.num_graph_edges_ = graph.num_edges();
+  sharded.graph_version_ = graph.version();
   sharded.boundaries_ = WeightBalancedBoundaries(graph, num_shards);
   sharded.shards_.resize(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
@@ -89,9 +90,96 @@ ShardedGraph ShardedGraph::Partition(const Graph& graph, uint32_t num_shards) {
                    &Graph::InNeighbors, &shard.in_internal_offsets_,
                    &shard.in_internal_, &shard.in_boundary_offsets_,
                    &shard.in_boundary_);
+    shard.num_internal_edges_ = shard.out_internal_.size();
+    shard.num_out_boundary_edges_ = shard.out_boundary_.size();
+    shard.num_in_boundary_edges_ = shard.in_boundary_.size();
     sharded.num_boundary_edges_ += shard.out_boundary_.size();
   }
   return sharded;
+}
+
+void GraphShard::PatchCell(
+    const std::vector<uint32_t>& offsets, const std::vector<NodeId>& endpoints,
+    std::unordered_map<uint64_t, std::vector<NodeId>>* patches, NodeId local_v,
+    Symbol a, NodeId endpoint, bool insert) {
+  const uint64_t cell = static_cast<uint64_t>(local_v) * num_symbols_ + a;
+  const auto [it, fresh] = patches->try_emplace(cell);
+  std::vector<NodeId>& run = it->second;
+  if (fresh) {
+    run.assign(endpoints.begin() + offsets[cell],
+               endpoints.begin() + offsets[cell + 1]);
+  }
+  const auto pos = std::lower_bound(run.begin(), run.end(), endpoint);
+  if (insert) {
+    RPQ_DCHECK(pos == run.end() || *pos != endpoint);
+    run.insert(pos, endpoint);
+  } else {
+    RPQ_DCHECK(pos != run.end() && *pos == endpoint);
+    run.erase(pos);
+  }
+}
+
+void GraphShard::EnterPatchedMode() {
+  if (patched_) return;
+  patched_ = true;
+  const uint32_t n = num_local_nodes();
+  out_boundary_degrees_.resize(n);
+  in_boundary_degrees_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const size_t row = static_cast<size_t>(v) * num_symbols_;
+    out_boundary_degrees_[v] =
+        out_boundary_offsets_[row + num_symbols_] - out_boundary_offsets_[row];
+    in_boundary_degrees_[v] =
+        in_boundary_offsets_[row + num_symbols_] - in_boundary_offsets_[row];
+  }
+}
+
+void ShardedGraph::ApplyEdgeUpdate(const Graph& graph, Symbol a, NodeId src,
+                                   NodeId dst, bool inserted) {
+  RPQ_CHECK(graph.num_nodes() == num_nodes_)
+      << "sharded view maintained against a different graph ("
+      << graph.num_nodes() << " nodes vs " << num_nodes_ << ")";
+  num_graph_edges_ = graph.num_edges();
+  graph_version_ = graph.version();
+
+  const uint32_t ss = ShardOf(src);
+  const uint32_t sd = ShardOf(dst);
+  const int step = inserted ? 1 : -1;
+  if (ss == sd) {
+    GraphShard& shard = shards_[ss];
+    shard.EnterPatchedMode();
+    const NodeId local_src = src - shard.node_begin_;
+    const NodeId local_dst = dst - shard.node_begin_;
+    shard.PatchCell(shard.out_internal_offsets_, shard.out_internal_,
+                    &shard.patched_out_internal_, local_src, a, local_dst,
+                    inserted);
+    shard.PatchCell(shard.in_internal_offsets_, shard.in_internal_,
+                    &shard.patched_in_internal_, local_dst, a, local_src,
+                    inserted);
+    shard.num_internal_edges_ += step;
+    return;
+  }
+  GraphShard& source_shard = shards_[ss];
+  source_shard.EnterPatchedMode();
+  const NodeId local_src = src - source_shard.node_begin_;
+  source_shard.PatchCell(source_shard.out_boundary_offsets_,
+                         source_shard.out_boundary_,
+                         &source_shard.patched_out_boundary_, local_src, a,
+                         dst, inserted);
+  source_shard.num_out_boundary_edges_ += step;
+  source_shard.out_boundary_degrees_[local_src] += step;
+
+  GraphShard& target_shard = shards_[sd];
+  target_shard.EnterPatchedMode();
+  const NodeId local_dst = dst - target_shard.node_begin_;
+  target_shard.PatchCell(target_shard.in_boundary_offsets_,
+                         target_shard.in_boundary_,
+                         &target_shard.patched_in_boundary_, local_dst, a,
+                         src, inserted);
+  target_shard.num_in_boundary_edges_ += step;
+  target_shard.in_boundary_degrees_[local_dst] += step;
+
+  num_boundary_edges_ += step;
 }
 
 uint32_t ShardedGraph::ShardOf(NodeId v) const {

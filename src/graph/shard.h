@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -17,6 +18,11 @@ namespace rpqlearn {
 /// CSR — edges whose other endpoint lies in another shard, endpoints stored
 /// as global ids. Internal and boundary runs are each ascending and together
 /// hold exactly the cell's neighbors in the monolithic Graph.
+///
+/// Like the Graph it mirrors, a shard is dynamic through copy-on-write cell
+/// patches: ShardedGraph::ApplyEdgeUpdate materializes only the touched
+/// (node, label) cells into patch maps, leaving the base CSR arrays frozen,
+/// so untouched cells keep the unpatched fast path.
 class GraphShard {
  public:
   NodeId node_begin() const { return node_begin_; }
@@ -26,51 +32,85 @@ class GraphShard {
 
   /// Local targets of internal `local_v --a-->` edges, ascending.
   std::span<const NodeId> OutNeighborsLocal(NodeId local_v, Symbol a) const {
-    return Cell(out_internal_offsets_, out_internal_, local_v, a);
+    return Cell(out_internal_offsets_, out_internal_, patched_out_internal_,
+                local_v, a);
   }
   /// Local sources of internal `--a--> local_v` edges, ascending.
   std::span<const NodeId> InNeighborsLocal(NodeId local_v, Symbol a) const {
-    return Cell(in_internal_offsets_, in_internal_, local_v, a);
+    return Cell(in_internal_offsets_, in_internal_, patched_in_internal_,
+                local_v, a);
   }
   /// Global targets of `local_v --a-->` edges leaving the shard, ascending.
   std::span<const NodeId> OutBoundary(NodeId local_v, Symbol a) const {
-    return Cell(out_boundary_offsets_, out_boundary_, local_v, a);
+    return Cell(out_boundary_offsets_, out_boundary_, patched_out_boundary_,
+                local_v, a);
   }
   /// Global sources of `--a--> local_v` edges entering the shard, ascending.
   std::span<const NodeId> InBoundary(NodeId local_v, Symbol a) const {
-    return Cell(in_boundary_offsets_, in_boundary_, local_v, a);
+    return Cell(in_boundary_offsets_, in_boundary_, patched_in_boundary_,
+                local_v, a);
   }
 
   /// True iff `local_v` has at least one out-edge leaving the shard (under
   /// any label). The shard-aware evaluation uses this to track only the
   /// product cells whose lane gains must be pushed to other shards.
   bool HasOutBoundary(NodeId local_v) const {
+    if (patched_) [[unlikely]] {
+      return out_boundary_degrees_[local_v] > 0;
+    }
     const size_t row = static_cast<size_t>(local_v) * num_symbols_;
     return out_boundary_offsets_[row + num_symbols_] >
            out_boundary_offsets_[row];
   }
   /// True iff some in-edge of `local_v` originates in another shard.
   bool HasInBoundary(NodeId local_v) const {
+    if (patched_) [[unlikely]] {
+      return in_boundary_degrees_[local_v] > 0;
+    }
     const size_t row = static_cast<size_t>(local_v) * num_symbols_;
     return in_boundary_offsets_[row + num_symbols_] > in_boundary_offsets_[row];
   }
 
   /// Directed edges whose source lies here and target elsewhere.
-  size_t num_out_boundary_edges() const { return out_boundary_.size(); }
+  size_t num_out_boundary_edges() const { return num_out_boundary_edges_; }
   /// Directed edges whose target lies here and source elsewhere.
-  size_t num_in_boundary_edges() const { return in_boundary_.size(); }
+  size_t num_in_boundary_edges() const { return num_in_boundary_edges_; }
   /// Directed edges with both endpoints in this shard.
-  size_t num_internal_edges() const { return out_internal_.size(); }
+  size_t num_internal_edges() const { return num_internal_edges_; }
+
+  /// True iff any cell patch is live (ApplyEdgeUpdate has touched this
+  /// shard since Partition).
+  bool patched() const { return patched_; }
 
  private:
   friend class ShardedGraph;
 
-  std::span<const NodeId> Cell(const std::vector<uint32_t>& offsets,
-                               const std::vector<NodeId>& endpoints,
-                               NodeId local_v, Symbol a) const {
+  std::span<const NodeId> Cell(
+      const std::vector<uint32_t>& offsets,
+      const std::vector<NodeId>& endpoints,
+      const std::unordered_map<uint64_t, std::vector<NodeId>>& patches,
+      NodeId local_v, Symbol a) const {
     const size_t cell = static_cast<size_t>(local_v) * num_symbols_ + a;
+    if (patched_) [[unlikely]] {
+      const auto it = patches.find(cell);
+      if (it != patches.end()) {
+        return {it->second.data(), it->second.size()};
+      }
+    }
     return {endpoints.data() + offsets[cell], offsets[cell + 1] - offsets[cell]};
   }
+
+  /// Materializes cell (local_v, a) of the chosen CSR into `patches` (base
+  /// run copied on first touch) and sorted-inserts or erases `endpoint`.
+  void PatchCell(const std::vector<uint32_t>& offsets,
+                 const std::vector<NodeId>& endpoints,
+                 std::unordered_map<uint64_t, std::vector<NodeId>>* patches,
+                 NodeId local_v, Symbol a, NodeId endpoint, bool insert);
+
+  /// Flips the shard into patched mode: builds the per-node boundary-degree
+  /// tallies that replace the offset-difference reads of HasOutBoundary /
+  /// HasInBoundary (offsets describe only the frozen base CSR).
+  void EnterPatchedMode();
 
   NodeId node_begin_ = 0;
   NodeId node_end_ = 0;
@@ -85,6 +125,18 @@ class GraphShard {
   std::vector<NodeId> out_boundary_;  // global targets in other shards
   std::vector<uint32_t> in_boundary_offsets_;
   std::vector<NodeId> in_boundary_;  // global sources in other shards
+  // Copy-on-write cell patches (see class doc). A patched cell fully
+  // supersedes its base run; edge counters track the live (patched) totals.
+  bool patched_ = false;
+  size_t num_internal_edges_ = 0;
+  size_t num_out_boundary_edges_ = 0;
+  size_t num_in_boundary_edges_ = 0;
+  std::unordered_map<uint64_t, std::vector<NodeId>> patched_out_internal_;
+  std::unordered_map<uint64_t, std::vector<NodeId>> patched_in_internal_;
+  std::unordered_map<uint64_t, std::vector<NodeId>> patched_out_boundary_;
+  std::unordered_map<uint64_t, std::vector<NodeId>> patched_in_boundary_;
+  std::vector<uint32_t> out_boundary_degrees_;  // per local node; patched mode
+  std::vector<uint32_t> in_boundary_degrees_;
 };
 
 /// A partition view of one immutable Graph: K contiguous node-range shards,
@@ -101,6 +153,12 @@ class GraphShard {
 /// ranges — legal, and exercised by the degenerate-shard tests. The shard
 /// count never changes evaluation results (see docs/ARCHITECTURE.md,
 /// "Sharded evaluation").
+///
+/// Under edge updates the view is maintained incrementally by
+/// ApplyEdgeUpdate: shard boundaries stay fixed (any contiguous partition is
+/// valid — results are partition-independent), a same-shard update patches
+/// that shard's internal cells, and a cross-shard update patches the source
+/// shard's out-boundary and the target shard's in-boundary cells.
 class ShardedGraph {
  public:
   /// Builds the K-shard view of `graph`. `num_shards` must be ≥ 1.
@@ -113,7 +171,19 @@ class ShardedGraph {
   /// Edge count of the graph this view partitions; cache consumers compare
   /// it (with num_nodes) to reject stale caches.
   size_t num_graph_edges() const { return num_graph_edges_; }
+  /// Graph::version() at build time, advanced by every ApplyEdgeUpdate; the
+  /// evaluation cache match requires equality with the live graph's version
+  /// (see CondensedGraph::graph_version for the stale-cache argument).
+  uint64_t graph_version() const { return graph_version_; }
   const GraphShard& shard(uint32_t s) const { return shards_[s]; }
+
+  /// Maintains the partition view across one successful
+  /// Graph::InsertEdge/DeleteEdge of `src --a--> dst`, called *after* the
+  /// graph mutated (one call per successful update, in order). Only the
+  /// owning shard(s) of the endpoints are touched, and within them only the
+  /// affected (node, label) cells.
+  void ApplyEdgeUpdate(const Graph& graph, Symbol a, NodeId src, NodeId dst,
+                       bool inserted);
 
   /// The shard owning global node `v`.
   uint32_t ShardOf(NodeId v) const;
@@ -134,6 +204,7 @@ class ShardedGraph {
   uint32_t num_nodes_ = 0;
   size_t num_graph_edges_ = 0;
   size_t num_boundary_edges_ = 0;
+  uint64_t graph_version_ = 0;
   std::vector<NodeId> boundaries_;
   std::vector<GraphShard> shards_;
 };

@@ -272,7 +272,8 @@ void BuildCondensePlan(const Graph& graph, const BinaryTables& tables,
 
   const CondensedGraph* cond = validated.condensed_cache;
   if (cond != nullptr && cond->num_nodes() == graph.num_nodes() &&
-      cond->num_graph_edges() == graph.num_edges()) {
+      cond->num_graph_edges() == graph.num_edges() &&
+      cond->graph_version() == graph.version()) {
     for (Symbol a : needed) {
       if (!cond->HasLabel(a)) {
         cond = nullptr;
@@ -975,6 +976,7 @@ const ShardedGraph& ResolveShardedGraph(const Graph& graph,
   const ShardedGraph* cache = validated.sharded_cache;
   if (cache != nullptr && cache->num_nodes() == graph.num_nodes() &&
       cache->num_graph_edges() == graph.num_edges() &&
+      cache->graph_version() == graph.version() &&
       cache->num_shards() == num_shards) {
     return *cache;
   }

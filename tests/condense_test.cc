@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "automata/dfa.h"
@@ -13,6 +15,7 @@
 #include "query/eval_reference.h"
 #include "query/path_query.h"
 #include "util/bit_vector.h"
+#include "util/random.h"
 
 namespace rpqlearn {
 namespace {
@@ -422,6 +425,225 @@ TEST(EvalCondenseTest, CachesAreConsultedAndMismatchesIgnored) {
   auto fresh = EvalBinary(graph, query, mismatched);
   ASSERT_TRUE(fresh.ok());
   EXPECT_EQ(*fresh, expected);
+}
+
+// --- incremental maintenance under edge updates -----------------------
+
+/// Checks the maintained condensation against a rebuild-from-scratch: the
+/// component *partition* must match up to a bijection of component ids (a
+/// kDagRebuilt repair freezes the old id assignment, which is one of many
+/// valid reverse-topological orders), members/DAG/summary must agree
+/// through that bijection, the reverse-topological id invariant must hold
+/// on the maintained ids, and the version stamp must track the graph.
+void CheckEquivalentToFresh(const Graph& graph, const CondensedGraph& cond) {
+  ASSERT_EQ(cond.num_nodes(), graph.num_nodes());
+  ASSERT_EQ(cond.num_graph_edges(), graph.num_edges());
+  ASSERT_EQ(cond.graph_version(), graph.version());
+  const CondensedGraph fresh = CondensedGraph::Build(graph);
+  for (Symbol a = 0; a < graph.num_symbols(); ++a) {
+    if (!cond.HasLabel(a)) continue;
+    const LabelCondensation& maintained = cond.Label(a);
+    const LabelCondensation& rebuilt = fresh.Label(a);
+    ASSERT_EQ(maintained.num_components(), rebuilt.num_components())
+        << "label " << a;
+    const uint32_t num_comps = maintained.num_components();
+
+    // Bijection maintained id -> fresh id, consistent on every node.
+    constexpr uint32_t kUnmapped = 0xffffffffu;
+    std::vector<uint32_t> to_fresh(num_comps, kUnmapped);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      uint32_t& mapped = to_fresh[maintained.ComponentOf(v)];
+      if (mapped == kUnmapped) mapped = rebuilt.ComponentOf(v);
+      ASSERT_EQ(mapped, rebuilt.ComponentOf(v))
+          << "label " << a << " node " << v;
+    }
+
+    std::set<std::pair<uint32_t, uint32_t>> maintained_dag, rebuilt_dag;
+    for (uint32_t c = 0; c < num_comps; ++c) {
+      // Members agree through the bijection (both runs are ascending).
+      const auto members = maintained.Members(c);
+      const auto fresh_members = rebuilt.Members(to_fresh[c]);
+      ASSERT_EQ(std::vector<NodeId>(members.begin(), members.end()),
+                std::vector<NodeId>(fresh_members.begin(),
+                                    fresh_members.end()))
+          << "label " << a << " component " << c;
+      for (uint32_t d : maintained.DagOut(c)) {
+        // Reverse-topological invariant on the maintained ids.
+        ASSERT_LT(d, c) << "label " << a;
+        maintained_dag.emplace(to_fresh[c], to_fresh[d]);
+      }
+      for (uint32_t d : rebuilt.DagOut(c)) rebuilt_dag.emplace(c, d);
+      // DagIn is the exact transpose of DagOut.
+      for (uint32_t d : maintained.DagIn(c)) {
+        const auto outs = maintained.DagOut(d);
+        ASSERT_TRUE(std::binary_search(outs.begin(), outs.end(), c))
+            << "label " << a;
+      }
+    }
+    ASSERT_EQ(maintained_dag, rebuilt_dag) << "label " << a;
+    ASSERT_EQ(maintained.num_dag_edges(), rebuilt.num_dag_edges());
+
+    const CondensationSummary& ms = maintained.summary();
+    const CondensationSummary& rs = rebuilt.summary();
+    EXPECT_EQ(ms.num_components, rs.num_components);
+    EXPECT_EQ(ms.largest_component, rs.largest_component);
+    EXPECT_EQ(ms.nontrivial_components, rs.nontrivial_components);
+    EXPECT_EQ(ms.collapsed_nodes, rs.collapsed_nodes);
+  }
+}
+
+TEST(DynamicCondenseTest, IncrementalRepairMatchesFreshBuildOnRandomTraces) {
+  Rng rng(0x5cc0);
+  for (int round = 0; round < 6; ++round) {
+    Graph graph = RandomGraph(/*seed=*/400 + round, /*num_nodes=*/30,
+                              /*num_edges=*/80, /*num_labels=*/3);
+    CondensedGraph cond = CondensedGraph::Build(graph);
+    for (int step = 0; step < 120; ++step) {
+      const NodeId src = static_cast<NodeId>(rng.NextBelow(graph.num_nodes()));
+      const NodeId dst = static_cast<NodeId>(rng.NextBelow(graph.num_nodes()));
+      const Symbol a = static_cast<Symbol>(rng.NextBelow(graph.num_symbols()));
+      const bool insert = rng.NextBernoulli(0.5);
+      const bool mutated = insert ? graph.InsertEdge(src, a, dst)
+                                  : graph.DeleteEdge(src, a, dst);
+      if (!mutated) continue;
+      cond.ApplyEdgeUpdate(graph, a, src, dst, insert);
+      if (step % 15 == 0) CheckEquivalentToFresh(graph, cond);
+    }
+    CheckEquivalentToFresh(graph, cond);
+  }
+}
+
+TEST(DynamicCondenseTest, RepairPathsClassifyHandcraftedUpdates) {
+  GraphBuilder builder;
+  const Symbol a = builder.InternLabel("a");
+  const Symbol b = builder.InternLabel("b");
+  builder.AddNodes(5);
+  builder.AddEdge(0, a, 1);
+  builder.AddEdge(1, a, 2);
+  Graph graph = builder.Build();
+  const std::vector<Symbol> only_a{a};
+  CondensedGraph cond = CondensedGraph::Build(graph, only_a);
+
+  auto apply = [&](Symbol label, NodeId src, NodeId dst, bool insert) {
+    const bool mutated = insert ? graph.InsertEdge(src, label, dst)
+                                : graph.DeleteEdge(src, label, dst);
+    EXPECT_TRUE(mutated);
+    return cond.ApplyEdgeUpdate(graph, label, src, dst, insert);
+  };
+
+  // Label b was never condensed: bookkeeping only.
+  EXPECT_EQ(apply(b, 3, 4, true), CondenseRepair::kUntouchedLabel);
+  EXPECT_EQ(cond.graph_version(), graph.version());
+
+  // Forward chord along the chain 0 -> 1 -> 2: ids are reverse topological
+  // (sinks complete first), so c(0) > c(2) and the edge cannot close a
+  // cycle — components frozen, DAG rebuilt.
+  EXPECT_EQ(apply(a, 0, 2, true), CondenseRepair::kDagRebuilt);
+  CheckEquivalentToFresh(graph, cond);
+
+  // Back edge 2 -> 0 merges the whole chain into one SCC: re-Tarjan.
+  EXPECT_EQ(apply(a, 2, 0, true), CondenseRepair::kLabelRetarjaned);
+  EXPECT_EQ(cond.Label(a).num_components(), 3u);  // {0,1,2}, {3}, {4}
+  CheckEquivalentToFresh(graph, cond);
+
+  // Intra-component insert: absorbed, nothing structural.
+  EXPECT_EQ(apply(a, 1, 0, true), CondenseRepair::kNoStructuralChange);
+  CheckEquivalentToFresh(graph, cond);
+
+  // Self-loops live inside their component in both directions.
+  EXPECT_EQ(apply(a, 3, 3, true), CondenseRepair::kNoStructuralChange);
+  EXPECT_EQ(apply(a, 3, 3, false), CondenseRepair::kNoStructuralChange);
+
+  // Cross-component insert and delete both stay on the frozen map.
+  EXPECT_EQ(apply(a, 3, 0, true), CondenseRepair::kDagRebuilt);
+  CheckEquivalentToFresh(graph, cond);
+  EXPECT_EQ(apply(a, 3, 0, false), CondenseRepair::kDagRebuilt);
+  CheckEquivalentToFresh(graph, cond);
+
+  // Intra-component delete may split the SCC: conservative re-Tarjan (here
+  // the component survives via the chord, which the rebuild confirms).
+  EXPECT_EQ(apply(a, 1, 2, false), CondenseRepair::kLabelRetarjaned);
+  EXPECT_EQ(cond.Label(a).num_components(), 3u);
+  CheckEquivalentToFresh(graph, cond);
+}
+
+TEST(DynamicCondenseTest, UpdatesTouchingOneLabelLeaveOtherLabelsFrozen) {
+  Graph graph = RandomGraph(/*seed=*/21, /*num_nodes=*/25, /*num_edges=*/70,
+                            /*num_labels=*/3);
+  CondensedGraph cond = CondensedGraph::Build(graph);
+  const Symbol touched = 0;
+  const Symbol frozen = 1;
+
+  // Identity and storage of the untouched label's snapshot must survive
+  // arbitrary repairs of the touched label (per-label invalidation keying:
+  // an update carrying label `a` may not disturb label `b`).
+  const LabelCondensation* frozen_before = &cond.Label(frozen);
+  const NodeId* members_before = cond.Label(frozen).Members(0).data();
+  const uint64_t frozen_label_version = graph.label_version(frozen);
+
+  Rng rng(0xf02e);
+  int applied = 0;
+  while (applied < 40) {
+    const NodeId src = static_cast<NodeId>(rng.NextBelow(graph.num_nodes()));
+    const NodeId dst = static_cast<NodeId>(rng.NextBelow(graph.num_nodes()));
+    const bool insert = rng.NextBernoulli(0.5);
+    const bool mutated = insert ? graph.InsertEdge(src, touched, dst)
+                                : graph.DeleteEdge(src, touched, dst);
+    if (!mutated) continue;
+    cond.ApplyEdgeUpdate(graph, touched, src, dst, insert);
+    ++applied;
+  }
+
+  EXPECT_EQ(&cond.Label(frozen), frozen_before);
+  EXPECT_EQ(cond.Label(frozen).Members(0).data(), members_before);
+  EXPECT_EQ(graph.label_version(frozen), frozen_label_version);
+  EXPECT_GT(graph.label_version(touched), 0u);
+  CheckEquivalentToFresh(graph, cond);
+}
+
+TEST(EvalCondenseTest, MutatedGraphRejectsStaleCachesEvenAtSameEdgeCount) {
+  Graph graph = RingOfCliques();
+  const Dfa query = StarQuery(graph, "(l0+l1)*.l2");
+  const Symbol l0 = 0;
+
+  // Caches built pre-mutation, then a delete+insert pair that returns the
+  // edge count (and node count) to the cached values — only the version
+  // betrays them.
+  CondensedGraph condensed = CondensedGraph::Build(graph);
+  ShardedGraph sharded = ShardedGraph::Partition(graph, 3);
+  const size_t edges_before = graph.num_edges();
+  ASSERT_TRUE(graph.DeleteEdge(0, l0, 1));
+  ASSERT_TRUE(graph.InsertEdge(0, l0, 7));
+  ASSERT_EQ(graph.num_edges(), edges_before);
+  ASSERT_NE(condensed.graph_version(), graph.version());
+
+  const auto expected = ReferenceBinary(graph, query);
+  EvalOptions options;
+  options.threads = 1;
+  options.shards = 3;
+  options.condense = CondenseMode::kOn;
+  options.condensed_cache = &condensed;
+  options.sharded_cache = &sharded;
+  auto stale = EvalBinary(graph, query, options);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(*stale, expected);  // stale caches rejected, not trusted
+
+  // The same caches maintained through ApplyEdgeUpdate match the live
+  // version and engage.
+  condensed.ApplyEdgeUpdate(graph, l0, 0, 1, /*inserted=*/false);
+  // (graph mutated twice before the first repair call; re-sync via the
+  // second update, which carries the final version.)
+  condensed.ApplyEdgeUpdate(graph, l0, 0, 7, /*inserted=*/true);
+  sharded.ApplyEdgeUpdate(graph, l0, 0, 1, /*inserted=*/false);
+  sharded.ApplyEdgeUpdate(graph, l0, 0, 7, /*inserted=*/true);
+  ASSERT_EQ(condensed.graph_version(), graph.version());
+  ASSERT_EQ(sharded.graph_version(), graph.version());
+  EvalStats stats;
+  options.stats = &stats;
+  auto maintained = EvalBinary(graph, query, options);
+  ASSERT_TRUE(maintained.ok());
+  EXPECT_EQ(*maintained, expected);
+  EXPECT_GT(stats.condensed_expansions.load(), 0u);
 }
 
 TEST(EvalCondenseTest, EffectiveShardCountClampsLikeTheEngine) {

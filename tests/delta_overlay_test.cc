@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace rpqlearn {
+namespace {
+
+// Property suite for the delta-edge overlay primitive itself: every
+// accessor diffed against a sorted-set edge model under random
+// insert/delete sequences, overlay-then-Compact() vs direct construction,
+// idempotence, delete-of-delta vs delete-of-base, and the version /
+// delta-state lifecycle the cache layers key on.
+
+using EdgeKey = std::tuple<NodeId, Symbol, NodeId>;
+
+Graph RandomGraph(uint64_t seed, uint32_t num_nodes, size_t num_edges,
+                  uint32_t num_labels) {
+  ErdosRenyiOptions options;
+  options.num_nodes = num_nodes;
+  options.num_edges = num_edges;
+  options.num_labels = num_labels;
+  options.seed = seed;
+  return GenerateErdosRenyi(options);
+}
+
+std::set<EdgeKey> ModelOf(const Graph& graph) {
+  std::set<EdgeKey> model;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const LabeledEdge& e : graph.OutEdges(v)) {
+      model.emplace(v, e.label, e.node);
+    }
+  }
+  return model;
+}
+
+/// Diffs every accessor of `graph` against the edge-set model: per-cell
+/// neighbor spans both directions, interleaved edge lists both directions,
+/// HasEdge, OutDegree, and the live edge count.
+void CheckAgainstModel(const Graph& graph, const std::set<EdgeKey>& model) {
+  ASSERT_EQ(graph.num_edges(), model.size());
+  std::vector<std::vector<NodeId>> out_cells(
+      static_cast<size_t>(graph.num_nodes()) * graph.num_symbols());
+  std::vector<std::vector<NodeId>> in_cells(out_cells.size());
+  std::vector<std::vector<LabeledEdge>> out_lists(graph.num_nodes());
+  std::vector<std::vector<LabeledEdge>> in_lists(graph.num_nodes());
+  for (const auto& [src, a, dst] : model) {
+    // std::set iterates (src, a, dst) ascending, so every per-cell and
+    // per-node expectation below is built already sorted.
+    out_cells[static_cast<size_t>(src) * graph.num_symbols() + a].push_back(
+        dst);
+    in_cells[static_cast<size_t>(dst) * graph.num_symbols() + a].push_back(
+        src);
+    out_lists[src].push_back({a, dst});
+    in_lists[dst].push_back({a, src});
+  }
+  for (auto& list : in_lists) std::sort(list.begin(), list.end());
+  for (auto& cell : in_cells) std::sort(cell.begin(), cell.end());
+
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (Symbol a = 0; a < graph.num_symbols(); ++a) {
+      const size_t cell = static_cast<size_t>(v) * graph.num_symbols() + a;
+      const auto out_span = graph.OutNeighbors(v, a);
+      ASSERT_EQ(std::vector<NodeId>(out_span.begin(), out_span.end()),
+                out_cells[cell])
+          << "out cell v=" << v << " a=" << a;
+      const auto in_span = graph.InNeighbors(v, a);
+      ASSERT_EQ(std::vector<NodeId>(in_span.begin(), in_span.end()),
+                in_cells[cell])
+          << "in cell v=" << v << " a=" << a;
+      for (NodeId u : out_span) {
+        ASSERT_TRUE(graph.HasEdge(v, a, u));
+      }
+    }
+    const auto out_list = graph.OutEdges(v);
+    ASSERT_EQ(std::vector<LabeledEdge>(out_list.begin(), out_list.end()),
+              out_lists[v])
+        << "out edges of v=" << v;
+    const auto in_list = graph.InEdges(v);
+    ASSERT_EQ(std::vector<LabeledEdge>(in_list.begin(), in_list.end()),
+              in_lists[v])
+        << "in edges of v=" << v;
+    ASSERT_EQ(graph.OutDegree(v), out_lists[v].size());
+  }
+}
+
+/// Full structural equality through the public accessors (same nodes,
+/// alphabet, and adjacency in both directions).
+void CheckGraphsEqual(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_symbols(), b.num_symbols());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (Symbol s = 0; s < a.num_symbols(); ++s) {
+    ASSERT_EQ(a.alphabet().Name(s), b.alphabet().Name(s));
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.NodeName(v), b.NodeName(v));
+    const auto oa = a.OutEdges(v);
+    const auto ob = b.OutEdges(v);
+    ASSERT_EQ(std::vector<LabeledEdge>(oa.begin(), oa.end()),
+              std::vector<LabeledEdge>(ob.begin(), ob.end()))
+        << "out edges of v=" << v;
+    const auto ia = a.InEdges(v);
+    const auto ib = b.InEdges(v);
+    ASSERT_EQ(std::vector<LabeledEdge>(ia.begin(), ia.end()),
+              std::vector<LabeledEdge>(ib.begin(), ib.end()))
+        << "in edges of v=" << v;
+  }
+}
+
+EdgeKey DrawEdge(Rng* rng, const Graph& graph) {
+  return {static_cast<NodeId>(rng->NextBelow(graph.num_nodes())),
+          static_cast<Symbol>(rng->NextBelow(graph.num_symbols())),
+          static_cast<NodeId>(rng->NextBelow(graph.num_nodes()))};
+}
+
+TEST(DeltaOverlayTest, RandomUpdateSequencesMatchSetModel) {
+  Rng rng(0xde17a);
+  for (int round = 0; round < 8; ++round) {
+    Graph graph = RandomGraph(/*seed=*/100 + round, /*num_nodes=*/40,
+                              /*num_edges=*/120, /*num_labels=*/3);
+    std::set<EdgeKey> model = ModelOf(graph);
+    for (int step = 0; step < 300; ++step) {
+      const auto [src, a, dst] = DrawEdge(&rng, graph);
+      if (rng.NextBernoulli(0.55)) {
+        const bool mutated = graph.InsertEdge(src, a, dst);
+        ASSERT_EQ(mutated, model.emplace(src, a, dst).second);
+      } else {
+        const bool mutated = graph.DeleteEdge(src, a, dst);
+        ASSERT_EQ(mutated, model.erase({src, a, dst}) > 0);
+      }
+      if (step % 37 == 0) CheckAgainstModel(graph, model);
+    }
+    CheckAgainstModel(graph, model);
+    graph.Compact();
+    ASSERT_FALSE(graph.has_deltas());
+    ASSERT_EQ(graph.num_pending_deltas(), 0u);
+    CheckAgainstModel(graph, model);
+  }
+}
+
+TEST(DeltaOverlayTest, OverlayThenCompactEqualsDirectConstruction) {
+  Rng rng(0xc0ffee);
+  Graph overlay = RandomGraph(/*seed=*/7, /*num_nodes=*/30, /*num_edges=*/90,
+                              /*num_labels=*/4);
+  for (int step = 0; step < 200; ++step) {
+    const auto [src, a, dst] = DrawEdge(&rng, overlay);
+    if (rng.NextBernoulli(0.5)) {
+      overlay.InsertEdge(src, a, dst);
+    } else {
+      overlay.DeleteEdge(src, a, dst);
+    }
+  }
+
+  // Direct construction of the same live edge set, same label/node order.
+  GraphBuilder builder;
+  for (Symbol a = 0; a < overlay.num_symbols(); ++a) {
+    builder.InternLabel(overlay.alphabet().Name(a));
+  }
+  for (NodeId v = 0; v < overlay.num_nodes(); ++v) {
+    builder.AddNode(overlay.NodeName(v));
+  }
+  for (NodeId v = 0; v < overlay.num_nodes(); ++v) {
+    for (const LabeledEdge& e : overlay.OutEdges(v)) {
+      builder.AddEdge(v, e.label, e.node);
+    }
+  }
+  const Graph direct = builder.Build();
+
+  CheckGraphsEqual(overlay, direct);  // overlay reads == direct reads
+  overlay.Compact();
+  CheckGraphsEqual(overlay, direct);  // compacted CSR == direct CSR
+}
+
+TEST(DeltaOverlayTest, InsertAndDeleteAreIdempotent) {
+  GraphBuilder builder;
+  const Symbol a = builder.InternLabel("a");
+  const NodeId n0 = builder.AddNode();
+  const NodeId n1 = builder.AddNode();
+  const NodeId n2 = builder.AddNode();
+  builder.AddEdge(n0, a, n1);
+  Graph graph = builder.Build();
+
+  // Re-inserting a base edge is a no-op: no version bump, no delta state.
+  const uint64_t v0 = graph.version();
+  EXPECT_FALSE(graph.InsertEdge(n0, a, n1));
+  EXPECT_EQ(graph.version(), v0);
+  EXPECT_FALSE(graph.has_deltas());
+
+  // Deleting an absent edge is equally a no-op.
+  EXPECT_FALSE(graph.DeleteEdge(n1, a, n2));
+  EXPECT_EQ(graph.version(), v0);
+  EXPECT_FALSE(graph.has_deltas());
+
+  // Double-insert of a fresh delta edge: second call is a no-op.
+  EXPECT_TRUE(graph.InsertEdge(n1, a, n2));
+  const uint64_t v1 = graph.version();
+  EXPECT_GT(v1, v0);
+  EXPECT_FALSE(graph.InsertEdge(n1, a, n2));
+  EXPECT_EQ(graph.version(), v1);
+
+  // Double-delete: second call is a no-op.
+  EXPECT_TRUE(graph.DeleteEdge(n1, a, n2));
+  EXPECT_FALSE(graph.DeleteEdge(n1, a, n2));
+}
+
+TEST(DeltaOverlayTest, DeleteOfDeltaEdgeVersusDeleteOfBaseEdge) {
+  GraphBuilder builder;
+  const Symbol a = builder.InternLabel("a");
+  const NodeId n0 = builder.AddNode();
+  const NodeId n1 = builder.AddNode();
+  const NodeId n2 = builder.AddNode();
+  builder.AddEdge(n0, a, n1);  // base edge
+  Graph graph = builder.Build();
+
+  // Deleting a pending delta edge cancels its insert: the live set returns
+  // to the base set exactly and all delta state is dropped.
+  ASSERT_TRUE(graph.InsertEdge(n1, a, n2));
+  ASSERT_TRUE(graph.has_deltas());
+  ASSERT_TRUE(graph.DeleteEdge(n1, a, n2));
+  EXPECT_FALSE(graph.has_deltas());
+  EXPECT_EQ(graph.num_pending_deltas(), 0u);
+  EXPECT_EQ(graph.num_edges(), 1u);
+  EXPECT_TRUE(graph.HasEdge(n0, a, n1));
+
+  // Deleting a base edge records a delete buffer entry; re-inserting it
+  // cancels the delete and again drops all delta state.
+  ASSERT_TRUE(graph.DeleteEdge(n0, a, n1));
+  EXPECT_TRUE(graph.has_deltas());
+  EXPECT_EQ(graph.num_pending_deltas(), 1u);
+  EXPECT_FALSE(graph.HasEdge(n0, a, n1));
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_TRUE(graph.OutNeighbors(n0, a).empty());
+  EXPECT_TRUE(graph.InNeighbors(n1, a).empty());
+  ASSERT_TRUE(graph.InsertEdge(n0, a, n1));
+  EXPECT_FALSE(graph.has_deltas());
+  EXPECT_TRUE(graph.HasEdge(n0, a, n1));
+}
+
+TEST(DeltaOverlayTest, VersionAndLabelVersionSemantics) {
+  Graph graph = RandomGraph(/*seed=*/11, /*num_nodes=*/20, /*num_edges=*/0,
+                            /*num_labels=*/3);
+  ASSERT_EQ(graph.version(), 0u);
+  for (Symbol a = 0; a < graph.num_symbols(); ++a) {
+    ASSERT_EQ(graph.label_version(a), 0u);
+  }
+
+  // Each successful update bumps the global counter and only the touched
+  // label's counter.
+  ASSERT_TRUE(graph.InsertEdge(0, /*label=*/1, 2));
+  EXPECT_EQ(graph.version(), 1u);
+  EXPECT_EQ(graph.label_version(0), 0u);
+  EXPECT_EQ(graph.label_version(1), 1u);
+  EXPECT_EQ(graph.label_version(2), 0u);
+  ASSERT_TRUE(graph.DeleteEdge(0, /*label=*/1, 2));
+  EXPECT_EQ(graph.version(), 2u);
+  EXPECT_EQ(graph.label_version(1), 2u);
+
+  // An insert+delete pair returns the edge *count* to its old value but
+  // never the version — exactly the stale-cache hazard the version solves.
+  EXPECT_EQ(graph.num_edges(), 0u);
+  EXPECT_NE(graph.version(), 0u);
+
+  // Compact is semantically a no-op, so versions survive it.
+  ASSERT_TRUE(graph.InsertEdge(3, /*label=*/0, 4));
+  const uint64_t v_before = graph.version();
+  const uint64_t l0_before = graph.label_version(0);
+  graph.Compact();
+  EXPECT_EQ(graph.version(), v_before);
+  EXPECT_EQ(graph.label_version(0), l0_before);
+  EXPECT_TRUE(graph.HasEdge(3, 0, 4));
+}
+
+}  // namespace
+}  // namespace rpqlearn

@@ -3,13 +3,16 @@
 #include <array>
 #include <cstdlib>
 #include <functional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "automata/dfa.h"
 #include "automata/random_automata.h"
+#include "graph/dynamic.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "query/eval.h"
@@ -36,6 +39,14 @@ namespace {
 // removal while the mismatch persists) and printed as a self-contained
 // reproduction block.
 //
+// Three sibling campaigns share the same corpus machinery: a
+// fault-injection campaign (RPQ_FUZZ_FAULTS) that verifies typed unwinding
+// and clean retry under injected faults, and an update-interleaving
+// campaign (RPQ_FUZZ_UPDATES, on by default) that replays random
+// insert/delete/compact/evaluate traces through the delta-edge overlay and
+// its maintained ShardedGraph/CondensedGraph snapshots, diffing every
+// evaluation bit-for-bit against a rebuild-from-scratch oracle.
+//
 // The default run fuzzes 200 cases; set RPQ_FUZZ_ITERS for longer campaigns
 // (the nightly CI job runs 10×).
 
@@ -44,6 +55,21 @@ uint32_t FuzzIterations() {
   if (env == nullptr) return 200;
   const long parsed = std::strtol(env, nullptr, 10);
   return parsed >= 1 ? static_cast<uint32_t>(parsed) : 200;
+}
+
+/// Whether the update-interleaving campaign runs: RPQ_FUZZ_UPDATES ∈
+/// {on, off}, default on (the nightly matrix sweeps both). Any other value
+/// is a typo and fails the campaign loudly rather than silently fuzzing
+/// nothing.
+enum class FuzzUpdates { kOff, kOn, kInvalid };
+
+FuzzUpdates FuzzUpdatesMode() {
+  const char* env = std::getenv("RPQ_FUZZ_UPDATES");
+  if (env == nullptr) return FuzzUpdates::kOn;
+  const std::string value(env);
+  if (value == "on" || value == "1") return FuzzUpdates::kOn;
+  if (value == "off" || value == "0") return FuzzUpdates::kOff;
+  return FuzzUpdates::kInvalid;
 }
 
 /// Whether the fault-injection campaign runs: RPQ_FUZZ_FAULTS ∈ {on, off},
@@ -752,6 +778,489 @@ TEST(EvalFuzzTest, FaultInjectionCampaign) {
   // (almost) nothing fired is fuzzing nothing and must fail loudly.
   EXPECT_GT(fired_cases, iterations / 4)
       << "too few injected faults actually fired";
+}
+
+// ---------------------------------------- update-interleaving fuzzing
+
+// Differential fuzzing of the delta-edge overlay and its incremental
+// structure maintenance: random traces of insert/delete/compact/evaluate
+// steps replayed against a DynamicGraph (overlay reads, maintained
+// ShardedGraph/CondensedGraph snapshots, cache-on and cache-off evaluate
+// steps alternating), with every evaluation diffed bit-for-bit against a
+// rebuild-from-scratch oracle — a fresh CSR built from an independently
+// maintained edge-set model, evaluated by the seed reference. A mismatch is
+// shrunk over *both* axes (drop trace steps, then shrink the initial graph,
+// then drop steps again) and printed as a repro block that serializes the
+// full mutation trace, so a failing case replays standalone.
+
+/// One step of an update-interleaving trace. Endpoints and labels are
+/// stored raw and clamped (mod the live node/label counts) at replay, so a
+/// shrunk graph keeps every step meaningful — the same trick ClampSources
+/// plays for the from-sources templates.
+struct TraceStep {
+  enum Kind : uint8_t { kInsert, kDelete, kCompact, kEvaluate };
+  Kind kind = kInsert;
+  uint32_t src = 0;
+  uint32_t label = 0;
+  uint32_t dst = 0;
+};
+
+struct UpdateTrace {
+  EdgeList initial;
+  std::vector<TraceStep> steps;
+};
+
+std::vector<TraceStep> DrawTraceSteps(Rng* rng) {
+  std::vector<TraceStep> steps;
+  const size_t num_steps = 4 + rng->NextBelow(28);
+  for (size_t i = 0; i < num_steps; ++i) {
+    TraceStep step;
+    const uint64_t kind = rng->NextBelow(100);
+    if (kind < 40) {
+      step.kind = TraceStep::kInsert;
+    } else if (kind < 65) {
+      step.kind = TraceStep::kDelete;
+    } else if (kind < 70) {
+      step.kind = TraceStep::kCompact;
+    } else {
+      step.kind = TraceStep::kEvaluate;
+    }
+    step.src = static_cast<uint32_t>(rng->Next() & 0xffffffffu);
+    step.label = static_cast<uint32_t>(rng->Next() & 0xffffffffu);
+    step.dst = static_cast<uint32_t>(rng->Next() & 0xffffffffu);
+    steps.push_back(step);
+  }
+  // Every trace ends in an evaluation so trailing mutations are observed.
+  steps.push_back(TraceStep{TraceStep::kEvaluate, 0, 0, 0});
+  return steps;
+}
+
+/// The update campaign's engine rows: monolithic and sharded (per-case
+/// shard count, or the RPQ_EVAL_SHARDS pin) × threads {1, 8}, hybrid mode
+/// with a threshold low enough to cross into dense rounds; condensation
+/// comes from the per-case draw (or the RPQ_EVAL_CONDENSE pin), giving the
+/// condense {auto,off} × shards {1,4} × threads {1,8} cube across the
+/// nightly matrix legs.
+struct UpdateRow {
+  const char* name;
+  uint32_t shards;  // kCaseShards = the per-case draw
+  uint32_t threads;
+};
+
+const UpdateRow kUpdateRows[] = {
+    {"mono/threads=1", 1, 1},
+    {"mono/threads=8", 1, 8},
+    {"sharded/threads=1", kCaseShards, 1},
+    {"sharded/threads=8", kCaseShards, 8},
+};
+
+EvalOptions UpdateRowOptions(const UpdateRow& row, uint32_t case_shards,
+                             CondenseMode case_condense) {
+  EvalOptions options;
+  options.threads = row.threads;
+  options.parallel_threshold_pairs = 0;
+  options.dense_threshold = 0.02;  // engage hybrid crossovers
+  options.shards = row.shards == kCaseShards ? case_shards : row.shards;
+  options.condense = case_condense;
+  return options;
+}
+
+/// The seed-reference result of `check`, serialized exactly like
+/// RunCheckSerialized renders the engine result — the oracle side of the
+/// bit-for-bit diff.
+std::string RunReferenceSerialized(const Graph& graph, const Dfa& query,
+                                   CheckKind check, uint32_t bound,
+                                   const std::vector<NodeId>& sources) {
+  std::string rendered;
+  switch (check) {
+    case CheckKind::kMonadic:
+      for (uint32_t v : EvalMonadicReference(graph, query).ToIndices()) {
+        rendered += std::to_string(v) + ";";
+      }
+      return rendered;
+    case CheckKind::kMonadicBounded:
+      for (uint32_t v :
+           EvalMonadicBoundedReference(graph, query, bound).ToIndices()) {
+        rendered += std::to_string(v) + ";";
+      }
+      return rendered;
+    case CheckKind::kBinaryAllPairs:
+      for (const auto& [src, dst] : EvalBinaryReference(graph, query)) {
+        rendered += std::to_string(src) + ">" + std::to_string(dst) + ";";
+      }
+      return rendered;
+    case CheckKind::kBinaryFromSources:
+      for (const auto& [src, dst] :
+           FromSourcesReference(graph, query, sources)) {
+        rendered += std::to_string(src) + ">" + std::to_string(dst) + ";";
+      }
+      return rendered;
+  }
+  return rendered;
+}
+
+/// Sentinel: no sabotage — the honest replay of the campaign.
+constexpr size_t kNoSabotage = static_cast<size_t>(-1);
+
+/// Replays `trace` and serializes every evaluation's engine result (plus
+/// edge-count/version breadcrumbs), returning the mismatch count against
+/// the rebuild-from-scratch oracle. The engine side is a DynamicGraph with
+/// maintained sharding + condensation whose caches are handed to every
+/// *even*-indexed evaluation (odd ones run cache-free); the oracle side is
+/// an independent edge-set model rebuilt into a fresh CSR per evaluation
+/// and evaluated by the seed reference.
+///
+/// `sabotage_last_insert` simulates an overlay bug for the
+/// harness-sensitivity test: the trace's last insert step is applied to the
+/// oracle model but *withheld* from the DynamicGraph, as if the overlay had
+/// dropped the update.
+uint32_t ReplayTrace(const UpdateTrace& trace, const Dfa& query,
+                     const UpdateRow& row, CheckKind check,
+                     uint32_t case_shards, CondenseMode case_condense,
+                     uint32_t bound, const std::vector<NodeId>& sources,
+                     bool sabotage_last_insert, std::string* fingerprint) {
+  const uint32_t n = trace.initial.num_nodes;
+  const uint32_t num_labels = trace.initial.num_labels;
+  if (n == 0) return 0;
+
+  size_t sabotaged_step = kNoSabotage;
+  if (sabotage_last_insert) {
+    for (size_t i = trace.steps.size(); i-- > 0;) {
+      if (trace.steps[i].kind == TraceStep::kInsert) {
+        sabotaged_step = i;
+        break;
+      }
+    }
+  }
+
+  DynamicGraph dynamic(trace.initial.BuildGraph());
+  dynamic.MaintainSharding(case_shards);
+  dynamic.MaintainCondensation();
+  std::set<std::array<uint32_t, 3>> model;  // {src, label, dst}
+  for (const auto& e : trace.initial.edges) model.insert(e);
+
+  const EvalOptions base_options =
+      UpdateRowOptions(row, case_shards, case_condense);
+  uint32_t mismatch_count = 0;
+  size_t eval_index = 0;
+  for (size_t i = 0; i < trace.steps.size(); ++i) {
+    const TraceStep& step = trace.steps[i];
+    const NodeId src = step.src % n;
+    const NodeId dst = step.dst % n;
+    const Symbol label = static_cast<Symbol>(step.label % num_labels);
+    switch (step.kind) {
+      case TraceStep::kInsert:
+        model.insert({src, label, dst});
+        if (i != sabotaged_step) dynamic.InsertEdge(src, label, dst);
+        break;
+      case TraceStep::kDelete:
+        model.erase({src, label, dst});
+        if (i != sabotaged_step) dynamic.DeleteEdge(src, label, dst);
+        break;
+      case TraceStep::kCompact:
+        dynamic.Compact();
+        break;
+      case TraceStep::kEvaluate: {
+        // Rebuild-from-scratch oracle: fresh CSR from the model.
+        EdgeList rebuilt;
+        rebuilt.num_nodes = n;
+        rebuilt.num_labels = num_labels;
+        rebuilt.edges.assign(model.begin(), model.end());
+        const Graph oracle_graph = rebuilt.BuildGraph();
+
+        const std::vector<NodeId> clamped = ClampSources(sources, n);
+        EvalOptions options = base_options;
+        if (eval_index % 2 == 0) options = dynamic.WithCaches(options);
+        StatusOr<std::string> actual = RunCheckSerialized(
+            dynamic.graph(), query, check, options, bound, clamped);
+        const std::string expected =
+            RunReferenceSerialized(oracle_graph, query, check, bound, clamped);
+        const bool mismatch = !actual.ok() || *actual != expected;
+        if (mismatch) ++mismatch_count;
+        if (fingerprint != nullptr) {
+          *fingerprint += "eval#" + std::to_string(eval_index) +
+                          (options.sharded_cache != nullptr ? " cached " :
+                                                              " fresh ") +
+                          "edges=" +
+                          std::to_string(dynamic.graph().num_edges()) +
+                          " version=" +
+                          std::to_string(dynamic.graph().version()) + " -> " +
+                          (actual.ok() ? *actual : actual.status().ToString())
+                          + "\n";
+        }
+        ++eval_index;
+        break;
+      }
+    }
+  }
+  return mismatch_count;
+}
+
+/// Greedy two-axis minimization: drop trace steps, shrink the initial
+/// graph (edges then nodes, with the steps clamped mod the shrunk counts),
+/// then drop steps again — keeping every reduction under which the
+/// mismatch persists.
+UpdateTrace ShrinkTrace(UpdateTrace current,
+                        const std::function<bool(const UpdateTrace&)>& fails) {
+  const auto drop_steps = [&](UpdateTrace trace) {
+    bool progress = true;
+    int budget = 400;
+    while (progress && budget > 0) {
+      progress = false;
+      for (size_t i = trace.steps.size(); i-- > 0 && budget > 0;) {
+        UpdateTrace candidate = trace;
+        candidate.steps.erase(candidate.steps.begin() +
+                              static_cast<ptrdiff_t>(i));
+        --budget;
+        if (fails(candidate)) {
+          trace = std::move(candidate);
+          progress = true;
+        }
+      }
+    }
+    return trace;
+  };
+  current = drop_steps(std::move(current));
+  UpdateTrace with_shrunk_graph = current;
+  with_shrunk_graph.initial =
+      ShrinkGraph(current.initial, [&](const EdgeList& candidate) {
+        UpdateTrace probe = current;
+        probe.initial = candidate;
+        return fails(probe);
+      });
+  if (fails(with_shrunk_graph)) current = std::move(with_shrunk_graph);
+  return drop_steps(std::move(current));
+}
+
+const char* StepName(TraceStep::Kind kind) {
+  switch (kind) {
+    case TraceStep::kInsert: return "insert";
+    case TraceStep::kDelete: return "delete";
+    case TraceStep::kCompact: return "compact";
+    case TraceStep::kEvaluate: return "evaluate";
+  }
+  return "?";
+}
+
+/// Serializes the *full mutation trace* — initial graph plus every step
+/// with its clamped operands — so a shrunk failing case replays standalone
+/// without the original RNG stream.
+std::string UpdateReproBlock(uint64_t case_seed, CheckKind check,
+                             const UpdateRow& row, uint32_t case_shards,
+                             CondenseMode case_condense,
+                             const UpdateTrace& trace,
+                             const std::string& query_description,
+                             uint32_t bound,
+                             const std::vector<NodeId>& sources) {
+  std::ostringstream out;
+  out << "\n=== RPQ update-interleaving fuzz mismatch (minimized) ===\n"
+      << "case_seed: " << case_seed << "\n"
+      << "check: " << CheckName(check) << "\n"
+      << "engine: " << row.name << " (shards="
+      << (row.shards == kCaseShards ? case_shards : row.shards)
+      << ", condense=" << CondenseName(case_condense) << ")\n"
+      << "query: " << query_description << "\n"
+      << "initial graph: nodes=" << trace.initial.num_nodes
+      << " labels=" << trace.initial.num_labels
+      << " edges=" << trace.initial.edges.size() << "\n";
+  for (const auto& e : trace.initial.edges) {
+    out << "  " << e[0] << " --l" << e[1] << "--> " << e[2] << "\n";
+  }
+  out << "trace (" << trace.steps.size() << " steps):\n";
+  const uint32_t n = trace.initial.num_nodes;
+  const uint32_t labels = trace.initial.num_labels;
+  for (const TraceStep& step : trace.steps) {
+    out << "  " << StepName(step.kind);
+    if (step.kind == TraceStep::kInsert || step.kind == TraceStep::kDelete) {
+      out << " " << (step.src % n) << " --l" << (step.label % labels)
+          << "--> " << (step.dst % n);
+    }
+    out << "\n";
+  }
+  if (check == CheckKind::kMonadicBounded) out << "bound: " << bound << "\n";
+  if (check == CheckKind::kBinaryFromSources) {
+    out << "sources (mod nodes): [";
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << sources[i];
+    }
+    out << "]\n";
+  }
+  out << "=========================================================";
+  return out.str();
+}
+
+/// The case-defining draws of one update-campaign iteration: the shared
+/// DrawCase prefix (graph, query, shards, condense) followed by the trace
+/// draws, in this exact order — the campaign, the determinism meta-check,
+/// and the injected-bug test all replay it from the case seed.
+struct UpdateCase {
+  FuzzCase base;
+  uint32_t bound;
+  std::vector<NodeId> sources;
+  UpdateTrace trace;
+};
+
+UpdateCase DrawUpdateCase(Rng* rng) {
+  FuzzCase base = DrawCase(rng);
+  const uint32_t bound = static_cast<uint32_t>(rng->NextBelow(8));
+  std::vector<NodeId> sources;
+  const size_t num_sources = 1 + rng->NextBelow(40);
+  for (size_t i = 0; i < num_sources; ++i) {
+    sources.push_back(static_cast<NodeId>(rng->Next() & 0xffffffffu));
+  }
+  UpdateTrace trace;
+  trace.initial = base.edge_list;
+  trace.steps = DrawTraceSteps(rng);
+  return UpdateCase{std::move(base), bound, std::move(sources),
+                    std::move(trace)};
+}
+
+/// The per-evaluation check rotates with the row so every (check, row)
+/// pairing appears across a case's evaluations; monadic contracts exclude
+/// oversized-alphabet cases exactly like the static fuzzer.
+CheckKind UpdateCheckFor(size_t ordinal, bool oversized_alphabet) {
+  constexpr CheckKind kAll[] = {CheckKind::kBinaryAllPairs,
+                                CheckKind::kMonadic,
+                                CheckKind::kBinaryFromSources,
+                                CheckKind::kMonadicBounded};
+  constexpr CheckKind kBinaryOnly[] = {CheckKind::kBinaryAllPairs,
+                                       CheckKind::kBinaryFromSources};
+  return oversized_alphabet ? kBinaryOnly[ordinal % 2] : kAll[ordinal % 4];
+}
+
+TEST(EvalFuzzTest, UpdateInterleavingDifferentialCampaign) {
+  const FuzzUpdates updates_mode = FuzzUpdatesMode();
+  ASSERT_NE(updates_mode, FuzzUpdates::kInvalid)
+      << "invalid RPQ_FUZZ_UPDATES value \"" << std::getenv("RPQ_FUZZ_UPDATES")
+      << "\"; expected \"on\" or \"off\"";
+  if (updates_mode == FuzzUpdates::kOff) {
+    GTEST_SKIP() << "update-interleaving campaign disabled; set "
+                    "RPQ_FUZZ_UPDATES=on to run it";
+  }
+
+  const uint32_t iterations = FuzzIterations();
+  const uint32_t shard_override = FuzzShardOverride();
+  CondenseMode condense_override = CondenseMode::kAuto;
+  const bool condense_pinned = FuzzCondenseOverride(&condense_override);
+  constexpr size_t kNumRows = sizeof(kUpdateRows) / sizeof(kUpdateRows[0]);
+  Rng master(0x5eedda7a);
+  uint32_t mismatching_cases = 0;
+  for (uint32_t iteration = 0; iteration < iterations; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    const UpdateCase update = DrawUpdateCase(&rng);
+    uint32_t case_shards = update.base.case_shards;
+    if (shard_override != 0) case_shards = shard_override;
+    CondenseMode case_condense = update.base.case_condense;
+    if (condense_pinned) case_condense = condense_override;
+
+    bool case_failed = false;
+    for (size_t r = 0; r < kNumRows && !case_failed; ++r) {
+      const UpdateRow& row = kUpdateRows[r];
+      const CheckKind check =
+          UpdateCheckFor(iteration + r, update.base.oversized_alphabet);
+      if (ReplayTrace(update.trace, update.base.query.dfa, row, check,
+                      case_shards, case_condense, update.bound,
+                      update.sources, /*sabotage_last_insert=*/false,
+                      nullptr) == 0) {
+        continue;
+      }
+      ++mismatching_cases;
+      case_failed = true;
+      const UpdateTrace minimized =
+          ShrinkTrace(update.trace, [&](const UpdateTrace& candidate) {
+            return ReplayTrace(candidate, update.base.query.dfa, row, check,
+                               case_shards, case_condense, update.bound,
+                               update.sources,
+                               /*sabotage_last_insert=*/false, nullptr) > 0;
+          });
+      ADD_FAILURE() << UpdateReproBlock(
+          case_seed, check, row, case_shards, case_condense, minimized,
+          update.base.query.description, update.bound, update.sources);
+    }
+    if (mismatching_cases >= 5) {
+      ADD_FAILURE() << "stopping after 5 mismatching cases ("
+                    << iteration + 1 << " of " << iterations
+                    << " iterations fuzzed)";
+      break;
+    }
+  }
+}
+
+TEST(EvalFuzzTest, UpdateTraceReplayIsDeterministic) {
+  // Meta-check on the campaign harness: replaying the same trace twice —
+  // including cache-alternation, maintained-snapshot repairs, and the
+  // oracle rebuilds — must produce byte-identical evaluation fingerprints,
+  // the property that makes every repro block replayable standalone.
+  if (FuzzUpdatesMode() == FuzzUpdates::kOff) {
+    GTEST_SKIP() << "update-interleaving campaign disabled";
+  }
+  Rng master(0x5eedda7a);
+  for (uint32_t iteration = 0; iteration < 15; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    const UpdateCase update = DrawUpdateCase(&rng);
+    const UpdateRow& row = kUpdateRows[iteration % 4];
+    const CheckKind check =
+        UpdateCheckFor(iteration, update.base.oversized_alphabet);
+    std::string first, second;
+    const uint32_t mismatches_first = ReplayTrace(
+        update.trace, update.base.query.dfa, row, check,
+        update.base.case_shards, update.base.case_condense, update.bound,
+        update.sources, /*sabotage_last_insert=*/false, &first);
+    const uint32_t mismatches_second = ReplayTrace(
+        update.trace, update.base.query.dfa, row, check,
+        update.base.case_shards, update.base.case_condense, update.bound,
+        update.sources, /*sabotage_last_insert=*/false, &second);
+    ASSERT_EQ(mismatches_first, 0u) << "case_seed=" << case_seed;
+    ASSERT_EQ(mismatches_second, 0u);
+    ASSERT_EQ(first, second) << "replay diverged, case_seed=" << case_seed;
+    ASSERT_FALSE(first.empty());  // every trace ends in an evaluation
+  }
+}
+
+TEST(EvalFuzzTest, InjectedOverlayBugIsCaughtAndShrunkToAMinimalTrace) {
+  // Harness-sensitivity proof: simulate an overlay that silently drops an
+  // update (the trace's last insert is applied to the oracle model but
+  // withheld from the DynamicGraph) and require the campaign to (a) catch
+  // it within a few corpus cases and (b) shrink it to a minimal trace —
+  // a handful of steps over a near-empty graph, serialized in full in the
+  // repro block.
+  if (FuzzUpdatesMode() == FuzzUpdates::kOff) {
+    GTEST_SKIP() << "update-interleaving campaign disabled";
+  }
+  Rng master(0x5eedda7a);
+  for (uint32_t iteration = 0; iteration < 60; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    const UpdateCase update = DrawUpdateCase(&rng);
+    const UpdateRow& row = kUpdateRows[iteration % 4];
+    const CheckKind check = CheckKind::kBinaryAllPairs;
+    const auto buggy_fails = [&](const UpdateTrace& candidate) {
+      return ReplayTrace(candidate, update.base.query.dfa, row, check,
+                         update.base.case_shards, update.base.case_condense,
+                         update.bound, update.sources,
+                         /*sabotage_last_insert=*/true, nullptr) > 0;
+    };
+    if (!buggy_fails(update.trace)) continue;  // bug invisible in this case
+
+    const UpdateTrace minimized = ShrinkTrace(update.trace, buggy_fails);
+    // The minimal witness is insert-then-evaluate (the shrinker may keep a
+    // step or two more when the mismatch needs graph context).
+    EXPECT_LE(minimized.steps.size(), 4u);
+    EXPECT_LE(minimized.initial.edges.size(), 12u);
+    EXPECT_TRUE(buggy_fails(minimized));
+    const std::string repro = UpdateReproBlock(
+        case_seed, check, row, update.base.case_shards,
+        update.base.case_condense, minimized, update.base.query.description,
+        update.bound, update.sources);
+    EXPECT_NE(repro.find("trace ("), std::string::npos);
+    EXPECT_NE(repro.find("insert"), std::string::npos);
+    return;  // demonstrated: caught + shrunk
+  }
+  FAIL() << "no corpus case exposed the injected overlay bug within 60 "
+            "iterations — the campaign lost its sensitivity";
 }
 
 }  // namespace
