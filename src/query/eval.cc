@@ -1,7 +1,6 @@
 #include "query/eval.h"
 
 #include <algorithm>
-#include <bit>
 #include <numeric>
 #include <optional>
 #include <span>
@@ -9,21 +8,43 @@
 #include <utility>
 
 #include "automata/dfa_csr.h"
-#include "graph/condense.h"
 #include "graph/shard.h"
+#include "query/eval_binary_sweeper.h"
+#include "query/eval_internal.h"
+#include "query/eval_monadic_sweeper.h"
+#include "query/eval_views.h"
 #include "util/exec_context.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace rpqlearn {
-namespace {
 
-/// Symbols shared by query and graph: edges labeled outside the query
-/// alphabet can never advance the product, and query symbols outside the
-/// graph alphabet have no edges.
-Symbol SharedSymbolCount(const Graph& graph, const FrozenDfa& query) {
-  return std::min(query.num_symbols(), graph.num_symbols());
-}
+// The shared building blocks live in eval_internal.h (tables, condensation
+// plans, direction policy, round counters, the dense-pull kernel) and the
+// sweeper headers (the round machinery, instantiated over the adjacency
+// views of eval_views.h). This TU keeps the drivers: worker scheduling,
+// batch slicing, the BSP exchanges, result recovery, and the public entry
+// points.
+using eval_internal::ApplyCondensePlanToTables;
+using eval_internal::BinaryScratchBytes;
+using eval_internal::BinaryShardScratchBytes;
+using eval_internal::BinarySweeper;
+using eval_internal::BinaryTables;
+using eval_internal::BuildBinaryTables;
+using eval_internal::BuildCondensePlan;
+using eval_internal::CondensePlan;
+using eval_internal::DirectionPolicy;
+using eval_internal::GlobalGraphView;
+using eval_internal::kLaneBatch;
+using eval_internal::MonadicSweeper;
+using eval_internal::MonadicSweepScratchBytes;
+using eval_internal::ResolveDirectionPolicy;
+using eval_internal::RoundCounters;
+using eval_internal::ShardGraphView;
+using eval_internal::SharedSymbolCount;
+using eval_internal::StateTransition;
+
+namespace {
 
 /// Pool shared by every parallel evaluation call in the process. Sized once
 /// to the hardware; EvalOptions.threads caps how many of its workers one
@@ -63,81 +84,6 @@ void RunIndexed(uint32_t workers, size_t count,
   }
   EvalPool().ParallelFor(workers, count, fn, exec);
 }
-
-constexpr uint32_t kLaneBatch = 64;  // one source per bit of the lane mask
-
-struct StateTransition {
-  Symbol symbol;
-  StateId target;
-};
-
-/// Read-only per-call tables shared by all workers of one evaluation:
-/// per-state lists of defined transitions on shared symbols (so the inner
-/// loops never probe undefined cells), the accepting set, the frozen DFA
-/// whose reverse entries the dense bottom-up rounds pull through, and — for
-/// queries of ≤ 64 states — per-reverse-entry source-state bitmasks, the
-/// companion of BitVector::Window in the word-at-a-time frontier check.
-struct BinaryTables {
-  std::vector<std::vector<StateTransition>> transitions;
-  std::vector<StateId> accepting_states;
-  std::vector<uint8_t> accepting_flag;
-  /// entry_source_masks[t][i] = bitmask over state ids of
-  /// EntrySources(ReverseInto(t)[i]); built only when nq ≤ 64
-  /// (use_state_windows), where a node's whole state window of the frontier
-  /// bitmap fits one word.
-  std::vector<std::vector<uint64_t>> entry_source_masks;
-  bool use_state_windows = false;
-  const FrozenDfa* frozen = nullptr;
-  Symbol num_shared = 0;
-  StateId q0 = 0;
-  uint32_t nq = 0;
-  uint32_t nv = 0;
-};
-
-BinaryTables BuildBinaryTables(const Graph& graph, const FrozenDfa& frozen) {
-  BinaryTables tables;
-  tables.frozen = &frozen;
-  tables.num_shared = SharedSymbolCount(graph, frozen);
-  tables.nq = frozen.num_states();
-  tables.nv = graph.num_nodes();
-  tables.q0 = frozen.initial_state();
-  tables.transitions.resize(tables.nq);
-  tables.accepting_flag.assign(tables.nq, 0);
-  for (StateId q = 0; q < tables.nq; ++q) {
-    for (Symbol a = 0; a < tables.num_shared; ++a) {
-      StateId t = frozen.Next(q, a);
-      if (t != kNoState) tables.transitions[q].push_back({a, t});
-    }
-    if (frozen.IsAccepting(q)) {
-      tables.accepting_states.push_back(q);
-      tables.accepting_flag[q] = 1;
-    }
-  }
-  tables.use_state_windows = tables.nq <= BitVector::kBitsPerWord;
-  if (tables.use_state_windows) {
-    tables.entry_source_masks.resize(tables.nq);
-    for (StateId t = 0; t < tables.nq; ++t) {
-      for (const auto& entry : frozen.ReverseInto(t)) {
-        uint64_t mask = 0;
-        for (StateId p : frozen.EntrySources(entry)) {
-          mask |= uint64_t{1} << p;
-        }
-        tables.entry_source_masks[t].push_back(mask);
-      }
-    }
-  }
-  return tables;
-}
-
-/// Per-batch (or per-sweep) round counts, accumulated locally and folded
-/// into EvalOptions.stats by the caller.
-struct RoundCounters {
-  uint64_t sparse = 0;
-  uint64_t dense = 0;
-  uint64_t condensed_expansions = 0;
-  uint64_t components_collapsed = 0;
-  uint64_t pairs = 0;  // frontier pairs expanded, summed over rounds
-};
 
 /// The typed Status an engine surfaces after an ExecContext trip: the
 /// context's latched code and message, annotated with the progress the
@@ -184,578 +130,14 @@ class TransientCharge {
   size_t charged_ = 0;
 };
 
-// ----------------------------------------------------------- condensation
-
-/// One engaged kleene-star self-loop (state q, label a with δ(q, a) = q):
-/// the per-label condensation the rounds expand through, plus a dense index
-/// into the per-evaluation expanded-lane tables. The LabelCondensation
-/// pointer targets an element of a CondensedGraph's internal vector, so it
-/// stays valid when the owning CondensedGraph object moves.
-struct CondenseLoop {
-  Symbol symbol;
-  const LabelCondensation* label;
-  StateId state;
-  uint32_t index;
-};
-
-/// The kleene-star planner step of one evaluation call, resolved once from
-/// (graph, frozen DFA, validated options): which (state, label) self-loops
-/// expand component-at-a-time, over which condensation. Inactive — an empty
-/// plan every engine treats as "condense nothing" — when the mode is kOff,
-/// the sweep is bounded (levels must stay exact), the query has no star
-/// state, or the kAuto gates decline. `propagates` additionally replaces
-/// the engines' "has outgoing transitions" frontier-enqueue test: a state
-/// whose every transition is an engaged self-loop never propagates through
-/// per-edge rounds (the closure owns those hops).
-struct CondensePlan {
-  bool active = false;
-  std::vector<std::vector<CondenseLoop>> loops;  // per state; engaged only
-  std::vector<CondenseLoop> by_index;            // the same loops, flat
-  std::vector<uint8_t> engaged_any;              // per state
-  std::vector<uint8_t> propagates;               // per state
-  std::vector<uint32_t> comp_counts;             // per engaged-loop index
-  uint32_t num_loops = 0;
-  CondensedGraph owned;  // backing store when no matching cache was passed
-
-  bool Engaged(StateId q, Symbol a) const {
-    if (!active) return false;
-    for (const CondenseLoop& loop : loops[q]) {
-      if (loop.symbol == a) return true;
-    }
-    return false;
-  }
-};
-
-/// Below this many graph edges CondenseMode::kAuto skips condensation
-/// entirely: the learner's inner loops evaluate on toy graphs where a
-/// Tarjan pass costs as much as the BFS it would accelerate. kOn ignores
-/// the gate (tests and benchmarks pin it).
-constexpr size_t kAutoCondenseMinEdges = 64;
-
-/// Resolves the condensation planner step. Fills `plan->propagates` for
-/// every configuration (the engines consult it unconditionally); the rest
-/// only when condensation engages. `auto_needs_cache` is the monadic
-/// planner rule: a monadic sweep is one linear pass over the product space,
-/// so a per-call Tarjan build costs more than the sweep it would
-/// accelerate — under kAuto it engages only when the caller supplies a
-/// matching EvalOptions.condensed_cache (the interactive session does).
-/// The batched binary engines amortize the build across their 64-lane
-/// source batches, so they build per call when no cache matches. kOn
-/// always builds and engages.
-void BuildCondensePlan(const Graph& graph, const BinaryTables& tables,
-                       const EvalOptions& validated, bool bounded,
-                       bool auto_needs_cache, CondensePlan* plan) {
-  plan->propagates.resize(tables.nq);
-  for (StateId q = 0; q < tables.nq; ++q) {
-    plan->propagates[q] = tables.transitions[q].empty() ? 0 : 1;
-  }
-  if (bounded || validated.condense == CondenseMode::kOff) return;
-
-  // Star states: q with δ(q, a) = q for a graph label a.
-  std::vector<std::vector<Symbol>> star_labels(tables.nq);
-  std::vector<Symbol> needed;
-  for (StateId q = 0; q < tables.nq; ++q) {
-    for (const StateTransition& tr : tables.transitions[q]) {
-      if (tr.target != q) continue;
-      star_labels[q].push_back(tr.symbol);
-      if (std::find(needed.begin(), needed.end(), tr.symbol) ==
-          needed.end()) {
-        needed.push_back(tr.symbol);
-      }
-    }
-  }
-  if (needed.empty()) return;
-  if (validated.condense == CondenseMode::kAuto &&
-      graph.num_edges() < kAutoCondenseMinEdges) {
-    return;
-  }
-
-  const CondensedGraph* cond = validated.condensed_cache;
-  if (cond != nullptr && cond->num_nodes() == graph.num_nodes() &&
-      cond->num_graph_edges() == graph.num_edges() &&
-      cond->graph_version() == graph.version()) {
-    for (Symbol a : needed) {
-      if (!cond->HasLabel(a)) {
-        cond = nullptr;
-        break;
-      }
-    }
-  } else {
-    cond = nullptr;
-  }
-  if (cond == nullptr) {
-    if (validated.condense == CondenseMode::kAuto && auto_needs_cache) {
-      return;  // a per-call build would cost more than this sweep
-    }
-    plan->owned = CondensedGraph::Build(graph, needed);
-    cond = &plan->owned;
-  }
-
-  plan->loops.resize(tables.nq);
-  plan->engaged_any.assign(tables.nq, 0);
-  for (StateId q = 0; q < tables.nq; ++q) {
-    for (Symbol a : star_labels[q]) {
-      const LabelCondensation& label = cond->Label(a);
-      // kAuto engages a loop only when its label actually has a nontrivial
-      // component to collapse; kOn engages every star loop (the expansion
-      // degenerates to the per-edge push on an acyclic label, still exact).
-      if (validated.condense == CondenseMode::kAuto &&
-          label.summary().largest_component < 2) {
-        continue;
-      }
-      const CondenseLoop loop{a, &label, q, plan->num_loops};
-      plan->loops[q].push_back(loop);
-      plan->by_index.push_back(loop);
-      plan->comp_counts.push_back(label.num_components());
-      ++plan->num_loops;
-      plan->engaged_any[q] = 1;
-    }
-  }
-  if (plan->num_loops == 0) return;
-  plan->active = true;
-
-  // A state propagates through per-edge rounds only if it has a transition
-  // the closure does not own.
-  for (StateId q = 0; q < tables.nq; ++q) {
-    if (!plan->engaged_any[q]) continue;
-    bool per_edge = false;
-    for (const StateTransition& tr : tables.transitions[q]) {
-      if (!(tr.target == q && plan->Engaged(q, tr.symbol))) {
-        per_edge = true;
-        break;
-      }
-    }
-    plan->propagates[q] = per_edge ? 1 : 0;
-  }
-}
-
-/// Strips engaged self-loop sources from the dense-pull source masks: the
-/// closure owns those hops, so the word-at-a-time frontier test must not
-/// pull (u, t) from (v, t) over an engaged label. The per-bit fallback path
-/// skips the same sources explicitly (see PullMissingLanes).
-void ApplyCondensePlanToTables(const CondensePlan& plan,
-                               BinaryTables* tables) {
-  if (!plan.active || !tables->use_state_windows) return;
-  for (StateId t = 0; t < tables->nq; ++t) {
-    if (!plan.engaged_any[t]) continue;
-    const auto entries = tables->frozen->ReverseInto(t);
-    for (size_t i = 0; i < entries.size(); ++i) {
-      if (plan.Engaged(t, entries[i].symbol)) {
-        tables->entry_source_masks[t][i] &= ~(uint64_t{1} << t);
-      }
-    }
-  }
-}
-
-/// Budget estimates of the dominant per-sweep / per-worker / per-shard
-/// scratch arrays, charged against the ExecContext before the arrays are
-/// allocated. Estimates cover the product-space-proportional allocations
-/// (masks, pending flags, bitmap frontiers, condensation expanded/pending
-/// tables); frontier lists and outboxes are workload-dependent and
-/// accounted where they materialize.
-size_t CondenseScratchBytes(const CondensePlan& plan, size_t per_component) {
-  if (!plan.active) return 0;
-  size_t cells = 0;
-  for (uint32_t count : plan.comp_counts) cells += count;
-  return cells * per_component;
-}
-
-/// MonadicSweeper: three product-space BitVectors (reached + two frontier
-/// bitmaps) plus the per-component expanded flags.
-size_t MonadicSweepScratchBytes(size_t num_pairs, const CondensePlan& plan) {
-  return 3 * ((num_pairs + 7) / 8) + CondenseScratchBytes(plan, 1);
-}
-
-/// BinaryBatchScratch: 8-byte lane mask + pending flag per product cell,
-/// two bitmap frontiers, and 8-byte expanded + pending lane sets per
-/// condensation component.
-size_t BinaryScratchBytes(size_t num_pairs, const CondensePlan& plan) {
-  return num_pairs * (sizeof(uint64_t) + 1) + 2 * ((num_pairs + 7) / 8) +
-         CondenseScratchBytes(plan, 2 * sizeof(uint64_t));
-}
-
-/// ShardBinaryState: the monolithic scratch plus the changed-cell flag.
-size_t BinaryShardScratchBytes(size_t num_pairs, const CondensePlan& plan) {
-  return BinaryScratchBytes(num_pairs, plan) + num_pairs;
-}
-
-/// Direction policy of one evaluation call, resolved from validated
-/// EvalOptions by the impl entry points: a round runs dense iff its
-/// frontier holds at least `dense_cutoff_pairs` product pairs. Sharded
-/// evaluations resolve one policy per shard against the shard-local pair
-/// space.
-struct DirectionPolicy {
-  size_t dense_cutoff_pairs = 0;
-};
-
-DirectionPolicy ResolveDirectionPolicy(const EvalOptions& validated,
-                                       size_t num_pairs) {
-  DirectionPolicy policy;
-  switch (validated.force_mode) {
-    case EvalMode::kSparse:
-      // Unreachable cutoff: a frontier is at most num_pairs strong.
-      policy.dense_cutoff_pairs = num_pairs + 1;
-      break;
-    case EvalMode::kDense:
-      policy.dense_cutoff_pairs = 0;
-      break;
-    case EvalMode::kAuto: {
-      const double cutoff =
-          validated.dense_threshold * static_cast<double>(num_pairs);
-      policy.dense_cutoff_pairs = static_cast<size_t>(cutoff);
-      if (static_cast<double>(policy.dense_cutoff_pairs) < cutoff) {
-        ++policy.dense_cutoff_pairs;  // ceil: "at least the fraction"
-      }
-      break;
-    }
-  }
-  return policy;
-}
-
-/// The pull of one dense-round cell (u, t): OR together `missing` lanes
-/// from the frontier predecessors of (u, t) — (v, p) with edge (v, a, u)
-/// and δ(p, a) = t — exiting early once every missing lane is gained.
-/// `in(u, a)` spans the per-label in-neighbors of the adjacency being swept
-/// (whole graph or one shard's internal edges). With ≤ 64 query states the
-/// frontier test is word-at-a-time: one BitVector::Window gather of node
-/// v's state window ANDed against the entry's precomputed source mask
-/// replaces the per-bit Test loop; larger queries keep the per-bit path.
-template <typename InNeighborsFn>
-uint64_t PullMissingLanes(const BinaryTables& tables,
-                          const CondensePlan& plan,
-                          const BitVector& frontier_bits,
-                          const std::vector<uint64_t>& mask,
-                          InNeighborsFn&& in, NodeId u, StateId t,
-                          uint64_t missing) {
-  const uint32_t nq = tables.nq;
-  const FrozenDfa& frozen = *tables.frozen;
-  const auto entries = frozen.ReverseInto(t);
-  uint64_t gained = 0;
-  if (tables.use_state_windows) {
-    // Engaged self-loop sources were already stripped from the masks
-    // (ApplyCondensePlanToTables) — the closure owns those hops.
-    const std::vector<uint64_t>& entry_masks = tables.entry_source_masks[t];
-    for (size_t i = 0; i < entries.size(); ++i) {
-      // Entries are symbol-ascending; symbols the graph lacks have no
-      // edges and trail the shared range.
-      if (entries[i].symbol >= tables.num_shared) break;
-      const uint64_t source_mask = entry_masks[i];
-      if (source_mask == 0) continue;
-      for (NodeId v : in(u, entries[i].symbol)) {
-        const size_t base = static_cast<size_t>(v) * nq;
-        uint64_t hits = frontier_bits.Window(base, nq) & source_mask;
-        while (hits != 0) {
-          const StateId p = static_cast<StateId>(std::countr_zero(hits));
-          hits &= hits - 1;
-          gained |= mask[base + p] & missing;
-          if (gained == missing) return gained;
-        }
-      }
-    }
-    return gained;
-  }
-  for (const auto& entry : entries) {
-    if (entry.symbol >= tables.num_shared) break;
-    const bool skip_self = plan.Engaged(t, entry.symbol);
-    for (NodeId v : in(u, entry.symbol)) {
-      for (StateId p : frozen.EntrySources(entry)) {
-        if (skip_self && p == t) continue;  // closure owns the star hop
-        const size_t vp = static_cast<size_t>(v) * nq + p;
-        if (!frontier_bits.Test(vp)) continue;
-        gained |= mask[vp] & missing;
-        if (gained == missing) return gained;
-      }
-    }
-  }
-  return gained;
-}
-
 // --------------------------------------------------------------- monadic
-
-/// Adjacency views the monadic sweeper is instantiated over: the monolithic
-/// graph, or one shard's internal edges (local ids; cross-shard edges are
-/// handled by the BSP exchange around the sweeper).
-struct GlobalGraphView {
-  const Graph* graph;
-  uint32_t num_nodes() const { return graph->num_nodes(); }
-  std::span<const NodeId> Out(NodeId v, Symbol a) const {
-    return graph->OutNeighbors(v, a);
-  }
-  std::span<const NodeId> In(NodeId v, Symbol a) const {
-    return graph->InNeighbors(v, a);
-  }
-  // Condensations are built on the global graph; the global view's id
-  // spaces coincide.
-  bool OwnsGlobal(NodeId) const { return true; }
-  NodeId ToLocal(NodeId global) const { return global; }
-  NodeId ToGlobal(NodeId local) const { return local; }
-};
-
-struct ShardGraphView {
-  const GraphShard* shard;
-  uint32_t num_nodes() const { return shard->num_local_nodes(); }
-  std::span<const NodeId> Out(NodeId v, Symbol a) const {
-    return shard->OutNeighborsLocal(v, a);
-  }
-  std::span<const NodeId> In(NodeId v, Symbol a) const {
-    return shard->InNeighborsLocal(v, a);
-  }
-  // Shard-local sweeps consult the global condensation for owned nodes
-  // only; components spanning shard cuts propagate through the BSP
-  // boundary exchange like any other cross-shard edge.
-  bool OwnsGlobal(NodeId global) const {
-    return global >= shard->node_begin() && global < shard->node_end();
-  }
-  NodeId ToLocal(NodeId global) const { return global - shard->node_begin(); }
-  NodeId ToGlobal(NodeId local) const { return local + shard->node_begin(); }
-};
-
-/// Direction-optimized backward product sweep over one adjacency view.
-/// Seeds and cross-shard deliveries are injected with Visit(); RunRound
-/// expands the whole pending frontier one level, choosing per round between
-/// a sparse push (pop each frontier pair, mark its predecessors over
-/// In-neighbors × the frozen DFA's reverse entries) and a dense bottom-up
-/// pull (sweep every unreached pair and probe its forward transitions over
-/// Out-neighbors against a frontier bitmap). Both round kinds compute the
-/// same monotone reachability closure and both are exactly level-
-/// synchronous, so the mode sequence changes neither the fixed point nor
-/// any level set — unbounded and bounded sweeps agree with the seed
-/// reference for every policy. `hook(v, q)` fires once per fresh pair; the
-/// sharded path uses it to collect discoveries whose predecessors lie in
-/// other shards.
-template <typename View>
-class MonadicSweeper {
- public:
-  MonadicSweeper(View view, const BinaryTables& tables,
-                 const CondensePlan& plan, DirectionPolicy policy,
-                 ExecContext* exec)
-      : view_(view),
-        tables_(tables),
-        plan_(&plan),
-        policy_(policy),
-        exec_(exec),
-        reached_(static_cast<size_t>(view_.num_nodes()) * tables.nq),
-        frontier_bits_(reached_.size()),
-        next_bits_(reached_.size()) {
-    if (plan_->active) {
-      cond_expanded_.resize(plan_->num_loops);
-      for (uint32_t i = 0; i < plan_->num_loops; ++i) {
-        cond_expanded_[i].assign(plan_->comp_counts[i], 0);
-      }
-    }
-  }
-
-  size_t frontier_pairs() const { return frontier_pairs_; }
-  const BitVector& reached() const { return reached_; }
-
-  /// Marks (v, q) reached and queues it in the pending frontier; no-op when
-  /// already reached. Callable between rounds only.
-  template <typename VisitHook>
-  void Visit(NodeId v, StateId q, VisitHook&& hook) {
-    const size_t cell = static_cast<size_t>(v) * tables_.nq + q;
-    if (reached_.Test(cell)) return;
-    reached_.Set(cell);
-    if (dense_) {
-      frontier_bits_.Set(cell);
-    } else {
-      frontier_.emplace_back(v, q);
-    }
-    ++frontier_pairs_;
-    MaybeQueueCondense(v, q);
-    hook(v, q);
-  }
-
-  /// Expands every pending star-state discovery component-at-a-time:
-  /// backward over an engaged self-loop, a discovery (v, q) reaches every
-  /// node of v's component and of the component's DAG predecessors, so the
-  /// closure saturates them in one hop (owned members only — a component
-  /// spanning shard cuts propagates through the boundary exchange like any
-  /// other cross-shard edge) and the scatter chains through the worklist
-  /// until the backward a*-cone is exhausted. Every visited cell lies in
-  /// the monotone fixed point, so the closure never changes the result —
-  /// only how many rounds reach it. Callable between rounds only, like
-  /// Visit; a no-op when the plan is inactive (bounded sweeps: collapsing
-  /// an SCC would merge BFS levels).
-  template <typename VisitHook>
-  void RunCondenseClosure(VisitHook&& hook, RoundCounters* rounds) {
-    while (!cond_worklist_.empty()) {
-      // One checkpoint per worklist pop: a pop can scatter a whole SCC and
-      // its DAG cone, so this is the closure's coarse-grained trip point. On
-      // a trip the remaining worklist is abandoned — the owning sweep's next
-      // round checkpoint unwinds the whole evaluation.
-      if (exec_ != nullptr && !exec_->Checkpoint()) return;
-      const auto [v, q] = cond_worklist_.back();
-      cond_worklist_.pop_back();
-      const NodeId global = view_.ToGlobal(v);
-      for (const CondenseLoop& loop : plan_->loops[q]) {
-        const uint32_t c = loop.label->ComponentOf(global);
-        uint8_t& expanded = cond_expanded_[loop.index][c];
-        if (expanded) continue;
-        expanded = 1;
-        ++rounds->condensed_expansions;
-        if (loop.label->Members(c).size() >= 2) {
-          ++rounds->components_collapsed;
-        }
-        ScatterComponent(loop, c, q, hook);
-        for (uint32_t pred : loop.label->DagIn(c)) {
-          ScatterComponent(loop, pred, q, hook);
-        }
-      }
-    }
-  }
-
-  /// Expands the pending frontier by exactly one level; fresh discoveries
-  /// form the next pending frontier and fire `hook` once each.
-  template <typename VisitHook>
-  void RunRound(VisitHook&& hook, RoundCounters* rounds) {
-    rounds->pairs += frontier_pairs_;
-    const bool want_dense = frontier_pairs_ >= policy_.dense_cutoff_pairs;
-    if (want_dense != dense_) {
-      if (want_dense) {
-        FrontierToBits();
-      } else {
-        BitsToFrontier();
-      }
-      dense_ = want_dense;
-    }
-    if (dense_) {
-      DenseRound(hook);
-      ++rounds->dense;
-    } else {
-      SparseRound(hook);
-      ++rounds->sparse;
-    }
-  }
-
- private:
-  /// Queues (v, q) for the condensation closure when q is a star state the
-  /// plan engages.
-  void MaybeQueueCondense(NodeId v, StateId q) {
-    if (plan_->active && plan_->engaged_any[q]) {
-      cond_worklist_.emplace_back(v, q);
-    }
-  }
-
-  template <typename VisitHook>
-  void ScatterComponent(const CondenseLoop& loop, uint32_t c, StateId q,
-                        VisitHook&& hook) {
-    for (NodeId member : loop.label->Members(c)) {
-      if (!view_.OwnsGlobal(member)) continue;
-      Visit(view_.ToLocal(member), q, hook);
-    }
-  }
-
-  template <typename VisitHook>
-  void SparseRound(VisitHook&& hook) {
-    const uint32_t nq = tables_.nq;
-    next_.clear();
-    for (auto [v, q] : frontier_) {
-      // Predecessor pairs: (u, p) with edge (u, a, v) and δ(p, a) = q.
-      for (const auto& entry : tables_.frozen->ReverseInto(q)) {
-        if (entry.symbol >= tables_.num_shared) break;
-        // The closure owns engaged self-loop hops (p == q over a star
-        // label); per-edge work handles every other source.
-        const bool skip_self = plan_->Engaged(q, entry.symbol);
-        for (NodeId u : view_.In(v, entry.symbol)) {
-          for (StateId p : tables_.frozen->EntrySources(entry)) {
-            if (skip_self && p == q) continue;
-            const size_t cell = static_cast<size_t>(u) * nq + p;
-            if (!reached_.Test(cell)) {
-              reached_.Set(cell);
-              next_.emplace_back(u, p);
-              MaybeQueueCondense(u, p);
-              hook(u, p);
-            }
-          }
-        }
-      }
-    }
-    std::swap(frontier_, next_);
-    frontier_pairs_ = frontier_.size();
-  }
-
-  template <typename VisitHook>
-  void DenseRound(VisitHook&& hook) {
-    const uint32_t nq = tables_.nq;
-    next_bits_.Clear();
-    size_t next_pairs = 0;
-    const uint32_t nv = view_.num_nodes();
-    for (NodeId v = 0; v < nv; ++v) {
-      for (StateId q = 0; q < nq; ++q) {
-        const size_t cell = static_cast<size_t>(v) * nq + q;
-        if (reached_.Test(cell)) continue;
-        const bool check_engaged = plan_->active && plan_->engaged_any[q];
-        bool found = false;
-        for (const StateTransition& tr : tables_.transitions[q]) {
-          if (check_engaged && tr.target == q &&
-              plan_->Engaged(q, tr.symbol)) {
-            continue;  // the closure owns the star hop
-          }
-          for (NodeId u : view_.Out(v, tr.symbol)) {
-            if (frontier_bits_.Test(static_cast<size_t>(u) * nq +
-                                    tr.target)) {
-              found = true;
-              break;
-            }
-          }
-          if (found) break;
-        }
-        if (!found) continue;
-        reached_.Set(cell);
-        next_bits_.Set(cell);
-        ++next_pairs;
-        MaybeQueueCondense(v, q);
-        hook(v, q);
-      }
-    }
-    std::swap(frontier_bits_, next_bits_);
-    frontier_pairs_ = next_pairs;
-  }
-
-  void FrontierToBits() {
-    for (auto [v, q] : frontier_) {
-      frontier_bits_.Set(static_cast<size_t>(v) * tables_.nq + q);
-    }
-    frontier_.clear();
-  }
-
-  void BitsToFrontier() {
-    frontier_.clear();
-    frontier_bits_.ForEachSetBit([&](size_t cell) {
-      frontier_.emplace_back(static_cast<NodeId>(cell / tables_.nq),
-                             static_cast<StateId>(cell % tables_.nq));
-    });
-    frontier_bits_.Clear();
-  }
-
-  View view_;
-  const BinaryTables& tables_;
-  const CondensePlan* plan_;
-  DirectionPolicy policy_;
-  ExecContext* exec_;
-  BitVector reached_;
-  BitVector frontier_bits_;
-  BitVector next_bits_;
-  std::vector<std::pair<NodeId, StateId>> frontier_;
-  std::vector<std::pair<NodeId, StateId>> next_;
-  std::vector<std::pair<NodeId, StateId>> cond_worklist_;
-  std::vector<std::vector<uint8_t>> cond_expanded_;  // per loop × component
-  size_t frontier_pairs_ = 0;
-  bool dense_ = false;
-};
 
 /// Folds per-sweep counters into EvalOptions.stats (when present) and
 /// returns the summed totals — the progress a trip status reports.
 RoundCounters AccumulateMonadicRounds(
     const EvalOptions& validated, std::span<const RoundCounters> per_sweep) {
   RoundCounters totals;
-  for (const RoundCounters& rounds : per_sweep) {
-    totals.sparse += rounds.sparse;
-    totals.dense += rounds.dense;
-    totals.condensed_expansions += rounds.condensed_expansions;
-    totals.components_collapsed += rounds.components_collapsed;
-    totals.pairs += rounds.pairs;
-  }
+  for (const RoundCounters& rounds : per_sweep) totals += rounds;
   if (validated.stats == nullptr) return totals;
   validated.stats->monadic_sparse_rounds.fetch_add(totals.sparse,
                                                    std::memory_order_relaxed);
@@ -1169,47 +551,18 @@ StatusOr<BitVector> EvalMonadicImpl(const Graph& graph, const Dfa& query,
 
 // ---------------------------------------------------------------- binary
 
-/// Scratch of one batched multi-source product BFS, owned by exactly one
-/// worker and reused across its batches: `mask[(v, q)]` holds the lane set
-/// that has reached the product pair, `pending` marks pairs queued in a
-/// sparse frontier, `frontier_bits`/`next_bits` are the bitmap frontiers of
-/// the dense bottom-up rounds, and `touched` records cells whose mask went
-/// nonzero, so per-batch clearing and result recovery cost O(cells the BFS
-/// actually reached) instead of O(nv·nq).
-///
-/// Direction optimization: every round the frontier size (in product pairs)
-/// is compared against DirectionPolicy.dense_cutoff_pairs. Below the cutoff
-/// the round runs sparse — pop each frontier pair, push its lanes over
-/// OutNeighbors (work ∝ edges out of the frontier). At or above it the
-/// round runs dense — sweep every product pair (u, t) and pull lanes from
-/// its predecessors over InNeighbors and the frozen DFA's reverse entries,
-/// gated by a frontier bitmap (work ∝ |E|·|δ⁻¹|, frontier-independent, with
-/// sequential access instead of queue churn). Both round kinds apply the
-/// same monotone mask-join, and the frontier invariant — every pair whose
-/// mask changed in round k propagates in round k+1 unless it has no
-/// outgoing transitions — is preserved across mode switches, so the fixed
-/// point (and hence the output) is identical for every mode sequence.
+/// One worker's batched multi-source BFS driver: a BinarySweeper over the
+/// whole graph (see eval_binary_sweeper.h for the round machinery) plus the
+/// per-lane recovery buffers. Owned by exactly one worker and reused across
+/// its batches.
 class BinaryBatchScratch {
  public:
-  /// Sizes the arrays for an nv × nq product space (and the plan's
-  /// per-component expanded-lane tables); idempotent, so workers call it
-  /// lazily on their first batch.
-  void Prepare(size_t num_pairs, const CondensePlan& plan) {
-    if (mask_.size() != num_pairs) {
-      mask_.assign(num_pairs, 0);
-      pending_.assign(num_pairs, 0);
-      frontier_bits_ = BitVector(num_pairs);
-      next_bits_ = BitVector(num_pairs);
-    }
-    if (plan.active && cond_expanded_.size() != plan.num_loops) {
-      cond_expanded_.resize(plan.num_loops);
-      cond_pending_.resize(plan.num_loops);
-      cond_touched_.resize(plan.num_loops);
-      for (uint32_t i = 0; i < plan.num_loops; ++i) {
-        cond_expanded_[i].assign(plan.comp_counts[i], 0);
-        cond_pending_[i].assign(plan.comp_counts[i], 0);
-      }
-    }
+  /// Binds the sweeper to the graph and sizes its scratch; idempotent, so
+  /// workers call it lazily on their first batch.
+  void Prepare(const Graph& graph, const BinaryTables& tables,
+               const CondensePlan& plan, const DirectionPolicy& policy,
+               ExecContext* exec) {
+    sweeper_.Prepare(GlobalGraphView{&graph}, tables, plan, policy, exec);
   }
 
   /// Evaluates one batch of ≤ 64 sources (lane i = sources[i]) and appends
@@ -1218,356 +571,48 @@ class BinaryBatchScratch {
   /// function of (graph, tables, plan, sources): scratch reuse, worker
   /// assignment, the direction policy and the condensation plan never
   /// change the output.
-  void RunBatch(const Graph& graph, const BinaryTables& tables,
-                const CondensePlan& plan, const DirectionPolicy& policy,
-                std::span<const NodeId> sources, ExecContext* exec,
+  void RunBatch(std::span<const NodeId> sources, ExecContext* exec,
                 std::vector<std::pair<NodeId, NodeId>>* out,
                 RoundCounters* rounds) {
     RPQ_DCHECK(sources.size() <= kLaneBatch);
-    exec_ = exec;
-    const uint32_t nq = tables.nq;
     const uint32_t lanes = static_cast<uint32_t>(sources.size());
-    const size_t num_pairs = mask_.size();
-    batch_full_ = lanes == kLaneBatch ? ~uint64_t{0}
-                                      : (uint64_t{1} << lanes) - 1;
-    frontier_.clear();
+    sweeper_.BeginBatch(lanes == kLaneBatch ? ~uint64_t{0}
+                                            : (uint64_t{1} << lanes) - 1);
+    const StateId q0 = sweeper_.tables().q0;
     for (uint32_t lane = 0; lane < lanes; ++lane) {
-      const NodeId src = sources[lane];
-      const size_t idx = static_cast<size_t>(src) * nq + tables.q0;
-      if (mask_[idx] == 0) touched_.push_back(idx);
-      mask_[idx] |= uint64_t{1} << lane;
-      if (plan.active && plan.engaged_any[tables.q0]) {
-        TriggerCondense(plan, src, tables.q0, uint64_t{1} << lane);
-      }
-      if (plan.propagates[tables.q0] && !pending_[idx]) {
-        pending_[idx] = 1;
-        frontier_.emplace_back(src, tables.q0);
-      }
+      sweeper_.Deliver(sources[lane], q0, uint64_t{1} << lane);
     }
-
-    // Multi-source product BFS to the monotone lane-mask fixed point,
-    // choosing the round direction per round. The frontier lives in exactly
-    // one representation at a time (list + pending flags when sparse,
-    // bitmap when dense); switches convert it without changing its set.
-    // The condensation closure runs between rounds over every cell that
-    // gained lanes, so star cones saturate component-at-a-time regardless
-    // of the round kind.
-    bool dense = false;
-    size_t frontier_pairs = frontier_.size();
-    frontier_pairs += RunCondenseClosure(tables, plan, dense, rounds);
-    while (frontier_pairs > 0) {
-      // Per-round trip point. An early return leaves the scratch torn
-      // (masks uncleared, frontier mid-representation) — safe because a
-      // tripped evaluation discards every scratch and unwinds; ParallelFor
-      // stops issuing batches to this worker once the context trips.
-      if (exec != nullptr && !exec->Checkpoint()) return;
-      rounds->pairs += frontier_pairs;
-      const bool want_dense = frontier_pairs >= policy.dense_cutoff_pairs;
-      if (want_dense != dense) {
-        if (want_dense) {
-          SparseFrontierToBits(nq);
-        } else {
-          BitsToSparseFrontier(nq);
-        }
-        dense = want_dense;
-      }
-      if (dense) {
-        frontier_pairs = DenseRound(graph, tables, plan);
-        ++rounds->dense;
-      } else {
-        frontier_pairs = SparseRound(graph, tables, plan);
-        ++rounds->sparse;
-      }
-      frontier_pairs += RunCondenseClosure(tables, plan, dense, rounds);
-    }
-    if (exec != nullptr && exec->tripped()) return;  // closure tripped
+    sweeper_.RunRounds(rounds);
+    if (exec != nullptr && exec->tripped()) return;  // torn batch: discard
 
     // Recover the result lanes: a visited (u, q_accepting) pair is exactly
-    // a selected (source, u) edge of the batch. When the BFS saturated the
-    // pair space a dense node sweep is cheapest; otherwise only the touched
-    // cells are inspected (sort+unique restores ascending-dst order and
-    // drops nodes reached in several accepting states).
+    // a selected (source, u) edge of the batch.
     for (uint32_t lane = 0; lane < lanes; ++lane) per_lane_[lane].clear();
-    if (touched_.size() >= num_pairs / 4) {
-      for (NodeId u = 0; u < tables.nv; ++u) {
-        uint64_t h = 0;
-        for (StateId q : tables.accepting_states) {
-          h |= mask_[static_cast<size_t>(u) * nq + q];
-        }
-        while (h != 0) {
-          const int lane = std::countr_zero(h);
-          per_lane_[lane].push_back(u);
-          h &= h - 1;
-        }
-      }
-      for (uint32_t lane = 0; lane < lanes; ++lane) {
-        const NodeId src = sources[lane];
-        for (NodeId dst : per_lane_[lane]) out->emplace_back(src, dst);
-      }
-    } else {
-      for (size_t cell : touched_) {
-        const StateId q = static_cast<StateId>(cell % nq);
-        if (!tables.accepting_flag[q]) continue;
-        const NodeId u = static_cast<NodeId>(cell / nq);
-        uint64_t h = mask_[cell];
-        while (h != 0) {
-          const int lane = std::countr_zero(h);
-          per_lane_[lane].push_back(u);
-          h &= h - 1;
-        }
-      }
-      for (uint32_t lane = 0; lane < lanes; ++lane) {
-        std::vector<NodeId>& dsts = per_lane_[lane];
-        std::sort(dsts.begin(), dsts.end());
-        dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
-        const NodeId src = sources[lane];
-        for (NodeId dst : dsts) out->emplace_back(src, dst);
-      }
-    }
-
-    for (size_t cell : touched_) mask_[cell] = 0;
-    touched_.clear();
-    for (uint32_t i = 0; i < static_cast<uint32_t>(cond_touched_.size());
-         ++i) {
-      for (uint32_t c : cond_touched_[i]) cond_expanded_[i][c] = 0;
-      cond_touched_[i].clear();
+    sweeper_.CollectLanes(lanes, per_lane_);
+    for (uint32_t lane = 0; lane < lanes; ++lane) {
+      const NodeId src = sources[lane];
+      for (NodeId dst : per_lane_[lane]) out->emplace_back(src, dst);
     }
   }
 
  private:
-  /// Queues the star components of (v, q) for the condensation closure:
-  /// lanes not yet expanded into a component accumulate in its pending set
-  /// (one heap entry per component with pending lanes), so one closure wave
-  /// scatters a component once with every lane that reached it, keeping the
-  /// 64-lane batching intact instead of expanding per gain.
-  /// Pushes one (component, loop) entry keeping cond_heap_ a max-heap on
-  /// (component id, loop index) — the pop order that makes closure waves
-  /// reverse-topological per label.
-  void HeapPush(uint32_t c, uint32_t loop_index) {
-    cond_heap_.emplace_back(c, loop_index);
-    std::push_heap(cond_heap_.begin(), cond_heap_.end());
-  }
-
-  void TriggerCondense(const CondensePlan& plan, NodeId v, StateId q,
-                       uint64_t lanes) {
-    for (const CondenseLoop& loop : plan.loops[q]) {
-      const uint32_t c = loop.label->ComponentOf(v);
-      uint64_t& pending = cond_pending_[loop.index][c];
-      const uint64_t add = lanes & ~cond_expanded_[loop.index][c] & ~pending;
-      if (add == 0) continue;
-      if (pending == 0) HeapPush(c, loop.index);
-      pending |= add;
-    }
-  }
-
-  /// Runs the condensation closure over every component that accumulated
-  /// pending lanes since the last call (seeding or the preceding round):
-  /// components pop in descending id order — reverse-topological, since
-  /// Tarjan numbers every DAG successor below its predecessors — so within
-  /// one label each component is scattered at most once per wave, with DAG
-  /// successors receiving component-level pending lanes rather than member
-  /// scatters. Newly propagating cells join the current frontier
-  /// representation; returns how many were added. Every scattered cell lies
-  /// in the monotone fixed point (members of an SCC are mutually a*-
-  /// reachable; a DAG successor's members are reachable through one a-edge
-  /// plus intra-SCC a-paths), so the closure never changes the output.
-  size_t RunCondenseClosure(const BinaryTables& tables,
-                            const CondensePlan& plan, bool dense_repr,
-                            RoundCounters* rounds) {
-    size_t added = 0;
-    const uint32_t nq = tables.nq;
-    while (!cond_heap_.empty()) {
-      // Per-wave trip point (one pop can scatter a whole SCC cone); the
-      // abandoned heap is torn scratch RunBatch's post-loop guard discards.
-      if (exec_ != nullptr && !exec_->Checkpoint()) return added;
-      std::pop_heap(cond_heap_.begin(), cond_heap_.end());
-      const auto [c, loop_index] = cond_heap_.back();
-      cond_heap_.pop_back();
-      uint64_t& pending = cond_pending_[loop_index][c];
-      uint64_t lanes = pending & ~cond_expanded_[loop_index][c];
-      pending = 0;
-      if (lanes == 0) continue;
-      const CondenseLoop& loop = plan.by_index[loop_index];
-      uint64_t& expanded = cond_expanded_[loop_index][c];
-      if (expanded == 0) cond_touched_[loop_index].push_back(c);
-      expanded |= lanes;
-      ++rounds->condensed_expansions;
-      const auto members = loop.label->Members(c);
-      if (members.size() >= 2) ++rounds->components_collapsed;
-
-      const StateId q = loop.state;
-      const bool propagates = plan.propagates[q] != 0;
-      for (NodeId u : members) {
-        const size_t cell = static_cast<size_t>(u) * nq + q;
-        const uint64_t fresh = lanes & ~mask_[cell];
-        if (fresh == 0) continue;
-        if (mask_[cell] == 0) touched_.push_back(cell);
-        mask_[cell] |= fresh;
-        // Same-loop re-triggers die on the expanded check; this feeds the
-        // state's other star labels (e.g. the (a+b)* alternation).
-        TriggerCondense(plan, u, q, fresh);
-        if (!propagates) continue;
-        if (dense_repr) {
-          if (!frontier_bits_.Test(cell)) {
-            frontier_bits_.Set(cell);
-            ++added;
-          }
-        } else if (!pending_[cell]) {
-          pending_[cell] = 1;
-          frontier_.emplace_back(u, q);
-          ++added;
-        }
-      }
-      for (uint32_t succ : loop.label->DagOut(c)) {
-        uint64_t& succ_pending = cond_pending_[loop_index][succ];
-        const uint64_t add =
-            lanes & ~cond_expanded_[loop_index][succ] & ~succ_pending;
-        if (add == 0) continue;
-        if (succ_pending == 0) HeapPush(succ, loop_index);
-        succ_pending |= add;
-      }
-    }
-    return added;
-  }
-
-  /// One sparse top-down round: expand every frontier pair over
-  /// OutNeighbors, pushing fresh lanes into successors. Returns the next
-  /// frontier's size. Pairs whose target state never propagates per edge
-  /// are not enqueued (reaching them only updates the mask — or, for star
-  /// states, feeds the closure).
-  size_t SparseRound(const Graph& graph, const BinaryTables& tables,
-                     const CondensePlan& plan) {
-    const uint32_t nq = tables.nq;
-    next_.clear();
-    for (auto [v, q] : frontier_) {
-      const size_t vq = static_cast<size_t>(v) * nq + q;
-      pending_[vq] = 0;
-      const uint64_t lanes_here = mask_[vq];
-      const bool check_engaged = plan.active && plan.engaged_any[q];
-      for (const StateTransition& tr : tables.transitions[q]) {
-        if (check_engaged && tr.target == q &&
-            plan.Engaged(q, tr.symbol)) {
-          continue;  // the closure owns the star hop
-        }
-        for (NodeId u : graph.OutNeighbors(v, tr.symbol)) {
-          const size_t ut = static_cast<size_t>(u) * nq + tr.target;
-          const uint64_t fresh = lanes_here & ~mask_[ut];
-          if (fresh == 0) continue;
-          if (mask_[ut] == 0) touched_.push_back(ut);
-          mask_[ut] |= fresh;
-          if (plan.active && plan.engaged_any[tr.target]) {
-            TriggerCondense(plan, u, tr.target, fresh);
-          }
-          if (plan.propagates[tr.target] && !pending_[ut]) {
-            pending_[ut] = 1;
-            next_.emplace_back(u, tr.target);
-          }
-        }
-      }
-    }
-    std::swap(frontier_, next_);
-    return frontier_.size();
-  }
-
-  /// One dense bottom-up round: for every product pair (u, t), pull the
-  /// lanes of its predecessor pairs — (v, p) with edge (v, a, u) and
-  /// δ(p, a) = t, iterated as the frozen DFA's reverse entries × per-label
-  /// InNeighbors runs — gated by the frontier bitmap (word-at-a-time via
-  /// PullMissingLanes). Cells whose mask grows form the next frontier
-  /// bitmap. Returns its population count.
-  ///
-  /// Two pull short-circuits exploit the saturated regime dense rounds run
-  /// in: a cell already holding every batch lane is skipped outright, and a
-  /// pull stops as soon as it has gained all the cell's missing lanes —
-  /// both are no-ops on the fixed point (a full cell gains nothing; gained
-  /// lanes beyond `missing` were already present).
-  size_t DenseRound(const Graph& graph, const BinaryTables& tables,
-                    const CondensePlan& plan) {
-    const uint32_t nq = tables.nq;
-    const FrozenDfa& frozen = *tables.frozen;
-    next_bits_.Clear();
-    size_t next_pairs = 0;
-    auto in = [&graph](NodeId u, Symbol a) { return graph.InNeighbors(u, a); };
-    for (StateId t = 0; t < nq; ++t) {
-      if (frozen.ReverseInto(t).empty()) continue;
-      const bool has_out = plan.propagates[t] != 0;
-      const bool engaged = plan.active && plan.engaged_any[t];
-      for (NodeId u = 0; u < tables.nv; ++u) {
-        const size_t cell = static_cast<size_t>(u) * nq + t;
-        const uint64_t missing = batch_full_ & ~mask_[cell];
-        if (missing == 0) continue;  // cell complete, nothing to gain
-        const uint64_t gained =
-            PullMissingLanes(tables, plan, frontier_bits_, mask_, in, u, t,
-                             missing);
-        if (gained == 0) continue;
-        if (mask_[cell] == 0) touched_.push_back(cell);
-        mask_[cell] |= gained;
-        if (engaged) TriggerCondense(plan, u, t, gained);
-        if (has_out) {
-          next_bits_.Set(cell);
-          ++next_pairs;
-        }
-      }
-    }
-    std::swap(frontier_bits_, next_bits_);
-    return next_pairs;
-  }
-
-  /// Sparse → dense switch: move the frontier list into the bitmap (which
-  /// is all-zero outside rounds) and drop the pending flags.
-  void SparseFrontierToBits(uint32_t nq) {
-    for (auto [v, q] : frontier_) {
-      const size_t vq = static_cast<size_t>(v) * nq + q;
-      pending_[vq] = 0;
-      frontier_bits_.Set(vq);
-    }
-    frontier_.clear();
-  }
-
-  /// Dense → sparse switch: drain the bitmap into the frontier list
-  /// (ascending cell order — irrelevant to the fixed point) and restore the
-  /// pending flags, leaving the bitmap all-zero.
-  void BitsToSparseFrontier(uint32_t nq) {
-    frontier_.clear();
-    frontier_bits_.ForEachSetBit([&](size_t cell) {
-      pending_[cell] = 1;
-      frontier_.emplace_back(static_cast<NodeId>(cell / nq),
-                             static_cast<StateId>(cell % nq));
-    });
-    frontier_bits_.Clear();
-  }
-
-  std::vector<uint64_t> mask_;
-  std::vector<uint8_t> pending_;
-  std::vector<size_t> touched_;
-  std::vector<std::pair<NodeId, StateId>> frontier_;
-  std::vector<std::pair<NodeId, StateId>> next_;
-  /// Max-heap of (component id, loop index) with nonzero pending lanes;
-  /// drained (together with cond_pending_) by every RunCondenseClosure.
-  std::vector<std::pair<uint32_t, uint32_t>> cond_heap_;
-  std::vector<std::vector<uint64_t>> cond_expanded_;  // per loop × component
-  std::vector<std::vector<uint64_t>> cond_pending_;   // per loop × component
-  std::vector<std::vector<uint32_t>> cond_touched_;
-  BitVector frontier_bits_;
-  BitVector next_bits_;
-  uint64_t batch_full_ = 0;  // all lanes of the current batch
-  ExecContext* exec_ = nullptr;  // rebound by every RunBatch
+  BinarySweeper<GlobalGraphView> sweeper_;
   std::vector<NodeId> per_lane_[kLaneBatch];
 };
 
 /// Sums per-batch round counters into EvalOptions.stats, if present. The
 /// totals are deterministic: each batch's counts are a pure function of
 /// (graph, query, batch sources, policy), independent of scheduling.
+/// `per_batch` must hold one row per *batch* — both the monolithic and the
+/// sharded engine fold their counts into per-batch rows, so dense_batches
+/// (batches in which at least one dense round ran) means the same thing on
+/// every engine and shard count.
 RoundCounters AccumulateStats(const EvalOptions& validated,
                               std::span<const RoundCounters> per_batch) {
   RoundCounters totals;
   uint64_t dense_batches = 0;
   for (const RoundCounters& rounds : per_batch) {
-    totals.sparse += rounds.sparse;
-    totals.dense += rounds.dense;
-    totals.condensed_expansions += rounds.condensed_expansions;
-    totals.components_collapsed += rounds.components_collapsed;
-    totals.pairs += rounds.pairs;
+    totals += rounds;
     if (rounds.dense > 0) ++dense_batches;
   }
   if (validated.stats == nullptr) return totals;
@@ -1593,12 +638,10 @@ struct BinaryPush {
   uint64_t lanes;
 };
 
-/// Per-shard state of the sharded batched binary BFS: the shard-local
-/// analogue of BinaryBatchScratch (masks, pending flags, frontiers and
-/// touched list over the *local* product space, rounds over the shard's
-/// internal CSRs) plus the BSP machinery — a changed-cell list tracking
-/// which masks gained lanes since the last exchange on nodes with boundary
-/// out-edges, and double-buffered per-destination outboxes.
+/// Per-shard driver of the sharded batched binary BFS: a BinarySweeper over
+/// the shard's internal edges — the shard view tracks changed cells for
+/// boundary re-push — plus the BSP machinery: double-buffered
+/// per-destination outboxes and this shard's round counters.
 class ShardBinaryState {
  public:
   ShardBinaryState(const ShardedGraph& sharded, uint32_t self,
@@ -1607,61 +650,40 @@ class ShardBinaryState {
       : sharded_(&sharded),
         shard_(&sharded.shard(self)),
         tables_(&tables),
-        plan_(&plan),
         exec_(validated.exec),
-        policy_(ResolveDirectionPolicy(
-            validated,
-            static_cast<size_t>(sharded.shard(self).num_local_nodes()) *
-                tables.nq)),
         outbox_cur_(sharded.num_shards()),
         outbox_prev_(sharded.num_shards()) {
-    const size_t num_pairs =
-        static_cast<size_t>(shard_->num_local_nodes()) * tables.nq;
-    mask_.assign(num_pairs, 0);
-    pending_.assign(num_pairs, 0);
-    changed_flag_.assign(num_pairs, 0);
-    frontier_bits_ = BitVector(num_pairs);
-    next_bits_ = BitVector(num_pairs);
-    if (plan_->active) {
-      cond_expanded_.resize(plan_->num_loops);
-      cond_pending_.resize(plan_->num_loops);
-      cond_touched_.resize(plan_->num_loops);
-      for (uint32_t i = 0; i < plan_->num_loops; ++i) {
-        cond_expanded_[i].assign(plan_->comp_counts[i], 0);
-        cond_pending_[i].assign(plan_->comp_counts[i], 0);
-      }
-    }
+    sweeper_.Prepare(
+        ShardGraphView{shard_}, tables, plan,
+        ResolveDirectionPolicy(
+            validated,
+            static_cast<size_t>(shard_->num_local_nodes()) * tables.nq),
+        validated.exec);
   }
 
   /// True iff this shard still has local work: frontier pairs to expand or
-  /// star components awaiting the condensation closure (a pure-star query
-  /// seeds no per-edge frontier at all — the closure is its only engine).
-  bool has_local_work() const {
-    return !frontier_.empty() || !cond_heap_.empty();
-  }
-  RoundCounters* rounds() { return &rounds_; }
+  /// star components awaiting the condensation closure.
+  bool has_local_work() const { return sweeper_.has_local_work(); }
 
-  /// Resets the per-batch state (masks via the touched list) for a batch
-  /// whose full-lane mask is `batch_full`.
-  void BeginBatch(uint64_t batch_full) {
-    batch_full_ = batch_full;
-    for (size_t cell : touched_) mask_[cell] = 0;
-    touched_.clear();
-    for (size_t cell : changed_) changed_flag_[cell] = 0;
-    changed_.clear();
-    for (uint32_t i = 0; i < static_cast<uint32_t>(cond_touched_.size());
-         ++i) {
-      for (uint32_t c : cond_touched_[i]) cond_expanded_[i][c] = 0;
-      cond_touched_[i].clear();
-    }
-    frontier_.clear();
-    dense_ = false;
+  /// Returns the round counts accumulated since the last take, resetting
+  /// them. The driver folds the takes of one batch into one RoundCounters
+  /// row, so AccumulateStats sees per-batch rows — and dense_batches counts
+  /// batches, exactly like the monolithic engine, instead of
+  /// (shard × batch) combinations.
+  RoundCounters TakeBatchRounds() {
+    RoundCounters taken = rounds_;
+    rounds_ = RoundCounters{};
+    return taken;
   }
+
+  /// Resets the per-batch sweeper state for a batch whose full-lane mask is
+  /// `batch_full`.
+  void BeginBatch(uint64_t batch_full) { sweeper_.BeginBatch(batch_full); }
 
   /// Seeds lane `lane` at global source `src` (which this shard owns).
   void SeedLane(NodeId src, uint32_t lane) {
-    const NodeId v = src - shard_->node_begin();
-    Deliver(v, tables_->q0, uint64_t{1} << lane);
+    sweeper_.Deliver(src - shard_->node_begin(), tables_->q0,
+                     uint64_t{1} << lane);
   }
 
   /// One BSP superstep: apply every delivery addressed to this shard (in
@@ -1671,57 +693,19 @@ class ShardBinaryState {
   void RunSuperstep(std::span<ShardBinaryState> all, uint32_t self) {
     for (ShardBinaryState& sender : all) {
       for (const BinaryPush& push : sender.outbox_prev_[self]) {
-        Deliver(push.local, push.state, push.lanes);
+        sweeper_.Deliver(push.local, push.state, push.lanes);
       }
     }
-    RunLocalRounds();
+    sweeper_.RunRounds(&rounds_);
     if (exec_ != nullptr && exec_->tripped()) return;
     EmitPushes();
-  }
-
-  /// Runs the shard-local direction-optimized rounds until the local
-  /// frontier drains (the local fixed point given everything delivered so
-  /// far). The condensation closure runs before the first round (seed and
-  /// inbox gains) and after every round, exactly like the monolithic batch.
-  void RunLocalRounds() {
-    size_t frontier_pairs = frontier_.size();
-    frontier_pairs += RunCondenseClosure();
-    while (frontier_pairs > 0) {
-      // Per-local-round trip point; torn state is discarded by the driver's
-      // tripped() guard before any recovery.
-      if (exec_ != nullptr && !exec_->Checkpoint()) return;
-      rounds_.pairs += frontier_pairs;
-      const bool want_dense = frontier_pairs >= policy_.dense_cutoff_pairs;
-      if (want_dense != dense_) {
-        if (want_dense) {
-          SparseFrontierToBits();
-        } else {
-          BitsToSparseFrontier();
-        }
-        dense_ = want_dense;
-      }
-      if (dense_) {
-        frontier_pairs = DenseRound();
-        ++rounds_.dense;
-      } else {
-        frontier_pairs = SparseRound();
-        ++rounds_.sparse;
-      }
-      frontier_pairs += RunCondenseClosure();
-    }
-    dense_ = false;  // frontier is empty; both representations agree
   }
 
   /// Pushes the full current mask of every cell that gained lanes since the
   /// last emission along its boundary out-edges. Monotone re-push: a
   /// receiver merges only the fresh lanes, so repeated masks are no-ops.
   void EmitPushes() {
-    const uint32_t nq = tables_->nq;
-    for (size_t cell : changed_) {
-      changed_flag_[cell] = 0;
-      const NodeId v = static_cast<NodeId>(cell / nq);
-      const StateId q = static_cast<StateId>(cell % nq);
-      const uint64_t lanes = mask_[cell];
+    sweeper_.ForEachChangedCell([&](NodeId v, StateId q, uint64_t lanes) {
       for (const StateTransition& tr : tables_->transitions[q]) {
         for (NodeId u_global : shard_->OutBoundary(v, tr.symbol)) {
           const uint32_t dest = sharded_->ShardOf(u_global);
@@ -1730,8 +714,7 @@ class ShardBinaryState {
           outbox_cur_[dest].push_back(BinaryPush{local, tr.target, lanes});
         }
       }
-    }
-    changed_.clear();
+    });
   }
 
   /// Swaps the outbox buffers; returns the pushes the new prev holds.
@@ -1750,280 +733,17 @@ class ShardBinaryState {
   /// concatenation keeps each lane's destination list ascending overall.
   void CollectLanes(uint32_t lanes,
                     std::vector<NodeId> (*per_lane)[kLaneBatch]) {
-    const uint32_t nq = tables_->nq;
-    const NodeId base = shard_->node_begin();
-    const size_t num_pairs = mask_.size();
-    std::vector<NodeId>* lanes_out = *per_lane;
-    if (num_pairs > 0 && touched_.size() >= num_pairs / 4) {
-      const uint32_t local_nodes = shard_->num_local_nodes();
-      for (NodeId u = 0; u < local_nodes; ++u) {
-        uint64_t h = 0;
-        for (StateId q : tables_->accepting_states) {
-          h |= mask_[static_cast<size_t>(u) * nq + q];
-        }
-        while (h != 0) {
-          const int lane = std::countr_zero(h);
-          lanes_out[lane].push_back(base + u);
-          h &= h - 1;
-        }
-      }
-      return;
-    }
-    for (uint32_t lane = 0; lane < lanes; ++lane) scratch_[lane].clear();
-    for (size_t cell : touched_) {
-      const StateId q = static_cast<StateId>(cell % nq);
-      if (!tables_->accepting_flag[q]) continue;
-      const NodeId u = static_cast<NodeId>(cell / nq);
-      uint64_t h = mask_[cell];
-      while (h != 0) {
-        const int lane = std::countr_zero(h);
-        scratch_[lane].push_back(base + u);
-        h &= h - 1;
-      }
-    }
-    for (uint32_t lane = 0; lane < lanes; ++lane) {
-      std::vector<NodeId>& dsts = scratch_[lane];
-      std::sort(dsts.begin(), dsts.end());
-      dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
-      lanes_out[lane].insert(lanes_out[lane].end(), dsts.begin(),
-                             dsts.end());
-    }
+    sweeper_.CollectLanes(lanes, *per_lane);
   }
 
  private:
-  /// Merges `lanes` into local cell (v, q): fresh lanes update the mask,
-  /// mark the cell changed (for boundary re-push), queue the condensation
-  /// closure when q is a star state, and enqueue it in the sparse frontier.
-  /// Callable between rounds only (seeding, inbox drain), when the frontier
-  /// representation is sparse.
-  void Deliver(NodeId v, StateId q, uint64_t lanes) {
-    const size_t cell = static_cast<size_t>(v) * tables_->nq + q;
-    const uint64_t fresh = lanes & ~mask_[cell];
-    if (fresh == 0) return;
-    if (mask_[cell] == 0) touched_.push_back(cell);
-    mask_[cell] |= fresh;
-    MarkChanged(cell, v);
-    if (plan_->active && plan_->engaged_any[q]) {
-      TriggerCondense(v, q, fresh);
-    }
-    if (plan_->propagates[q] && !pending_[cell]) {
-      pending_[cell] = 1;
-      frontier_.emplace_back(v, q);
-    }
-  }
-
-  /// Pushes one (component, loop) heap entry (max-heap on component id —
-  /// reverse-topological pop order per label).
-  void HeapPush(uint32_t c, uint32_t loop_index) {
-    cond_heap_.emplace_back(c, loop_index);
-    std::push_heap(cond_heap_.begin(), cond_heap_.end());
-  }
-
-  /// Queues the star components of local cell (v, q) for the closure;
-  /// pending lanes accumulate component-level exactly like the monolithic
-  /// batch's TriggerCondense.
-  void TriggerCondense(NodeId v, StateId q, uint64_t lanes) {
-    const NodeId global = shard_->node_begin() + v;
-    for (const CondenseLoop& loop : plan_->loops[q]) {
-      const uint32_t c = loop.label->ComponentOf(global);
-      uint64_t& pending = cond_pending_[loop.index][c];
-      const uint64_t add =
-          lanes & ~cond_expanded_[loop.index][c] & ~pending;
-      if (add == 0) continue;
-      if (pending == 0) HeapPush(c, loop.index);
-      pending |= add;
-    }
-  }
-
-  /// The shard-local condensation closure: like the monolithic batch's, but
-  /// scattering only to members this shard owns (the condensation is built
-  /// on the global graph). Components spanning shard cuts propagate through
-  /// the boundary exchange: scattered cells are marked changed, so their
-  /// masks re-push along boundary out-edges at the next EmitPushes.
-  size_t RunCondenseClosure() {
-    size_t added = 0;
-    const uint32_t nq = tables_->nq;
-    const NodeId begin = shard_->node_begin();
-    const NodeId end = shard_->node_end();
-    while (!cond_heap_.empty()) {
-      // Per-wave trip point, mirroring the monolithic batch closure.
-      if (exec_ != nullptr && !exec_->Checkpoint()) return added;
-      std::pop_heap(cond_heap_.begin(), cond_heap_.end());
-      const auto [c, loop_index] = cond_heap_.back();
-      cond_heap_.pop_back();
-      uint64_t& pending = cond_pending_[loop_index][c];
-      const uint64_t lanes = pending & ~cond_expanded_[loop_index][c];
-      pending = 0;
-      if (lanes == 0) continue;
-      const CondenseLoop& loop = plan_->by_index[loop_index];
-      uint64_t& expanded = cond_expanded_[loop_index][c];
-      if (expanded == 0) cond_touched_[loop_index].push_back(c);
-      expanded |= lanes;
-      ++rounds_.condensed_expansions;
-      const auto members = loop.label->Members(c);
-      if (members.size() >= 2) ++rounds_.components_collapsed;
-
-      const StateId q = loop.state;
-      const bool propagates = plan_->propagates[q] != 0;
-      for (NodeId global : members) {
-        if (global < begin || global >= end) continue;  // not owned here
-        const NodeId u = global - begin;
-        const size_t cell = static_cast<size_t>(u) * nq + q;
-        const uint64_t fresh = lanes & ~mask_[cell];
-        if (fresh == 0) continue;
-        if (mask_[cell] == 0) touched_.push_back(cell);
-        mask_[cell] |= fresh;
-        MarkChanged(cell, u);
-        TriggerCondense(u, q, fresh);  // feeds the state's other star labels
-        if (!propagates) continue;
-        if (dense_) {
-          if (!frontier_bits_.Test(cell)) {
-            frontier_bits_.Set(cell);
-            ++added;
-          }
-        } else if (!pending_[cell]) {
-          pending_[cell] = 1;
-          frontier_.emplace_back(u, q);
-          ++added;
-        }
-      }
-      for (uint32_t succ : loop.label->DagOut(c)) {
-        uint64_t& succ_pending = cond_pending_[loop_index][succ];
-        const uint64_t add =
-            lanes & ~cond_expanded_[loop_index][succ] & ~succ_pending;
-        if (add == 0) continue;
-        if (succ_pending == 0) HeapPush(succ, loop_index);
-        succ_pending |= add;
-      }
-    }
-    return added;
-  }
-
-  void MarkChanged(size_t cell, NodeId v) {
-    if (!changed_flag_[cell] && shard_->HasOutBoundary(v)) {
-      changed_flag_[cell] = 1;
-      changed_.push_back(cell);
-    }
-  }
-
-  /// Sparse top-down round over the shard's internal out-edges; identical
-  /// to BinaryBatchScratch::SparseRound plus changed-cell tracking.
-  size_t SparseRound() {
-    const uint32_t nq = tables_->nq;
-    next_.clear();
-    for (auto [v, q] : frontier_) {
-      const size_t vq = static_cast<size_t>(v) * nq + q;
-      pending_[vq] = 0;
-      const uint64_t lanes_here = mask_[vq];
-      const bool check_engaged = plan_->active && plan_->engaged_any[q];
-      for (const StateTransition& tr : tables_->transitions[q]) {
-        if (check_engaged && tr.target == q &&
-            plan_->Engaged(q, tr.symbol)) {
-          continue;  // the closure owns the star hop
-        }
-        for (NodeId u : shard_->OutNeighborsLocal(v, tr.symbol)) {
-          const size_t ut = static_cast<size_t>(u) * nq + tr.target;
-          const uint64_t fresh = lanes_here & ~mask_[ut];
-          if (fresh == 0) continue;
-          if (mask_[ut] == 0) touched_.push_back(ut);
-          mask_[ut] |= fresh;
-          MarkChanged(ut, u);
-          if (plan_->active && plan_->engaged_any[tr.target]) {
-            TriggerCondense(u, tr.target, fresh);
-          }
-          if (plan_->propagates[tr.target] && !pending_[ut]) {
-            pending_[ut] = 1;
-            next_.emplace_back(u, tr.target);
-          }
-        }
-      }
-    }
-    std::swap(frontier_, next_);
-    return frontier_.size();
-  }
-
-  /// Dense bottom-up round over the shard's internal in-edges; identical to
-  /// BinaryBatchScratch::DenseRound plus changed-cell tracking.
-  size_t DenseRound() {
-    const uint32_t nq = tables_->nq;
-    const FrozenDfa& frozen = *tables_->frozen;
-    next_bits_.Clear();
-    size_t next_pairs = 0;
-    const uint32_t local_nodes = shard_->num_local_nodes();
-    auto in = [this](NodeId u, Symbol a) {
-      return shard_->InNeighborsLocal(u, a);
-    };
-    for (StateId t = 0; t < nq; ++t) {
-      if (frozen.ReverseInto(t).empty()) continue;
-      const bool has_out = plan_->propagates[t] != 0;
-      const bool engaged = plan_->active && plan_->engaged_any[t];
-      for (NodeId u = 0; u < local_nodes; ++u) {
-        const size_t cell = static_cast<size_t>(u) * nq + t;
-        const uint64_t missing = batch_full_ & ~mask_[cell];
-        if (missing == 0) continue;
-        const uint64_t gained =
-            PullMissingLanes(*tables_, *plan_, frontier_bits_, mask_, in, u,
-                             t, missing);
-        if (gained == 0) continue;
-        if (mask_[cell] == 0) touched_.push_back(cell);
-        mask_[cell] |= gained;
-        MarkChanged(cell, u);
-        if (engaged) TriggerCondense(u, t, gained);
-        if (has_out) {
-          next_bits_.Set(cell);
-          ++next_pairs;
-        }
-      }
-    }
-    std::swap(frontier_bits_, next_bits_);
-    return next_pairs;
-  }
-
-  void SparseFrontierToBits() {
-    const uint32_t nq = tables_->nq;
-    for (auto [v, q] : frontier_) {
-      const size_t vq = static_cast<size_t>(v) * nq + q;
-      pending_[vq] = 0;
-      frontier_bits_.Set(vq);
-    }
-    frontier_.clear();
-  }
-
-  void BitsToSparseFrontier() {
-    const uint32_t nq = tables_->nq;
-    frontier_.clear();
-    frontier_bits_.ForEachSetBit([&](size_t cell) {
-      pending_[cell] = 1;
-      frontier_.emplace_back(static_cast<NodeId>(cell / nq),
-                             static_cast<StateId>(cell % nq));
-    });
-    frontier_bits_.Clear();
-  }
-
   const ShardedGraph* sharded_;
   const GraphShard* shard_;
   const BinaryTables* tables_;
-  const CondensePlan* plan_;
   ExecContext* exec_;
-  DirectionPolicy policy_;
-  std::vector<uint64_t> mask_;
-  std::vector<uint8_t> pending_;
-  std::vector<uint8_t> changed_flag_;
-  std::vector<size_t> touched_;
-  std::vector<size_t> changed_;
-  std::vector<std::pair<NodeId, StateId>> frontier_;
-  std::vector<std::pair<NodeId, StateId>> next_;
-  std::vector<std::pair<uint32_t, uint32_t>> cond_heap_;
-  std::vector<std::vector<uint64_t>> cond_expanded_;  // per loop × component
-  std::vector<std::vector<uint64_t>> cond_pending_;   // per loop × component
-  std::vector<std::vector<uint32_t>> cond_touched_;
-  BitVector frontier_bits_;
-  BitVector next_bits_;
+  BinarySweeper<ShardGraphView> sweeper_;
   std::vector<std::vector<BinaryPush>> outbox_cur_;
   std::vector<std::vector<BinaryPush>> outbox_prev_;
-  uint64_t batch_full_ = 0;
-  bool dense_ = false;
-  std::vector<NodeId> scratch_[kLaneBatch];
   RoundCounters rounds_;
 };
 
@@ -2055,6 +775,9 @@ StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryShardedImpl(
 
   std::vector<ShardBinaryState> shards;
   std::vector<std::pair<NodeId, NodeId>> result;
+  // One row per batch (not per shard), so AccumulateStats' dense_batches
+  // matches the monolithic engine's meaning for every shard count.
+  std::vector<RoundCounters> per_batch_rounds;
   uint64_t supersteps = 0;
   uint64_t delivered = 0;
   if (charge.ok()) {
@@ -2067,6 +790,7 @@ StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryShardedImpl(
 
     TransientCharge outbox_charge(exec);
     const size_t num_batches = (sources.size() + kLaneBatch - 1) / kLaneBatch;
+    per_batch_rounds.resize(num_batches);
     std::vector<NodeId> per_lane[kLaneBatch];
     for (size_t batch = 0; batch < num_batches; ++batch) {
       if (exec != nullptr && exec->tripped()) break;
@@ -2108,6 +832,12 @@ StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryShardedImpl(
         outbox_charge.Update(pending_pushes * sizeof(BinaryPush));
         if (pending_pushes == 0) break;
       }
+      // Fold every shard's counts for this batch into the batch's row —
+      // including a torn batch's partial counts, which the totals (and the
+      // trip status' progress annotation) must still cover.
+      for (ShardBinaryState& shard : shards) {
+        per_batch_rounds[batch] += shard.TakeBatchRounds();
+      }
       if (exec != nullptr && exec->tripped()) break;  // torn batch: discard
 
       // Recover this batch's pairs: ascending shards append ascending
@@ -2124,12 +854,7 @@ StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryShardedImpl(
     }
   }
 
-  std::vector<RoundCounters> per_shard;
-  per_shard.reserve(shards.size());
-  for (ShardBinaryState& shard : shards) {
-    per_shard.push_back(*shard.rounds());
-  }
-  const RoundCounters totals = AccumulateStats(validated, per_shard);
+  const RoundCounters totals = AccumulateStats(validated, per_batch_rounds);
   if (validated.stats != nullptr) {
     validated.stats->supersteps.fetch_add(supersteps,
                                           std::memory_order_relaxed);
@@ -2183,11 +908,11 @@ StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryImpl(
     ScopedExecCharge charge(exec, BinaryScratchBytes(num_pairs, plan));
     if (charge.ok()) {
       BinaryBatchScratch scratch;
-      scratch.Prepare(num_pairs, plan);
+      scratch.Prepare(graph, tables, plan, policy, exec);
       for (size_t batch = 0; batch < num_batches; ++batch) {
         if (exec != nullptr && exec->tripped()) break;
-        scratch.RunBatch(graph, tables, plan, policy, batch_sources(batch),
-                         exec, &result, &per_batch_rounds[batch]);
+        scratch.RunBatch(batch_sources(batch), exec, &result,
+                         &per_batch_rounds[batch]);
       }
     }
     const RoundCounters totals = AccumulateStats(validated, per_batch_rounds);
@@ -2207,9 +932,8 @@ StatusOr<std::vector<std::pair<NodeId, NodeId>>> EvalBinaryImpl(
     EvalPool().ParallelFor(
         workers, num_batches,
         [&](uint32_t worker, size_t batch) {
-          scratch[worker].Prepare(num_pairs, plan);
-          scratch[worker].RunBatch(graph, tables, plan, policy,
-                                   batch_sources(batch), exec,
+          scratch[worker].Prepare(graph, tables, plan, policy, exec);
+          scratch[worker].RunBatch(batch_sources(batch), exec,
                                    &per_batch[batch],
                                    &per_batch_rounds[batch]);
         },

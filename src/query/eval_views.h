@@ -1,0 +1,79 @@
+#ifndef RPQLEARN_QUERY_EVAL_VIEWS_H_
+#define RPQLEARN_QUERY_EVAL_VIEWS_H_
+
+/// Adjacency views the round-engine sweepers (MonadicSweeper<View>,
+/// BinarySweeper<View>) are instantiated over. A view supplies everything a
+/// sweep needs to run the same round machinery against different backing
+/// adjacency:
+///
+///   - `num_nodes()` — the node count of the view's (local) id space;
+///   - `Out(v, a)` / `In(v, a)` — per-label adjacency in local ids;
+///   - `OwnsGlobal(g)` / `ToLocal(g)` / `ToGlobal(v)` — the local↔global id
+///     map and the ownership filter the condensation closure scatters
+///     through (condensations are built on the global graph);
+///   - `kTracksChanged` — whether the sweep must record cells whose lane
+///     mask grew, for re-push along boundary out-edges; views that set it
+///     also supply `HasOutBoundary(v)`.
+///
+/// The monolithic engines use GlobalGraphView (the id spaces coincide,
+/// nothing is tracked); the BSP sharded engines use ShardGraphView (one
+/// shard's internal edges; cross-shard edges are handled by the outbox
+/// exchange around the sweeper). A future RPC transport or delta-overlay
+/// adjacency slots in as one more view — not a fifth engine.
+
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/shard.h"
+
+namespace rpqlearn {
+namespace eval_internal {
+
+struct GlobalGraphView {
+  const Graph* graph;
+  /// Nothing downstream of a monolithic sweep re-pushes masks, so changed
+  /// cells are not tracked (and HasOutBoundary is not part of this view).
+  static constexpr bool kTracksChanged = false;
+  uint32_t num_nodes() const { return graph->num_nodes(); }
+  std::span<const NodeId> Out(NodeId v, Symbol a) const {
+    return graph->OutNeighbors(v, a);
+  }
+  std::span<const NodeId> In(NodeId v, Symbol a) const {
+    return graph->InNeighbors(v, a);
+  }
+  // Condensations are built on the global graph; the global view's id
+  // spaces coincide.
+  bool OwnsGlobal(NodeId) const { return true; }
+  NodeId ToLocal(NodeId global) const { return global; }
+  NodeId ToGlobal(NodeId local) const { return local; }
+};
+
+struct ShardGraphView {
+  const GraphShard* shard;
+  /// Cells that gain lanes on nodes with boundary out-edges re-push their
+  /// masks through the BSP exchange after every superstep.
+  static constexpr bool kTracksChanged = true;
+  uint32_t num_nodes() const { return shard->num_local_nodes(); }
+  std::span<const NodeId> Out(NodeId v, Symbol a) const {
+    return shard->OutNeighborsLocal(v, a);
+  }
+  std::span<const NodeId> In(NodeId v, Symbol a) const {
+    return shard->InNeighborsLocal(v, a);
+  }
+  // Shard-local sweeps consult the global condensation for owned nodes
+  // only; components spanning shard cuts propagate through the BSP
+  // boundary exchange like any other cross-shard edge.
+  bool OwnsGlobal(NodeId global) const {
+    return global >= shard->node_begin() && global < shard->node_end();
+  }
+  NodeId ToLocal(NodeId global) const { return global - shard->node_begin(); }
+  NodeId ToGlobal(NodeId local) const { return local + shard->node_begin(); }
+  bool HasOutBoundary(NodeId local) const {
+    return shard->HasOutBoundary(local);
+  }
+};
+
+}  // namespace eval_internal
+}  // namespace rpqlearn
+
+#endif  // RPQLEARN_QUERY_EVAL_VIEWS_H_

@@ -46,7 +46,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task captures any exception into its future
+    task();  // the Submit wrapper captures any exception into its TaskState
   }
 }
 
@@ -96,15 +96,19 @@ void ThreadPool::ParallelFor(
 
   const uint32_t helpers = static_cast<uint32_t>(std::min<size_t>(
       std::min(num_workers - 1, num_threads()), count - 1));
-  std::vector<std::future<void>> pending;
+  std::vector<TaskFuture<void>> pending;
   pending.reserve(helpers);
   for (uint32_t helper = 0; helper < helpers; ++helper) {
     pending.push_back(Submit([run_worker, helper] { run_worker(helper + 1); }));
   }
   run_worker(0);
-  for (std::future<void>& future : pending) future.get();
+  for (TaskFuture<void>& future : pending) future.Get();
 
-  if (state->first_error) std::rethrow_exception(state->first_error);
+  // Every executor has drained by now, so the state is exclusively ours.
+  // Move the exception out before rethrowing so the caller's catch site owns
+  // the last reference and its destruction happens on this thread.
+  std::exception_ptr error = std::move(state->first_error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace rpqlearn

@@ -6,17 +6,91 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace rpqlearn {
 
 class ExecContext;
+
+namespace internal {
+
+/// Shared completion slot behind TaskFuture. All cross-thread traffic —
+/// result, exception, readiness — goes through `mutex`, so every
+/// happens-before edge is visible to TSan even when the standard library
+/// itself is uninstrumented. (std::future synchronizes through atomics
+/// inside libstdc++; when that .so is built without TSan, the tool cannot
+/// see the release/acquire pair and reports a false race between the
+/// worker's destruction of the shared state and the consumer's read of the
+/// result. See ThreadPoolTest.ExceptionPropagatesOutOfSubmit.)
+template <typename R>
+struct TaskState {
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  bool ready = false;
+  std::exception_ptr error;
+  std::optional<R> value;
+};
+
+template <>
+struct TaskState<void> {
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  bool ready = false;
+  std::exception_ptr error;
+};
+
+}  // namespace internal
+
+/// One-shot future for a task submitted to ThreadPool. Move-only; `Get()`
+/// blocks until the task finishes, then returns its result or rethrows the
+/// exception it threw. Unlike std::future, `Get()` *moves* the result and
+/// any stored exception out of the shared state before releasing the lock,
+/// so their destruction always happens on the consuming thread — never
+/// concurrently on the worker that produced them.
+template <typename R>
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+  explicit TaskFuture(std::shared_ptr<internal::TaskState<R>> state)
+      : state_(std::move(state)) {}
+
+  TaskFuture(TaskFuture&&) = default;
+  TaskFuture& operator=(TaskFuture&&) = default;
+  TaskFuture(const TaskFuture&) = delete;
+  TaskFuture& operator=(const TaskFuture&) = delete;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Waits for completion, then returns the task's result (rethrows its
+  /// exception). Consumes the future: `valid()` is false afterwards.
+  R Get() {
+    std::shared_ptr<internal::TaskState<R>> state = std::move(state_);
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->ready_cv.wait(lock, [&] { return state->ready; });
+    std::exception_ptr error = std::move(state->error);
+    if (error) {
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+    if constexpr (!std::is_void_v<R>) {
+      R result = std::move(*state->value);
+      state->value.reset();
+      lock.unlock();
+      return result;
+    }
+  }
+
+ private:
+  std::shared_ptr<internal::TaskState<R>> state_;
+};
 
 /// Fixed-size thread pool: a single locked FIFO queue drained by `num_threads`
 /// workers — deliberately work-stealing-free, so scheduling is easy to reason
@@ -43,20 +117,45 @@ class ThreadPool {
     return static_cast<uint32_t>(workers_.size());
   }
 
-  /// Enqueues `task` and returns a future for its result. An exception
-  /// thrown by the task is captured and rethrown from `future.get()`.
+  /// Enqueues `task` and returns a TaskFuture for its result. An exception
+  /// thrown by the task is captured and rethrown from `future.Get()`.
   template <typename F>
-  auto Submit(F task) -> std::future<std::invoke_result_t<F>> {
+  auto Submit(F task) -> TaskFuture<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto packaged =
-        std::make_shared<std::packaged_task<R()>>(std::move(task));
-    std::future<R> future = packaged->get_future();
+    auto state = std::make_shared<internal::TaskState<R>>();
+    auto wrapper = [state, task = std::move(task)]() mutable {
+      std::exception_ptr error;
+      if constexpr (std::is_void_v<R>) {
+        try {
+          task();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->error = std::move(error);
+        state->ready = true;
+      } else {
+        std::optional<R> result;
+        try {
+          result.emplace(task());
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->value = std::move(result);
+        state->error = std::move(error);
+        state->ready = true;
+      }
+      // Notify while the worker still holds its shared_ptr, so the state
+      // cannot be destroyed underneath the notify.
+      state->ready_cv.notify_all();
+    };
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([packaged] { (*packaged)(); });
+      queue_.emplace_back(std::move(wrapper));
     }
     wake_workers_.notify_one();
-    return future;
+    return TaskFuture<R>(std::move(state));
   }
 
   /// Runs `fn(worker, index)` for every index in [0, count), dynamically

@@ -251,6 +251,43 @@ TEST(EvalShardOracleTest, ShardedStatsEngageOnBoundaryHeavyGraphs) {
   EXPECT_GT(monadic_stats.supersteps.load(), 0u);
 }
 
+TEST(EvalShardOracleTest, DenseBatchesCountsBatchesNotShards) {
+  // dense_batches must mean "batches in which at least one dense round ran"
+  // on every engine. The sharded engine used to fold one counter row per
+  // *shard* into the accumulator, so an all-dense 3-batch evaluation on 4
+  // shards reported 4 while the monolithic engine reported 3.
+  GraphBuilder builder;
+  const uint32_t n = 140;  // 3 all-sources batches: 64 + 64 + 12
+  builder.AddNodes(n);
+  const Symbol a = builder.InternLabel("a");
+  for (NodeId v = 0; v < n; ++v) builder.AddEdge(v, a, (v + 1) % n);
+  Graph g = builder.Build();
+  Dfa star(1);  // L(star) = a*
+  star.AddState(/*accepting=*/true);
+  star.SetTransition(0, a, 0);
+
+  // Condensation off: with it on, the closure settles the whole cycle at
+  // seed time and no rounds (dense or sparse) run at all.
+  EvalStats mono_stats;
+  EvalOptions mono = SweepOptions(1, 1, EvalMode::kDense);
+  mono.condense = CondenseMode::kOff;
+  mono.stats = &mono_stats;
+  ASSERT_TRUE(EvalBinary(g, star, mono).ok());
+  ASSERT_EQ(mono_stats.dense_batches.load(), 3u);
+
+  for (uint32_t shards : {2u, 4u, 8u}) {
+    for (uint32_t threads : kThreadSweep) {
+      EvalStats stats;
+      EvalOptions options = SweepOptions(shards, threads, EvalMode::kDense);
+      options.condense = CondenseMode::kOff;
+      options.stats = &stats;
+      ASSERT_TRUE(EvalBinary(g, star, options).ok());
+      EXPECT_EQ(stats.dense_batches.load(), 3u)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
 TEST(EvalShardOracleTest, ShardCountIsPureSchedulingAcrossThreads) {
   // One fixed workload: every (shards, threads) pair must agree exactly,
   // including the stats counters (per-shard work is deterministic given the

@@ -8,8 +8,11 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/exec_context.h"
 
 namespace rpqlearn {
 namespace {
@@ -18,31 +21,31 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(4);
   EXPECT_EQ(pool.num_threads(), 4u);
   std::atomic<int> counter{0};
-  std::vector<std::future<void>> futures;
+  std::vector<TaskFuture<void>> futures;
   for (int i = 0; i < 200; ++i) {
     futures.push_back(pool.Submit([&counter] { ++counter; }));
   }
-  for (auto& f : futures) f.get();
+  for (auto& f : futures) f.Get();
   EXPECT_EQ(counter.load(), 200);
 }
 
 TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
   ThreadPool pool(2);
-  std::future<int> sum = pool.Submit([] { return 40 + 2; });
-  std::future<std::string> text =
+  TaskFuture<int> sum = pool.Submit([] { return 40 + 2; });
+  TaskFuture<std::string> text =
       pool.Submit([] { return std::string("done"); });
-  EXPECT_EQ(sum.get(), 42);
-  EXPECT_EQ(text.get(), "done");
+  EXPECT_EQ(sum.Get(), 42);
+  EXPECT_EQ(text.Get(), "done");
 }
 
 TEST(ThreadPoolTest, ExceptionPropagatesOutOfSubmit) {
   ThreadPool pool(2);
-  std::future<int> failing = pool.Submit(
+  TaskFuture<int> failing = pool.Submit(
       []() -> int { throw std::runtime_error("task failed"); });
   EXPECT_THROW(
       {
         try {
-          failing.get();
+          failing.Get();
         } catch (const std::runtime_error& e) {
           EXPECT_STREQ(e.what(), "task failed");
           throw;
@@ -50,18 +53,46 @@ TEST(ThreadPoolTest, ExceptionPropagatesOutOfSubmit) {
       },
       std::runtime_error);
   // The worker that ran the throwing task must survive for later tasks.
-  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+  EXPECT_EQ(pool.Submit([] { return 7; }).Get(), 7);
+}
+
+// Regression for a load-dependent TSan flake: with std::future, the worker's
+// destruction of the shared state (and the exception object inside it) raced
+// the consumer's read of `e.what()` whenever the standard library was built
+// without instrumentation. TaskFuture::Get moves the exception out under its
+// own mutex, so the last reference always dies on the consuming thread. Keep
+// the pool busy with background churn so task teardown happens while the
+// consumer thread is inspecting the exception — the original failure mode.
+TEST(ThreadPoolTest, ExceptionStressUnderLoad) {
+  ThreadPool pool(4);
+  std::atomic<int> churn{0};
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<TaskFuture<void>> background;
+    for (int i = 0; i < 8; ++i) {
+      background.push_back(pool.Submit([&churn] { ++churn; }));
+    }
+    TaskFuture<int> failing = pool.Submit(
+        []() -> int { throw std::runtime_error("stress failure"); });
+    try {
+      failing.Get();
+      FAIL() << "expected the task's exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "stress failure");
+    }
+    for (auto& f : background) f.Get();
+  }
+  EXPECT_EQ(churn.load(), 300 * 8);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
   ThreadPool pool(3);
   for (int round = 0; round < 50; ++round) {
     std::atomic<int> counter{0};
-    std::vector<std::future<void>> futures;
+    std::vector<TaskFuture<void>> futures;
     for (int i = 0; i < 20; ++i) {
       futures.push_back(pool.Submit([&counter] { ++counter; }));
     }
-    for (auto& f : futures) f.get();
+    for (auto& f : futures) f.Get();
     ASSERT_EQ(counter.load(), 20) << "round " << round;
   }
 }
@@ -165,6 +196,79 @@ TEST(ThreadPoolTest, ParallelForWithMoreWorkersThanWorkOrThreads) {
   });
   EXPECT_EQ(counter.load(), 3);
   pool.ParallelFor(5, 0, [](uint32_t, size_t) { FAIL(); });
+}
+
+// helpers = min(num_workers - 1, num_threads(), count - 1): a single index
+// must never recruit a helper — the whole loop runs inline on the caller as
+// worker 0.
+TEST(ThreadPoolTest, ParallelForSingleIndexRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelFor(8, 1, [&](uint32_t worker, size_t index) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(index, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// num_workers == 1 → helpers = 0: every index runs sequentially on the
+// calling thread, so a non-atomic counter and thread-id check are safe.
+TEST(ThreadPoolTest, ParallelForSingleWorkerStaysOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t calls = 0;
+  size_t last_index = 0;
+  pool.ParallelFor(1, 100, [&](uint32_t worker, size_t index) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    if (calls > 0) {
+      EXPECT_EQ(index, last_index + 1);  // dynamic draw is FIFO
+    }
+    last_index = index;
+    ++calls;
+  });
+  EXPECT_EQ(calls, 100u);
+}
+
+// A context that tripped before the loop starts must abandon every index:
+// executors check tripped() before their first draw.
+TEST(ThreadPoolTest, ParallelForTrippedBeforeFirstDrawRunsNothing) {
+  ThreadPool pool(4);
+  ExecContext exec;
+  exec.Cancel();
+  EXPECT_FALSE(exec.Checkpoint());  // latch the trip
+  ASSERT_TRUE(exec.tripped());
+  std::atomic<int> ran{0};
+  pool.ParallelFor(4, 50, [&ran](uint32_t, size_t) { ++ran; }, &exec);
+  EXPECT_EQ(ran.load(), 0);
+  // Same for the degenerate single-index inline path.
+  pool.ParallelFor(1, 1, [&ran](uint32_t, size_t) { ++ran; }, &exec);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// A trip mid-loop drains the executors without an exception and leaves the
+// remaining indices unvisited.
+TEST(ThreadPoolTest, ParallelForTrippedMidLoopAbandonsRemainder) {
+  ThreadPool pool(2);
+  ExecContext exec;
+  std::atomic<int> ran{0};
+  pool.ParallelFor(
+      2, 1000,
+      [&](uint32_t, size_t index) {
+        ++ran;
+        if (index == 3) {
+          exec.Cancel();
+          exec.Checkpoint();  // latch so tripped() flips for everyone
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      },
+      &exec);
+  EXPECT_TRUE(exec.tripped());
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LT(ran.load(), 1000);
 }
 
 }  // namespace
