@@ -6,6 +6,7 @@
 // configuration checks the fast path's output against the reference before
 // reporting, so a reported speedup is also a correctness witness.
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <string>
@@ -14,10 +15,12 @@
 #include "automata/pta.h"
 #include "bench/bench_common.h"
 #include "graph/condense.h"
+#include "graph/dynamic.h"
 #include "graph/generators.h"
 #include "graph/shard.h"
 #include "learn/rpni.h"
 #include "query/eval.h"
+#include "query/eval_incremental.h"
 #include "query/eval_reference.h"
 #include "query/path_query.h"
 #include "util/logging.h"
@@ -628,6 +631,289 @@ DynamicBenchResult BenchDynamic(uint32_t num_nodes, int trials) {
   return result;
 }
 
+struct IncrementalPointResult {
+  uint32_t updates = 0;
+  double incremental_seconds = 0;
+  double full_seconds = 0;
+  double compact_seconds = 0;
+  uint64_t insert_repairs = 0;
+  uint64_t delete_fallbacks = 0;
+  uint64_t delta_cells_seeded = 0;
+};
+
+struct IncrementalTraceResult {
+  const char* name = "";
+  std::vector<IncrementalPointResult> points;
+};
+
+struct IncrementalBenchResult {
+  uint32_t nodes = 0;
+  size_t edges = 0;
+  size_t num_sources = 0;
+  double single_insert_speedup = 0;
+  std::vector<IncrementalTraceResult> traces;
+};
+
+/// One update of a precomputed incremental-bench trace.
+struct BenchUpdate {
+  bool is_insert = true;
+  NodeId src = 0;
+  Symbol label = 0;
+  NodeId dst = 0;
+};
+
+/// Draws a deterministic 256-update trace against `base`: `insert_bias` of
+/// the draws insert a missing edge, the rest delete a live one, all on the
+/// query alphabet {l0, l1, l2} so every update is relevant to the
+/// materialized fixed point (inserts repair in place, deletes fall back).
+std::vector<BenchUpdate> DrawBenchUpdates(const Graph& base, uint64_t seed,
+                                          double insert_bias) {
+  Rng rng(seed);
+  Graph sim = base;
+  std::vector<BenchUpdate> updates;
+  while (updates.size() < 256) {
+    BenchUpdate u;
+    u.src = static_cast<NodeId>(rng.NextBelow(sim.num_nodes()));
+    u.dst = static_cast<NodeId>(rng.NextBelow(sim.num_nodes()));
+    u.label = static_cast<Symbol>(rng.NextBelow(3));
+    u.is_insert = rng.NextBernoulli(insert_bias);
+    if (u.is_insert == sim.HasEdge(u.src, u.label, u.dst)) continue;
+    if (u.is_insert) {
+      sim.InsertEdge(u.src, u.label, u.dst);
+    } else {
+      sim.DeleteEdge(u.src, u.label, u.dst);
+    }
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+/// Incremental result maintenance versus re-evaluation: a MaterializedQuery
+/// registered on a DynamicGraph absorbs k updates (delta-frontier insert
+/// repairs, per-label delete fallbacks) and serves Results(), against (a)
+/// applying the same k updates to a pristine copy and re-running
+/// EvalBinaryFromSources through the overlay, and (b) the same plus a
+/// Compact() into a clean CSR first. All three sides are checked
+/// bit-identical per point before timing; setup (the graph copy and the
+/// initial fixed-point build) stays outside the timed region, so a point
+/// times exactly "k updates arrive, then the result is read". The headline
+/// `single_insert.speedup` — insert-heavy trace at k=1 — is the number the
+/// tentpole claim rides on, gated in bench/baseline.json.
+IncrementalBenchResult BenchIncremental(uint32_t num_nodes, int trials) {
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = num_nodes;
+  graph_options.num_edges = 3 * static_cast<size_t>(num_nodes);
+  graph_options.num_labels = 8;
+  graph_options.seed = 7;
+  const Graph base = GenerateScaleFree(graph_options);
+  const Dfa query = CompileQuery("(l0+l1)*.l2", base);
+
+  // One full 64-source lane batch, drawn deterministically.
+  std::vector<NodeId> sources;
+  Rng source_rng(0x50a5);
+  for (int i = 0; i < 64; ++i) {
+    sources.push_back(static_cast<NodeId>(source_rng.NextBelow(num_nodes)));
+  }
+
+  IncrementalBenchResult result;
+  result.nodes = base.num_nodes();
+  result.edges = base.num_edges();
+  result.num_sources = sources.size();
+
+  EvalOptions options;
+  options.threads = 1;
+
+  const struct {
+    const char* name;
+    uint64_t seed;
+    double insert_bias;
+  } kTraces[] = {{"insert_heavy", 0x11a5e7, 1.0},
+                 {"delete_heavy", 0xde1e7e, 0.0},
+                 {"mixed", 0x3eed, 0.5}};
+  for (const auto& spec : kTraces) {
+    std::vector<BenchUpdate> updates =
+        DrawBenchUpdates(base, spec.seed, spec.insert_bias);
+    // The insert-heavy stream leads with an update that actually lands a
+    // delta frontier, so the k=1 headline times the in-place repair path
+    // rather than the (much cheaper) empty-frontier no-op detection.
+    if (spec.insert_bias == 1.0) {
+      for (size_t i = 0; i < updates.size(); ++i) {
+        DynamicGraph probe(base);
+        probe.set_auto_compact_threshold(0);
+        auto mq = bench::UnwrapOrExit(
+            probe.Materialize(query, sources, options), "Materialize");
+        probe.InsertEdge(updates[i].src, updates[i].label, updates[i].dst);
+        if (mq->stats().insert_repairs == 1) {
+          std::rotate(updates.begin(),
+                      updates.begin() + static_cast<ptrdiff_t>(i),
+                      updates.end());
+          break;
+        }
+      }
+    }
+    IncrementalTraceResult trace;
+    trace.name = spec.name;
+
+    for (uint32_t k : {1u, 8u, 64u, 256u}) {
+      IncrementalPointResult point;
+      point.updates = k;
+
+      const auto apply_to_graph = [&updates, k](Graph* g) {
+        for (uint32_t i = 0; i < k; ++i) {
+          const BenchUpdate& u = updates[i];
+          if (u.is_insert) {
+            g->InsertEdge(u.src, u.label, u.dst);
+          } else {
+            g->DeleteEdge(u.src, u.label, u.dst);
+          }
+        }
+      };
+      const auto apply_to_dynamic = [&updates, k](DynamicGraph* dyn) {
+        for (uint32_t i = 0; i < k; ++i) {
+          const BenchUpdate& u = updates[i];
+          if (u.is_insert) {
+            dyn->InsertEdge(u.src, u.label, u.dst);
+          } else {
+            dyn->DeleteEdge(u.src, u.label, u.dst);
+          }
+        }
+      };
+
+      // Correctness first: the maintained result is bit-identical to the
+      // from-scratch evaluation of the updated graph.
+      {
+        DynamicGraph dyn(base);
+        dyn.set_auto_compact_threshold(0);  // time pure repair, no compaction
+        auto mq = bench::UnwrapOrExit(dyn.Materialize(query, sources, options),
+                                      "Materialize");
+        apply_to_dynamic(&dyn);
+        auto maintained = bench::UnwrapOrExit(mq->Results(), "mq->Results");
+        Graph updated = base;
+        apply_to_graph(&updated);
+        auto scratch = bench::UnwrapOrExit(
+            EvalBinaryFromSources(updated, query, sources, options),
+            "EvalBinaryFromSources");
+        RPQ_CHECK(maintained == scratch)
+            << "materialized result diverged from re-evaluation, trace="
+            << spec.name << " k=" << k;
+        point.insert_repairs = mq->stats().insert_repairs;
+        point.delete_fallbacks = mq->stats().delete_fallbacks;
+        point.delta_cells_seeded = mq->stats().delta_cells_seeded;
+      }
+
+      WallTimer timer;
+      double total = 0;
+      for (int t = 0; t < trials; ++t) {
+        DynamicGraph dyn(base);
+        dyn.set_auto_compact_threshold(0);
+        auto mq = bench::UnwrapOrExit(dyn.Materialize(query, sources, options),
+                                      "Materialize");
+        timer.Restart();
+        apply_to_dynamic(&dyn);
+        auto pairs = bench::UnwrapOrExit(mq->Results(), "mq->Results");
+        total += timer.ElapsedSeconds();
+        RPQ_CHECK(!pairs.empty() || mq->num_results() == 0);
+      }
+      point.incremental_seconds = total / trials;
+
+      total = 0;
+      for (int t = 0; t < trials; ++t) {
+        Graph g = base;
+        timer.Restart();
+        apply_to_graph(&g);
+        auto pairs = bench::UnwrapOrExit(
+            EvalBinaryFromSources(g, query, sources, options),
+            "EvalBinaryFromSources");
+        total += timer.ElapsedSeconds();
+      }
+      point.full_seconds = total / trials;
+
+      total = 0;
+      for (int t = 0; t < trials; ++t) {
+        Graph g = base;
+        timer.Restart();
+        apply_to_graph(&g);
+        g.Compact();
+        auto pairs = bench::UnwrapOrExit(
+            EvalBinaryFromSources(g, query, sources, options),
+            "EvalBinaryFromSources");
+        total += timer.ElapsedSeconds();
+      }
+      point.compact_seconds = total / trials;
+
+      if (std::string(spec.name) == "insert_heavy" && k == 1) {
+        result.single_insert_speedup =
+            Speedup(point.full_seconds, point.incremental_seconds);
+      }
+      trace.points.push_back(point);
+    }
+    result.traces.push_back(trace);
+  }
+  return result;
+}
+
+void PrintIncremental(const IncrementalBenchResult& r) {
+  std::printf("incremental materialized eval (delta-frontier repair vs "
+              "re-evaluation, %u nodes, %zu edges, %zu sources, 1 thread; "
+              "RPQ_EVAL_INCREMENTAL gates the fuzz rows):\n",
+              r.nodes, r.edges, r.num_sources);
+  for (const IncrementalTraceResult& trace : r.traces) {
+    std::printf("  %s:\n", trace.name);
+    for (const IncrementalPointResult& p : trace.points) {
+      std::printf("    k=%-4u incremental %10.6fs  full %10.6fs (%.1fx)  "
+                  "compact+eval %10.6fs  (%llu repairs, %llu fallbacks, "
+                  "%llu cells seeded)\n",
+                  p.updates, p.incremental_seconds, p.full_seconds,
+                  Speedup(p.full_seconds, p.incremental_seconds),
+                  p.compact_seconds,
+                  static_cast<unsigned long long>(p.insert_repairs),
+                  static_cast<unsigned long long>(p.delete_fallbacks),
+                  static_cast<unsigned long long>(p.delta_cells_seeded));
+    }
+  }
+  std::printf("  single-insert headline: incremental %.1fx vs full "
+              "re-evaluation\n",
+              r.single_insert_speedup);
+}
+
+void PrintIncrementalJson(FILE* out, const IncrementalBenchResult& r) {
+  std::fprintf(out,
+               "  \"eval_incremental\": {\n"
+               "    \"nodes\": %u,\n"
+               "    \"edges\": %zu,\n"
+               "    \"sources\": %zu,\n"
+               "    \"single_insert\": {\n"
+               "      \"speedup\": %.2f\n"
+               "    },\n",
+               r.nodes, r.edges, r.num_sources, r.single_insert_speedup);
+  for (size_t i = 0; i < r.traces.size(); ++i) {
+    const IncrementalTraceResult& trace = r.traces[i];
+    std::fprintf(out, "    \"%s\": {\n", trace.name);
+    for (size_t j = 0; j < trace.points.size(); ++j) {
+      const IncrementalPointResult& p = trace.points[j];
+      std::fprintf(out,
+                   "      \"k%u\": {\n"
+                   "        \"incremental_seconds\": %.6f,\n"
+                   "        \"full_seconds\": %.6f,\n"
+                   "        \"compact_seconds\": %.6f,\n"
+                   "        \"incremental_vs_full_speedup\": %.2f,\n"
+                   "        \"insert_repairs\": %llu,\n"
+                   "        \"delete_fallbacks\": %llu,\n"
+                   "        \"delta_cells_seeded\": %llu\n"
+                   "      }%s\n",
+                   p.updates, p.incremental_seconds, p.full_seconds,
+                   p.compact_seconds,
+                   Speedup(p.full_seconds, p.incremental_seconds),
+                   static_cast<unsigned long long>(p.insert_repairs),
+                   static_cast<unsigned long long>(p.delete_fallbacks),
+                   static_cast<unsigned long long>(p.delta_cells_seeded),
+                   j + 1 < trace.points.size() ? "," : "");
+    }
+    std::fprintf(out, "    }%s\n", i + 1 < r.traces.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n");
+}
+
 void PrintDynamic(const DynamicBenchResult& r) {
   std::printf("dynamic eval (overlay vs rebuild after k updates, %u nodes, "
               "%zu edges, 1 thread):\n",
@@ -663,7 +949,7 @@ void PrintDynamicJson(FILE* out, const DynamicBenchResult& r) {
                  Speedup(p.rebuild_seconds, p.overlay_seconds),
                  i + 1 < r.points.size() ? "," : "");
   }
-  std::fprintf(out, "  }\n");
+  std::fprintf(out, "  },\n");
 }
 
 /// Full configuration-cube identity check on a reduced high-density
@@ -922,6 +1208,14 @@ int main() {
   auto dynamic = BenchDynamic(eval_nodes, trials);
   PrintDynamic(dynamic);
 
+  // --- incremental materialized results ---------------------------------
+  // Delta-frontier repair of a retained fixed point (MaterializedQuery on
+  // a DynamicGraph) versus re-evaluating after the same updates, sweeping
+  // insert-heavy / delete-heavy / mixed traces over k; the single-insert
+  // speedup is the headline gated in bench/baseline.json.
+  auto incremental = BenchIncremental(eval_nodes, trials);
+  PrintIncremental(incremental);
+
   FILE* out = std::fopen("BENCH_hotpath.json", "w");
   RPQ_CHECK(out != nullptr) << "cannot write BENCH_hotpath.json";
   std::fprintf(out,
@@ -978,6 +1272,7 @@ int main() {
   std::fprintf(out, "  },\n");
   PrintCondensedJson(out, condensed);
   PrintDynamicJson(out, dynamic);
+  PrintIncrementalJson(out, incremental);
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote BENCH_hotpath.json\n");

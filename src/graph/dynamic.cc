@@ -16,6 +16,27 @@ void DynamicGraph::MaintainCondensation(std::span<const Symbol> labels) {
   condensed_.emplace(CondensedGraph::Build(graph_, labels));
 }
 
+StatusOr<MaterializedQuery*> DynamicGraph::Materialize(
+    const Dfa& query, std::span<const NodeId> sources,
+    const EvalOptions& options) {
+  StatusOr<std::unique_ptr<MaterializedQuery>> created =
+      MaterializedQuery::Create(graph_, query, sources, options);
+  if (!created.ok()) return created.status();
+  MaterializedQuery* raw = created->get();
+  materialized_.push_back(std::move(*created));
+  return raw;
+}
+
+StatusOr<MaterializedMonadic*> DynamicGraph::MaterializeMonadic(
+    const Dfa& query, const EvalOptions& options) {
+  StatusOr<std::unique_ptr<MaterializedMonadic>> created =
+      MaterializedMonadic::Create(graph_, query, options);
+  if (!created.ok()) return created.status();
+  MaterializedMonadic* raw = created->get();
+  materialized_.push_back(std::move(*created));
+  return raw;
+}
+
 bool DynamicGraph::InsertEdge(NodeId src, Symbol a, NodeId dst) {
   if (!graph_.InsertEdge(src, a, dst)) {
     ++stats_.rejected_updates;
@@ -23,6 +44,8 @@ bool DynamicGraph::InsertEdge(NodeId src, Symbol a, NodeId dst) {
   }
   ++stats_.inserts;
   ApplyToSnapshots(a, src, dst, /*inserted=*/true);
+  for (const auto& view : materialized_) view->OnInsertEdge(src, a, dst);
+  MaybeAutoCompact();
   return true;
 }
 
@@ -33,7 +56,16 @@ bool DynamicGraph::DeleteEdge(NodeId src, Symbol a, NodeId dst) {
   }
   ++stats_.deletes;
   ApplyToSnapshots(a, src, dst, /*inserted=*/false);
+  for (const auto& view : materialized_) view->OnDeleteEdge(src, a, dst);
+  MaybeAutoCompact();
   return true;
+}
+
+void DynamicGraph::MaybeAutoCompact() {
+  if (auto_compact_threshold_ == 0) return;
+  if (graph_.num_pending_deltas() < auto_compact_threshold_) return;
+  Compact();
+  ++stats_.auto_compactions;
 }
 
 void DynamicGraph::ApplyToSnapshots(Symbol a, NodeId src, NodeId dst,
@@ -71,6 +103,7 @@ void DynamicGraph::Compact() {
   if (sharded_) {
     sharded_.emplace(ShardedGraph::Partition(graph_, sharded_->num_shards()));
   }
+  for (const auto& view : materialized_) view->OnCompact();
 }
 
 EvalOptions DynamicGraph::WithCaches(EvalOptions options) const {

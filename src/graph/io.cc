@@ -1,9 +1,11 @@
 #include "graph/io.h"
 
+#include <cstdint>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -83,10 +85,105 @@ void WriteGraphText(const Graph& graph, std::ostream& out) {
   }
 }
 
+namespace {
+
+/// Parses a full non-negative integer node id; rejects partial matches
+/// ("12x"), empty fields, and values outside NodeId range.
+bool ParseNodeId(std::string_view field, uint32_t* out) {
+  if (field.empty()) return false;
+  uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > UINT32_MAX) return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
+/// Splits one edge-list row into trimmed fields: on commas when the row
+/// contains one (CSV), otherwise on runs of whitespace.
+std::vector<std::string_view> SplitEdgeRow(std::string_view row,
+                                           std::string* csv_storage) {
+  std::vector<std::string_view> fields;
+  if (row.find(',') != std::string_view::npos) {
+    *csv_storage = std::string(row);
+    std::string_view rest = *csv_storage;
+    while (true) {
+      const size_t comma = rest.find(',');
+      fields.push_back(StripWhitespace(rest.substr(0, comma)));
+      if (comma == std::string_view::npos) break;
+      rest = rest.substr(comma + 1);
+    }
+    return fields;
+  }
+  size_t i = 0;
+  while (i < row.size()) {
+    while (i < row.size() && (row[i] == ' ' || row[i] == '\t')) ++i;
+    if (i >= row.size()) break;
+    const size_t begin = i;
+    while (i < row.size() && row[i] != ' ' && row[i] != '\t') ++i;
+    fields.push_back(row.substr(begin, i - begin));
+  }
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<Graph> ReadEdgeList(std::istream& in) {
+  struct PendingEdge {
+    uint32_t src;
+    std::string label;
+    uint32_t dst;
+  };
+  std::vector<PendingEdge> edges;
+  uint32_t max_node = 0;
+  bool any_edge = false;
+
+  std::string line;
+  std::string csv_storage;
+  size_t row_number = 0;
+  while (std::getline(in, line)) {
+    ++row_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::vector<std::string_view> fields =
+        SplitEdgeRow(stripped, &csv_storage);
+    const auto bad_row = [&](const char* why) {
+      return Status::InvalidArgument("bad edge-list row " +
+                                     std::to_string(row_number) + " (" + why +
+                                     "): " + std::string(stripped));
+    };
+    if (fields.size() != 3) return bad_row("expected src, label, dst");
+    uint32_t src;
+    uint32_t dst;
+    if (!ParseNodeId(fields[0], &src)) return bad_row("bad source id");
+    if (!ParseNodeId(fields[2], &dst)) return bad_row("bad destination id");
+    if (fields[1].empty()) return bad_row("empty label");
+    edges.push_back(PendingEdge{src, std::string(fields[1]), dst});
+    max_node = std::max(max_node, std::max(src, dst));
+    any_edge = true;
+  }
+  if (in.bad()) return Status::Internal("edge-list stream read error");
+
+  GraphBuilder builder;
+  if (any_edge) builder.AddNodes(max_node + 1);
+  for (const PendingEdge& e : edges) {
+    builder.AddEdge(e.src, e.label, e.dst);
+  }
+  return builder.Build();
+}
+
 StatusOr<Graph> LoadGraphFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   return ReadGraphText(in);
+}
+
+StatusOr<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadEdgeList(in);
 }
 
 Status SaveGraphFile(const Graph& graph, const std::string& path) {

@@ -19,9 +19,22 @@ StatusOr<Graph> ReadGraphText(std::istream& in);
 /// Writes the graph in the format accepted by ReadGraphText.
 void WriteGraphText(const Graph& graph, std::ostream& out);
 
+/// Edge-list format, the shape real-world labeled-graph dumps come in: one
+/// edge per row, `<src> <label> <dst>`, separated by commas or whitespace
+/// (per row — a row containing a comma splits on commas, otherwise on
+/// whitespace, so CSV exports and space/tab-separated dumps both load
+/// unchanged). `# comment` rows and blank rows are skipped. Node ids are
+/// dense non-negative integers; nodes are created implicitly up to the
+/// largest id mentioned; labels are interned by name in first-seen order.
+/// The parse is streaming (one pass, one row buffered) and loud: a row with
+/// the wrong field count, a non-integer endpoint, or an empty label is
+/// InvalidArgument naming the row number — never silently skipped.
+StatusOr<Graph> ReadEdgeList(std::istream& in);
+
 /// File wrappers around the stream functions.
 StatusOr<Graph> LoadGraphFile(const std::string& path);
 Status SaveGraphFile(const Graph& graph, const std::string& path);
+StatusOr<Graph> LoadEdgeList(const std::string& path);
 
 }  // namespace rpqlearn
 

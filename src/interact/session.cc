@@ -6,6 +6,7 @@
 #include "graph/shard.h"
 #include "learn/incremental.h"
 #include "query/eval.h"
+#include "query/eval_incremental.h"
 #include "query/metrics.h"
 #include "util/exec_context.h"
 #include "util/logging.h"
@@ -44,6 +45,15 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
     eval.condensed_cache = &*condense_cache;
   }
 
+  // Materialized-result cache for the per-interaction hypothesis
+  // evaluations: the learner's hypotheses recur as labels arrive (a negative
+  // often sends it back to an earlier query), and the session graph never
+  // mutates, so a repeat hypothesis is answered from its retained fixed
+  // point without any sweep (src/query/eval_incremental.h). Results are
+  // bit-identical to EvalMonadic — the cache re-verifies graph versions per
+  // lookup and falls back to a full sweep on any mismatch.
+  MonadicResultCache result_cache(graph, eval);
+
   // Incremental learner: SCPs and coverage automata are cached across
   // interactions and only revalidated when negatives arrive.
   LearnerOptions learner_options = options.learner;
@@ -64,13 +74,13 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
     if (outcome.is_null) return -1.0;
     result.final_query = outcome.query;
     have_query = true;
-    StatusOr<BitVector> selected =
-        EvalMonadic(graph, result.final_query, eval);
+    StatusOr<const BitVector*> selected =
+        result_cache.Evaluate(result.final_query);
     if (!selected.ok()) {
       result.status = selected.status();
       return -1.0;
     }
-    return ComputeMetrics(*selected, oracle.goal()).f1;
+    return ComputeMetrics(**selected, oracle.goal()).f1;
   };
 
   while (result.interactions.size() < options.max_interactions) {

@@ -98,6 +98,15 @@ class BinarySweeper {
 
   const BinaryTables& tables() const { return *tables_; }
 
+  /// Lane mask currently settled at cell (v, q), in the view's local id
+  /// space. Readable between rounds, like Deliver — the incremental
+  /// delta-frontier seeding (src/query/eval_incremental.h) reads the
+  /// retained fixed point through this to decide which cells a new edge can
+  /// actually grow.
+  uint64_t LaneMask(NodeId v, StateId q) const {
+    return mask_[static_cast<size_t>(v) * tables_->nq + q];
+  }
+
   /// True iff the sweep still has local work: frontier pairs to expand or
   /// star components awaiting the condensation closure (a pure-star query
   /// seeds no per-edge frontier at all — the closure is its only engine).

@@ -48,6 +48,31 @@ struct GlobalGraphView {
   NodeId ToGlobal(NodeId local) const { return local; }
 };
 
+/// GlobalGraphView with changed-cell tracking switched on: every cell whose
+/// lane mask grows is recorded, and every node counts as boundary (there is
+/// no shard cut to filter by). The incremental-maintenance layer
+/// (src/query/eval_incremental.h) sweeps over this view so a delta repair
+/// can drain exactly the cells it grew — patching the retained per-source
+/// result lists in O(gained cells) instead of re-collecting the whole fixed
+/// point.
+struct TrackingGraphView {
+  const Graph* graph;
+  static constexpr bool kTracksChanged = true;
+  uint32_t num_nodes() const { return graph->num_nodes(); }
+  std::span<const NodeId> Out(NodeId v, Symbol a) const {
+    return graph->OutNeighbors(v, a);
+  }
+  std::span<const NodeId> In(NodeId v, Symbol a) const {
+    return graph->InNeighbors(v, a);
+  }
+  bool OwnsGlobal(NodeId) const { return true; }
+  NodeId ToLocal(NodeId global) const { return global; }
+  NodeId ToGlobal(NodeId local) const { return local; }
+  /// Every mask gain matters to the result-list patcher, not just gains on
+  /// shard-boundary nodes.
+  bool HasOutBoundary(NodeId) const { return true; }
+};
+
 struct ShardGraphView {
   const GraphShard* shard;
   /// Cells that gain lanes on nodes with boundary out-edges re-push their

@@ -16,6 +16,7 @@
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "query/eval.h"
+#include "query/eval_incremental.h"
 #include "query/eval_reference.h"
 #include "regex/printer.h"
 #include "regex/random_regex.h"
@@ -45,7 +46,10 @@ namespace {
 // campaign (RPQ_FUZZ_UPDATES, on by default) that replays random
 // insert/delete/compact/evaluate traces through the delta-edge overlay and
 // its maintained ShardedGraph/CondensedGraph snapshots, diffing every
-// evaluation bit-for-bit against a rebuild-from-scratch oracle.
+// evaluation bit-for-bit against a rebuild-from-scratch oracle. The update
+// campaign additionally carries live materialized queries
+// (RPQ_EVAL_INCREMENTAL, on by default) whose delta-frontier repairs are
+// held to the same bit-for-bit standard at every evaluation step.
 //
 // The default run fuzzes 200 cases; set RPQ_FUZZ_ITERS for longer campaigns
 // (the nightly CI job runs 10×).
@@ -70,6 +74,26 @@ FuzzUpdates FuzzUpdatesMode() {
   if (value == "on" || value == "1") return FuzzUpdates::kOn;
   if (value == "off" || value == "0") return FuzzUpdates::kOff;
   return FuzzUpdates::kInvalid;
+}
+
+/// Whether the update campaign additionally carries *live materialized
+/// queries* (src/query/eval_incremental.h) through every trace — a
+/// MaterializedQuery over the case's source set and a MaterializedMonadic,
+/// registered on the trace's DynamicGraph so every insert is repaired by
+/// delta-frontier re-seeding, every relevant delete falls back to a
+/// rebuild, and auto-compactions fire at a deliberately tiny threshold —
+/// each diffed bit-for-bit against the rebuild oracle at every evaluation
+/// step. RPQ_EVAL_INCREMENTAL ∈ {on, off}, default on (the nightly matrix
+/// sweeps both). Any other value is a typo and fails the campaign loudly.
+enum class FuzzIncremental { kOff, kOn, kInvalid };
+
+FuzzIncremental FuzzIncrementalMode() {
+  const char* env = std::getenv("RPQ_EVAL_INCREMENTAL");
+  if (env == nullptr) return FuzzIncremental::kOn;
+  const std::string value(env);
+  if (value == "on" || value == "1") return FuzzIncremental::kOn;
+  if (value == "off" || value == "0") return FuzzIncremental::kOff;
+  return FuzzIncremental::kInvalid;
 }
 
 /// Whether the fault-injection campaign runs: RPQ_FUZZ_FAULTS ∈ {on, off},
@@ -902,6 +926,21 @@ std::string RunReferenceSerialized(const Graph& graph, const Dfa& query,
 /// Sentinel: no sabotage — the honest replay of the campaign.
 constexpr size_t kNoSabotage = static_cast<size_t>(-1);
 
+/// Which deliberate bug a replay injects, for the harness-sensitivity
+/// tests. Both flavors target the trace's last insert step.
+enum class Sabotage {
+  kNone,
+  /// The insert is applied to the oracle model but *withheld* from the
+  /// DynamicGraph, as if the overlay had dropped the update — every
+  /// evaluation after it can see the divergence.
+  kDropLastInsert,
+  /// The insert reaches the DynamicGraph (plain evaluations stay correct)
+  /// but the live materialized queries withhold their delta-frontier
+  /// re-seeding (SkipNextInsertReseedForTesting) — a wrong incremental
+  /// repair only the materialized diff can catch.
+  kSkipLastReseed,
+};
+
 /// Replays `trace` and serializes every evaluation's engine result (plus
 /// edge-count/version breadcrumbs), returning the mismatch count against
 /// the rebuild-from-scratch oracle. The engine side is a DynamicGraph with
@@ -910,21 +949,23 @@ constexpr size_t kNoSabotage = static_cast<size_t>(-1);
 /// an independent edge-set model rebuilt into a fresh CSR per evaluation
 /// and evaluated by the seed reference.
 ///
-/// `sabotage_last_insert` simulates an overlay bug for the
-/// harness-sensitivity test: the trace's last insert step is applied to the
-/// oracle model but *withheld* from the DynamicGraph, as if the overlay had
-/// dropped the update.
+/// With RPQ_EVAL_INCREMENTAL on (the default), the DynamicGraph also
+/// carries a MaterializedQuery over the case's sources and (query alphabet
+/// permitting) a MaterializedMonadic across the whole trace — inserts
+/// repaired in place, deletes falling back, auto-compactions firing at a
+/// tiny threshold — and every evaluation step additionally diffs both
+/// materialized results against the same oracle.
 uint32_t ReplayTrace(const UpdateTrace& trace, const Dfa& query,
                      const UpdateRow& row, CheckKind check,
                      uint32_t case_shards, CondenseMode case_condense,
                      uint32_t bound, const std::vector<NodeId>& sources,
-                     bool sabotage_last_insert, std::string* fingerprint) {
+                     Sabotage sabotage, std::string* fingerprint) {
   const uint32_t n = trace.initial.num_nodes;
   const uint32_t num_labels = trace.initial.num_labels;
   if (n == 0) return 0;
 
   size_t sabotaged_step = kNoSabotage;
-  if (sabotage_last_insert) {
+  if (sabotage != Sabotage::kNone) {
     for (size_t i = trace.steps.size(); i-- > 0;) {
       if (trace.steps[i].kind == TraceStep::kInsert) {
         sabotaged_step = i;
@@ -941,7 +982,28 @@ uint32_t ReplayTrace(const UpdateTrace& trace, const Dfa& query,
 
   const EvalOptions base_options =
       UpdateRowOptions(row, case_shards, case_condense);
+  const std::vector<NodeId> clamped = ClampSources(sources, n);
   uint32_t mismatch_count = 0;
+
+  // Live materialized queries riding the full trace. A tiny auto-compact
+  // threshold makes most traces compact mid-flight, covering the
+  // notification path and snapshot repair under materialized results.
+  // Monadic materialization follows the monadic checks' contract: skipped
+  // for oversized query alphabets.
+  MaterializedQuery* mq = nullptr;
+  MaterializedMonadic* mm = nullptr;
+  if (FuzzIncrementalMode() == FuzzIncremental::kOn) {
+    dynamic.set_auto_compact_threshold(6);
+    StatusOr<MaterializedQuery*> binary =
+        dynamic.Materialize(query, clamped, base_options);
+    if (binary.ok()) mq = *binary; else ++mismatch_count;
+    if (query.num_symbols() <= num_labels) {
+      StatusOr<MaterializedMonadic*> monadic =
+          dynamic.MaterializeMonadic(query, base_options);
+      if (monadic.ok()) mm = *monadic; else ++mismatch_count;
+    }
+  }
+
   size_t eval_index = 0;
   for (size_t i = 0; i < trace.steps.size(); ++i) {
     const TraceStep& step = trace.steps[i];
@@ -951,7 +1013,14 @@ uint32_t ReplayTrace(const UpdateTrace& trace, const Dfa& query,
     switch (step.kind) {
       case TraceStep::kInsert:
         model.insert({src, label, dst});
-        if (i != sabotaged_step) dynamic.InsertEdge(src, label, dst);
+        if (i == sabotaged_step && sabotage == Sabotage::kDropLastInsert) {
+          break;
+        }
+        if (i == sabotaged_step && sabotage == Sabotage::kSkipLastReseed) {
+          if (mq != nullptr) mq->SkipNextInsertReseedForTesting();
+          if (mm != nullptr) mm->SkipNextInsertReseedForTesting();
+        }
+        dynamic.InsertEdge(src, label, dst);
         break;
       case TraceStep::kDelete:
         model.erase({src, label, dst});
@@ -968,7 +1037,6 @@ uint32_t ReplayTrace(const UpdateTrace& trace, const Dfa& query,
         rebuilt.edges.assign(model.begin(), model.end());
         const Graph oracle_graph = rebuilt.BuildGraph();
 
-        const std::vector<NodeId> clamped = ClampSources(sources, n);
         EvalOptions options = base_options;
         if (eval_index % 2 == 0) options = dynamic.WithCaches(options);
         StatusOr<std::string> actual = RunCheckSerialized(
@@ -987,6 +1055,52 @@ uint32_t ReplayTrace(const UpdateTrace& trace, const Dfa& query,
                           std::to_string(dynamic.graph().version()) + " -> " +
                           (actual.ok() ? *actual : actual.status().ToString())
                           + "\n";
+        }
+
+        // The live materialized results, diffed against the same oracle.
+        if (mq != nullptr) {
+          StatusOr<std::vector<std::pair<NodeId, NodeId>>> pairs =
+              mq->Results();
+          std::string mq_actual;
+          if (pairs.ok()) {
+            for (const auto& [s, d] : *pairs) {
+              mq_actual += std::to_string(s) + ">" + std::to_string(d) + ";";
+            }
+          } else {
+            mq_actual = pairs.status().ToString();
+          }
+          const std::string mq_expected = RunReferenceSerialized(
+              oracle_graph, query, CheckKind::kBinaryFromSources, bound,
+              clamped);
+          if (mq_actual != mq_expected) ++mismatch_count;
+          if (fingerprint != nullptr) {
+            *fingerprint += "  mq repairs=" +
+                            std::to_string(mq->stats().insert_repairs) +
+                            " rebuilds=" +
+                            std::to_string(mq->stats().full_evals) + " -> " +
+                            mq_actual + "\n";
+          }
+        }
+        if (mm != nullptr) {
+          StatusOr<const BitVector*> selected = mm->Results();
+          std::string mm_actual;
+          if (selected.ok()) {
+            for (uint32_t v : (*selected)->ToIndices()) {
+              mm_actual += std::to_string(v) + ";";
+            }
+          } else {
+            mm_actual = selected.status().ToString();
+          }
+          const std::string mm_expected = RunReferenceSerialized(
+              oracle_graph, query, CheckKind::kMonadic, bound, clamped);
+          if (mm_actual != mm_expected) ++mismatch_count;
+          if (fingerprint != nullptr) {
+            *fingerprint += "  mm repairs=" +
+                            std::to_string(mm->stats().insert_repairs) +
+                            " rebuilds=" +
+                            std::to_string(mm->stats().full_evals) + " -> " +
+                            mm_actual + "\n";
+          }
         }
         ++eval_index;
         break;
@@ -1138,6 +1252,10 @@ TEST(EvalFuzzTest, UpdateInterleavingDifferentialCampaign) {
     GTEST_SKIP() << "update-interleaving campaign disabled; set "
                     "RPQ_FUZZ_UPDATES=on to run it";
   }
+  ASSERT_NE(FuzzIncrementalMode(), FuzzIncremental::kInvalid)
+      << "invalid RPQ_EVAL_INCREMENTAL value \""
+      << std::getenv("RPQ_EVAL_INCREMENTAL")
+      << "\"; expected \"on\" or \"off\"";
 
   const uint32_t iterations = FuzzIterations();
   const uint32_t shard_override = FuzzShardOverride();
@@ -1162,8 +1280,7 @@ TEST(EvalFuzzTest, UpdateInterleavingDifferentialCampaign) {
           UpdateCheckFor(iteration + r, update.base.oversized_alphabet);
       if (ReplayTrace(update.trace, update.base.query.dfa, row, check,
                       case_shards, case_condense, update.bound,
-                      update.sources, /*sabotage_last_insert=*/false,
-                      nullptr) == 0) {
+                      update.sources, Sabotage::kNone, nullptr) == 0) {
         continue;
       }
       ++mismatching_cases;
@@ -1172,8 +1289,7 @@ TEST(EvalFuzzTest, UpdateInterleavingDifferentialCampaign) {
           ShrinkTrace(update.trace, [&](const UpdateTrace& candidate) {
             return ReplayTrace(candidate, update.base.query.dfa, row, check,
                                case_shards, case_condense, update.bound,
-                               update.sources,
-                               /*sabotage_last_insert=*/false, nullptr) > 0;
+                               update.sources, Sabotage::kNone, nullptr) > 0;
           });
       ADD_FAILURE() << UpdateReproBlock(
           case_seed, check, row, case_shards, case_condense, minimized,
@@ -1208,11 +1324,11 @@ TEST(EvalFuzzTest, UpdateTraceReplayIsDeterministic) {
     const uint32_t mismatches_first = ReplayTrace(
         update.trace, update.base.query.dfa, row, check,
         update.base.case_shards, update.base.case_condense, update.bound,
-        update.sources, /*sabotage_last_insert=*/false, &first);
+        update.sources, Sabotage::kNone, &first);
     const uint32_t mismatches_second = ReplayTrace(
         update.trace, update.base.query.dfa, row, check,
         update.base.case_shards, update.base.case_condense, update.bound,
-        update.sources, /*sabotage_last_insert=*/false, &second);
+        update.sources, Sabotage::kNone, &second);
     ASSERT_EQ(mismatches_first, 0u) << "case_seed=" << case_seed;
     ASSERT_EQ(mismatches_second, 0u);
     ASSERT_EQ(first, second) << "replay diverged, case_seed=" << case_seed;
@@ -1241,7 +1357,7 @@ TEST(EvalFuzzTest, InjectedOverlayBugIsCaughtAndShrunkToAMinimalTrace) {
       return ReplayTrace(candidate, update.base.query.dfa, row, check,
                          update.base.case_shards, update.base.case_condense,
                          update.bound, update.sources,
-                         /*sabotage_last_insert=*/true, nullptr) > 0;
+                         Sabotage::kDropLastInsert, nullptr) > 0;
     };
     if (!buggy_fails(update.trace)) continue;  // bug invisible in this case
 
@@ -1261,6 +1377,58 @@ TEST(EvalFuzzTest, InjectedOverlayBugIsCaughtAndShrunkToAMinimalTrace) {
   }
   FAIL() << "no corpus case exposed the injected overlay bug within 60 "
             "iterations — the campaign lost its sensitivity";
+}
+
+TEST(EvalFuzzTest, WithheldReseedIsCaughtByTheMaterializedDiff) {
+  // Harness-sensitivity proof for the incremental layer: the trace's last
+  // insert reaches the DynamicGraph — every plain evaluation stays correct
+  // — but the live materialized queries withhold their delta-frontier
+  // re-seeding, so only the materialized diff can see the corruption.
+  // Catching and shrinking it proves the campaign genuinely exercises the
+  // in-place repair path rather than riding along on rebuilds.
+  if (FuzzUpdatesMode() == FuzzUpdates::kOff) {
+    GTEST_SKIP() << "update-interleaving campaign disabled";
+  }
+  if (FuzzIncrementalMode() != FuzzIncremental::kOn) {
+    GTEST_SKIP() << "materialized-query rows disabled; set "
+                    "RPQ_EVAL_INCREMENTAL=on to run them";
+  }
+  Rng master(0x5eedda7a);
+  for (uint32_t iteration = 0; iteration < 60; ++iteration) {
+    const uint64_t case_seed = master.Next();
+    Rng rng(case_seed);
+    const UpdateCase update = DrawUpdateCase(&rng);
+    const UpdateRow& row = kUpdateRows[iteration % 4];
+    const CheckKind check = CheckKind::kBinaryAllPairs;
+    const auto buggy_fails = [&](const UpdateTrace& candidate) {
+      return ReplayTrace(candidate, update.base.query.dfa, row, check,
+                         update.base.case_shards, update.base.case_condense,
+                         update.bound, update.sources,
+                         Sabotage::kSkipLastReseed, nullptr) > 0;
+    };
+    // A case only exposes the bug when the last insert actually grows the
+    // materialized results and nothing downstream forces a healing rebuild
+    // — most corpus cases qualify within a few draws.
+    if (!buggy_fails(update.trace)) continue;
+
+    // The honest replay of the same trace must be clean: the corruption is
+    // the sabotage, not the trace.
+    ASSERT_EQ(ReplayTrace(update.trace, update.base.query.dfa, row, check,
+                          update.base.case_shards, update.base.case_condense,
+                          update.bound, update.sources, Sabotage::kNone,
+                          nullptr),
+              0u)
+        << "case_seed=" << case_seed;
+
+    const UpdateTrace minimized = ShrinkTrace(update.trace, buggy_fails);
+    // Minimal witness: an insert whose re-seed is withheld, then an
+    // evaluation that reads the stale materialization.
+    EXPECT_LE(minimized.steps.size(), 4u);
+    EXPECT_TRUE(buggy_fails(minimized));
+    return;  // demonstrated: caught + shrunk
+  }
+  FAIL() << "no corpus case exposed the withheld re-seed within 60 "
+            "iterations — the materialized rows lost their sensitivity";
 }
 
 }  // namespace

@@ -25,8 +25,10 @@ namespace eval_internal {
 // here does for the global view.
 template class MonadicSweeper<GlobalGraphView>;
 template class MonadicSweeper<ShardGraphView>;
+template class MonadicSweeper<TrackingGraphView>;
 template class BinarySweeper<GlobalGraphView>;
 template class BinarySweeper<ShardGraphView>;
+template class BinarySweeper<TrackingGraphView>;
 
 }  // namespace eval_internal
 }  // namespace rpqlearn

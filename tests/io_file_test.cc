@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
 
 #include "graph/fixtures.h"
 #include "graph/io.h"
@@ -45,6 +48,92 @@ TEST_F(IoFileTest, SaveToUnwritablePathFails) {
 TEST_F(IoFileTest, LoadedGraphIsQueryable) {
   ASSERT_TRUE(SaveGraphFile(Figure3G0(), path_).ok());
   StatusOr<Graph> loaded = LoadGraphFile(path_);
+  ASSERT_TRUE(loaded.ok());
+  Symbol a = *loaded->alphabet().Find("a");
+  Symbol b = *loaded->alphabet().Find("b");
+  EXPECT_TRUE(loaded->HasPathFrom(0, {a, b, a}));
+}
+
+void WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST_F(IoFileTest, EdgeListWhitespaceRows) {
+  WriteFile(path_,
+            "# a comment row\n"
+            "0 knows 1\n"
+            "\t1\tlikes\t2\n"
+            "\n"
+            "2 knows 0\n");
+  StatusOr<Graph> loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 3u);
+  EXPECT_EQ(loaded->num_edges(), 3u);
+  Symbol knows = *loaded->alphabet().Find("knows");
+  Symbol likes = *loaded->alphabet().Find("likes");
+  EXPECT_TRUE(loaded->HasEdge(0, knows, 1));
+  EXPECT_TRUE(loaded->HasEdge(1, likes, 2));
+  EXPECT_TRUE(loaded->HasEdge(2, knows, 0));
+}
+
+TEST_F(IoFileTest, EdgeListCsvRowsWithPadding) {
+  WriteFile(path_,
+            "0,a,1\n"
+            " 1 , b , 2 \n"
+            "4,a,0\n");  // implicit nodes up to the max id
+  StatusOr<Graph> loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), 5u);
+  EXPECT_EQ(loaded->num_edges(), 3u);
+  Symbol b = *loaded->alphabet().Find("b");
+  EXPECT_TRUE(loaded->HasEdge(1, b, 2));
+}
+
+TEST_F(IoFileTest, EdgeListMalformedRowsFailLoudly) {
+  const struct {
+    const char* content;
+    const char* what;
+  } kCases[] = {
+      {"0 knows\n", "missing field"},
+      {"0 knows 1 extra\n", "surplus field"},
+      {"x knows 1\n", "non-integer source"},
+      {"0 knows 1x\n", "non-integer destination"},
+      {"0,,1\n", "empty label"},
+      {"0 knows -1\n", "negative id"},
+  };
+  for (const auto& c : kCases) {
+    WriteFile(path_, std::string("0 a 1\n") + c.content);
+    StatusOr<Graph> loaded = LoadEdgeList(path_);
+    EXPECT_FALSE(loaded.ok()) << c.what;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << c.what;
+    // The error names the offending row.
+    EXPECT_NE(loaded.status().message().find("row 2"), std::string::npos)
+        << loaded.status().ToString();
+  }
+}
+
+TEST_F(IoFileTest, EdgeListEmptyStreamIsEmptyGraph) {
+  WriteFile(path_, "# only comments\n\n");
+  StatusOr<Graph> loaded = LoadEdgeList(path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 0u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+}
+
+TEST_F(IoFileTest, EdgeListMissingFileIsNotFound) {
+  StatusOr<Graph> result = LoadEdgeList("/nonexistent/path/edges.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoFileTest, EdgeListRoundTripsThroughEvaluation) {
+  // An edge-list-loaded graph behaves like a built one end to end.
+  WriteFile(path_,
+            "0 a 1\n"
+            "1 b 2\n"
+            "2 a 3\n");
+  StatusOr<Graph> loaded = LoadEdgeList(path_);
   ASSERT_TRUE(loaded.ok());
   Symbol a = *loaded->alphabet().Find("a");
   Symbol b = *loaded->alphabet().Find("b");
