@@ -47,6 +47,18 @@ inline uint32_t ParsePositiveKnob(const char* knob, const char* value) {
   return static_cast<uint32_t>(parsed);
 }
 
+/// The one environment-knob reader every integer knob goes through: returns
+/// `default_value` when `knob` is unset, otherwise the parsed positive
+/// integer — dying loudly on anything malformed (see DieBadKnob). The
+/// default itself may be 0 ("feature off"), but a value the user actually
+/// set must be ≥ 1: every knob this reads (thread counts, shard counts,
+/// ports, bounds, deadlines) means "off" by absence, not by zero.
+inline uint32_t ParseEnvOrDie(const char* knob, uint32_t default_value) {
+  const char* env = std::getenv(knob);
+  if (env == nullptr) return default_value;
+  return ParsePositiveKnob(knob, env);
+}
+
 /// Benchmark scale, selected with RPQ_BENCH_SCALE:
 ///  * "small" (default): reduced graph sizes / trials so the whole bench
 ///    suite completes in a few minutes;
@@ -74,9 +86,7 @@ inline int Trials() { return PaperScale() ? 3 : 2; }
 /// Evaluation worker threads, selected with RPQ_EVAL_THREADS (default: all
 /// hardware threads).
 inline uint32_t EvalThreads() {
-  const char* env = std::getenv("RPQ_EVAL_THREADS");
-  if (env == nullptr) return DefaultEvalThreads();
-  return ParsePositiveKnob("RPQ_EVAL_THREADS", env);
+  return ParseEnvOrDie("RPQ_EVAL_THREADS", DefaultEvalThreads());
 }
 
 /// Direction-optimizing crossover, selected with RPQ_EVAL_DENSE_THRESHOLD
@@ -109,11 +119,7 @@ inline EvalMode EvalForceMode() {
 /// Node-range shard count, selected with RPQ_EVAL_SHARDS (default 1, the
 /// monolithic path). Results are bit-identical for every count (see
 /// "Sharded evaluation" in docs/ARCHITECTURE.md).
-inline uint32_t EvalShards() {
-  const char* env = std::getenv("RPQ_EVAL_SHARDS");
-  if (env == nullptr) return 1;
-  return ParsePositiveKnob("RPQ_EVAL_SHARDS", env);
-}
+inline uint32_t EvalShards() { return ParseEnvOrDie("RPQ_EVAL_SHARDS", 1); }
 
 /// SCC-condensation policy of the kleene-star planner step, selected with
 /// RPQ_EVAL_CONDENSE (`auto` — the summary-gated default — or `on` / `off`
@@ -135,9 +141,7 @@ inline CondenseMode EvalCondense() {
 /// evaluation returns DeadlineExceeded and the driver exits nonzero with
 /// the progress counters reached.
 inline uint32_t EvalDeadlineMs() {
-  const char* env = std::getenv("RPQ_EVAL_DEADLINE_MS");
-  if (env == nullptr) return 0;
-  return ParsePositiveKnob("RPQ_EVAL_DEADLINE_MS", env);
+  return ParseEnvOrDie("RPQ_EVAL_DEADLINE_MS", 0);
 }
 
 /// Evaluation scratch budget in MiB, selected with RPQ_EVAL_MEM_BUDGET_MB
@@ -145,9 +149,31 @@ inline uint32_t EvalDeadlineMs() {
 /// the round engines — bitmaps, lane masks, outboxes, condensation heaps —
 /// not the graph or index structures themselves.
 inline uint32_t EvalMemBudgetMb() {
-  const char* env = std::getenv("RPQ_EVAL_MEM_BUDGET_MB");
-  if (env == nullptr) return 0;
-  return ParsePositiveKnob("RPQ_EVAL_MEM_BUDGET_MB", env);
+  return ParseEnvOrDie("RPQ_EVAL_MEM_BUDGET_MB", 0);
+}
+
+/// Query-server knobs for bench_server (all through ParseEnvOrDie):
+///  * RPQ_SERVER_PORT          listen port (default 0: an ephemeral port)
+///  * RPQ_SERVER_MAX_IN_FLIGHT admission bound (default 64)
+///  * RPQ_SERVER_EXECUTORS     executor pool size (default 2)
+///  * RPQ_SERVER_CLIENTS       concurrent bench clients (default 8)
+///  * RPQ_SERVER_REQUESTS      queries per bench client (default 200)
+///  * RPQ_SERVER_DEADLINE_MS   per-request deadline (default 0: none)
+inline uint32_t ServerPort() { return ParseEnvOrDie("RPQ_SERVER_PORT", 0); }
+inline uint32_t ServerMaxInFlight() {
+  return ParseEnvOrDie("RPQ_SERVER_MAX_IN_FLIGHT", 64);
+}
+inline uint32_t ServerExecutors() {
+  return ParseEnvOrDie("RPQ_SERVER_EXECUTORS", 2);
+}
+inline uint32_t ServerClients() {
+  return ParseEnvOrDie("RPQ_SERVER_CLIENTS", 8);
+}
+inline uint32_t ServerRequestsPerClient() {
+  return ParseEnvOrDie("RPQ_SERVER_REQUESTS", 200);
+}
+inline uint32_t ServerDeadlineMs() {
+  return ParseEnvOrDie("RPQ_SERVER_DEADLINE_MS", 0);
 }
 
 /// Process-wide ExecContext configured from RPQ_EVAL_DEADLINE_MS and

@@ -19,6 +19,7 @@
 #include "graph/generators.h"
 #include "graph/shard.h"
 #include "learn/rpni.h"
+#include "query/engine.h"
 #include "query/eval.h"
 #include "query/eval_incremental.h"
 #include "query/eval_reference.h"
@@ -914,6 +915,80 @@ void PrintIncrementalJson(FILE* out, const IncrementalBenchResult& r) {
   std::fprintf(out, "  }\n");
 }
 
+struct EngineFacadeResult {
+  double cold_seconds = 0;
+  double warm_seconds = 0;
+  uint64_t plan_hits = 0;
+  uint64_t warm_hits = 0;
+};
+
+/// The Engine facade's warm path versus cold evaluation: a repeat monadic
+/// query against a warm engine (plan-cache hit + retained fixed point) vs an
+/// engine with both caches disabled (every call compiles and sweeps). Both
+/// are checked bit-identical to the free-function result before timing, and
+/// the warm run's telemetry is asserted so the reported ratio provably
+/// timed the warm path. Gated in bench/baseline.json as
+/// engine_facade.warm_vs_cold_speedup.
+EngineFacadeResult BenchEngineFacade(uint32_t num_nodes, int trials) {
+  ScaleFreeOptions graph_options;
+  graph_options.num_nodes = num_nodes;
+  graph_options.num_edges = 3 * static_cast<size_t>(num_nodes);
+  graph_options.num_labels = 8;
+  graph_options.seed = 7;
+  Graph graph = GenerateScaleFree(graph_options);
+  Dfa query = CompileQuery("(l0+l1)*.l2", graph);
+
+  EvalOptions eval;
+  eval.threads = 1;
+  const auto expected = EvalMonadic(graph, query, eval);
+  RPQ_CHECK(expected.ok());
+
+  EngineOptions cold_options;
+  cold_options.eval = eval;
+  cold_options.plan_cache_capacity = 0;
+  cold_options.cache_monadic_results = false;
+  Engine cold(graph, cold_options);
+  EngineOptions warm_options;
+  warm_options.eval = eval;
+  Engine warm(graph, warm_options);
+
+  for (const Engine* engine : {&cold, &warm}) {
+    auto plan = engine->Plan(query);
+    RPQ_CHECK(plan.ok()) << plan.status().ToString();
+    auto nodes = (*plan)->RunMonadic();
+    RPQ_CHECK(nodes.ok()) << nodes.status().ToString();
+    RPQ_CHECK(**nodes == *expected)
+        << "Engine facade monadic result diverged from EvalMonadic";
+  }
+
+  EngineFacadeResult result;
+  const int facade_trials = trials * 5;
+  WallTimer timer;
+  for (int t = 0; t < facade_trials; ++t) {
+    auto plan = cold.Plan(query);
+    auto nodes = (*plan)->RunMonadic();
+    RPQ_CHECK_EQ((*nodes)->Count(), expected->Count());
+  }
+  result.cold_seconds = timer.ElapsedSeconds() / facade_trials;
+
+  timer.Restart();
+  for (int t = 0; t < facade_trials; ++t) {
+    auto plan = warm.Plan(query);
+    auto nodes = (*plan)->RunMonadic();
+    RPQ_CHECK_EQ((*nodes)->Count(), expected->Count());
+  }
+  result.warm_seconds = timer.ElapsedSeconds() / facade_trials;
+
+  const EngineCounters counters = warm.counters();
+  result.plan_hits = counters.plan_hits;
+  result.warm_hits = counters.monadic_warm_hits;
+  RPQ_CHECK(counters.plan_hits >= static_cast<uint64_t>(facade_trials))
+      << "warm engine missed its plan cache";
+  RPQ_CHECK(counters.monadic_warm_hits >= static_cast<uint64_t>(facade_trials))
+      << "warm engine swept instead of serving the retained fixed point";
+  return result;
+}
+
 void PrintDynamic(const DynamicBenchResult& r) {
   std::printf("dynamic eval (overlay vs rebuild after k updates, %u nodes, "
               "%zu edges, 1 thread):\n",
@@ -1216,6 +1291,16 @@ int main() {
   auto incremental = BenchIncremental(eval_nodes, trials);
   PrintIncremental(incremental);
 
+  // --- engine facade: warm plan + retained fixed point vs cold ----------
+  auto facade = BenchEngineFacade(eval_nodes, trials);
+  const double facade_speedup =
+      Speedup(facade.cold_seconds, facade.warm_seconds);
+  std::printf("engine facade (repeat monadic query, 1 thread): cold %.6fs  "
+              "warm %.6fs  speedup %.1fx  (%llu plan hits, %llu warm hits)\n",
+              facade.cold_seconds, facade.warm_seconds, facade_speedup,
+              static_cast<unsigned long long>(facade.plan_hits),
+              static_cast<unsigned long long>(facade.warm_hits));
+
   FILE* out = std::fopen("BENCH_hotpath.json", "w");
   RPQ_CHECK(out != nullptr) << "cannot write BENCH_hotpath.json";
   std::fprintf(out,
@@ -1273,6 +1358,17 @@ int main() {
   PrintCondensedJson(out, condensed);
   PrintDynamicJson(out, dynamic);
   PrintIncrementalJson(out, incremental);
+  std::fprintf(out,
+               "  ,\"engine_facade\": {\n"
+               "    \"cold_seconds\": %.6f,\n"
+               "    \"warm_seconds\": %.6f,\n"
+               "    \"warm_vs_cold_speedup\": %.2f,\n"
+               "    \"plan_hits\": %llu,\n"
+               "    \"monadic_warm_hits\": %llu\n"
+               "  }\n",
+               facade.cold_seconds, facade.warm_seconds, facade_speedup,
+               static_cast<unsigned long long>(facade.plan_hits),
+               static_cast<unsigned long long>(facade.warm_hits));
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote BENCH_hotpath.json\n");

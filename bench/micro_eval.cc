@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "query/engine.h"
 #include "query/eval.h"
 #include "workloads/workloads.h"
 
@@ -40,6 +41,59 @@ void BM_SelectsNode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SelectsNode);
+
+/// The facade's steady state: a repeat query against an unchanged graph is
+/// a plan-cache hit served from the retained monadic fixed point. Compare
+/// against BM_EvalMonadic to see what the warm path saves.
+void BM_EnginePlanRunWarm(benchmark::State& state) {
+  Dataset dataset =
+      BuildSyntheticDataset(static_cast<uint32_t>(state.range(0)));
+  const Dfa& query = dataset.queries[1].query;  // syn2
+  Engine engine(dataset.graph);
+  for (auto _ : state) {
+    auto plan = engine.Plan(query);
+    if (!plan.ok()) {
+      state.SkipWithError(plan.status().ToString().c_str());
+      return;
+    }
+    auto nodes = (*plan)->RunMonadic();
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.graph.num_edges());
+}
+BENCHMARK(BM_EnginePlanRunWarm)->Arg(1000)->Arg(5000)->Arg(10000);
+
+/// The facade's cold path (caching disabled): every iteration recompiles
+/// the plan and resweeps — the facade-overhead-included analogue of
+/// BM_EvalMonadic.
+void BM_EnginePlanRunCold(benchmark::State& state) {
+  Dataset dataset =
+      BuildSyntheticDataset(static_cast<uint32_t>(state.range(0)));
+  const Dfa& query = dataset.queries[1].query;
+  EngineOptions options;
+  options.plan_cache_capacity = 0;
+  options.cache_monadic_results = false;
+  Engine engine(dataset.graph, options);
+  for (auto _ : state) {
+    auto plan = engine.Plan(query);
+    if (!plan.ok()) {
+      state.SkipWithError(plan.status().ToString().c_str());
+      return;
+    }
+    auto nodes = (*plan)->RunMonadic();
+    if (!nodes.ok()) {
+      state.SkipWithError(nodes.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * dataset.graph.num_edges());
+}
+BENCHMARK(BM_EnginePlanRunCold)->Arg(1000)->Arg(5000);
 
 void BM_EvalBinaryFrom(benchmark::State& state) {
   Dataset dataset = BuildSyntheticDataset(5000);

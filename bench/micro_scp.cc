@@ -4,12 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "graph/graph_nfa.h"
 #include "interact/informative.h"
 #include "learn/coverage.h"
 #include "learn/learner.h"
 #include "learn/scp.h"
-#include "query/eval.h"
+#include "query/engine.h"
 #include "util/random.h"
 #include "workloads/workloads.h"
 
@@ -21,7 +22,10 @@ struct Setup {
   Dataset dataset = BuildSyntheticDataset(3000);
   Sample sample;
   Setup() {
-    BitVector goal = EvalMonadic(dataset.graph, dataset.queries[1].query);
+    Engine engine(dataset.graph);
+    Engine::PlanPtr plan =
+        bench::UnwrapOrExit(engine.Plan(dataset.queries[1].query), "syn2");
+    BitVector goal = *bench::UnwrapOrExit(plan->RunMonadic(), "syn2");
     Rng rng(99);
     auto nodes =
         rng.SampleWithoutReplacement(dataset.graph.num_nodes(), 150);

@@ -8,7 +8,7 @@
 #include "bench_common.h"
 #include "experiments/report.h"
 #include "graph/stats.h"
-#include "query/eval.h"
+#include "query/engine.h"
 #include "util/logging.h"
 #include "workloads/workloads.h"
 
@@ -20,18 +20,23 @@ void ReportDataset(const Dataset& dataset) {
   GraphStats stats = ComputeGraphStats(dataset.graph);
   std::printf("%s", StatsToString(stats, dataset.graph.alphabet()).c_str());
 
+  EngineOptions engine_options;
+  engine_options.eval = bench::EvalConfig();
+  Engine engine(dataset.graph, engine_options);
+
   TableReport table({"query", "size", "paper selectivity",
                      "measured selectivity", "selected nodes"});
   for (const Workload& w : dataset.queries) {
-    BitVector result = bench::UnwrapOrExit(
-        EvalMonadic(dataset.graph, w.query, bench::EvalConfig()),
-        w.name.c_str());
+    Engine::PlanPtr plan =
+        bench::UnwrapOrExit(engine.Plan(w.query), w.name.c_str());
+    const BitVector* result =
+        bench::UnwrapOrExit(plan->RunMonadic(), w.name.c_str());
     double selectivity =
-        static_cast<double>(result.Count()) / dataset.graph.num_nodes();
+        static_cast<double>(result->Count()) / dataset.graph.num_nodes();
     table.AddRow({w.name, std::to_string(w.query.num_states()),
                   TableReport::Percent(w.paper_selectivity, 2),
                   TableReport::Percent(selectivity, 2),
-                  std::to_string(result.Count())});
+                  std::to_string(result->Count())});
   }
   std::printf("%s\n", table.ToString().c_str());
 }

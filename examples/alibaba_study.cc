@@ -3,12 +3,13 @@
 // a compressed tour of the paper's full experimental pipeline.
 
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "experiments/interactive_experiment.h"
 #include "experiments/static_experiment.h"
 #include "graph/stats.h"
-#include "query/eval.h"
+#include "query/engine.h"
 #include "query/metrics.h"
 #include "regex/from_dfa.h"
 #include "regex/printer.h"
@@ -24,9 +25,27 @@ int main() {
                             dataset.graph.alphabet())
                   .c_str());
 
+  // One Engine per served graph; repeat queries reuse their cached plans.
+  Engine engine(dataset.graph);
+  auto eval_nodes = [&engine](const Dfa& query, const char* what) {
+    auto plan = engine.Plan(query);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s: %s\n", what,
+                   plan.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto nodes = (*plan)->RunMonadic();
+    if (!nodes.ok()) {
+      std::fprintf(stderr, "%s: %s\n", what,
+                   nodes.status().ToString().c_str());
+      std::exit(1);
+    }
+    return **nodes;
+  };
+
   std::printf("query selectivities (paper / measured):\n");
   for (const Workload& w : dataset.queries) {
-    BitVector result = EvalMonadic(dataset.graph, w.query);
+    BitVector result = eval_nodes(w.query, w.name.c_str());
     std::printf("  %-5s %6.2f%% / %6.2f%%  %s\n", w.name.c_str(),
                 100.0 * w.paper_selectivity,
                 100.0 * result.Count() / dataset.graph.num_nodes(),
@@ -35,14 +54,14 @@ int main() {
 
   // Static learning of bio4 from 5% random labels.
   const Workload& goal = dataset.queries[3];
-  BitVector goal_set = EvalMonadic(dataset.graph, goal.query);
+  BitVector goal_set = eval_nodes(goal.query, goal.name.c_str());
   Rng rng(2024);
   auto nodes = rng.SampleWithoutReplacement(
       dataset.graph.num_nodes(), dataset.graph.num_nodes() / 20);
   Sample sample = Sample::FromGoal(goal_set, nodes);
   LearnOutcome outcome = LearnPathQuery(dataset.graph, sample, {});
   if (!outcome.is_null) {
-    BitVector learned_set = EvalMonadic(dataset.graph, outcome.query);
+    BitVector learned_set = eval_nodes(outcome.query, "learned query");
     ClassifierMetrics metrics = ComputeMetrics(learned_set, goal_set);
     std::printf(
         "\nstatic learning of %s from %zu labels: F1 = %.3f (k = %u)\n",

@@ -7,8 +7,7 @@
 
 #include "graph/fixtures.h"
 #include "learn/learner.h"
-#include "query/eval.h"
-#include "query/path_query.h"
+#include "query/engine.h"
 #include "regex/from_dfa.h"
 #include "regex/printer.h"
 
@@ -21,17 +20,21 @@ int main() {
               graph.num_nodes(), graph.num_edges(), graph.num_symbols());
 
   // 2. Path queries are regular expressions over edge labels; evaluation
-  //    selects nodes with at least one matching outgoing path.
-  Alphabet alphabet = graph.alphabet();
-  auto goal =
-      PathQuery::Parse("(tram+bus)*.cinema", &alphabet, graph.num_symbols());
+  //    selects nodes with at least one matching outgoing path. The Engine
+  //    facade parses, compiles and evaluates them in one flow.
+  Engine engine(graph);
+  auto goal = engine.Plan("(tram+bus)*.cinema");
   if (!goal.ok()) {
     std::printf("parse error: %s\n", goal.status().ToString().c_str());
     return 1;
   }
-  BitVector selected = EvalMonadic(graph, goal->dfa());
+  auto selected = (*goal)->RunMonadic();
+  if (!selected.ok()) {
+    std::printf("eval error: %s\n", selected.status().ToString().c_str());
+    return 1;
+  }
   std::printf("(tram+bus)*.cinema selects:");
-  for (uint32_t v : selected.ToIndices()) {
+  for (uint32_t v : (*selected)->ToIndices()) {
     std::printf(" %s", graph.NodeName(v).c_str());
   }
   std::printf("\n");
@@ -53,9 +56,19 @@ int main() {
                   .c_str(),
               outcome.query.num_states(), outcome.stats.k_used);
 
-  BitVector learned_set = EvalMonadic(graph, outcome.query);
+  auto learned_plan = engine.Plan(outcome.query);
+  if (!learned_plan.ok()) {
+    std::printf("plan error: %s\n",
+                learned_plan.status().ToString().c_str());
+    return 1;
+  }
+  auto learned_set = (*learned_plan)->RunMonadic();
+  if (!learned_set.ok()) {
+    std::printf("eval error: %s\n", learned_set.status().ToString().c_str());
+    return 1;
+  }
   std::printf("it selects:");
-  for (uint32_t v : learned_set.ToIndices()) {
+  for (uint32_t v : (*learned_set)->ToIndices()) {
     std::printf(" %s", graph.NodeName(v).c_str());
   }
   std::printf("\n");

@@ -10,7 +10,7 @@
 #include "graph/graph.h"
 #include "learn/binary.h"
 #include "learn/learner.h"
-#include "query/eval.h"
+#include "query/engine.h"
 #include "regex/from_dfa.h"
 #include "regex/printer.h"
 
@@ -103,9 +103,17 @@ int main() {
     std::printf("learned binary pattern:   %s\n",
                 RegexToString(DfaToRegex(binary.query), graph.alphabet())
                     .c_str());
-    auto selected = EvalBinary(graph, binary.query);
+    Engine engine(graph);
+    QueryRequest request;
+    request.semantics = QueryRequest::Semantics::kBinaryPairs;
+    auto selected = engine.Run(binary.query, request);
+    if (!selected.ok()) {
+      std::printf("binary eval error: %s\n",
+                  selected.status().ToString().c_str());
+      return 1;
+    }
     std::printf("pairs selected by it:\n");
-    for (const auto& [s, t] : selected) {
+    for (const auto& [s, t] : selected->pairs) {
       std::printf("  %s -> %s\n", graph.NodeName(s).c_str(),
                   graph.NodeName(t).c_str());
     }

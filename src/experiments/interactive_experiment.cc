@@ -1,14 +1,23 @@
 #include "experiments/interactive_experiment.h"
 
 #include "interact/oracle.h"
+#include "query/engine.h"
 
 namespace rpqlearn {
 
 StatusOr<InteractiveSummary> RunInteractiveExperiment(
     const Graph& graph, const Dfa& goal, StrategyKind strategy, uint64_t seed,
     size_t max_interactions, const EvalOptions& eval) {
-  StatusOr<Oracle> oracle = Oracle::TryFromQuery(graph, goal, eval);
-  if (!oracle.ok()) return oracle.status();
+  // The goal set is evaluated through the Engine facade (the session builds
+  // its own engine for the per-interaction hypothesis evaluations).
+  EngineOptions engine_options;
+  engine_options.eval = eval;
+  Engine engine(graph, engine_options);
+  StatusOr<Engine::PlanPtr> goal_plan = engine.Plan(goal);
+  if (!goal_plan.ok()) return goal_plan.status();
+  StatusOr<const BitVector*> goal_set = (*goal_plan)->RunMonadic();
+  if (!goal_set.ok()) return goal_set.status();
+  StatusOr<Oracle> oracle = Oracle(**goal_set);
   SessionOptions options;
   options.strategy = strategy;
   options.seed = seed;

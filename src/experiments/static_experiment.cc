@@ -4,6 +4,7 @@
 
 #include "learn/incremental.h"
 #include "learn/sample.h"
+#include "query/engine.h"
 #include "query/eval.h"
 #include "query/metrics.h"
 #include "util/logging.h"
@@ -13,12 +14,17 @@
 namespace rpqlearn {
 namespace {
 
-/// Monadic evaluation with the experiment's EvalOptions. Failures —
-/// misconfiguration or an ExecContext trip — propagate to the caller, which
-/// reports them with a nonzero exit rather than aborting the process.
-StatusOr<BitVector> EvalGoalSet(const Graph& graph, const Dfa& query,
-                                const EvalOptions& eval) {
-  return EvalMonadic(graph, query, eval);
+/// Monadic evaluation through the Engine facade: goal sets and recurring
+/// hypotheses hit the plan cache and each plan's retained fixed point.
+/// Failures — misconfiguration or an ExecContext trip — propagate to the
+/// caller, which reports them with a nonzero exit rather than aborting the
+/// process.
+StatusOr<BitVector> EvalGoalSet(const Engine& engine, const Dfa& query) {
+  StatusOr<Engine::PlanPtr> plan = engine.Plan(query);
+  if (!plan.ok()) return plan.status();
+  StatusOr<const BitVector*> nodes = (*plan)->RunMonadic();
+  if (!nodes.ok()) return nodes.status();
+  return **nodes;
 }
 
 /// The paper's static sampling protocol (Sec. 5.2): positives are random
@@ -54,7 +60,10 @@ Sample RandomSample(const Graph& graph, const BitVector& goal,
 
 StatusOr<std::vector<StaticPoint>> RunStaticSweep(
     const Graph& graph, const Dfa& goal, const StaticSweepOptions& options) {
-  StatusOr<BitVector> goal_or = EvalGoalSet(graph, goal, options.eval);
+  EngineOptions engine_options;
+  engine_options.eval = options.eval;
+  Engine engine(graph, engine_options);
+  StatusOr<BitVector> goal_or = EvalGoalSet(engine, goal);
   if (!goal_or.ok()) return goal_or.status();
   const BitVector& goal_set = *goal_or;
   LearnerOptions learner_options = options.learner;
@@ -78,8 +87,7 @@ StatusOr<std::vector<StaticPoint>> RunStaticSweep(
         continue;
       }
       point.max_k_used = std::max(point.max_k_used, outcome.stats.k_used);
-      StatusOr<BitVector> selected =
-          EvalGoalSet(graph, outcome.query, options.eval);
+      StatusOr<BitVector> selected = EvalGoalSet(engine, outcome.query);
       if (!selected.ok()) return selected.status();
       point.f1_mean += ComputeMetrics(*selected, goal_set).f1;
     }
@@ -97,7 +105,10 @@ StatusOr<double> LabelsNeededForPerfectF1(const Graph& graph,
                                           double max_fraction, uint64_t seed,
                                           const LearnerOptions& learner,
                                           const EvalOptions& eval) {
-  StatusOr<BitVector> goal_or = EvalGoalSet(graph, goal, eval);
+  EngineOptions engine_options;
+  engine_options.eval = eval;
+  Engine engine(graph, engine_options);
+  StatusOr<BitVector> goal_or = EvalGoalSet(engine, goal);
   if (!goal_or.ok()) return goal_or.status();
   const BitVector& goal_set = *goal_or;
   LearnerOptions learner_options = learner;
@@ -137,7 +148,7 @@ StatusOr<double> LabelsNeededForPerfectF1(const Graph& graph,
     LearnOutcome outcome = incremental.Learn();
     if (!outcome.status.ok()) return outcome.status;
     if (outcome.is_null) continue;
-    StatusOr<BitVector> selected = EvalGoalSet(graph, outcome.query, eval);
+    StatusOr<BitVector> selected = EvalGoalSet(engine, outcome.query);
     if (!selected.ok()) return selected.status();
     if (ComputeMetrics(*selected, goal_set).f1 == 1.0) return fraction;
   }

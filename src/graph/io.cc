@@ -193,4 +193,26 @@ Status SaveGraphFile(const Graph& graph, const std::string& path) {
   return Status::Ok();
 }
 
+void WriteEdgeList(const Graph& graph, std::ostream& out) {
+  // Label-major emission: the reader interns labels in first-seen order, so
+  // walking symbols by id makes the round-tripped alphabet id-identical.
+  out << "# " << graph.num_nodes() << " nodes, " << graph.num_edges()
+      << " edges, " << graph.num_symbols() << " labels\n";
+  for (Symbol a = 0; a < graph.num_symbols(); ++a) {
+    const std::string& name = graph.alphabet().Name(a);
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      for (NodeId dst : graph.OutNeighbors(v, a)) {
+        out << v << ' ' << name << ' ' << dst << '\n';
+      }
+    }
+  }
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  WriteEdgeList(graph, out);
+  return Status::Ok();
+}
+
 }  // namespace rpqlearn

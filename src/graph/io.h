@@ -31,10 +31,19 @@ void WriteGraphText(const Graph& graph, std::ostream& out);
 /// InvalidArgument naming the row number — never silently skipped.
 StatusOr<Graph> ReadEdgeList(std::istream& in);
 
+/// Writes the graph's live edge set in the format accepted by ReadEdgeList
+/// (whitespace-separated `<src> <label> <dst>` rows, one per edge). A graph
+/// round-tripped through Write/ReadEdgeList has identical edges and labels
+/// interned in the same order; node names are not part of the format, and
+/// isolated nodes above the largest edge-mentioned id do not survive (the
+/// reader sizes the graph by the ids it sees).
+void WriteEdgeList(const Graph& graph, std::ostream& out);
+
 /// File wrappers around the stream functions.
 StatusOr<Graph> LoadGraphFile(const std::string& path);
 Status SaveGraphFile(const Graph& graph, const std::string& path);
 StatusOr<Graph> LoadEdgeList(const std::string& path);
+Status SaveEdgeList(const Graph& graph, const std::string& path);
 
 }  // namespace rpqlearn
 

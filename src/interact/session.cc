@@ -2,11 +2,9 @@
 
 #include <optional>
 
-#include "graph/condense.h"
-#include "graph/shard.h"
 #include "learn/incremental.h"
+#include "query/engine.h"
 #include "query/eval.h"
-#include "query/eval_incremental.h"
 #include "query/metrics.h"
 #include "util/exec_context.h"
 #include "util/logging.h"
@@ -21,38 +19,19 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
   uint32_t k = options.k_start;
   bool have_query = false;
 
-  // The session's graph never changes, but the interactive loop evaluates
-  // once per interaction — so the graph-only evaluation structures are
-  // built once here and handed to every call through the cache pointers of
-  // EvalOptions, instead of being re-derived per call: the node-range
-  // partition (when sharded evaluation is configured) and the per-label SCC
-  // condensation (when the kleene-star planner step may engage). Both are
-  // deterministic, so caching never changes results.
-  EvalOptions eval = options.eval;
-  ExecContext* exec = eval.exec;
-  std::optional<ShardedGraph> shard_cache;
-  if (eval.sharded_cache == nullptr && eval.shards > 1) {
-    const uint32_t effective = EffectiveShardCount(eval, graph.num_nodes());
-    if (effective > 1) {
-      shard_cache.emplace(ShardedGraph::Partition(graph, effective));
-      eval.sharded_cache = &*shard_cache;
-    }
-  }
-  std::optional<CondensedGraph> condense_cache;
-  if (eval.condensed_cache == nullptr &&
-      eval.condense != CondenseMode::kOff) {
-    condense_cache.emplace(CondensedGraph::Build(graph));
-    eval.condensed_cache = &*condense_cache;
-  }
-
-  // Materialized-result cache for the per-interaction hypothesis
-  // evaluations: the learner's hypotheses recur as labels arrive (a negative
-  // often sends it back to an earlier query), and the session graph never
-  // mutates, so a repeat hypothesis is answered from its retained fixed
-  // point without any sweep (src/query/eval_incremental.h). Results are
-  // bit-identical to EvalMonadic — the cache re-verifies graph versions per
-  // lookup and falls back to a full sweep on any mismatch.
-  MonadicResultCache result_cache(graph, eval);
+  // Engine facade for the per-interaction hypothesis evaluations. The
+  // learner's hypotheses recur as labels arrive (a negative often sends it
+  // back to an earlier query), and the session graph never mutates, so a
+  // repeat hypothesis hits the engine's plan cache and is answered from the
+  // plan's retained monadic fixed point without any sweep. The engine also
+  // owns the graph-only evaluation structures the options may call for (the
+  // node-range partition, the per-label SCC condensation), building each
+  // lazily once instead of per call. Results are bit-identical to
+  // EvalMonadic — plans and snapshots are pure reuse.
+  ExecContext* exec = options.eval.exec;
+  EngineOptions engine_options;
+  engine_options.eval = options.eval;
+  Engine engine(graph, engine_options);
 
   // Incremental learner: SCPs and coverage automata are cached across
   // interactions and only revalidated when negatives arrive.
@@ -74,8 +53,12 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
     if (outcome.is_null) return -1.0;
     result.final_query = outcome.query;
     have_query = true;
-    StatusOr<const BitVector*> selected =
-        result_cache.Evaluate(result.final_query);
+    StatusOr<Engine::PlanPtr> plan = engine.Plan(result.final_query);
+    if (!plan.ok()) {
+      result.status = plan.status();
+      return -1.0;
+    }
+    StatusOr<const BitVector*> selected = (*plan)->RunMonadic();
     if (!selected.ok()) {
       result.status = selected.status();
       return -1.0;

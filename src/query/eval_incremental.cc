@@ -388,12 +388,18 @@ MaterializedMonadic::MaterializedMonadic(const Graph& graph, const Dfa& query,
 }
 
 StatusOr<std::unique_ptr<MaterializedMonadic>> MaterializedMonadic::Create(
-    const Graph& graph, const Dfa& query, const EvalOptions& options) {
+    const Graph& graph, const Dfa& query, const EvalOptions& options,
+    ExecContext* build_exec) {
   StatusOr<EvalOptions> validated = ValidateEvalOptions(options);
   if (!validated.ok()) return validated.status();
   std::unique_ptr<MaterializedMonadic> materialized(
       new MaterializedMonadic(graph, query, std::move(*validated)));
+  // The build-time context governs this one build and is never retained:
+  // the materialization outlives the request that created it.
+  ExecContext* retained = materialized->validated_.exec;
+  if (build_exec != nullptr) materialized->validated_.exec = build_exec;
   Status built = materialized->BuildFixedPoint();
+  materialized->validated_.exec = retained;
   if (!built.ok()) return built;
   return materialized;
 }
@@ -523,9 +529,20 @@ void MaterializedMonadic::OnDeleteEdge(NodeId, Symbol label, NodeId) {
 
 void MaterializedMonadic::OnCompact() { ++mstats_.compactions_observed; }
 
-StatusOr<const BitVector*> MaterializedMonadic::Results() {
-  if (stale_) {
+StatusOr<const BitVector*> MaterializedMonadic::Results(
+    ExecContext* exec_override) {
+  // The override governs only rebuilds performed by this call; it must not
+  // survive into later rebuilds (a per-request context dies with its
+  // request), so it is swapped in around BuildFixedPoint and restored.
+  const auto rebuild = [this, exec_override]() {
+    ExecContext* retained = validated_.exec;
+    if (exec_override != nullptr) validated_.exec = exec_override;
     Status built = BuildFixedPoint();
+    validated_.exec = retained;
+    return built;
+  };
+  if (stale_) {
+    Status built = rebuild();
     if (!built.ok()) return built;
   } else if (graph_->version() != synced_version_) {
     if (in_sync()) {
@@ -533,7 +550,7 @@ StatusOr<const BitVector*> MaterializedMonadic::Results() {
       ++mstats_.warm_hits;
     } else {
       stale_ = true;
-      Status built = BuildFixedPoint();
+      Status built = rebuild();
       if (!built.ok()) return built;
     }
   } else {

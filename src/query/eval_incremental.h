@@ -208,8 +208,14 @@ class MaterializedQuery : public MaterializedView {
 /// evaluations (see MonadicResultCache).
 class MaterializedMonadic : public MaterializedView {
  public:
+  /// `build_exec`, when non-null, governs the *initial* fixed-point build
+  /// only (deadline / cancellation / budget of the request that triggered
+  /// it) and is never retained — later rebuilds use `options.exec` or the
+  /// per-call override of Results(). The query-server facade arms one per
+  /// admitted request; a tripped build fails Create without an object.
   static StatusOr<std::unique_ptr<MaterializedMonadic>> Create(
-      const Graph& graph, const Dfa& query, const EvalOptions& options = {});
+      const Graph& graph, const Dfa& query, const EvalOptions& options = {},
+      ExecContext* build_exec = nullptr);
 
   void OnInsertEdge(NodeId src, Symbol label, NodeId dst) override;
   void OnDeleteEdge(NodeId src, Symbol label, NodeId dst) override;
@@ -217,8 +223,11 @@ class MaterializedMonadic : public MaterializedView {
 
   /// The maintained selected-node column, bit-identical to
   /// EvalMonadic(graph, query). Rebuilds first when stale; the pointee is
-  /// owned by this object and valid until the next update.
-  StatusOr<const BitVector*> Results();
+  /// owned by this object and valid until the next update. `exec_override`,
+  /// when non-null, replaces the retained ExecContext for any rebuild this
+  /// call performs (and is not retained afterwards) — warm hits never
+  /// consult it.
+  StatusOr<const BitVector*> Results(ExecContext* exec_override = nullptr);
 
   bool in_sync() const;
   uint64_t fingerprint() const { return fingerprint_; }
