@@ -120,7 +120,7 @@ std::string ExpectedBinaryReply(const Engine& engine, const Dfa& query,
 /// The reply bytes a direct Engine evaluation predicts for `QUERY <regex>`.
 std::string ExpectedMonadicReply(const Engine& engine, const Dfa& query) {
   Engine::PlanPtr plan = bench::UnwrapOrExit(engine.Plan(query), "plan");
-  const BitVector* nodes =
+  const MonadicNodes nodes =
       bench::UnwrapOrExit(plan->RunMonadic(), "monadic eval");
   std::string reply;
   size_t count = 0;

@@ -29,7 +29,7 @@ void ReportDataset(const Dataset& dataset) {
   for (const Workload& w : dataset.queries) {
     Engine::PlanPtr plan =
         bench::UnwrapOrExit(engine.Plan(w.query), w.name.c_str());
-    const BitVector* result =
+    const MonadicNodes result =
         bench::UnwrapOrExit(plan->RunMonadic(), w.name.c_str());
     double selectivity =
         static_cast<double>(result->Count()) / dataset.graph.num_nodes();

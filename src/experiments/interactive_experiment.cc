@@ -15,7 +15,7 @@ StatusOr<InteractiveSummary> RunInteractiveExperiment(
   Engine engine(graph, engine_options);
   StatusOr<Engine::PlanPtr> goal_plan = engine.Plan(goal);
   if (!goal_plan.ok()) return goal_plan.status();
-  StatusOr<const BitVector*> goal_set = (*goal_plan)->RunMonadic();
+  StatusOr<MonadicNodes> goal_set = (*goal_plan)->RunMonadic();
   if (!goal_set.ok()) return goal_set.status();
   StatusOr<Oracle> oracle = Oracle(**goal_set);
   SessionOptions options;

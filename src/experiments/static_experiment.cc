@@ -22,7 +22,7 @@ namespace {
 StatusOr<BitVector> EvalGoalSet(const Engine& engine, const Dfa& query) {
   StatusOr<Engine::PlanPtr> plan = engine.Plan(query);
   if (!plan.ok()) return plan.status();
-  StatusOr<const BitVector*> nodes = (*plan)->RunMonadic();
+  StatusOr<MonadicNodes> nodes = (*plan)->RunMonadic();
   if (!nodes.ok()) return nodes.status();
   return **nodes;
 }

@@ -58,7 +58,7 @@ SessionResult RunInteractiveSession(const Graph& graph, const Oracle& oracle,
       result.status = plan.status();
       return -1.0;
     }
-    StatusOr<const BitVector*> selected = (*plan)->RunMonadic();
+    StatusOr<MonadicNodes> selected = (*plan)->RunMonadic();
     if (!selected.ok()) {
       result.status = selected.status();
       return -1.0;

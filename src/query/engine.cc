@@ -21,7 +21,7 @@ StatusOr<QueryResult> QueryPlan::Run(const QueryRequest& request) const {
   result.semantics = request.semantics;
   switch (request.semantics) {
     case QueryRequest::Semantics::kMonadicNodes: {
-      StatusOr<const BitVector*> nodes = RunMonadic(request.exec);
+      StatusOr<MonadicNodes> nodes = RunMonadic(request.exec);
       if (!nodes.ok()) return nodes.status();
       result.nodes = **nodes;
       return result;
@@ -55,7 +55,7 @@ StatusOr<QueryResult> QueryPlan::Run(const QueryRequest& request) const {
   return Status::InvalidArgument("unknown QueryRequest semantics");
 }
 
-StatusOr<const BitVector*> QueryPlan::RunMonadic(ExecContext* exec) const {
+StatusOr<MonadicNodes> QueryPlan::RunMonadic(ExecContext* exec) const {
   QueryRequest request;
   request.exec = exec;
   std::shared_ptr<const Engine::Snapshots> snapshots;
@@ -66,8 +66,9 @@ StatusOr<const BitVector*> QueryPlan::RunMonadic(ExecContext* exec) const {
   if (!engine_->options_.cache_monadic_results) {
     StatusOr<BitVector> nodes = EvalMonadic(engine_->graph(), dfa_, *options);
     if (!nodes.ok()) return nodes.status();
-    cold_monadic_ = *std::move(nodes);
-    return &cold_monadic_;
+    // Moved out, not retained: the caller reads its result after this lock
+    // is released, so concurrent cold runs must never share storage.
+    return MonadicNodes(*std::move(nodes));
   }
   if (monadic_ == nullptr) {
     // The retained materialization must never keep a per-request context:
@@ -83,7 +84,7 @@ StatusOr<const BitVector*> QueryPlan::RunMonadic(ExecContext* exec) const {
     monadic_ = std::move(*created);
     StatusOr<const BitVector*> built = monadic_->Results();
     if (!built.ok()) return built.status();  // unreachable: just built
-    return *built;
+    return MonadicNodes(*built);
   }
   const uint64_t warm_before = monadic_->stats().warm_hits;
   StatusOr<const BitVector*> nodes = monadic_->Results(options->exec);
@@ -91,7 +92,7 @@ StatusOr<const BitVector*> QueryPlan::RunMonadic(ExecContext* exec) const {
   if (monadic_->stats().warm_hits != warm_before) {
     engine_->CountMonadicWarmHit();
   }
-  return *nodes;
+  return MonadicNodes(*nodes);
 }
 
 StatusOr<std::vector<std::pair<NodeId, NodeId>>> QueryPlan::RunBinary(

@@ -118,6 +118,25 @@ struct QueryRequest {
   EvalStats* stats = nullptr;
 };
 
+/// The result of one monadic run: either a borrowed view of the plan's
+/// retained fixed point (result caching on — no copy) or an owned column
+/// (result caching off — every run moves its result out, so concurrent cold
+/// runs never share mutable state). Dereferences like a `const BitVector*`.
+/// A borrowed view stays valid until the next Run against a mutated graph;
+/// an owned column lives as long as this object.
+class MonadicNodes {
+ public:
+  explicit MonadicNodes(const BitVector* borrowed) : borrowed_(borrowed) {}
+  explicit MonadicNodes(BitVector owned) : owned_(std::move(owned)) {}
+
+  const BitVector& operator*() const { return owned_ ? *owned_ : *borrowed_; }
+  const BitVector* operator->() const { return &**this; }
+
+ private:
+  const BitVector* borrowed_ = nullptr;
+  std::optional<BitVector> owned_;
+};
+
 /// One evaluation result; `semantics` says which payload is meaningful.
 struct QueryResult {
   QueryRequest::Semantics semantics = QueryRequest::Semantics::kMonadicNodes;
@@ -147,10 +166,11 @@ class QueryPlan {
   /// (out-of-range sources) or an ExecContext trip.
   StatusOr<QueryResult> Run(const QueryRequest& request) const;
 
-  /// Convenience: Run with monadic node semantics. The pointee is owned by
-  /// the plan and stays valid until the next Run against a mutated graph
-  /// (warm reads of an unchanged graph never invalidate it).
-  StatusOr<const BitVector*> RunMonadic(ExecContext* exec = nullptr) const;
+  /// Convenience: Run with monadic node semantics. With result caching on,
+  /// the returned MonadicNodes borrows the plan's retained fixed point
+  /// (valid until the next Run against a mutated graph); with caching off
+  /// it owns the freshly evaluated column outright.
+  StatusOr<MonadicNodes> RunMonadic(ExecContext* exec = nullptr) const;
 
   /// Convenience: Run with binary-from-sources semantics.
   StatusOr<std::vector<std::pair<NodeId, NodeId>>> RunBinary(
@@ -181,8 +201,6 @@ class QueryPlan {
   /// binary runs are stateless and bypass it.
   mutable std::mutex monadic_mutex_;
   mutable std::unique_ptr<MaterializedMonadic> monadic_;
-  /// Result storage of the last monadic run when result caching is off.
-  mutable BitVector cold_monadic_;
 };
 
 /// Engine configuration. The eval options are validated at construction

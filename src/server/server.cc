@@ -36,11 +36,18 @@ Status SetNonBlocking(int fd) {
   return Status::Ok();
 }
 
+/// True for commands that mutate served state (LOAD, UPDATE): these order
+/// strictly against other requests of the same connection.
+bool IsMutation(const StatusOr<Command>& command) {
+  return command.ok() && (command->kind == Command::Kind::kLoad ||
+                          command->kind == Command::Kind::kUpdate);
+}
+
 }  // namespace
 
 /// One client socket plus everything ordered around it. The I/O thread owns
 /// fd / line buffer / out buffer; executors only touch the reply map (under
-/// `mutex`) and the cancellation hooks (atomics).
+/// `mutex`) and the cancellation registry (under `exec_mutex`).
 struct RpqServer::Connection {
   int fd = -1;
   LineBuffer lines;
@@ -50,9 +57,21 @@ struct RpqServer::Connection {
   /// True once the peer disconnected (or QUIT drained): executors skip
   /// pending work for this connection.
   std::atomic<bool> closed{false};
-  /// The ExecContext of the request currently executing for this
-  /// connection, if any — cancelled on disconnect. Executors set/clear it.
-  std::atomic<ExecContext*> active_exec{nullptr};
+
+  /// Cancellation registry: the ExecContexts of this connection's currently
+  /// executing requests (several may run at once). Registration, removal,
+  /// and disconnect-time Cancel() all happen under `exec_mutex`, and the
+  /// executor removes its context before the (stack-allocated) object dies
+  /// — so a Cancel() can never touch a destroyed context.
+  std::mutex exec_mutex;
+  std::vector<ExecContext*> active_execs;
+
+  /// Execution-order accounting, guarded by RpqServer::queue_mutex_: how
+  /// many of this connection's requests are executing, and whether one of
+  /// them is a mutation. PopRequests consults these to give pipelined
+  /// clients read-your-writes (see FindRunnableLocked).
+  size_t executing_requests = 0;
+  bool executing_mutation = false;
 
   /// Reply ordering: finished replies wait in `done` until every smaller
   /// sequence number flushed. The I/O thread drains `out`.
@@ -65,6 +84,23 @@ struct RpqServer::Connection {
   explicit Connection(size_t max_line_bytes) : lines(max_line_bytes) {}
   ~Connection() {
     if (fd >= 0) ::close(fd);
+  }
+
+  void RegisterExec(ExecContext* exec) {
+    std::lock_guard<std::mutex> lock(exec_mutex);
+    active_execs.push_back(exec);
+    // A disconnect between the executor's closed-check and this point has
+    // already swept the registry; trip the late arrival here.
+    if (closed.load()) exec->Cancel();
+  }
+  void UnregisterExec(ExecContext* exec) {
+    std::lock_guard<std::mutex> lock(exec_mutex);
+    active_execs.erase(
+        std::find(active_execs.begin(), active_execs.end(), exec));
+  }
+  void CancelActiveExecs() {
+    std::lock_guard<std::mutex> lock(exec_mutex);
+    for (ExecContext* exec : active_execs) exec->Cancel();
   }
 };
 
@@ -135,6 +171,11 @@ Status RpqServer::Start() {
 void RpqServer::Stop() {
   if (!running_.exchange(false)) return;
   WakeIo();
+  // Take-and-release the queue lock between flipping running_ and
+  // notifying: an executor that read running_ == true did so inside its
+  // wait predicate while holding this lock, so acquiring it here means that
+  // executor has since entered the wait — the notify cannot be lost.
+  { std::lock_guard<std::mutex> lock(queue_mutex_); }
   queue_cv_.notify_all();
   if (io_thread_.joinable()) io_thread_.join();
   for (std::thread& t : executor_threads_) {
@@ -227,7 +268,7 @@ void RpqServer::IoLoop() {
   // Shutdown: close every socket so clients see EOF.
   for (const auto& conn : connections_) {
     conn->closed.store(true);
-    if (ExecContext* exec = conn->active_exec.load()) exec->Cancel();
+    conn->CancelActiveExecs();
   }
 }
 
@@ -343,8 +384,9 @@ void RpqServer::FlushToConnection(const std::shared_ptr<Connection>& conn) {
 void RpqServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
   if (conn->closed.exchange(true)) return;
   // Cancel whatever this client was waiting for; the executor observes the
-  // trip at its next engine checkpoint.
-  if (ExecContext* exec = conn->active_exec.load()) exec->Cancel();
+  // trip at its next engine checkpoint. The registry lock orders this
+  // against executor-side context destruction.
+  conn->CancelActiveExecs();
   if (conn->fd >= 0) {
     ::close(conn->fd);
     conn->fd = -1;
@@ -367,53 +409,102 @@ void RpqServer::ExecutorLoop() {
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       executing_ -= batch.size();
+      for (const auto& request : batch) {
+        Connection* conn = request->conn.get();
+        --conn->executing_requests;
+        if (IsMutation(request->command)) conn->executing_mutation = false;
+      }
     }
+    // Completion may unblock both admission (I/O thread) and queued
+    // requests of the finished connections (other executors).
+    queue_cv_.notify_all();
     WakeIo();
   }
 }
 
+size_t RpqServer::FindRunnableLocked() const {
+  // Per-connection order: once one request of a connection is passed over,
+  // every later one is too. A mutation may not start while its connection
+  // has anything executing, and nothing may start while its connection is
+  // executing a mutation — together: read-your-writes for pipelined
+  // clients, full concurrency for pure-query pipelines.
+  std::vector<const Connection*> held;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const Request& request = *queue_[i];
+    const Connection* conn = request.conn.get();
+    if (std::find(held.begin(), held.end(), conn) != held.end()) continue;
+    const bool runnable = IsMutation(request.command)
+                              ? request.conn->executing_requests == 0
+                              : !request.conn->executing_mutation;
+    if (runnable) return i;
+    held.push_back(conn);
+  }
+  return queue_.size();
+}
+
 bool RpqServer::PopRequests(std::vector<std::unique_ptr<Request>>* batch) {
   std::unique_lock<std::mutex> lock(queue_mutex_);
-  queue_cv_.wait(lock, [this] { return !queue_.empty() || !running_.load(); });
-  if (queue_.empty()) return false;
+  size_t pos = 0;
+  queue_cv_.wait(lock, [this, &pos] {
+    pos = FindRunnableLocked();
+    return pos < queue_.size() || !running_.load();
+  });
+  if (pos >= queue_.size()) {
+    // Stopping: drain FIFO. Connections are closing and replies are moot,
+    // so the per-connection constraints no longer apply.
+    if (queue_.empty()) return false;
+    pos = 0;
+  }
 
-  batch->push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  ++executing_;
+  // Connections queued ahead of `pos` must not have later requests pulled
+  // forward by the batching scan, and a mutation ahead of `pos` pins every
+  // later query behind it.
+  bool mutation_ahead = false;
+  std::vector<const Connection*> skipped;
+  for (size_t i = 0; i < pos; ++i) {
+    skipped.push_back(queue_[i]->conn.get());
+    mutation_ahead = mutation_ahead || IsMutation(queue_[i]->command);
+  }
+
+  batch->push_back(std::move(queue_[pos]));
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pos));
+  const Request& head = *batch->front();
 
   // Batching: coalesce queued binary QUERYs sharing the head's regex. The
   // scan stops at the first mutation (executing past it would let a query
   // observe a graph state its submission order precedes) and skips at most
   // — never reorders — other requests: once a request of some connection is
   // left in place, later requests of that connection are left too.
-  const Request& head = *batch->front();
-  const bool batchable = head.command.ok() &&
+  const bool batchable = !mutation_ahead && head.command.ok() &&
                          head.command->kind == Command::Kind::kQuery &&
                          head.command->has_sources;
-  if (!batchable) return true;
-  std::vector<const Connection*> skipped;
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    Request& candidate = **it;
-    const bool mutation =
-        candidate.command.ok() &&
-        (candidate.command->kind == Command::Kind::kLoad ||
-         candidate.command->kind == Command::Kind::kUpdate);
-    if (mutation) break;
-    const bool same_shape = candidate.command.ok() &&
-                            candidate.command->kind == Command::Kind::kQuery &&
-                            candidate.command->has_sources &&
-                            candidate.command->regex == head.command->regex;
-    const bool conn_held =
-        std::find(skipped.begin(), skipped.end(), candidate.conn.get()) !=
-        skipped.end();
-    if (same_shape && !conn_held) {
-      batch->push_back(std::move(*it));
-      it = queue_.erase(it);
-      ++executing_;
-      continue;
+  if (batchable) {
+    for (auto it = queue_.begin() + static_cast<std::ptrdiff_t>(pos);
+         it != queue_.end();) {
+      Request& candidate = **it;
+      if (IsMutation(candidate.command)) break;
+      const bool same_shape =
+          candidate.command.ok() &&
+          candidate.command->kind == Command::Kind::kQuery &&
+          candidate.command->has_sources &&
+          candidate.command->regex == head.command->regex;
+      const Connection* conn = candidate.conn.get();
+      const bool conn_held =
+          std::find(skipped.begin(), skipped.end(), conn) != skipped.end();
+      if (same_shape && !conn_held && !candidate.conn->executing_mutation) {
+        batch->push_back(std::move(*it));
+        it = queue_.erase(it);
+        continue;
+      }
+      skipped.push_back(conn);
+      ++it;
     }
-    skipped.push_back(candidate.conn.get());
-    ++it;
+  }
+
+  executing_ += batch->size();
+  for (const auto& request : *batch) ++request->conn->executing_requests;
+  if (IsMutation(head.command)) {
+    batch->front()->conn->executing_mutation = true;
   }
   return true;
 }
@@ -438,7 +529,7 @@ void RpqServer::ExecuteSingle(Request& request) {
     exec.set_deadline_after(
         std::chrono::milliseconds(options_.request_deadline_ms));
   }
-  request.conn->active_exec.store(&exec);
+  request.conn->RegisterExec(&exec);
 
   std::string reply;
   switch (command.kind) {
@@ -465,7 +556,7 @@ void RpqServer::ExecuteSingle(Request& request) {
       break;
   }
 
-  request.conn->active_exec.store(nullptr);
+  request.conn->UnregisterExec(&exec);
   if (request.conn->closed.load()) {
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.cancelled_requests;
@@ -497,7 +588,7 @@ void RpqServer::ExecuteBatch(std::vector<std::unique_ptr<Request>>& batch) {
   // Any participant disconnecting cancels the shared evaluation; survivors
   // see ERR CANCELLED and may retry (documented batching trade-off).
   for (const auto& request : batch) {
-    request->conn->active_exec.store(&exec);
+    request->conn->RegisterExec(&exec);
   }
 
   std::string error;
@@ -546,7 +637,7 @@ void RpqServer::ExecuteBatch(std::vector<std::unique_ptr<Request>>& batch) {
 
   for (size_t i = 0; i < batch.size(); ++i) {
     Request& request = *batch[i];
-    request.conn->active_exec.store(nullptr);
+    request.conn->UnregisterExec(&exec);
     if (request.conn->closed.load()) {
       std::lock_guard<std::mutex> lock(counters_mutex_);
       ++counters_.cancelled_requests;
@@ -644,7 +735,7 @@ std::string RpqServer::HandleQuery(const Command& command, ExecContext* exec) {
     return reply;
   }
 
-  StatusOr<const BitVector*> nodes = (*plan)->RunMonadic(exec);
+  StatusOr<MonadicNodes> nodes = (*plan)->RunMonadic(exec);
   if (!nodes.ok()) return FormatErrorReply(nodes.status());
   std::string reply;
   size_t count = 0;

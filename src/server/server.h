@@ -16,6 +16,12 @@
 ///     the server state. Replies are delivered per connection in request
 ///     order (a per-connection sequence number orders the flush), so
 ///     pipelined clients read replies in the order they wrote commands.
+///     Execution order additionally guarantees per-connection
+///     **read-your-writes**: a connection's mutation (LOAD / UPDATE) never
+///     starts while that connection has any other request executing, and
+///     none of its requests start while its mutation executes — so a
+///     pipelined UPDATE-then-QUERY observes its own update. Pure-query
+///     pipelines still execute concurrently across the pool.
 ///
 /// State and consistency: the loaded graph lives in a DynamicGraph with an
 /// Engine over it. Mutations (LOAD, UPDATE) take the state lock exclusively;
@@ -27,7 +33,11 @@
 /// `ERR RESOURCE_EXHAUSTED` without being queued. Each admitted request runs
 /// under its own ExecContext, armed with `request_deadline_ms` and cancelled
 /// when its client disconnects — a disconnect mid-evaluation trips the
-/// engine at its next checkpoint instead of wasting the executor.
+/// engine at its next checkpoint instead of wasting the executor. Every
+/// executing request registers its context in a per-connection registry
+/// whose lock orders disconnect-time Cancel() against the executor
+/// destroying the context, and which cancels all of a connection's
+/// concurrently executing requests, not just the latest.
 ///
 /// Request batching: when an executor pops a binary QUERY (FROM sources),
 /// it coalesces every queued binary QUERY with the same regex into one
@@ -138,8 +148,12 @@ class RpqServer {
 
   // --- executors ---
   void ExecutorLoop();
-  /// Pops the next request plus any batchable companions (see batching
-  /// contract above). Returns false when stopping.
+  /// Index of the first queued request allowed to start under the
+  /// per-connection ordering rules (read-your-writes around mutations), or
+  /// queue_.size() when none may. Requires queue_mutex_ held.
+  size_t FindRunnableLocked() const;
+  /// Pops the next runnable request plus any batchable companions (see
+  /// batching contract above). Returns false when stopping.
   bool PopRequests(std::vector<std::unique_ptr<Request>>* batch);
   void ExecuteSingle(Request& request);
   void ExecuteBatch(std::vector<std::unique_ptr<Request>>& batch);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -89,6 +91,33 @@ TEST(EngineTest, PlanCacheHitsEquivalentQueriesAndEvictsAtCapacity) {
   // Eviction only drops the engine's reference: the held plan still runs.
   auto nodes = (*first)->RunMonadic();
   ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+}
+
+TEST(EngineTest, ConcurrentColdMonadicRunsAreIsolated) {
+  // Regression: with result caching off, RunMonadic used to return a
+  // pointer into shared plan state that a concurrent cold run overwrote
+  // while the first caller was still reading. Each run now owns its result.
+  const Graph graph = SmallScaleFree();
+  const Dfa query = ParseQuery(graph, "(l0+l1)*.l2");
+  const BitVector reference = EvalMonadic(graph, query);
+  EngineOptions options;
+  options.cache_monadic_results = false;
+  Engine engine(graph, options);
+  auto plan = engine.Plan(query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int r = 0; r < 25; ++r) {
+        auto nodes = (*plan)->RunMonadic();
+        if (!nodes.ok() || !(**nodes == reference)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(EngineTest, PlanFromRegexRequiresGraphLabels) {

@@ -399,6 +399,62 @@ TEST_F(ServerTest, UpdateMutatesTheServedGraph) {
             std::string::npos);
 }
 
+TEST_F(ServerTest, PipelinedUpdateThenQueryReadsYourWrites) {
+  // Regression: with several executors, a pipelined UPDATE-then-QUERY from
+  // one connection could execute out of order — the QUERY winning the state
+  // lock first — so the client read results not reflecting its own update.
+  // Execution is now serialized per connection around mutations.
+  GraphBuilder b;
+  b.AddNode("n0");
+  b.AddNode("n1");
+  b.AddNode("n2");
+  b.AddEdge(1, "a", 2);
+  const Graph graph = b.Build();
+  const std::string path = WriteGraphFile(graph);
+  options_.executors = 4;
+  options_.execute_delay_for_testing = std::chrono::milliseconds(2);
+  RpqServer server(options_);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client(server.port());
+  ASSERT_EQ(client.Ask("LOAD " + path).rfind("OK LOAD", 0), 0u);
+
+  // Each burst pipelines mutation/query alternations; every QUERY must
+  // observe exactly the UPDATEs written before it on this connection.
+  for (int round = 0; round < 10; ++round) {
+    client.Send("UPDATE +(0,a,1)\nQUERY a\nUPDATE -(0,a,1)\nQUERY a\n");
+    EXPECT_EQ(client.ReadReply(), "OK UPDATE 1\n") << round;
+    EXPECT_EQ(client.ReadReply(), "NODE 0\nNODE 1\nOK QUERY 2\n") << round;
+    EXPECT_EQ(client.ReadReply(), "OK UPDATE 1\n") << round;
+    EXPECT_EQ(client.ReadReply(), "NODE 1\nOK QUERY 1\n") << round;
+  }
+}
+
+TEST_F(ServerTest, AbruptDisconnectStormDoesNotRace) {
+  // Regression: disconnect-time Cancel() used to chase a raw pointer the
+  // executor concurrently cleared and whose stack ExecContext it destroyed;
+  // the per-connection registry now orders them under a lock. Stress both
+  // sides of the window, including two same-connection requests executing
+  // concurrently (the old single slot dropped one of them).
+  const Graph graph = TestGraph();
+  const std::string path = WriteGraphFile(graph);
+  options_.executors = 4;
+  options_.execute_delay_for_testing = std::chrono::milliseconds(1);
+  RpqServer server(options_);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    TestClient loader(server.port());
+    ASSERT_EQ(loader.Ask("LOAD " + path).rfind("OK LOAD", 0), 0u);
+  }
+  for (int i = 0; i < 50; ++i) {
+    TestClient client(server.port());
+    client.Send("QUERY (l0+l1)*.l2\nQUERY l0.l1 FROM 1 2 3\n");
+    // Drop the connection at a sliding point in the execution window.
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * (i % 10)));
+    client.Close();
+  }
+  server.Stop();  // must join cleanly with cancellations in flight
+}
+
 TEST_F(ServerTest, StatsReportServerEngineAndGraphTelemetry) {
   const Graph graph = TestGraph();
   const std::string path = WriteGraphFile(graph);
